@@ -1,0 +1,63 @@
+// Regenerates the result-set comparison opening §VI of the paper: do the
+// area-based and non-area-based algorithms, which test different interval
+// families (left- vs right-anchored), report the same intervals?
+//
+// Paper: on the credit-card data the interval sets were identical at
+// eps = 0.01; on the TCP trace most intervals matched exactly and the rest
+// overlapped considerably, with AB starting intervals at smaller i.
+
+#include "bench/bench_util.h"
+#include "interval/compare.h"
+#include "datagen/credit_card.h"
+#include "datagen/tcp_trace.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace conservation;
+
+void Report(const char* dataset, const series::CountSequence& counts,
+            core::TableauType type, double c_hat, double eps) {
+  const series::CumulativeSeries cumulative(counts);
+  interval::GeneratorOptions options;
+  options.type = type;
+  options.c_hat = c_hat;
+  options.epsilon = eps;
+  const auto ab =
+      bench::RunGenerator(cumulative, core::ConfidenceModel::kBalance,
+                          interval::AlgorithmKind::kAreaBased, options);
+  const auto nab =
+      bench::RunGenerator(cumulative, core::ConfidenceModel::kBalance,
+                          interval::AlgorithmKind::kNonAreaBased, options);
+  const interval::SetComparison agreement =
+      interval::CompareIntervalSets(ab.candidates, nab.candidates);
+  std::printf("%-12s %s c=%.2f eps=%g: AB %zu / NAB %zu candidates; "
+              "%zu identical, %zu overlapping (mean overlap %.2f), "
+              "coverage agreement %.3f\n",
+              dataset, core::TableauTypeName(type), c_hat, eps,
+              agreement.lhs_total, agreement.rhs_total, agreement.identical,
+              agreement.overlapping, agreement.mean_jaccard,
+              agreement.coverage_jaccard);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t tcp_n = bench::IntFlag(argc, argv, "tcp_n", 40000);
+
+  bench::PrintHeader("§VI opening: AB vs NAB result-set agreement");
+  const datagen::CreditCardData credit = datagen::GenerateCreditCard();
+  Report("credit-card", credit.counts, core::TableauType::kFail, 0.7, 0.01);
+  Report("credit-card", credit.counts, core::TableauType::kHold, 0.9, 0.01);
+
+  datagen::TcpTraceParams tcp_params;
+  tcp_params.num_ticks = tcp_n;
+  const datagen::TcpTraceData tcp = datagen::GenerateTcpTrace(tcp_params);
+  Report("tcp-trace", tcp.counts, core::TableauType::kFail, 0.5, 0.01);
+  Report("tcp-trace", tcp.counts, core::TableauType::kHold, 0.95, 0.01);
+
+  std::printf("\nreading: most intervals coincide; where they differ, the "
+              "pairs overlap considerably (AB anchors at left endpoints and "
+              "so tends to start earlier).\n");
+  return 0;
+}

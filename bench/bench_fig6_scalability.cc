@@ -1,0 +1,139 @@
+// Regenerates Figure 6 of the paper (§IV.E, performance and scalability):
+//   left   — wall-clock time of candidate generation (hold tableaux) on
+//            prefixes of the Job-Log data: exhaustive vs area-based at
+//            several eps;
+//   middle — hold-interval generation time on the TCP trace for all three
+//            models and several eps;
+//   right  — same for fail intervals.
+//
+// The exhaustive algorithm is quadratic, so its prefix sizes are capped
+// (--naive_max=...); the approximate algorithm runs on larger prefixes. The
+// paper's observation to reproduce: an order-of-magnitude (or more) speedup
+// even at small eps, growing with n.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "datagen/job_log.h"
+#include "datagen/tcp_trace.h"
+#include "io/table_printer.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace conservation;
+
+  const int64_t jobs_n = bench::IntFlag(argc, argv, "jobs_n", 200000);
+  const int64_t tcp_n = bench::IntFlag(argc, argv, "tcp_n", 40000);
+  const int64_t naive_max = bench::IntFlag(argc, argv, "naive_max", 50000);
+  const double epsilons[] = {0.1, 0.01, 0.001};
+
+  bench::PrintHeader("Figure 6 (left): Job-Log prefixes, balance hold");
+  datagen::JobLogParams jobs_params;
+  jobs_params.num_ticks = jobs_n;
+  const datagen::JobLogData jobs = datagen::GenerateJobLog(jobs_params);
+
+  // c_hat slightly above the whole-data confidence, as in the paper, so the
+  // full sweep runs (no single interval covers everything).
+  {
+    const series::CumulativeSeries cumulative(jobs.counts);
+    const core::ConfidenceEvaluator eval(&cumulative,
+                                         core::ConfidenceModel::kBalance);
+    std::printf("whole-data confidence: %.6f\n", *eval.Confidence(1, jobs_n));
+  }
+
+  io::TablePrinter left({"n", "algorithm", "eps", "intervals tested",
+                         "candidates", "seconds"});
+  for (int64_t n = jobs_n / 8; n <= jobs_n; n *= 2) {
+    const series::CountSequence prefix = jobs.counts.Prefix(n);
+    const series::CumulativeSeries cumulative(prefix);
+    const core::ConfidenceEvaluator eval(&cumulative,
+                                         core::ConfidenceModel::kBalance);
+    const double c_hat =
+        std::min(1.0, *eval.Confidence(1, n) * 1.000001 + 1e-9);
+
+    interval::GeneratorOptions options;
+    options.type = core::TableauType::kHold;
+    options.c_hat = c_hat;
+
+    if (n <= naive_max) {
+      options.epsilon = 0.01;  // unused by exhaustive
+      const auto run = bench::RunGenerator(
+          cumulative, core::ConfidenceModel::kBalance,
+          interval::AlgorithmKind::kExhaustive, options);
+      left.AddRow({util::StrFormat("%lld", static_cast<long long>(n)),
+                   "exhaustive", "-",
+                   util::StrFormat("%llu", static_cast<unsigned long long>(
+                                               run.stats.intervals_tested)),
+                   util::StrFormat("%llu", static_cast<unsigned long long>(
+                                               run.stats.candidates)),
+                   util::StrFormat("%.3f", run.stats.seconds)});
+    }
+    for (const double eps : epsilons) {
+      options.epsilon = eps;
+      const auto run = bench::RunGenerator(
+          cumulative, core::ConfidenceModel::kBalance,
+          interval::AlgorithmKind::kAreaBased, options);
+      left.AddRow({util::StrFormat("%lld", static_cast<long long>(n)),
+                   "area-based", util::StrFormat("%g", eps),
+                   util::StrFormat("%llu", static_cast<unsigned long long>(
+                                               run.stats.intervals_tested)),
+                   util::StrFormat("%llu", static_cast<unsigned long long>(
+                                               run.stats.candidates)),
+                   util::StrFormat("%.3f", run.stats.seconds)});
+    }
+  }
+  std::printf("%s\n", left.ToString().c_str());
+
+  datagen::TcpTraceParams tcp_params;
+  tcp_params.num_ticks = tcp_n;
+  const datagen::TcpTraceData tcp = datagen::GenerateTcpTrace(tcp_params);
+  const series::CumulativeSeries tcp_cumulative(tcp.counts);
+
+  for (const auto type :
+       {core::TableauType::kHold, core::TableauType::kFail}) {
+    bench::PrintHeader(type == core::TableauType::kHold
+                           ? "Figure 6 (middle): TCP trace, hold intervals"
+                           : "Figure 6 (right): TCP trace, fail intervals");
+    io::TablePrinter table({"model", "algorithm", "eps", "intervals tested",
+                            "seconds"});
+    for (const auto model :
+         {core::ConfidenceModel::kBalance, core::ConfidenceModel::kCredit,
+          core::ConfidenceModel::kDebit}) {
+      const core::ConfidenceEvaluator eval(&tcp_cumulative, model);
+      const double overall = eval.Confidence(1, tcp_n).value_or(0.5);
+      interval::GeneratorOptions options;
+      options.type = type;
+      // Slightly above overall confidence, as in the paper.
+      options.c_hat = std::min(1.0, overall * 1.00001 + 1e-9);
+
+      if (tcp_n <= naive_max) {
+        const auto naive = bench::RunGenerator(
+            tcp_cumulative, model, interval::AlgorithmKind::kExhaustive,
+            options);
+        table.AddRow(
+            {core::ConfidenceModelName(model), "exhaustive", "-",
+             util::StrFormat("%llu", static_cast<unsigned long long>(
+                                         naive.stats.intervals_tested)),
+             util::StrFormat("%.3f", naive.stats.seconds)});
+      }
+      for (const double eps : epsilons) {
+        options.epsilon = eps;
+        const auto run =
+            bench::RunGenerator(tcp_cumulative, model,
+                                interval::AlgorithmKind::kAreaBased, options);
+        table.AddRow(
+            {core::ConfidenceModelName(model), "area-based",
+             util::StrFormat("%g", eps),
+             util::StrFormat("%llu", static_cast<unsigned long long>(
+                                         run.stats.intervals_tested)),
+             util::StrFormat("%.3f", run.stats.seconds)});
+      }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf("reading: area-based tests orders of magnitude fewer "
+              "intervals than the quadratic exhaustive scan, even at "
+              "eps = 0.001, and scales near-linearly in n.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Regenerates Figure 7 of the paper (§VI): area-based (AB) vs non
+// area-based (NAB) hold-interval generation on Job-Log prefixes with
+// c_hat = 0.99999 and eps = 0.01.
+//
+// Because the whole prefix has confidence above c_hat/(1+eps), both
+// algorithms select [1, n] from their first anchor and stop
+// (stop_on_full_cover): AB tests ~log_{1+eps}(area_B(1,n)/Delta) intervals,
+// NAB ~log_{1+eps}(n). The paper's observation: the test-count ratio tracks
+// log(area_B) / log(n) (1.49 at n = 100K, 1.84 at 500K on its trace), while
+// the runtime gap grows somewhat faster.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "datagen/job_log.h"
+#include "io/table_printer.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace conservation;
+
+  const int64_t max_n = bench::IntFlag(argc, argv, "n", 500000);
+  const double eps = bench::DoubleFlag(argc, argv, "eps", 0.01);
+
+  datagen::JobLogParams params;
+  params.num_ticks = max_n;
+  const datagen::JobLogData jobs = datagen::GenerateJobLog(params);
+
+  bench::PrintHeader("Figure 7: AB vs NAB, hold intervals, c_hat = 0.99999");
+  io::TablePrinter table({"n", "AB tests", "NAB tests", "test ratio",
+                          "log(areaB)/log(n)", "AB ptr steps", "AB sec",
+                          "NAB sec", "time ratio"});
+
+  for (int64_t n = max_n / 5; n <= max_n; n += max_n / 5) {
+    const series::CountSequence prefix = jobs.counts.Prefix(n);
+    const series::CumulativeSeries cumulative(prefix);
+
+    interval::GeneratorOptions options;
+    options.type = core::TableauType::kHold;
+    options.c_hat = 0.99999;
+    options.epsilon = eps;
+    options.delta_mode = interval::DeltaMode::kOne;  // as in the paper's impl
+    options.stop_on_full_cover = true;
+
+    const auto ab = bench::RunGenerator(cumulative,
+                                        core::ConfidenceModel::kBalance,
+                                        interval::AlgorithmKind::kAreaBased,
+                                        options);
+    const auto nab = bench::RunGenerator(
+        cumulative, core::ConfidenceModel::kBalance,
+        interval::AlgorithmKind::kNonAreaBased, options);
+
+    const double area_b = cumulative.SumB(1, n);
+    const double predicted =
+        std::log(area_b) / std::log(static_cast<double>(n));
+    table.AddRow(
+        {util::StrFormat("%lld", static_cast<long long>(n)),
+         util::StrFormat("%llu", static_cast<unsigned long long>(
+                                     ab.stats.intervals_tested)),
+         util::StrFormat("%llu", static_cast<unsigned long long>(
+                                     nab.stats.intervals_tested)),
+         util::StrFormat("%.2f",
+                         static_cast<double>(ab.stats.intervals_tested) /
+                             static_cast<double>(nab.stats.intervals_tested)),
+         util::StrFormat("%.2f", predicted),
+         util::StrFormat("%llu", static_cast<unsigned long long>(
+                                     ab.stats.endpoint_steps)),
+         util::StrFormat("%.4f", ab.stats.seconds),
+         util::StrFormat("%.4f", nab.stats.seconds),
+         util::StrFormat("%.2f", ab.stats.seconds /
+                                     std::max(nab.stats.seconds, 1e-9))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("reading: both algorithms resolve from a single anchor; the "
+              "AB/NAB test ratio tracks log(area_B)/log(n), as predicted by "
+              "the analysis. AB's runtime additionally pays the per-level "
+              "pointer walk (its O(n)-amortized cost concentrates on the "
+              "single anchor here), so its time gap exceeds its test-count "
+              "gap — the paper saw the same direction ('the gap in running "
+              "time appears to grow at a faster rate').\n");
+  return 0;
+}

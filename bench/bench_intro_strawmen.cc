@@ -1,0 +1,131 @@
+// Regenerates the paper's §I.B motivation: why pointwise divergence and
+// fixed-length sliding windows are the wrong tools.
+//
+//   * False negative for pointwise divergence: a violation that builds up
+//     slowly — each tick diverges a little, so no single tick ranks high,
+//     but the accumulated imbalance is large. The CR fail tableau reports
+//     the buildup interval.
+//   * False positive for sliding windows: "a large number of inbound
+//     packets at the end of a sliding window whose outbound packets show up
+//     in the next time interval" — huge window divergence, nothing actually
+//     wrong. The CR confidence of the flagged window stays high.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/conservation_rule.h"
+#include "core/diagnose.h"
+#include "mining/divergence.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace conservation;
+
+  bench::PrintHeader("§I.B strawman 1: slow buildup (pointwise misses it)");
+  {
+    // 600 ticks, noisy traffic ~100/tick with matched spikes of +-60; in
+    // [200, 400] outbound quietly runs 4% short.
+    util::Rng rng(7);
+    std::vector<double> a;
+    std::vector<double> b;
+    double carry = 0.0;  // benign one-tick-delayed bursts
+    for (int64_t t = 0; t < 600; ++t) {
+      double in = 100.0 + rng.Normal(0.0, 8.0);
+      in = std::max(in, 0.0);
+      double out = in + carry;
+      carry = 0.0;
+      if (t % 37 == 0) {
+        // A benign burst: 60 extra inbound now, its outbound one tick
+        // later — a +-60 pointwise divergence that dwarfs the leak's
+        // ~4/tick signal.
+        in += 60.0;
+        carry = 60.0;
+      }
+      if (t >= 200 && t < 400) out *= 0.96;  // the slow leak
+      a.push_back(std::floor(out));
+      b.push_back(std::floor(in));
+    }
+    auto rule = core::ConservationRule::Create(a, b);
+    CR_CHECK(rule.ok());
+
+    const auto top = mining::TopPointwiseDivergence(rule->counts(), 20);
+    std::printf("top-20 pointwise divergences (tick: b-a):\n");
+    int burst_ticks = 0;
+    for (const auto& point : top) {
+      // Burst ticks are t %% 37 == 0 (0-based) and their catch-up ticks.
+      const bool burst =
+          (point.tick - 1) % 37 == 0 || (point.tick - 2) % 37 == 0;
+      burst_ticks += burst ? 1 : 0;
+    }
+    for (size_t k = 0; k < 4; ++k) {
+      std::printf("  tick %3lld: %+5.0f\n",
+                  static_cast<long long>(top[k].tick), top[k].divergence);
+    }
+    std::printf("  ... (all +-60-ish)\n");
+    std::printf("-> %d of 20 are benign one-tick bursts; the leak's ~4/tick "
+                "signal never ranks (the paper's false negative)\n",
+                burst_ticks);
+
+    core::TableauRequest request;
+    request.type = core::TableauType::kFail;
+    request.model = core::ConfidenceModel::kDebit;
+    request.c_hat = 0.97;
+    request.s_hat = 0.05;
+    auto tableau = rule->DiscoverTableau(request);
+    CR_CHECK(tableau.ok());
+    std::printf("CR fail tableau (debit, c=0.97):\n");
+    for (const core::TableauRow& row : tableau->rows) {
+      std::printf("  %-14s conf=%.4f\n", row.interval.ToString().c_str(),
+                  row.confidence);
+    }
+    std::printf("-> the tableau brackets the 200-tick buildup that no "
+                "single tick reveals\n\n");
+  }
+
+  bench::PrintHeader(
+      "§I.B strawman 2: window-boundary burst (sliding window cries wolf)");
+  {
+    // Steady matched traffic; at tick 96 a burst of 800 inbound arrives
+    // whose outbound counterpart lands at tick 97 — one tick of delay.
+    std::vector<double> a(200, 50.0);
+    std::vector<double> b(200, 50.0);
+    b[95] += 800.0;  // tick 96 inbound burst
+    a[96] += 800.0;  // tick 97 outbound catch-up
+    auto rule = core::ConservationRule::Create(a, b);
+    CR_CHECK(rule.ok());
+
+    const auto windows =
+        mining::TopWindowDivergence(rule->counts(), 32, 3);
+    std::printf("top sliding windows (length 32) by |sum b - sum a|:\n");
+    for (const auto& window : windows) {
+      const auto conf = rule->Confidence(core::ConfidenceModel::kBalance,
+                                         window.window.begin,
+                                         window.window.end);
+      std::printf("  %-12s divergence=%+6.0f   CR confidence=%.4f\n",
+                  window.window.ToString().c_str(), window.divergence,
+                  conf.value_or(-1.0));
+    }
+
+    core::TableauRequest request;
+    request.type = core::TableauType::kFail;
+    request.c_hat = 0.5;
+    request.s_hat = 0.02;
+    auto tableau = rule->DiscoverTableau(request);
+    CR_CHECK(tableau.ok());
+    std::printf("CR fail tableau (balance, c=0.5): %zu interval(s) — "
+                "coverage %lld tick(s)\n",
+                tableau->size(), static_cast<long long>(tableau->covered));
+    if (!tableau->rows.empty()) {
+      const auto diagnoses = core::DiagnoseTableau(*rule, *tableau);
+      for (const auto& diagnosis : diagnoses) {
+        std::printf("  %s\n", diagnosis.ToString().c_str());
+      }
+    }
+    std::printf("-> the burst tops the window-divergence ranking, but its "
+                "CR confidence stays high (the mass returns one tick "
+                "later); any reported interval is classified as delay, "
+                "not loss\n");
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Regenerates the paper's qualitative comparison against Optimized Support
+// Rules (Fukuda et al. [9]) across §IV:
+//   * credit-card (§IV.A): OSR's instantaneous-sum metric finds only
+//     degenerate early intervals; its zero-baseline cumulative metric only
+//     flags the start of the sequence (later intervals get artificially
+//     high ratios because the fixed baseline ignores interval starts);
+//   * people-count (§IV.B): OSR intervals rarely align with the scheduled
+//     events, because summing counts cannot model delay;
+//   * CR fail tableaux, for contrast, on the same data.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "core/conservation_rule.h"
+#include "datagen/credit_card.h"
+#include "datagen/people_count.h"
+#include "io/timeline.h"
+#include "mining/support_rules.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace conservation;
+
+void PrintMined(const char* label,
+                const std::vector<mining::MinedInterval>& mined,
+                size_t max_rows = 6) {
+  std::printf("%s: %zu maximal interval(s)\n", label, mined.size());
+  size_t shown = 0;
+  for (const auto& m : mined) {
+    if (++shown > max_rows) {
+      std::printf("    ...\n");
+      break;
+    }
+    std::printf("    %-14s ratio=%.3f  (length %lld)\n",
+                m.interval.ToString().c_str(), m.ratio,
+                static_cast<long long>(m.interval.length()));
+  }
+}
+
+}  // namespace
+
+int main(int, char**) {
+  bench::PrintHeader("OSR vs conservation rules: credit-card data");
+  const datagen::CreditCardData credit = datagen::GenerateCreditCard();
+  const io::MonthTimeline months(credit.params.start_year, 1);
+
+  for (const auto metric : {mining::RatioMetric::kInstantaneousSum,
+                            mining::RatioMetric::kZeroBaselineArea}) {
+    for (const double c_hat : {0.8, 0.9}) {
+      mining::SupportRulesOptions options;
+      options.metric = metric;
+      options.type = core::TableauType::kFail;
+      options.c_hat = c_hat;
+      const auto mined = mining::MineMaximalIntervals(credit.counts, options);
+      PrintMined(util::StrFormat("  OSR %s, fail ratio <= %.1f",
+                                 mining::RatioMetricName(metric), c_hat)
+                     .c_str(),
+                 mined);
+      // How many reported intervals start in a holiday month?
+      int holiday = 0;
+      for (const auto& m : mined) {
+        const int month = months.MonthOf(m.interval.begin);
+        if (month == 11 || month == 12) ++holiday;
+      }
+      std::printf("    -> %d of %zu start in Nov/Dec\n", holiday,
+                  mined.size());
+    }
+  }
+  {
+    auto rule = core::ConservationRule::Create(credit.counts);
+    core::TableauRequest request;
+    request.type = core::TableauType::kFail;
+    request.c_hat = 0.7;
+    request.s_hat = 0.04;
+    auto tableau = rule->DiscoverTableau(request);
+    int holiday = 0;
+    for (const auto& row : tableau->rows) {
+      const int month = months.MonthOf(row.interval.begin);
+      if (month == 11 || month == 12) ++holiday;
+    }
+    std::printf("  CR balance fail tableau: %zu intervals, %d start in "
+                "Nov/Dec (paper: CRs find the holiday pattern, OSR does "
+                "not)\n\n",
+                tableau->size(), holiday);
+  }
+
+  bench::PrintHeader("OSR vs conservation rules: people-count data");
+  const datagen::PeopleCountData people = datagen::GeneratePeopleCount();
+  int osr_matched = 0;
+  int cr_matched = 0;
+  {
+    mining::SupportRulesOptions options;
+    options.metric = mining::RatioMetric::kInstantaneousSum;
+    options.type = core::TableauType::kFail;
+    options.c_hat = 0.6;
+    options.min_length = 2;
+    const auto mined = mining::MineMaximalIntervals(people.counts, options);
+    for (const datagen::BuildingEvent& event : people.events) {
+      const interval::Interval range{event.BeginTick(), event.EndTick()};
+      for (const auto& m : mined) {
+        if (m.interval.Overlaps(range) && m.interval.length() < 96) {
+          ++osr_matched;
+          break;
+        }
+      }
+    }
+    // The paper's qualitative critique: OSR intervals "extended into the
+    // following day and almost all days included intervals at odd hours".
+    int crossing_midnight = 0;
+    int at_odd_hours = 0;
+    const io::SlotTimeline slots(people.params.slots_per_day);
+    for (const auto& m : mined) {
+      if (slots.DayOf(m.interval.begin) != slots.DayOf(m.interval.end)) {
+        ++crossing_midnight;
+      }
+      const int begin_slot = slots.SlotOf(m.interval.begin);
+      if (begin_slot < 12 || begin_slot > 44) ++at_odd_hours;  // <6:00/>22:00
+    }
+    std::printf("  OSR instantaneous fail <= 0.6: %zu intervals; events "
+                "overlapped by a day-scale interval: %d / %zu\n"
+                "    of the OSR intervals, %d cross midnight and %d start "
+                "at odd hours (paper: same artifacts)\n",
+                mined.size(), osr_matched, people.events.size(),
+                crossing_midnight, at_odd_hours);
+  }
+  {
+    auto rule = core::ConservationRule::Create(people.counts);
+    const core::ConfidenceEvaluator eval =
+        rule->Evaluator(core::ConfidenceModel::kCredit);
+    interval::GeneratorOptions options;
+    options.type = core::TableauType::kFail;
+    options.c_hat = 0.6;
+    options.epsilon = 0.01;
+    const auto generator =
+        interval::MakeGenerator(interval::AlgorithmKind::kAreaBased);
+    const auto candidates = generator->Generate(eval, options, nullptr);
+    for (const datagen::BuildingEvent& event : people.events) {
+      const interval::Interval range{event.BeginTick(), event.EndTick()};
+      for (const auto& iv : candidates) {
+        if (iv.Overlaps(range)) {
+          ++cr_matched;
+          break;
+        }
+      }
+    }
+    std::printf("  CR credit fail <= 0.6: events overlapped: %d / %zu\n",
+                cr_matched, people.events.size());
+  }
+  std::printf("\nreading: conservation-rule confidence (interval-dependent "
+              "baseline + delay semantics) aligns with ground-truth events; "
+              "fixed-baseline ratio metrics do not.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Regenerates Tables II and III of the paper (§IV.C, debit-model example):
+//   Table II  — fail tableau (c_hat = 0.5) across the router fleet: only the
+//               routers with unmonitored links are flagged;
+//   Table III — hold tableaux for Router-7 at c_hat = 0.99 and 0.9, showing
+//               that its missing link started being monitored late in the
+//               trace.
+//
+// Deviation from the paper: our Router-7 fail interval spans [1, n] rather
+// than [1, 3610] because a 55% missing share keeps cumulative confidence
+// below 0.5 even after the link activates; the activation tick is recovered
+// by the hold tableau, which is the same diagnostic conclusion.
+
+#include "bench/bench_util.h"
+#include "core/conservation_rule.h"
+#include "datagen/router.h"
+#include "io/table_printer.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace conservation;
+
+  const int num_clean =
+      static_cast<int>(bench::IntFlag(argc, argv, "num_clean", 200));
+  const int64_t num_ticks = bench::IntFlag(argc, argv, "n", 3800);
+
+  const std::vector<datagen::RouterData> fleet =
+      datagen::GenerateRouterFleet(num_clean, num_ticks, 20120402);
+
+  bench::PrintHeader("Table II: fail tableau, debit model, c_hat = 0.5");
+  std::printf("fleet: %zu routers (%d clean), %lld ticks each\n\n",
+              fleet.size(), num_clean, static_cast<long long>(num_ticks));
+
+  io::TablePrinter table2({"Router name", "Interval", "confidence"});
+  int flagged_clean = 0;
+  const datagen::RouterData* router7 = nullptr;
+  for (const datagen::RouterData& router : fleet) {
+    if (router.name == "Router-7") router7 = &router;
+    auto rule = core::ConservationRule::Create(router.counts);
+    if (!rule.ok()) return 1;
+    core::TableauRequest request;
+    request.type = core::TableauType::kFail;
+    request.model = core::ConfidenceModel::kDebit;
+    request.c_hat = 0.5;
+    request.s_hat = 0.5;
+    request.epsilon = 0.01;
+    auto tableau = rule->DiscoverTableau(request);
+    if (!tableau.ok()) return 1;
+    if (!tableau->support_satisfied) continue;
+    if (router.params.profile == datagen::RouterProfile::kClean) {
+      ++flagged_clean;
+    }
+    for (const core::TableauRow& row : tableau->rows) {
+      table2.AddRow({router.name,
+                     util::StrFormat("%lld - %lld",
+                                     static_cast<long long>(row.interval.begin),
+                                     static_cast<long long>(row.interval.end)),
+                     util::StrFormat("%.3f", row.confidence)});
+    }
+  }
+  std::printf("%s\n", table2.ToString().c_str());
+  std::printf("clean routers incorrectly flagged: %d / %d\n\n", flagged_clean,
+              num_clean);
+
+  bench::PrintHeader("Table III: hold tableaux for Router-7");
+  if (router7 == nullptr) return 1;
+  auto rule = core::ConservationRule::Create(router7->counts);
+  if (!rule.ok()) return 1;
+  std::printf("(hidden link activates at tick %lld)\n\n",
+              static_cast<long long>(router7->params.activation_tick));
+  for (const double c_hat : {0.99, 0.9}) {
+    core::TableauRequest request;
+    request.type = core::TableauType::kHold;
+    request.model = core::ConfidenceModel::kDebit;
+    request.c_hat = c_hat;
+    request.s_hat = 0.04;
+    // Tight eps: at 0.99 the paper's point is that only short lucky windows
+    // qualify; a loose eps would re-admit longer intervals just below 0.99.
+    request.epsilon = 0.001;
+    auto tableau = rule->DiscoverTableau(request);
+    if (!tableau.ok()) return 1;
+    std::printf("confidence above %.2f:\n", c_hat);
+    for (const core::TableauRow& row : tableau->rows) {
+      std::printf("  %lld - %lld   (conf %.4f)\n",
+                  static_cast<long long>(row.interval.begin),
+                  static_cast<long long>(row.interval.end), row.confidence);
+    }
+    std::printf("\n");
+  }
+  std::printf("paper's reading: only short/late ranges exceed 0.99 (small "
+              "violations are normal); c_hat = 0.9 yields a longer interval "
+              "starting near the activation tick.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared helpers for the benchmark harness. Each bench binary regenerates
+// one table or figure from the paper (see DESIGN.md §3) and prints the rows
+// the paper reports; most accept size/epsilon overrides on the command line
+// so the paper-scale configurations can be run when time permits.
+
+#ifndef CONSERVATION_BENCH_BENCH_UTIL_H_
+#define CONSERVATION_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/confidence.h"
+#include "interval/generator.h"
+#include "series/cumulative.h"
+#include "series/sequence.h"
+#include "util/stopwatch.h"
+
+namespace conservation::bench {
+
+// Parses "--flag=value" style int/double overrides; returns fallback when
+// the flag is absent.
+inline int64_t IntFlag(int argc, char** argv, const std::string& name,
+                       int64_t fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::atoll(arg.c_str() + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline double DoubleFlag(int argc, char** argv, const std::string& name,
+                         double fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::atof(arg.c_str() + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+// Runs a generator over `counts` and returns its stats (timings measured by
+// the generator itself, excluding the cumulative preprocessing, matching the
+// paper's methodology of excluding linear preprocessing).
+struct RunResult {
+  std::vector<interval::Interval> candidates;
+  interval::GeneratorStats stats;
+};
+
+inline RunResult RunGenerator(const series::CumulativeSeries& cumulative,
+                              core::ConfidenceModel model,
+                              interval::AlgorithmKind kind,
+                              const interval::GeneratorOptions& options) {
+  const core::ConfidenceEvaluator eval(&cumulative, model);
+  const auto generator = interval::MakeGenerator(kind);
+  RunResult result;
+  result.candidates = generator->Generate(eval, options, &result.stats);
+  return result;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("=== %s ===\n", title);
+}
+
+}  // namespace conservation::bench
+
+#endif  // CONSERVATION_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,89 @@
+// Smart-grid audit: the electricity scenario of the paper's introduction.
+// A feeder's supplied energy (inbound) should match metered consumption
+// (outbound) up to technical losses. Diverted energy ("theft") is a
+// persistent conservation violation; a meter outage is a transient one.
+// The debit model plus a rolling confidence profile separates the two.
+//
+// Run: ./build/examples/grid_audit
+
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "core/conservation_rule.h"
+#include "datagen/power_grid.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace conservation;
+
+void Audit(const char* label, const datagen::PowerGridData& data) {
+  auto rule = core::ConservationRule::Create(data.counts);
+  if (!rule.ok()) {
+    std::fprintf(stderr, "%s\n", rule.status().ToString().c_str());
+    return;
+  }
+  std::printf("--- %s ---\n", label);
+  std::printf("metered / supplied = %.4f (technical loss target %.2f)\n",
+              rule->cumulative().A(rule->n()) /
+                  rule->cumulative().B(rule->n()),
+              1.0 - data.params.technical_loss_fraction);
+
+  // Daily rolling debit-model confidence, quantized to a sparkline.
+  const int64_t window = data.params.ticks_per_day;
+  const std::vector<double> profile =
+      core::ConfidenceProfile(*rule, core::ConfidenceModel::kDebit, window);
+  std::string sparkline;
+  const size_t buckets = 60;
+  for (size_t bucket = 0; bucket < buckets; ++bucket) {
+    const size_t at = bucket * profile.size() / buckets;
+    const double conf = profile[at];
+    const char* glyphs = " .:-=+*#%@";
+    const int level =
+        std::max(0, std::min(9, static_cast<int>((conf - 0.9) * 100)));
+    sparkline += glyphs[level];
+  }
+  std::printf("daily confidence profile (low..high):\n  [%s]\n",
+              sparkline.c_str());
+
+  core::TableauRequest request;
+  request.type = core::TableauType::kFail;
+  request.model = core::ConfidenceModel::kDebit;
+  request.c_hat = 0.93;
+  request.s_hat = 0.05;
+  auto tableau = rule->DiscoverTableau(request);
+  if (tableau.ok()) {
+    std::printf("fail tableau (debit, c_hat=0.93): %zu interval(s)\n",
+                tableau->size());
+    for (const core::TableauRow& row : tableau->rows) {
+      std::printf("  %-14s conf=%.4f\n", row.interval.ToString().c_str(),
+                  row.confidence);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  datagen::PowerGridParams healthy;
+  Audit("healthy feeder", datagen::GeneratePowerGrid(healthy));
+
+  datagen::PowerGridParams theft;
+  theft.theft_start_tick = 960;  // day 10
+  theft.theft_fraction = 0.7;
+  Audit("diversion from day 10 (persistent)",
+        datagen::GeneratePowerGrid(theft));
+
+  datagen::PowerGridParams outage;
+  outage.outage_begin_tick = 960;
+  outage.outage_end_tick = 1152;  // two-day meter outage
+  Audit("meter outage days 10-12 (transient)",
+        datagen::GeneratePowerGrid(outage));
+
+  std::printf("reading: the theft profile stays depressed from onset to the "
+              "end (fail intervals run to the horizon), while the outage "
+              "profile dips and recovers — the debit model discounts the "
+              "already-lost mass once the meter returns.\n");
+  return 0;
+}

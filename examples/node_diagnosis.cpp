@@ -1,0 +1,70 @@
+// Node diagnosis: the Figure 1 scenario of the paper. A network node with
+// four links conserves traffic; then one link (the heavy exit "D") drops
+// out of the monitoring system. The node-level conservation rule catches
+// the imbalance, estimates the missing share, and leave-one-out diagnosis
+// shows that no *observed* link explains it — the fingerprint of an
+// unmonitored interface.
+//
+// Run: ./build/examples/node_diagnosis
+
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "network/node_monitor.h"
+#include "network/simulator.h"
+#include "io/table_printer.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace conservation;
+
+  const auto analyze = [](const char* label,
+                          const network::NodeSimResult& sim) {
+    auto node = network::NodeConservation::Create(sim.config.node_name,
+                                                  sim.observed);
+    if (!node.ok()) {
+      std::fprintf(stderr, "%s\n", node.status().ToString().c_str());
+      return;
+    }
+    std::printf("--- %s (%zu observed links, %lld ticks) ---\n", label,
+                node->num_links(), static_cast<long long>(node->n()));
+    std::printf("overall balance confidence: %.4f\n",
+                node->rule()
+                    .OverallConfidence(core::ConfidenceModel::kBalance)
+                    .value_or(-1));
+    std::printf("missing outbound fraction:  %.3f\n",
+                node->MissingOutboundFraction());
+
+    io::TablePrinter table({"link", "in share", "out share",
+                            "conf without link", "impact"});
+    for (const network::LinkDiagnosis& d :
+         node->DiagnoseLinks(core::ConfidenceModel::kBalance)) {
+      table.AddRow({d.link, util::StrFormat("%.3f", d.inbound_share),
+                    util::StrFormat("%.3f", d.outbound_share),
+                    util::StrFormat("%.4f", d.without_link_confidence),
+                    util::StrFormat("%+.4f", d.impact)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  };
+
+  // Healthy node: all four links monitored.
+  network::NodeSimConfig healthy;
+  healthy.node_name = "router-healthy";
+  healthy.num_ticks = 2000;
+  healthy.departure_weights = {1.0, 1.0, 1.0, 3.0};
+  healthy.seed = 1001;
+  analyze("all links monitored", network::SimulateNode(healthy));
+
+  // Same node, but the monitoring system does not know about link D.
+  network::NodeSimConfig broken = healthy;
+  broken.node_name = "router-blind-to-D";
+  broken.hidden_links = {3};
+  analyze("link D unmonitored", network::SimulateNode(broken));
+
+  std::printf(
+      "reading: with link D hidden, about half the observed inbound "
+      "traffic has no outbound counterpart. No observed link's removal "
+      "repairs confidence (small impacts), so the culprit is a link the "
+      "monitoring system cannot see — exactly the Figure 1 failure mode.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Traffic study: a road intersection monitored at 30-second resolution
+// (the paper's road-network motivation). Demonstrates multi-resolution
+// scanning — rush-hour congestion shows up only at fine resolutions (it is
+// delay on the scale of minutes), while a sensor outage survives
+// coarsening (it is loss) — and the delay/loss diagnosis.
+//
+// Run: ./build/examples/traffic_study
+
+#include <cstdio>
+
+#include "core/diagnose.h"
+#include "core/multi_resolution.h"
+#include "datagen/intersection.h"
+#include "io/table_printer.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace conservation;
+
+void Scan(const char* label, const series::CountSequence& counts) {
+  core::TableauRequest request;
+  request.type = core::TableauType::kFail;
+  request.model = core::ConfidenceModel::kBalance;
+  request.c_hat = 0.7;
+  request.s_hat = 0.01;
+  auto scan = core::MultiResolutionScan(counts, request, {1, 8, 64, 512});
+  if (!scan.ok()) {
+    std::fprintf(stderr, "%s\n", scan.status().ToString().c_str());
+    return;
+  }
+  std::printf("--- %s ---\n", label);
+  io::TablePrinter table({"ticks/bucket", "overall conf", "fail intervals",
+                          "native ticks covered"});
+  for (const core::ResolutionResult& result : *scan) {
+    table.AddRow({util::StrFormat("%lld", static_cast<long long>(result.factor)),
+                  util::StrFormat("%.4f", result.overall_confidence),
+                  util::StrFormat("%zu", result.native_intervals.size()),
+                  util::StrFormat("%lld", static_cast<long long>(
+                                              result.covered_native_ticks))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // A normal day: two rush hours, no sensor faults.
+  const datagen::IntersectionData normal = datagen::GenerateIntersection();
+  std::printf("intersection, %lld ticks (30 s each); rush windows:",
+              static_cast<long long>(normal.counts.n()));
+  for (const auto& [begin, end] : normal.rush_windows) {
+    std::printf(" [%lld, %lld]", static_cast<long long>(begin),
+                static_cast<long long>(end));
+  }
+  std::printf("\n\n");
+  Scan("normal day (congestion only)", normal.counts);
+
+  // Same day with an exit-sensor outage over ~100 minutes.
+  datagen::IntersectionParams faulty;
+  faulty.outage_begin_tick = 1200;
+  faulty.outage_end_tick = 1400;
+  const datagen::IntersectionData outage =
+      datagen::GenerateIntersection(faulty);
+  Scan("day with an exit-sensor outage [1200, 1400]", outage.counts);
+
+  // Diagnose the two phenomena.
+  const series::CumulativeSeries cumulative(outage.counts);
+  const auto rush = core::DiagnoseViolation(
+      cumulative, {outage.rush_windows[0].first,
+                   outage.rush_windows[0].second});
+  const auto fault = core::DiagnoseViolation(cumulative, {1200, 1400});
+  std::printf("diagnosis:\n  rush window:  %s\n  outage range: %s\n\n",
+              rush.ToString().c_str(), fault.ToString().c_str());
+  std::printf(
+      "reading: congestion is delay (cars exit late; it vanishes when the "
+      "data is coarsened past the transit time), the sensor outage is loss "
+      "(the missing exits never appear, at any resolution).\n");
+  return 0;
+}

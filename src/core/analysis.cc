@@ -1,0 +1,64 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+
+namespace conservation::core {
+
+util::Result<std::vector<SweepPoint>> ThresholdSweep(
+    const ConservationRule& rule, const TableauRequest& base_request,
+    const std::vector<double>& thresholds) {
+  std::vector<SweepPoint> out;
+  out.reserve(thresholds.size());
+  for (const double c_hat : thresholds) {
+    TableauRequest request = base_request;
+    request.c_hat = c_hat;
+    auto tableau = rule.DiscoverTableau(request);
+    if (!tableau.ok()) return tableau.status();
+    SweepPoint point;
+    point.c_hat = c_hat;
+    point.tableau_size = tableau->size();
+    point.covered = tableau->covered;
+    point.support_satisfied = tableau->support_satisfied;
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<double> ConfidenceProfile(const ConservationRule& rule,
+                                      ConfidenceModel model, int64_t window) {
+  CR_CHECK(window >= 1 && window <= rule.n());
+  const ConfidenceEvaluator eval = rule.Evaluator(model);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(rule.n() - window + 1));
+  for (int64_t t = window; t <= rule.n(); ++t) {
+    const std::optional<double> conf = eval.Confidence(t - window + 1, t);
+    out.push_back(conf.value_or(-1.0));
+  }
+  return out;
+}
+
+std::vector<SeverityEntry> RankBySeverity(const ConservationRule& rule,
+                                          ConfidenceModel model,
+                                          const Tableau& tableau) {
+  const ConfidenceEvaluator eval = rule.Evaluator(model);
+  std::vector<SeverityEntry> out;
+  out.reserve(tableau.rows.size());
+  for (const TableauRow& row : tableau.rows) {
+    SeverityEntry entry;
+    entry.interval = row.interval;
+    entry.confidence = row.confidence;
+    entry.misplaced_mass = eval.AreaB(row.interval.begin, row.interval.end) -
+                           eval.AreaA(row.interval.begin, row.interval.end);
+    out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SeverityEntry& lhs, const SeverityEntry& rhs) {
+              if (lhs.misplaced_mass != rhs.misplaced_mass) {
+                return lhs.misplaced_mass > rhs.misplaced_mass;
+              }
+              return interval::ByPosition(lhs.interval, rhs.interval);
+            });
+  return out;
+}
+
+}  // namespace conservation::core

@@ -1,0 +1,56 @@
+// Analyst utilities layered on top of tableau discovery: threshold sweeps,
+// rolling confidence profiles, and severity ranking of intervals. These are
+// the "further analysis" steps the paper's conclusion points at once a
+// tableau has suggested interesting subsets of the data.
+
+#ifndef CONSERVATION_CORE_ANALYSIS_H_
+#define CONSERVATION_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/conservation_rule.h"
+#include "core/tableau.h"
+
+namespace conservation::core {
+
+// One row of a threshold sweep.
+struct SweepPoint {
+  double c_hat = 0.0;
+  size_t tableau_size = 0;
+  int64_t covered = 0;
+  bool support_satisfied = false;
+};
+
+// Runs DiscoverTableau over each threshold in `thresholds` (all other
+// request fields taken from `base_request`), returning one point per
+// threshold. Useful for picking c_hat: the paper notes the choice trades
+// false negatives against pinpointing (§IV.D).
+util::Result<std::vector<SweepPoint>> ThresholdSweep(
+    const ConservationRule& rule, const TableauRequest& base_request,
+    const std::vector<double>& thresholds);
+
+// Rolling confidence: conf([t - window + 1, t]) for every t >= window,
+// under `model`. Entry k corresponds to t = window + k. Undefined windows
+// yield -1. O(n).
+std::vector<double> ConfidenceProfile(const ConservationRule& rule,
+                                      ConfidenceModel model, int64_t window);
+
+// An interval scored by the conservation mass it misplaces.
+struct SeverityEntry {
+  interval::Interval interval;
+  double confidence = 0.0;
+  // Total unmatched delay inside the interval, sum_{l in I} (B_l - A_l)
+  // above the model baseline: area_B - area_A. Bigger = worse.
+  double misplaced_mass = 0.0;
+};
+
+// Ranks tableau rows by misplaced mass, descending — the triage order for
+// a data-quality engineer.
+std::vector<SeverityEntry> RankBySeverity(const ConservationRule& rule,
+                                          ConfidenceModel model,
+                                          const Tableau& tableau);
+
+}  // namespace conservation::core
+
+#endif  // CONSERVATION_CORE_ANALYSIS_H_

@@ -1,0 +1,31 @@
+#include "core/conservation_rule.h"
+
+#include <utility>
+
+namespace conservation::core {
+
+util::Result<ConservationRule> ConservationRule::Create(
+    std::vector<double> outbound_a, std::vector<double> inbound_b,
+    const Options& options) {
+  auto counts = series::CountSequence::Create(std::move(outbound_a),
+                                              std::move(inbound_b));
+  if (!counts.ok()) return counts.status();
+  return Create(std::move(counts).value(), options);
+}
+
+util::Result<ConservationRule> ConservationRule::Create(
+    series::CountSequence counts, const Options& options) {
+  auto cumulative = std::make_unique<series::CumulativeSeries>(counts);
+  if (!cumulative->Dominates()) {
+    if (!options.enforce_dominance) {
+      return util::Status::FailedPrecondition(
+          "inbound cumulative B does not dominate outbound cumulative A; "
+          "enable Options::enforce_dominance or preprocess the data");
+    }
+    counts = series::EnforceDominance(counts);
+    cumulative = std::make_unique<series::CumulativeSeries>(counts);
+  }
+  return ConservationRule(std::move(counts), std::move(cumulative));
+}
+
+}  // namespace conservation::core

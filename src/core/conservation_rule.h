@@ -1,0 +1,98 @@
+// ConservationRule: the library's front door.
+//
+// Bundles a validated count pair with its cumulative preprocessing and
+// exposes the paper's operations — confidence queries under any model, delay
+// metrics, and hold/fail tableau discovery — behind one object.
+//
+//   auto rule = core::ConservationRule::Create(outbound, inbound);
+//   CR_CHECK(rule.ok());
+//   core::TableauRequest request;
+//   request.type = core::TableauType::kFail;
+//   request.model = core::ConfidenceModel::kBalance;
+//   request.c_hat = 0.8;
+//   request.s_hat = 0.1;
+//   auto tableau = rule->DiscoverTableau(request);
+
+#ifndef CONSERVATION_CORE_CONSERVATION_RULE_H_
+#define CONSERVATION_CORE_CONSERVATION_RULE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/confidence.h"
+#include "core/delay.h"
+#include "core/model.h"
+#include "core/tableau.h"
+#include "series/cumulative.h"
+#include "series/preprocess.h"
+#include "series/sequence.h"
+#include "util/status.h"
+
+namespace conservation::core {
+
+class ConservationRule {
+ public:
+  struct Options {
+    // Apply the §II min/max cumulative swap when B does not dominate A.
+    // When false and dominance is violated, Create fails.
+    bool enforce_dominance = true;
+  };
+
+  // Validates, optionally preprocesses, and builds the cumulative layer.
+  static util::Result<ConservationRule> Create(std::vector<double> outbound_a,
+                                               std::vector<double> inbound_b,
+                                               const Options& options);
+  static util::Result<ConservationRule> Create(series::CountSequence counts,
+                                               const Options& options);
+  // Default-options overloads (a defaulted `Options{}` argument cannot be
+  // used while the enclosing class is incomplete).
+  static util::Result<ConservationRule> Create(std::vector<double> outbound_a,
+                                               std::vector<double> inbound_b) {
+    return Create(std::move(outbound_a), std::move(inbound_b), Options{});
+  }
+  static util::Result<ConservationRule> Create(series::CountSequence counts) {
+    return Create(std::move(counts), Options{});
+  }
+
+  int64_t n() const { return cumulative_->n(); }
+  const series::CountSequence& counts() const { return counts_; }
+  const series::CumulativeSeries& cumulative() const { return *cumulative_; }
+
+  // An evaluator bound to this rule's series; valid while the rule lives.
+  ConfidenceEvaluator Evaluator(ConfidenceModel model) const {
+    return ConfidenceEvaluator(cumulative_.get(), model);
+  }
+
+  // conf(i, j) under `model` (1-based inclusive); nullopt when undefined.
+  std::optional<double> Confidence(ConfidenceModel model, int64_t i,
+                                   int64_t j) const {
+    return Evaluator(model).Confidence(i, j);
+  }
+
+  // Confidence of the whole series [1, n].
+  std::optional<double> OverallConfidence(ConfidenceModel model) const {
+    return Confidence(model, 1, n());
+  }
+
+  DelayReport Delay() const { return TotalDelay(*cumulative_); }
+
+  util::Result<Tableau> DiscoverTableau(const TableauRequest& request) const {
+    const ConfidenceEvaluator eval = Evaluator(request.model);
+    return core::DiscoverTableau(eval, request);
+  }
+
+ private:
+  ConservationRule(series::CountSequence counts,
+                   std::unique_ptr<series::CumulativeSeries> cumulative)
+      : counts_(std::move(counts)), cumulative_(std::move(cumulative)) {}
+
+  series::CountSequence counts_;
+  // unique_ptr keeps the series' address stable across moves of the rule,
+  // so evaluators created before a move stay valid.
+  std::unique_ptr<series::CumulativeSeries> cumulative_;
+};
+
+}  // namespace conservation::core
+
+#endif  // CONSERVATION_CORE_CONSERVATION_RULE_H_

@@ -1,0 +1,22 @@
+#include "core/delay.h"
+
+#include "util/check.h"
+
+namespace conservation::core {
+
+DelayReport IntervalDelay(const series::CumulativeSeries& series, int64_t i,
+                          int64_t j) {
+  CR_CHECK(i >= 1 && i <= j && j <= series.n());
+  DelayReport report;
+  report.total_delay = series.SumB(i, j) - series.SumA(i, j);
+  const double events = series.B(j);
+  report.delay_per_event = events > 0.0 ? report.total_delay / events : 0.0;
+  report.outstanding_at_end = series.B(j) - series.A(j);
+  return report;
+}
+
+DelayReport TotalDelay(const series::CumulativeSeries& series) {
+  return IntervalDelay(series, 1, series.n());
+}
+
+}  // namespace conservation::core

@@ -1,0 +1,38 @@
+// Delay metrics derived from the conservation-law theory of paper §II.
+//
+// Lemma 2: when A_n = B_n and B dominates A, every rightward perfect matching
+// between inbound and outbound events has total delay sum_l (B_l - A_l).
+// Confidence is 1 minus this delay normalized by its maximum over the
+// interval, so these metrics are the "raw" counterparts of confidence and are
+// useful on their own as data-quality summaries.
+
+#ifndef CONSERVATION_CORE_DELAY_H_
+#define CONSERVATION_CORE_DELAY_H_
+
+#include <cstdint>
+
+#include "series/cumulative.h"
+
+namespace conservation::core {
+
+struct DelayReport {
+  // sum_{l=i..j} (B_l - A_l): total ticks of delay attributed to [i, j],
+  // counting missing outbound events as delayed until after j.
+  double total_delay = 0.0;
+  // total_delay divided by the number of inbound events in [1..j]; an
+  // estimate of per-event delay in ticks.
+  double delay_per_event = 0.0;
+  // B_j - A_j: events still outstanding at the end of the interval.
+  double outstanding_at_end = 0.0;
+};
+
+// Delay over the whole series.
+DelayReport TotalDelay(const series::CumulativeSeries& series);
+
+// Delay restricted to the interval [i, j] (1-based, inclusive).
+DelayReport IntervalDelay(const series::CumulativeSeries& series, int64_t i,
+                          int64_t j);
+
+}  // namespace conservation::core
+
+#endif  // CONSERVATION_CORE_DELAY_H_

@@ -1,0 +1,93 @@
+#include "core/diagnose.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace conservation::core {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kDelay:
+      return "delay";
+    case ViolationKind::kLoss:
+      return "loss";
+    case ViolationKind::kOngoing:
+      return "ongoing";
+  }
+  return "unknown";
+}
+
+std::string ViolationDiagnosis::ToString() const {
+  std::string out = util::StrFormat(
+      "%s: %s, missing mass %s, %.0f%% recovered",
+      interval.ToString().c_str(), ViolationKindName(kind),
+      util::FormatNumber(missing_mass, 2).c_str(),
+      recovered_fraction * 100.0);
+  if (recovery_tick > 0) {
+    out += util::StrFormat(" (recovery at tick %lld)",
+                           static_cast<long long>(recovery_tick));
+  }
+  return out;
+}
+
+ViolationDiagnosis DiagnoseViolation(const series::CumulativeSeries& series,
+                                     const interval::Interval& interval,
+                                     const DiagnoseOptions& options) {
+  CR_CHECK(interval.begin >= 1 && interval.begin <= interval.end &&
+           interval.end <= series.n());
+  ViolationDiagnosis diagnosis;
+  diagnosis.interval = interval;
+
+  const auto gap_at = [&](int64_t t) { return series.B(t) - series.A(t); };
+  const double gap_before = gap_at(interval.begin - 1);
+  const double gap_end = gap_at(interval.end);
+  diagnosis.missing_mass = std::max(gap_end - gap_before, 0.0);
+
+  if (diagnosis.missing_mass <= 1e-9) {
+    // Nothing went missing across the interval (a low-confidence interval
+    // can still arise from in-interval churn): trivially "recovered".
+    diagnosis.kind = ViolationKind::kDelay;
+    diagnosis.recovery_tick = interval.end;
+    diagnosis.recovered_fraction = 1.0;
+    return diagnosis;
+  }
+
+  // Scan the suffix for the minimum residual gap and the first tick at
+  // which recovery (within tolerance) is reached.
+  const double recovery_level =
+      gap_before + options.recovery_tolerance * diagnosis.missing_mass;
+  double min_gap_after = gap_end;
+  for (int64_t t = interval.end + 1; t <= series.n(); ++t) {
+    const double gap = gap_at(t);
+    min_gap_after = std::min(min_gap_after, gap);
+    if (diagnosis.recovery_tick == 0 && gap <= recovery_level) {
+      diagnosis.recovery_tick = t;
+    }
+  }
+  diagnosis.recovered_fraction = std::clamp(
+      (gap_end - min_gap_after) / diagnosis.missing_mass, 0.0, 1.0);
+
+  if (diagnosis.recovered_fraction >= options.delay_min_recovered) {
+    diagnosis.kind = ViolationKind::kDelay;
+  } else if (diagnosis.recovered_fraction <= options.loss_max_recovered) {
+    diagnosis.kind = ViolationKind::kLoss;
+  } else {
+    diagnosis.kind = ViolationKind::kOngoing;
+  }
+  return diagnosis;
+}
+
+std::vector<ViolationDiagnosis> DiagnoseTableau(
+    const ConservationRule& rule, const Tableau& tableau,
+    const DiagnoseOptions& options) {
+  std::vector<ViolationDiagnosis> out;
+  out.reserve(tableau.rows.size());
+  for (const TableauRow& row : tableau.rows) {
+    out.push_back(
+        DiagnoseViolation(rule.cumulative(), row.interval, options));
+  }
+  return out;
+}
+
+}  // namespace conservation::core

@@ -1,0 +1,75 @@
+// Violation diagnosis: classify a fail interval as delay or loss.
+//
+// §IV.D of the paper distinguishes the two regimes — with *delay* the
+// removed outbound mass reappears later and hold tableaux resume after the
+// recovery; with *loss* it never does and balance-model fail intervals run
+// "until the end of time". OSR-style metrics cannot tell them apart; the
+// cumulative-gap geometry can: after a delay episode the gap B_t - A_t
+// returns to its pre-interval level, after loss it stays elevated.
+
+#ifndef CONSERVATION_CORE_DIAGNOSE_H_
+#define CONSERVATION_CORE_DIAGNOSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/conservation_rule.h"
+#include "core/tableau.h"
+#include "interval/interval.h"
+#include "series/cumulative.h"
+
+namespace conservation::core {
+
+enum class ViolationKind {
+  // The gap recovered to (near) its pre-interval level: the outbound
+  // events were late, not lost.
+  kDelay,
+  // The gap never recovered meaningfully by the end of the trace.
+  kLoss,
+  // Recovery was under way but incomplete when the trace ended.
+  kOngoing,
+};
+
+const char* ViolationKindName(ViolationKind kind);
+
+struct ViolationDiagnosis {
+  interval::Interval interval;
+  ViolationKind kind = ViolationKind::kDelay;
+  // Gap growth across the interval: (B_j - A_j) - (B_{i-1} - A_{i-1}),
+  // clamped at 0. The conservation mass that went missing inside I.
+  double missing_mass = 0.0;
+  // First tick after the interval where the gap has recovered to within
+  // `recovery_tolerance * missing_mass` of its pre-interval level;
+  // 0 when no such tick exists.
+  int64_t recovery_tick = 0;
+  // Fraction of the missing mass recovered by the end of the trace, in
+  // [0, 1].
+  double recovered_fraction = 0.0;
+
+  std::string ToString() const;
+};
+
+struct DiagnoseOptions {
+  // Recovery is declared when the residual gap is within this fraction of
+  // the missing mass.
+  double recovery_tolerance = 0.1;
+  // Classification cutoffs on recovered_fraction.
+  double delay_min_recovered = 0.9;
+  double loss_max_recovered = 0.25;
+};
+
+// Diagnoses one interval. Degenerate intervals with ~zero missing mass are
+// reported as kDelay with recovery at the interval end.
+ViolationDiagnosis DiagnoseViolation(const series::CumulativeSeries& series,
+                                     const interval::Interval& interval,
+                                     const DiagnoseOptions& options = {});
+
+// Diagnoses every row of a (typically fail) tableau.
+std::vector<ViolationDiagnosis> DiagnoseTableau(
+    const ConservationRule& rule, const Tableau& tableau,
+    const DiagnoseOptions& options = {});
+
+}  // namespace conservation::core
+
+#endif  // CONSERVATION_CORE_DIAGNOSE_H_

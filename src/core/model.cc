@@ -1,0 +1,27 @@
+#include "core/model.h"
+
+namespace conservation::core {
+
+const char* ConfidenceModelName(ConfidenceModel model) {
+  switch (model) {
+    case ConfidenceModel::kBalance:
+      return "balance";
+    case ConfidenceModel::kCredit:
+      return "credit";
+    case ConfidenceModel::kDebit:
+      return "debit";
+  }
+  return "unknown";
+}
+
+const char* TableauTypeName(TableauType type) {
+  switch (type) {
+    case TableauType::kHold:
+      return "hold";
+    case TableauType::kFail:
+      return "fail";
+  }
+  return "unknown";
+}
+
+}  // namespace conservation::core

@@ -1,0 +1,34 @@
+// The three confidence models of paper §II and the tableau polarity.
+
+#ifndef CONSERVATION_CORE_MODEL_H_
+#define CONSERVATION_CORE_MODEL_H_
+
+namespace conservation::core {
+
+// How the history before an interval is discounted when scoring it
+// (Definitions 2-4). The choice encodes the analyst's hypothesis:
+enum class ConfidenceModel {
+  // Penalizes the interval for the unmatched balance B_{i-1} - A_{i-1}
+  // accumulated before it begins. Use when both sequences may be at fault.
+  kBalance,
+  // Injects the missing outbound events into A (shift A up by S_i). Use when
+  // outbound events are suspected to be missing/unmonitored.
+  kCredit,
+  // Removes the unmatched inbound events from B (shift B down by S_i). Use
+  // when inbound events may have been spuriously counted.
+  kDebit,
+};
+
+// Hold tableaux collect intervals of confidence >= c_hat; fail tableaux
+// collect intervals of confidence <= c_hat (paper §I.B).
+enum class TableauType {
+  kHold,
+  kFail,
+};
+
+const char* ConfidenceModelName(ConfidenceModel model);
+const char* TableauTypeName(TableauType type);
+
+}  // namespace conservation::core
+
+#endif  // CONSERVATION_CORE_MODEL_H_

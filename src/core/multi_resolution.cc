@@ -1,0 +1,51 @@
+#include "core/multi_resolution.h"
+
+#include <algorithm>
+
+namespace conservation::core {
+
+util::Result<std::vector<ResolutionResult>> MultiResolutionScan(
+    const series::CountSequence& counts, const TableauRequest& request,
+    const std::vector<int64_t>& factors) {
+  std::vector<int64_t> sorted = factors;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<ResolutionResult> out;
+  for (const int64_t factor : sorted) {
+    if (factor < 1) {
+      return util::Status::InvalidArgument("factors must be >= 1");
+    }
+    if (factor > counts.n() / 2) continue;  // too coarse to be meaningful
+
+    series::ResampleOptions resample;
+    resample.factor = factor;
+    const series::CountSequence coarse =
+        factor == 1 ? counts : series::Downsample(counts, resample);
+    auto rule = ConservationRule::Create(coarse);
+    if (!rule.ok()) return rule.status();
+
+    auto tableau = rule->DiscoverTableau(request);
+    if (!tableau.ok()) return tableau.status();
+
+    ResolutionResult result;
+    result.factor = factor;
+    result.coarse_n = coarse.n();
+    result.overall_confidence =
+        rule->OverallConfidence(request.model).value_or(0.0);
+    result.support_satisfied = tableau->support_satisfied;
+    for (const TableauRow& row : tableau->rows) {
+      const series::TickRange begin =
+          series::NativeRange(row.interval.begin, resample, counts.n());
+      const series::TickRange end =
+          series::NativeRange(row.interval.end, resample, counts.n());
+      result.native_intervals.push_back(
+          interval::Interval{begin.first, end.last});
+      result.covered_native_ticks += end.last - begin.first + 1;
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace conservation::core

@@ -1,0 +1,40 @@
+// Multi-resolution scanning: run the same tableau request on progressively
+// coarser roll-ups of the data. Coarsening absorbs violations shorter than
+// a bucket, so the resolution at which a fail tableau *stops* finding
+// intervals bounds the duration of the underlying violations — a cheap way
+// to separate micro-jitter from structural problems before drilling in.
+
+#ifndef CONSERVATION_CORE_MULTI_RESOLUTION_H_
+#define CONSERVATION_CORE_MULTI_RESOLUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/conservation_rule.h"
+#include "core/tableau.h"
+#include "series/resample.h"
+
+namespace conservation::core {
+
+struct ResolutionResult {
+  // Ticks per bucket at this resolution (1 = native).
+  int64_t factor = 1;
+  int64_t coarse_n = 0;
+  // Whole-series confidence at this resolution.
+  double overall_confidence = 0.0;
+  // The request's tableau at this resolution, with intervals mapped back
+  // to *native* tick ranges.
+  std::vector<interval::Interval> native_intervals;
+  int64_t covered_native_ticks = 0;
+  bool support_satisfied = false;
+};
+
+// Runs `request` at each factor (ascending; factor 1 = the input itself).
+// Factors must be >= 1; a factor larger than n/2 is skipped.
+util::Result<std::vector<ResolutionResult>> MultiResolutionScan(
+    const series::CountSequence& counts, const TableauRequest& request,
+    const std::vector<int64_t>& factors);
+
+}  // namespace conservation::core
+
+#endif  // CONSERVATION_CORE_MULTI_RESOLUTION_H_

@@ -1,0 +1,115 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace conservation::core {
+
+util::Result<QualityReport> BuildQualityReport(const ConservationRule& rule,
+                                               const ReportOptions& options) {
+  QualityReport report;
+  report.n = rule.n();
+  report.options = options;
+
+  for (const ConfidenceModel model :
+       {ConfidenceModel::kBalance, ConfidenceModel::kCredit,
+        ConfidenceModel::kDebit}) {
+    report.overall.emplace_back(ConfidenceModelName(model),
+                                rule.OverallConfidence(model));
+  }
+  report.delay = rule.Delay();
+
+  TableauRequest request;
+  request.type = TableauType::kFail;
+  request.model = options.model;
+  request.c_hat = options.fail_c_hat;
+  request.s_hat = options.support;
+  request.epsilon = options.epsilon;
+  auto tableau = rule.DiscoverTableau(request);
+  if (!tableau.ok()) return tableau.status();
+  report.fail_tableau = std::move(tableau).value();
+
+  report.diagnoses = DiagnoseTableau(rule, report.fail_tableau);
+  report.by_severity =
+      RankBySeverity(rule, options.model, report.fail_tableau);
+
+  const int64_t segment_length =
+      options.segment_length > 0
+          ? options.segment_length
+          : std::max<int64_t>(1, rule.n() / 12);
+  report.segments = SummarizeSegments(
+      rule, options.model, UniformSegments(rule.n(), segment_length));
+  return report;
+}
+
+std::string QualityReport::ToString() const {
+  std::string out = util::StrFormat(
+      "=== conservation-rule quality report (%lld ticks) ===\n",
+      static_cast<long long>(n));
+
+  out += "overall confidence:";
+  for (const auto& [name, conf] : overall) {
+    out += util::StrFormat(
+        "  %s=%s", name.c_str(),
+        conf.has_value() ? util::FormatNumber(*conf, 4).c_str() : "undef");
+  }
+  out += util::StrFormat(
+      "\ntotal delay: %s tick-events (%.3f per inbound event), "
+      "outstanding at end: %s\n\n",
+      util::FormatNumber(delay.total_delay, 1).c_str(),
+      delay.delay_per_event,
+      util::FormatNumber(delay.outstanding_at_end, 1).c_str());
+
+  out += util::StrFormat("fail tableau (%s, c_hat=%.2f):\n",
+                         ConfidenceModelName(options.model),
+                         options.fail_c_hat);
+  if (fail_tableau.rows.empty()) {
+    out += "  (empty — no interval fails the threshold)\n";
+  }
+  for (size_t k = 0;
+       k < std::min(fail_tableau.rows.size(), options.max_rows); ++k) {
+    const TableauRow& row = fail_tableau.rows[k];
+    const ViolationDiagnosis& diagnosis = diagnoses[k];
+    out += util::StrFormat(
+        "  %-16s conf=%.4f  %s (%.0f%% recovered)\n",
+        row.interval.ToString().c_str(), row.confidence,
+        ViolationKindName(diagnosis.kind),
+        diagnosis.recovered_fraction * 100.0);
+  }
+  if (fail_tableau.rows.size() > options.max_rows) {
+    out += util::StrFormat("  ... (%zu more)\n",
+                           fail_tableau.rows.size() - options.max_rows);
+  }
+
+  if (!by_severity.empty()) {
+    out += "\nworst interval by misplaced mass: ";
+    out += util::StrFormat(
+        "%s (%s)\n", by_severity.front().interval.ToString().c_str(),
+        util::FormatNumber(by_severity.front().misplaced_mass, 1).c_str());
+  }
+
+  out += "\nper-segment confidence:\n";
+  for (size_t k = 0; k < std::min(segments.size(), options.max_rows); ++k) {
+    const SegmentSummary& summary = segments[k];
+    std::string bar;
+    if (summary.confidence.has_value()) {
+      const int filled = static_cast<int>(*summary.confidence * 20.0 + 0.5);
+      bar = std::string(static_cast<size_t>(std::clamp(filled, 0, 20)), '#');
+    }
+    out += util::StrFormat(
+        "  %s %-16s %-6s |%-20s|\n", summary.segment.label.c_str(),
+        summary.segment.range.ToString().c_str(),
+        summary.confidence.has_value()
+            ? util::FormatNumber(*summary.confidence, 3).c_str()
+            : "undef",
+        bar.c_str());
+  }
+  if (segments.size() > options.max_rows) {
+    out += util::StrFormat("  ... (%zu more)\n",
+                           segments.size() - options.max_rows);
+  }
+  return out;
+}
+
+}  // namespace conservation::core

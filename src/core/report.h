@@ -1,0 +1,56 @@
+// QualityReport: the one-call data-quality summary, composing the library's
+// pieces the way §IV of the paper walks through them by hand — overall
+// confidence under each model, a fail tableau at the requested threshold,
+// per-interval delay/loss diagnosis, severity ranking, and per-segment
+// confidence.
+
+#ifndef CONSERVATION_CORE_REPORT_H_
+#define CONSERVATION_CORE_REPORT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/conservation_rule.h"
+#include "core/diagnose.h"
+#include "core/segmentation.h"
+#include "core/tableau.h"
+#include "util/status.h"
+
+namespace conservation::core {
+
+struct ReportOptions {
+  // The model driving the tableau, diagnosis and segments.
+  ConfidenceModel model = ConfidenceModel::kBalance;
+  double fail_c_hat = 0.7;
+  double support = 0.05;
+  double epsilon = 0.01;
+  // Segment length for the per-segment table; 0 picks ~12 segments.
+  int64_t segment_length = 0;
+  // Cap on rows rendered per section in ToString().
+  size_t max_rows = 12;
+};
+
+struct QualityReport {
+  int64_t n = 0;
+  // Overall confidence per model: balance, credit, debit (in that order).
+  std::vector<std::pair<std::string, std::optional<double>>> overall;
+  DelayReport delay;
+  Tableau fail_tableau;
+  std::vector<ViolationDiagnosis> diagnoses;   // aligned with tableau rows
+  std::vector<SeverityEntry> by_severity;      // sorted desc
+  std::vector<SegmentSummary> segments;
+  ReportOptions options;
+
+  // Multi-section human-readable rendering.
+  std::string ToString() const;
+};
+
+// Builds the full report; fails only if the tableau request is invalid.
+util::Result<QualityReport> BuildQualityReport(const ConservationRule& rule,
+                                               const ReportOptions& options);
+
+}  // namespace conservation::core
+
+#endif  // CONSERVATION_CORE_REPORT_H_

@@ -1,0 +1,64 @@
+#include "core/segmentation.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace conservation::core {
+
+std::vector<Segment> UniformSegments(int64_t n, int64_t segment_length) {
+  CR_CHECK(n >= 1);
+  CR_CHECK(segment_length >= 1);
+  std::vector<Segment> out;
+  int index = 0;
+  for (int64_t begin = 1; begin <= n; begin += segment_length, ++index) {
+    Segment segment;
+    segment.range = {begin, std::min(n, begin + segment_length - 1)};
+    segment.label = util::StrFormat("seg %03d", index);
+    out.push_back(std::move(segment));
+  }
+  return out;
+}
+
+std::vector<SegmentSummary> SummarizeSegments(
+    const ConservationRule& rule, ConfidenceModel model,
+    const std::vector<Segment>& segments) {
+  const ConfidenceEvaluator eval = rule.Evaluator(model);
+  std::vector<SegmentSummary> out;
+  out.reserve(segments.size());
+  for (const Segment& segment : segments) {
+    SegmentSummary summary;
+    summary.segment = segment;
+    summary.confidence =
+        eval.Confidence(segment.range.begin, segment.range.end);
+    summary.misplaced_mass =
+        eval.AreaB(segment.range.begin, segment.range.end) -
+        eval.AreaA(segment.range.begin, segment.range.end);
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+std::vector<interval::Interval> SegmentLocalMaximal(
+    const std::vector<interval::Interval>& candidates,
+    const interval::Interval& segment) {
+  std::vector<interval::Interval> local;
+  for (const interval::Interval& candidate : candidates) {
+    if (segment.Contains(candidate)) local.push_back(candidate);
+  }
+  std::sort(local.begin(), local.end(), interval::ByPosition);
+  // Keep intervals not contained in another local interval: scanning by
+  // position, an interval is maximal iff its end exceeds every previous
+  // end (a contained interval starts later and ends no later).
+  std::vector<interval::Interval> maximal;
+  int64_t max_end = 0;
+  for (const interval::Interval& candidate : local) {
+    if (candidate.end > max_end) {
+      maximal.push_back(candidate);
+      max_end = candidate.end;
+    }
+  }
+  return maximal;
+}
+
+}  // namespace conservation::core

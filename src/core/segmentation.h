@@ -1,0 +1,49 @@
+// Calendar segmentation: per-day (or per-week, per-anything) summaries of a
+// conservation rule. This is the protocol behind the paper's Table I, where
+// maximal fail intervals are reported *per day* and compared against that
+// day's scheduled events.
+
+#ifndef CONSERVATION_CORE_SEGMENTATION_H_
+#define CONSERVATION_CORE_SEGMENTATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/conservation_rule.h"
+#include "interval/interval.h"
+
+namespace conservation::core {
+
+struct Segment {
+  interval::Interval range;
+  std::string label;
+};
+
+// Consecutive segments of `segment_length` ticks over {1..n}; the last one
+// may be shorter. Labels are "seg 000", "seg 001", ...
+std::vector<Segment> UniformSegments(int64_t n, int64_t segment_length);
+
+struct SegmentSummary {
+  Segment segment;
+  // Confidence of the whole segment (nullopt when undefined).
+  std::optional<double> confidence;
+  // sum_{l in segment} (B_l - A_l) above the model baseline.
+  double misplaced_mass = 0.0;
+};
+
+// Per-segment confidence and misplaced mass under `model`.
+std::vector<SegmentSummary> SummarizeSegments(
+    const ConservationRule& rule, ConfidenceModel model,
+    const std::vector<Segment>& segments);
+
+// The candidates lying entirely inside `segment`, reduced to maximal ones
+// (none contained in another). The per-day interval lists of Table I.
+std::vector<interval::Interval> SegmentLocalMaximal(
+    const std::vector<interval::Interval>& candidates,
+    const interval::Interval& segment);
+
+}  // namespace conservation::core
+
+#endif  // CONSERVATION_CORE_SEGMENTATION_H_

@@ -1,0 +1,103 @@
+#include "core/tableau.h"
+
+#include <utility>
+
+#include "cover/partial_set_cover.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace conservation::core {
+
+namespace {
+
+util::Status ValidateRequest(const TableauRequest& request) {
+  if (request.c_hat < 0.0 || request.c_hat > 1.0) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("c_hat must be in [0, 1], got %g", request.c_hat));
+  }
+  if (request.s_hat < 0.0 || request.s_hat > 1.0) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("s_hat must be in [0, 1], got %g", request.s_hat));
+  }
+  const bool approximate =
+      request.algorithm != interval::AlgorithmKind::kExhaustive;
+  if (approximate && request.epsilon <= 0.0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "epsilon must be > 0 for %s",
+        interval::AlgorithmKindName(request.algorithm)));
+  }
+  const bool non_area_based =
+      request.algorithm == interval::AlgorithmKind::kNonAreaBased ||
+      request.algorithm == interval::AlgorithmKind::kNonAreaBasedOpt;
+  if (non_area_based && request.model != ConfidenceModel::kBalance) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s supports only the balance model (paper §V); got %s",
+        interval::AlgorithmKindName(request.algorithm),
+        ConfidenceModelName(request.model)));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::string Tableau::ToString() const {
+  std::string out = util::StrFormat(
+      "%s tableau (%s model): %zu interval(s), covered %lld/%lld ticks%s\n",
+      TableauTypeName(type), ConfidenceModelName(model), rows.size(),
+      static_cast<long long>(covered), static_cast<long long>(required),
+      support_satisfied ? "" : " [support NOT satisfied]");
+  for (const TableauRow& row : rows) {
+    out += util::StrFormat("  %-16s conf=%.4f\n",
+                           row.interval.ToString().c_str(), row.confidence);
+  }
+  return out;
+}
+
+util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
+                                      const TableauRequest& request) {
+  if (util::Status status = ValidateRequest(request); !status.ok()) {
+    return status;
+  }
+  if (eval.model() != request.model) {
+    return util::Status::InvalidArgument(
+        "evaluator model does not match request model");
+  }
+
+  interval::GeneratorOptions gen_options;
+  gen_options.type = request.type;
+  gen_options.c_hat = request.c_hat;
+  gen_options.epsilon = request.epsilon;
+  gen_options.delta_mode = request.delta_mode;
+  gen_options.stop_on_full_cover = request.stop_on_full_cover;
+  gen_options.largest_first_early_exit = request.largest_first_early_exit;
+
+  Tableau tableau;
+  tableau.type = request.type;
+  tableau.model = request.model;
+
+  const auto generator = interval::MakeGenerator(request.algorithm);
+  const std::vector<interval::Interval> candidates =
+      generator->Generate(eval, gen_options, &tableau.generation_stats);
+  tableau.num_candidates = candidates.size();
+
+  util::Stopwatch cover_timer;
+  cover::CoverOptions cover_options;
+  cover_options.s_hat = request.s_hat;
+  cover::CoverResult cover =
+      cover::GreedyPartialSetCover(candidates, eval.n(), cover_options);
+  tableau.cover_seconds = cover_timer.ElapsedSeconds();
+
+  tableau.covered = cover.covered;
+  tableau.required = cover.required;
+  tableau.support_satisfied = cover.satisfied;
+  tableau.rows.reserve(cover.chosen.size());
+  for (const interval::Interval& iv : cover.chosen) {
+    const std::optional<double> conf = eval.Confidence(iv.begin, iv.end);
+    // Generators only emit intervals with defined confidence.
+    CR_CHECK(conf.has_value());
+    tableau.rows.push_back(TableauRow{iv, *conf});
+  }
+  return tableau;
+}
+
+}  // namespace conservation::core

@@ -1,0 +1,86 @@
+#include "cover/partial_set_cover.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace conservation::cover {
+
+namespace {
+
+// Prefix counts of covered ticks: covered_prefix[t] = #covered in [1..t].
+int64_t MarginalCoverage(const std::vector<int64_t>& covered_prefix,
+                         const interval::Interval& iv) {
+  const int64_t already =
+      covered_prefix[static_cast<size_t>(iv.end)] -
+      covered_prefix[static_cast<size_t>(iv.begin - 1)];
+  return iv.length() - already;
+}
+
+}  // namespace
+
+CoverResult GreedyPartialSetCover(
+    const std::vector<interval::Interval>& candidates, int64_t n,
+    const CoverOptions& options) {
+  CR_CHECK(n >= 1);
+  CR_CHECK(options.s_hat >= 0.0 && options.s_hat <= 1.0);
+  for (const interval::Interval& iv : candidates) {
+    CR_CHECK(iv.begin >= 1 && iv.begin <= iv.end && iv.end <= n);
+  }
+
+  CoverResult result;
+  result.required = static_cast<int64_t>(
+      std::ceil(options.s_hat * static_cast<double>(n)));
+
+  std::vector<bool> covered(static_cast<size_t>(n) + 1, false);
+  std::vector<int64_t> covered_prefix(static_cast<size_t>(n) + 1, 0);
+  std::vector<bool> used(candidates.size(), false);
+
+  while (result.covered < result.required) {
+    // Rebuild the covered prefix sums for O(1) marginal-coverage queries.
+    for (int64_t t = 1; t <= n; ++t) {
+      covered_prefix[static_cast<size_t>(t)] =
+          covered_prefix[static_cast<size_t>(t - 1)] +
+          (covered[static_cast<size_t>(t)] ? 1 : 0);
+    }
+
+    int64_t best_gain = 0;
+    size_t best_index = candidates.size();
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      if (used[k]) continue;
+      const int64_t gain = MarginalCoverage(covered_prefix, candidates[k]);
+      bool better = gain > best_gain;
+      if (options.deterministic_tie_break && gain == best_gain && gain > 0 &&
+          best_index < candidates.size()) {
+        const interval::Interval& cur = candidates[k];
+        const interval::Interval& best = candidates[best_index];
+        better = interval::ByPosition(cur, best);
+      }
+      if (better) {
+        best_gain = gain;
+        best_index = k;
+      }
+    }
+
+    if (best_index == candidates.size() || best_gain == 0) {
+      break;  // no candidate adds coverage; requirement unreachable
+    }
+
+    used[best_index] = true;
+    const interval::Interval& pick = candidates[best_index];
+    result.chosen.push_back(pick);
+    for (int64_t t = pick.begin; t <= pick.end; ++t) {
+      if (!covered[static_cast<size_t>(t)]) {
+        covered[static_cast<size_t>(t)] = true;
+        ++result.covered;
+      }
+    }
+  }
+
+  result.satisfied = result.covered >= result.required;
+  std::sort(result.chosen.begin(), result.chosen.end(), interval::ByPosition);
+  return result;
+}
+
+}  // namespace conservation::cover

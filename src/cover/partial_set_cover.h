@@ -1,0 +1,52 @@
+// Greedy PARTIAL SET COVER for intervals — phase 2 of tableau discovery.
+//
+// Given candidate intervals over the tick universe {1..n} and a support
+// requirement s_hat, choose a subcollection whose union covers at least
+// ceil(s_hat * n) ticks, greedily picking at each step the interval covering
+// the most not-yet-covered ticks (the algorithm of Golab et al., PVLDB'09
+// [12], which the paper reuses unchanged). Greedy partial set cover yields a
+// tableau at most a small constant factor larger than optimal.
+//
+// For intervals on a line, the marginal coverage of [b, e] against a set of
+// covered ticks is computable in O(1) with a prefix-sum table over the
+// covered indicator, which this implementation rebuilds once per greedy
+// round: O(rounds * (n + k)) total for k candidates.
+
+#ifndef CONSERVATION_COVER_PARTIAL_SET_COVER_H_
+#define CONSERVATION_COVER_PARTIAL_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "interval/interval.h"
+
+namespace conservation::cover {
+
+struct CoverResult {
+  // Chosen intervals, sorted by position (the canonical tableau order).
+  std::vector<interval::Interval> chosen;
+  // Ticks covered by the chosen union.
+  int64_t covered = 0;
+  // Ticks required: ceil(s_hat * n).
+  int64_t required = 0;
+  // False when even the union of all candidates cannot reach `required`;
+  // `chosen` then covers as much as the candidates allow.
+  bool satisfied = false;
+};
+
+struct CoverOptions {
+  // Fraction of {1..n} that must be covered, in [0, 1].
+  double s_hat = 1.0;
+  // When true (default), ties on marginal coverage are broken toward the
+  // earliest-starting interval, making results deterministic and stable.
+  bool deterministic_tie_break = true;
+};
+
+// Runs greedy partial set cover over `candidates` on the universe {1..n}.
+// Candidates must satisfy 1 <= begin <= end <= n.
+CoverResult GreedyPartialSetCover(const std::vector<interval::Interval>& candidates,
+                                  int64_t n, const CoverOptions& options);
+
+}  // namespace conservation::cover
+
+#endif  // CONSERVATION_COVER_PARTIAL_SET_COVER_H_

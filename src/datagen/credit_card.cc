@@ -1,0 +1,74 @@
+#include "datagen/credit_card.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace conservation::datagen {
+
+CreditCardData GenerateCreditCard(const CreditCardParams& params) {
+  CR_CHECK(params.num_months >= 12);
+  util::Rng rng(params.seed);
+
+  std::vector<double> payments;
+  std::vector<double> charges;
+  payments.reserve(static_cast<size_t>(params.num_months));
+  charges.reserve(static_cast<size_t>(params.num_months));
+
+  double outstanding_debt = 0.0;
+  for (int m = 0; m < params.num_months; ++m) {
+    const int month = m % 12 + 1;  // 1 = January
+    const int year = params.start_year + m / 12;
+    const int years_elapsed = year - params.start_year;
+
+    // Monthly charges: exponential trend, seasonal boost, noise.
+    double amount = params.base_monthly_charges *
+                    std::pow(1.0 + params.annual_growth, years_elapsed);
+    const double boost_growth =
+        1.0 + params.holiday_boost_growth_per_year * years_elapsed;
+    const bool recession = year == params.recession_year;
+    if (month == 11) {
+      amount *= recession ? 1.0 : params.november_charge_boost * boost_growth;
+    } else if (month == 12) {
+      amount *= recession ? 1.0 : params.december_charge_boost * boost_growth;
+    }
+    if (recession && (month == 11 || month == 12)) {
+      amount *= params.recession_charge_factor;
+    }
+    amount *= rng.LogNormal(0.0, params.charge_noise_sigma);
+
+    outstanding_debt += amount;
+
+    const double holiday_erosion =
+        params.holiday_repay_decline_per_year * years_elapsed;
+    double repay_fraction = params.repay_fraction_normal;
+    if (month == 11) {
+      repay_fraction = std::max(params.holiday_repay_floor,
+                                params.repay_fraction_november -
+                                    holiday_erosion);
+    }
+    if (month == 12) {
+      repay_fraction = std::max(params.holiday_repay_floor,
+                                params.repay_fraction_december -
+                                    holiday_erosion);
+    }
+    if (recession && (month == 11 || month == 12)) {
+      repay_fraction = params.repay_fraction_normal;
+    }
+    if (month == 1) repay_fraction = params.repay_fraction_january;
+    const double payment = repay_fraction * outstanding_debt;
+    outstanding_debt -= payment;
+
+    charges.push_back(amount);
+    payments.push_back(payment);
+  }
+
+  auto counts = series::CountSequence::Create(std::move(payments),
+                                              std::move(charges));
+  CR_CHECK(counts.ok());
+  return CreditCardData{std::move(counts).value(), params};
+}
+
+}  // namespace conservation::datagen

@@ -1,0 +1,64 @@
+// Synthetic stand-in for the NZ-Credit-Card dataset (paper §IV.A):
+// monthly aggregated credit-card charges (inbound b) and payments
+// (outbound a), Jan 1981 - Aug 2009, n = 344.
+//
+// The generator reproduces the structure the paper's experiment depends on:
+//   * payments trail charges by roughly one month, so overall confidence is
+//     close to 1;
+//   * November-December holiday spending outpaces payments, increasingly so
+//     in recent years, creating low-confidence Nov-Dec intervals under the
+//     balance model;
+//   * January payments catch up, so no fail interval ends in January;
+//   * the 2008 recession dampens holiday charges, so Nov-Dec 2008 is absent
+//     from the fail tableau.
+
+#ifndef CONSERVATION_DATAGEN_CREDIT_CARD_H_
+#define CONSERVATION_DATAGEN_CREDIT_CARD_H_
+
+#include <cstdint>
+
+#include "series/sequence.h"
+
+namespace conservation::datagen {
+
+struct CreditCardParams {
+  int start_year = 1981;
+  int num_months = 344;  // Jan 1981 .. Aug 2009
+  // Charges start here (millions of dollars) and grow by `annual_growth`.
+  double base_monthly_charges = 120.0;
+  double annual_growth = 0.055;
+  // Month-over-month lognormal noise on charges.
+  double charge_noise_sigma = 0.04;
+  // Fraction of outstanding debt paid each month, by regime. Holiday
+  // repayment discipline erodes over the years (`holiday_repay_decline_per_
+  // year`), which is what concentrates the fail intervals in recent years.
+  double repay_fraction_normal = 0.92;
+  double repay_fraction_november = 0.88;
+  double repay_fraction_december = 0.85;
+  double repay_fraction_january = 0.97;
+  double holiday_repay_decline_per_year = 0.012;
+  double holiday_repay_floor = 0.50;
+  // Holiday charge multipliers; the excess over 1.0 scales up linearly so
+  // that late years show stronger Nov-Dec imbalance (paper: "more intervals
+  // from the recent years").
+  double november_charge_boost = 1.18;
+  double december_charge_boost = 1.40;
+  double holiday_boost_growth_per_year = 0.012;
+  // The recession year: holiday boosts collapse to ~1, charges shrink, and
+  // repayment reverts to the normal regime (dampened consumption means no
+  // holiday debt pile-up — the paper's missing Nov-Dec 2008).
+  int recession_year = 2008;
+  double recession_charge_factor = 0.80;
+  uint64_t seed = 20120401;
+};
+
+struct CreditCardData {
+  series::CountSequence counts;  // a = payments, b = charges
+  CreditCardParams params;
+};
+
+CreditCardData GenerateCreditCard(const CreditCardParams& params = {});
+
+}  // namespace conservation::datagen
+
+#endif  // CONSERVATION_DATAGEN_CREDIT_CARD_H_

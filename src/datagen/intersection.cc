@@ -1,0 +1,73 @@
+#include "datagen/intersection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace conservation::datagen {
+
+IntersectionData GenerateIntersection(const IntersectionParams& params) {
+  CR_CHECK(params.num_ticks >= 2);
+  CR_CHECK(params.num_approaches >= 1);
+  util::Rng rng(params.seed);
+
+  const int64_t n = params.num_ticks;
+  std::vector<double> exits(static_cast<size_t>(n), 0.0);
+  std::vector<double> entries(static_cast<size_t>(n), 0.0);
+
+  std::vector<std::pair<int64_t, int64_t>> rush_windows;
+  const auto day_fraction = [&](int64_t t) {
+    return static_cast<double>(t % params.ticks_per_day) /
+           static_cast<double>(params.ticks_per_day);
+  };
+  const auto in_rush = [&](int64_t t) {
+    const double f = day_fraction(t);
+    return (f >= params.morning_rush_begin && f < params.morning_rush_end) ||
+           (f >= params.evening_rush_begin && f < params.evening_rush_end);
+  };
+
+  // Record the ground-truth rush windows (contiguous in-rush tick runs).
+  int64_t run_begin = 0;
+  for (int64_t t = 0; t <= n; ++t) {
+    const bool rush = t < n && in_rush(t);
+    if (rush && run_begin == 0) run_begin = t + 1;
+    if (!rush && run_begin != 0) {
+      rush_windows.emplace_back(run_begin, t);
+      run_begin = 0;
+    }
+  }
+
+  for (int64_t t = 0; t < n; ++t) {
+    const bool rush = in_rush(t);
+    const double rate =
+        params.base_rate * (rush ? params.rush_multiplier : 1.0);
+    for (int approach = 0; approach < params.num_approaches; ++approach) {
+      const int64_t arrivals = rng.Poisson(rate);
+      entries[static_cast<size_t>(t)] += static_cast<double>(arrivals);
+      for (int64_t v = 0; v < arrivals; ++v) {
+        const double mean_transit =
+            params.base_transit_ticks +
+            (rush ? params.rush_extra_transit_ticks : 0.0);
+        const int64_t transit = std::max<int64_t>(
+            0, static_cast<int64_t>(std::round(
+                   rng.Normal(mean_transit, 0.5 + mean_transit * 0.25))));
+        const int64_t exits_at = t + transit;
+        if (exits_at >= n) continue;  // still inside at the horizon
+        const bool lost = params.outage_begin_tick > 0 &&
+                          exits_at + 1 >= params.outage_begin_tick &&
+                          exits_at + 1 <= params.outage_end_tick;
+        if (!lost) exits[static_cast<size_t>(exits_at)] += 1.0;
+      }
+    }
+  }
+
+  auto counts =
+      series::CountSequence::Create(std::move(exits), std::move(entries));
+  CR_CHECK(counts.ok());
+  return IntersectionData{std::move(counts).value(), params,
+                          std::move(rush_windows)};
+}
+
+}  // namespace conservation::datagen

@@ -1,0 +1,59 @@
+// Synthetic road-intersection data — the traffic-monitoring scenario of the
+// paper's introduction ("every car that enters an intersection should exit
+// it"). Road sensors report aggregated counts per approach; congestion
+// delays cars inside the intersection zone, a failed sensor or an
+// unmonitored segment loses counts.
+//
+// Unlike the router generator (packets, tiny jitter), this models the
+// road-specific effects the intro calls out: rush-hour congestion that
+// *stretches* transit delay (confidence dips but recovers — delay, not
+// loss) and a sensor outage on one approach (loss bounded in time).
+
+#ifndef CONSERVATION_DATAGEN_INTERSECTION_H_
+#define CONSERVATION_DATAGEN_INTERSECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "series/sequence.h"
+
+namespace conservation::datagen {
+
+struct IntersectionParams {
+  // One tick per 30 seconds; a day is 2880 ticks.
+  int64_t num_ticks = 2880;
+  int64_t ticks_per_day = 2880;
+  int num_approaches = 4;
+  // Mean vehicles per approach per tick off-peak.
+  double base_rate = 3.0;
+  // Rush hours multiply arrival rates and stretch transit times.
+  double rush_multiplier = 3.5;
+  // Rush windows as fractions of the day: [start, end) pairs.
+  double morning_rush_begin = 0.30;  // ~7:12
+  double morning_rush_end = 0.40;    // ~9:36
+  double evening_rush_begin = 0.70;  // ~16:48
+  double evening_rush_end = 0.80;    // ~19:12
+  // Transit time through the intersection, in ticks (mean), off-peak and
+  // the additional congestion delay at peak.
+  double base_transit_ticks = 1.0;
+  double rush_extra_transit_ticks = 6.0;
+  // Optional exit-sensor outage: counts of departing vehicles are lost in
+  // [outage_begin_tick, outage_end_tick] (1-based; 0 disables).
+  int64_t outage_begin_tick = 0;
+  int64_t outage_end_tick = 0;
+  uint64_t seed = 30303;
+};
+
+struct IntersectionData {
+  series::CountSequence counts;  // a = vehicles exiting, b = entering
+  IntersectionParams params;
+  // Ground-truth rush windows (1-based tick ranges), for tests/benches.
+  std::vector<std::pair<int64_t, int64_t>> rush_windows;
+};
+
+IntersectionData GenerateIntersection(const IntersectionParams& params = {});
+
+}  // namespace conservation::datagen
+
+#endif  // CONSERVATION_DATAGEN_INTERSECTION_H_

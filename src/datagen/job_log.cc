@@ -1,0 +1,49 @@
+#include "datagen/job_log.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace conservation::datagen {
+
+JobLogData GenerateJobLog(const JobLogParams& params) {
+  CR_CHECK(params.num_ticks >= 2);
+  util::Rng rng(params.seed);
+
+  const int64_t n = params.num_ticks;
+  std::vector<double> completions(static_cast<size_t>(n), 0.0);
+  std::vector<double> submissions(static_cast<size_t>(n), 0.0);
+
+  for (int64_t t = 0; t < n; ++t) {
+    const int64_t day = t / params.ticks_per_day;
+    const bool weekend = day % 7 >= 5;
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(t % params.ticks_per_day) /
+                         static_cast<double>(params.ticks_per_day);
+    double rate = params.mean_submissions_per_tick *
+                  (1.0 + params.diurnal_amplitude * std::sin(phase - 1.1));
+    if (weekend) rate *= params.weekend_factor;
+
+    const int64_t submitted = rng.Poisson(rate);
+    submissions[static_cast<size_t>(t)] = static_cast<double>(submitted);
+    for (int64_t j = 0; j < submitted; ++j) {
+      if (rng.Bernoulli(params.cancel_fraction)) continue;
+      const double runtime =
+          rng.LogNormal(params.runtime_log_mean, params.runtime_log_sigma);
+      const int64_t done_at =
+          t + std::max<int64_t>(0, static_cast<int64_t>(runtime));
+      if (done_at < n) completions[static_cast<size_t>(done_at)] += 1.0;
+    }
+  }
+
+  auto counts = series::CountSequence::Create(std::move(completions),
+                                              std::move(submissions));
+  CR_CHECK(counts.ok());
+  return JobLogData{std::move(counts).value(), params};
+}
+
+}  // namespace conservation::datagen

@@ -1,0 +1,151 @@
+#include "datagen/people_count.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace conservation::datagen {
+
+namespace {
+
+// Clamps a slot to [lo, hi].
+int ClampSlot(int slot, int lo, int hi) {
+  return std::max(lo, std::min(hi, slot));
+}
+
+}  // namespace
+
+PeopleCountData GeneratePeopleCount(const PeopleCountParams& params) {
+  CR_CHECK(params.num_weeks >= 2);
+  CR_CHECK(params.slots_per_day >= 24);
+  CR_CHECK(params.side_exit_fraction >= 0.0 &&
+           params.side_exit_fraction < 1.0);
+  util::Rng rng(params.seed);
+
+  const int num_days = params.num_weeks * 7;
+  const int spd = params.slots_per_day;
+  const int64_t n = static_cast<int64_t>(num_days) * spd;
+  std::vector<double> exits(static_cast<size_t>(n), 0.0);
+  std::vector<double> entrances(static_cast<size_t>(n), 0.0);
+
+  // Slot helpers (slot = half hour when spd == 48).
+  const auto hour_to_slot = [&](double hour) {
+    return static_cast<int>(hour * spd / 24.0);
+  };
+  const int open_slot = hour_to_slot(6.0);
+  const int close_slot = hour_to_slot(22.0);
+
+  const auto record_entry = [&](int day, int slot) {
+    slot = ClampSlot(slot, open_slot, close_slot);
+    entrances[static_cast<size_t>(day) * spd + slot] += 1.0;
+    return slot;
+  };
+  const auto record_exit = [&](int day, int slot) {
+    slot = ClampSlot(slot, open_slot, spd - 1);
+    if (!rng.Bernoulli(params.side_exit_fraction)) {
+      exits[static_cast<size_t>(day) * spd + slot] += 1.0;
+    }
+  };
+
+  // Regular occupants. The trace starts on a Sunday (day % 7 == 0), matching
+  // the UCI CalIt2 convention the paper used.
+  for (int day = 0; day < num_days; ++day) {
+    const int weekday = day % 7;
+    const bool weekend = weekday == 0 || weekday == 6;
+    const double population =
+        weekend ? params.weekend_population : params.weekday_population;
+    const int64_t arrivals = rng.Poisson(population);
+    for (int64_t p = 0; p < arrivals; ++p) {
+      const bool staff = rng.Bernoulli(params.staff_fraction);
+      if (staff) {
+        // Staff: morning arrival around 8:30, eight-hour stay.
+        int arrive = hour_to_slot(rng.Normal(8.5, 1.4));
+        arrive = record_entry(day, arrive);
+        const int depart = ClampSlot(arrive + hour_to_slot(rng.Normal(8.0, 1.2)),
+                                     arrive + 1, spd - 1);
+
+        // Lunchtime round trip for a third of weekday staff.
+        if (!weekend && rng.Bernoulli(0.35)) {
+          int lunch_out = hour_to_slot(rng.Normal(12.0, 0.6));
+          lunch_out = ClampSlot(lunch_out, arrive + 1, depart - 2);
+          if (lunch_out > arrive) {
+            record_exit(day, lunch_out);
+            const int lunch_back = ClampSlot(
+                lunch_out + 1 + static_cast<int>(rng.UniformInt(0, 1)),
+                lunch_out + 1, depart - 1);
+            record_entry(day, lunch_back);
+          }
+        }
+        record_exit(day, depart);
+      } else {
+        // Visitor: arrives during business hours, stays under an hour.
+        int arrive = hour_to_slot(rng.Normal(13.0, 3.0));
+        arrive = record_entry(day, arrive);
+        const int depart = ClampSlot(
+            arrive + 1 + static_cast<int>(rng.UniformInt(0, 1)),
+            arrive + 1, spd - 1);
+        record_exit(day, depart);
+      }
+    }
+  }
+
+  // Scheduled events on distinct working days in the second half of the
+  // trace (the paper's known events were all in one late month).
+  std::vector<BuildingEvent> events;
+  std::set<int> used_days;
+  const int first_event_day = num_days / 2;
+  int attempts = 0;
+  while (static_cast<int>(events.size()) < params.num_events &&
+         attempts < params.num_events * 50) {
+    ++attempts;
+    const int day =
+        static_cast<int>(rng.UniformInt(first_event_day, num_days - 1));
+    const int weekday = day % 7;
+    if (weekday == 0 || weekday == 6) continue;
+    if (used_days.count(day) > 0) continue;
+    used_days.insert(day);
+
+    BuildingEvent event;
+    event.day = day;
+    event.start_slot = hour_to_slot(rng.Uniform(8.0, 17.0));
+    const int duration_slots =
+        static_cast<int>(rng.UniformInt(2, hour_to_slot(9.0)));
+    event.end_slot =
+        ClampSlot(event.start_slot + duration_slots, event.start_slot + 1,
+                  close_slot);
+    event.attendance = static_cast<int>(
+        rng.UniformInt(params.min_attendance, params.max_attendance));
+    event.label = util::StrFormat("event-day%03d", day);
+    events.push_back(event);
+
+    for (int p = 0; p < event.attendance; ++p) {
+      // Attendees stream in just before the event and leave together just
+      // after it ends — the entry/exit delay the fail tableau should flag.
+      const int arrive = ClampSlot(
+          event.start_slot - static_cast<int>(rng.UniformInt(0, 2)),
+          open_slot, event.start_slot);
+      record_entry(day, arrive);
+      const int depart = ClampSlot(
+          event.end_slot + static_cast<int>(rng.UniformInt(0, 2)),
+          event.end_slot, spd - 1);
+      record_exit(day, depart);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const BuildingEvent& lhs, const BuildingEvent& rhs) {
+              if (lhs.day != rhs.day) return lhs.day < rhs.day;
+              return lhs.start_slot < rhs.start_slot;
+            });
+
+  auto counts =
+      series::CountSequence::Create(std::move(exits), std::move(entrances));
+  CR_CHECK(counts.ok());
+  return PeopleCountData{std::move(counts).value(), std::move(events),
+                         params};
+}
+
+}  // namespace conservation::datagen

@@ -1,0 +1,88 @@
+#include "datagen/perturb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace conservation::datagen {
+
+series::CountSequence ApplyPerturbation(const series::CountSequence& counts,
+                                        const PerturbationSpec& spec,
+                                        PerturbationInfo* info) {
+  CR_CHECK(spec.fraction > 0.0 && spec.fraction < 1.0);
+  CR_CHECK(spec.max_step_drop_fraction > 0.0 &&
+           spec.max_step_drop_fraction <= 1.0);
+  const int64_t n = counts.n();
+  std::vector<double> a = counts.outbound();
+  std::vector<double> b = counts.inbound();
+
+  const double total =
+      std::accumulate(a.begin(), a.end(), 0.0);
+  double to_remove = spec.fraction * total;
+
+  // Drop starts at the tick with the highest outbound count — among the
+  // starts whose suffix holds enough removable mass, so the drop always
+  // fits inside the trace (the paper's peak happened to be early enough).
+  std::vector<double> removable_suffix(static_cast<size_t>(n) + 1, 0.0);
+  for (int64_t t = n - 1; t >= 0; --t) {
+    removable_suffix[static_cast<size_t>(t)] =
+        removable_suffix[static_cast<size_t>(t) + 1] +
+        spec.max_step_drop_fraction * a[static_cast<size_t>(t)];
+  }
+  // When compensating, the drop must end before the last tick so a recovery
+  // index exists after it.
+  const double reserve =
+      spec.compensate ? removable_suffix[static_cast<size_t>(n) - 1] : 0.0;
+  CR_CHECK(removable_suffix[0] - reserve >= to_remove - 1e-9);
+  CR_CHECK(spec.latest_start_fraction > 0.0 &&
+           spec.latest_start_fraction <= 1.0);
+  const int64_t latest_start = std::max<int64_t>(
+      1, static_cast<int64_t>(spec.latest_start_fraction *
+                              static_cast<double>(n)));
+  int64_t start = 0;
+  for (int64_t t = 0; t < latest_start; ++t) {
+    if (removable_suffix[static_cast<size_t>(t)] - reserve < to_remove) break;
+    if (a[static_cast<size_t>(t)] > a[static_cast<size_t>(start)]) start = t;
+  }
+
+  PerturbationInfo result;
+  result.drop_begin = start + 1;  // to 1-based
+  result.amount_removed = 0.0;
+
+  int64_t t = start;
+  while (to_remove > 1e-9 && t < n) {
+    const double available =
+        spec.max_step_drop_fraction * a[static_cast<size_t>(t)];
+    const double removed = std::min(available, to_remove);
+    a[static_cast<size_t>(t)] -= removed;
+    to_remove -= removed;
+    result.amount_removed += removed;
+    result.drop_end = t + 1;
+    ++t;
+  }
+  CR_CHECK(to_remove <= 1e-6 * total);  // the drop must fit in the trace
+
+  if (spec.compensate) {
+    util::Rng rng(spec.seed);
+    int64_t recovery = spec.recovery_tick;
+    if (recovery <= 0) {
+      // A random index strictly after the drop, leaving room to observe the
+      // post-recovery regime.
+      const int64_t lo = result.drop_end + 1;
+      const int64_t hi = std::max(lo, n - std::max<int64_t>(1, n / 10));
+      recovery = rng.UniformInt(lo, hi);
+    }
+    CR_CHECK(recovery > result.drop_end && recovery <= n);
+    a[static_cast<size_t>(recovery - 1)] += result.amount_removed;
+    result.recovery_tick = recovery;
+  }
+
+  if (info != nullptr) *info = result;
+  auto sequence = series::CountSequence::Create(std::move(a), std::move(b));
+  CR_CHECK(sequence.ok());
+  return std::move(sequence).value();
+}
+
+}  // namespace conservation::datagen

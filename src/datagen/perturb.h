@@ -1,0 +1,61 @@
+// Controlled delay/loss perturbation of outbound traffic — paper §IV.D.
+//
+// "We removed a fraction of total traffic d at the time step i with highest
+//  a_i, such that the cumulative amount d * sum(a) was subtracted from
+//  consecutive elements a_i, a_{i+1}, ..., a_j, subject to these values' not
+//  falling below 0. Then, at some random index i' > i, the previously
+//  subtracted quantity was added to a_{i'} to compensate."
+//
+// Variants implemented, as in the paper:
+//   * delay (compensate = true) vs loss (compensate = false);
+//   * dampened drop: each a_t loses at most `max_step_drop_fraction` of its
+//     value (the paper's "at most 25%" gradual-loss experiment).
+//
+// Removing outbound mass preserves dominance (A only shrinks); compensation
+// restores A to its original level from the recovery index on, so dominance
+// is preserved throughout.
+
+#ifndef CONSERVATION_DATAGEN_PERTURB_H_
+#define CONSERVATION_DATAGEN_PERTURB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "series/sequence.h"
+
+namespace conservation::datagen {
+
+struct PerturbationSpec {
+  // Fraction d of total outbound traffic to remove.
+  double fraction = 0.1;
+  // true: the removed amount reappears at the recovery index (delay);
+  // false: it never does (loss).
+  bool compensate = true;
+  // Each a_t may lose at most this fraction of its value; 1.0 reproduces the
+  // paper's full drop-to-zero, 0.25 its dampened variant.
+  double max_step_drop_fraction = 1.0;
+  // Recovery index (1-based). <= 0 picks a random index after the drop.
+  int64_t recovery_tick = 0;
+  // The drop may only start within the first `latest_start_fraction` of the
+  // trace (the paper's peak happened to come early; constraining the start
+  // keeps room to observe the outage and the post-recovery regime).
+  double latest_start_fraction = 1.0;
+  uint64_t seed = 424242;
+};
+
+struct PerturbationInfo {
+  int64_t drop_begin = 0;     // first perturbed tick (1-based)
+  int64_t drop_end = 0;       // last tick that lost traffic
+  int64_t recovery_tick = 0;  // 0 when compensate == false
+  double amount_removed = 0.0;
+};
+
+// Returns the perturbed sequence (same inbound b, modified outbound a) and
+// fills `info` (may be null). CR_CHECKs that the drop fits in the trace.
+series::CountSequence ApplyPerturbation(const series::CountSequence& counts,
+                                        const PerturbationSpec& spec,
+                                        PerturbationInfo* info);
+
+}  // namespace conservation::datagen
+
+#endif  // CONSERVATION_DATAGEN_PERTURB_H_

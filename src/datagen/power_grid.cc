@@ -1,0 +1,72 @@
+#include "datagen/power_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace conservation::datagen {
+
+PowerGridData GeneratePowerGrid(const PowerGridParams& params) {
+  CR_CHECK(params.num_ticks >= 2);
+  CR_CHECK(params.num_customers >= 1);
+  CR_CHECK(params.technical_loss_fraction >= 0.0 &&
+           params.technical_loss_fraction < 1.0);
+  util::Rng rng(params.seed);
+
+  const int64_t n = params.num_ticks;
+  std::vector<double> metered(static_cast<size_t>(n), 0.0);
+  std::vector<double> supplied(static_cast<size_t>(n), 0.0);
+
+  // Per-customer scale factors (households differ).
+  std::vector<double> customer_scale(
+      static_cast<size_t>(params.num_customers));
+  for (double& scale : customer_scale) {
+    scale = rng.LogNormal(0.0, 0.4);
+  }
+  const int thief = 0;         // customer 0 diverts, if enabled
+  const int outage_meter = 1;  // customer 1's meter fails, if enabled
+
+  for (int64_t t = 1; t <= n; ++t) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>((t - 1) % params.ticks_per_day) /
+                         static_cast<double>(params.ticks_per_day);
+    const double diurnal =
+        1.0 + params.diurnal_amplitude * std::sin(phase - 2.1);
+
+    double real_total = 0.0;
+    double metered_total = 0.0;
+    for (int c = 0; c < params.num_customers; ++c) {
+      const double load = std::max(
+          0.0, params.mean_load * diurnal *
+                   customer_scale[static_cast<size_t>(c)] *
+                   rng.LogNormal(0.0, 0.15));
+      real_total += load;
+
+      double reading = load;
+      if (params.theft_start_tick > 0 && c == thief &&
+          t >= params.theft_start_tick) {
+        reading *= 1.0 - params.theft_fraction;
+      }
+      if (params.outage_begin_tick > 0 && c == outage_meter &&
+          t >= params.outage_begin_tick && t <= params.outage_end_tick) {
+        reading = 0.0;
+      }
+      metered_total += reading;
+    }
+
+    // The substation supplies the real consumption plus wire losses.
+    supplied[static_cast<size_t>(t - 1)] =
+        real_total / (1.0 - params.technical_loss_fraction);
+    metered[static_cast<size_t>(t - 1)] = metered_total;
+  }
+
+  auto counts =
+      series::CountSequence::Create(std::move(metered), std::move(supplied));
+  CR_CHECK(counts.ok());
+  return PowerGridData{std::move(counts).value(), params};
+}
+
+}  // namespace conservation::datagen

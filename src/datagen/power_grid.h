@@ -1,0 +1,50 @@
+// Synthetic smart-grid feeder data — the electricity scenario of the
+// paper's introduction (Kirchhoff's node law; hacked meters; diverted
+// energy). A substation meter measures energy supplied to a feeder
+// (inbound b); customer smart meters measure consumption (outbound a).
+// Conservation holds up to a small technical loss. Two injectable faults:
+//   * diversion ("theft"): from some tick on, a fraction of one customer's
+//     real load bypasses the meter — a persistent, growing imbalance that
+//     debit-model fail tableaux flag;
+//   * meter outage: a customer's meter reports zero for a bounded period —
+//     a transient imbalance that ends, which hold tableaux bracket.
+
+#ifndef CONSERVATION_DATAGEN_POWER_GRID_H_
+#define CONSERVATION_DATAGEN_POWER_GRID_H_
+
+#include <cstdint>
+
+#include "series/sequence.h"
+
+namespace conservation::datagen {
+
+struct PowerGridParams {
+  int64_t num_ticks = 2880;  // 15-minute intervals, 30 days
+  int64_t ticks_per_day = 96;
+  int num_customers = 40;
+  // Mean per-customer load per tick (kWh), modulated by a diurnal curve.
+  double mean_load = 0.5;
+  double diurnal_amplitude = 0.45;
+  // Fraction of supplied energy lost in the wires (never metered).
+  double technical_loss_fraction = 0.04;
+  // Diversion: from `theft_start_tick` (1-based; 0 disables), the thief's
+  // metered reading drops to (1 - theft_fraction) of their real load.
+  int64_t theft_start_tick = 0;
+  double theft_fraction = 0.6;
+  // Meter outage: readings of one customer are zero in
+  // [outage_begin_tick, outage_end_tick] (1-based; 0 disables).
+  int64_t outage_begin_tick = 0;
+  int64_t outage_end_tick = 0;
+  uint64_t seed = 230460;
+};
+
+struct PowerGridData {
+  series::CountSequence counts;  // a = metered consumption, b = supplied
+  PowerGridParams params;
+};
+
+PowerGridData GeneratePowerGrid(const PowerGridParams& params = {});
+
+}  // namespace conservation::datagen
+
+#endif  // CONSERVATION_DATAGEN_POWER_GRID_H_

@@ -1,0 +1,111 @@
+#include "datagen/router.h"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace conservation::datagen {
+
+RouterData GenerateRouter(const RouterParams& params) {
+  CR_CHECK(params.num_ticks >= 2);
+  CR_CHECK(params.unmonitored_fraction >= 0.0 &&
+           params.unmonitored_fraction < 1.0);
+  util::Rng rng(params.seed);
+
+  const int64_t n = params.num_ticks;
+  std::vector<double> outgoing(static_cast<size_t>(n), 0.0);
+  std::vector<double> incoming(static_cast<size_t>(n), 0.0);
+
+  double carried_over = 0.0;  // traffic delayed by forwarding jitter
+  for (int64_t t = 0; t < n; ++t) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(t % params.ticks_per_day) /
+                         static_cast<double>(params.ticks_per_day);
+    const double rate =
+        params.mean_traffic *
+        (1.0 + params.diurnal_amplitude * std::sin(phase - 1.3));
+    const double in = static_cast<double>(rng.Poisson(rate));
+    incoming[static_cast<size_t>(t)] = in;
+
+    // Everything that comes in goes out, but a share slips to the next tick.
+    const double ready = in + carried_over;
+    const double delayed =
+        t + 1 < n ? params.forwarding_jitter * ready *
+                        rng.Uniform(0.6, 1.4) / 1.0
+                  : 0.0;
+    const double sent = std::max(ready - delayed, 0.0);
+    carried_over = ready - sent;
+
+    double measured = sent;
+    const bool link_hidden =
+        params.profile == RouterProfile::kUnmonitoredLink ||
+        (params.profile == RouterProfile::kLateActivation &&
+         t + 1 < params.activation_tick);  // ticks are 1-based outside
+    if (link_hidden) {
+      measured *= 1.0 - params.unmonitored_fraction;
+    }
+    outgoing[static_cast<size_t>(t)] = std::floor(measured);
+  }
+
+  auto counts =
+      series::CountSequence::Create(std::move(outgoing), std::move(incoming));
+  CR_CHECK(counts.ok());
+  return RouterData{params.name, std::move(counts).value(), params};
+}
+
+std::vector<RouterData> GenerateRouterFleet(int num_clean, int64_t num_ticks,
+                                            uint64_t seed) {
+  std::vector<RouterData> fleet;
+
+  // The paper's Table II names: fully unmonitored routers...
+  const int unmonitored_ids[] = {1, 10, 12, 6, 25};
+  for (int id : unmonitored_ids) {
+    RouterParams params;
+    params.profile = RouterProfile::kUnmonitoredLink;
+    params.name = util::StrFormat("Router-%d", id);
+    params.num_ticks = num_ticks;
+    params.seed = seed + static_cast<uint64_t>(id) * 101;
+    params.mean_traffic = 800.0 + 90.0 * id;
+    fleet.push_back(GenerateRouter(params));
+  }
+
+  // ... and Router-7, whose hidden link gets monitored near tick 3610.
+  {
+    RouterParams params;
+    params.profile = RouterProfile::kLateActivation;
+    params.name = "Router-7";
+    params.num_ticks = num_ticks;
+    params.activation_tick = num_ticks - 190;  // = 3610 when n = 3800
+    params.seed = seed + 7 * 101;
+    fleet.push_back(GenerateRouter(params));
+  }
+
+  for (int k = 0; k < num_clean; ++k) {
+    RouterParams params;
+    params.profile = RouterProfile::kClean;
+    params.name = util::StrFormat("Router-%d", 100 + k);
+    params.num_ticks = num_ticks;
+    params.seed = seed + 10007 + static_cast<uint64_t>(k) * 131;
+    params.mean_traffic = 600.0 + 40.0 * (k % 23);
+    fleet.push_back(GenerateRouter(params));
+  }
+  return fleet;
+}
+
+series::CountSequence GenerateWellBehavedTraffic(int64_t num_ticks,
+                                                 uint64_t seed) {
+  RouterParams params;
+  params.profile = RouterProfile::kClean;
+  params.name = "well-behaved";
+  params.num_ticks = num_ticks;
+  params.mean_traffic = 1500.0;
+  params.forwarding_jitter = 0.08;
+  params.seed = seed;
+  return GenerateRouter(params).counts;
+}
+
+}  // namespace conservation::datagen

@@ -1,0 +1,78 @@
+// Synthetic stand-in for the Network Monitoring dataset (paper §IV.C):
+// per-router counts of incoming (inbound b) and outgoing (outbound a)
+// traffic, one measurement every five minutes for about two weeks
+// (n = 3800 per router), for a fleet of several hundred routers.
+//
+// Structure the paper's experiment depends on:
+//   * most routers conserve traffic up to small jitter — their debit-model
+//     confidence is high but rarely above 0.99 for long ("small violations
+//     of the conservation law are normal", Table III);
+//   * some routers have an unmonitored link, so a fraction of outgoing
+//     traffic is never measured: debit-model fail tableaux at c_hat = 0.5
+//     flag the whole range (Table II);
+//   * one router's missing link starts being monitored late in the trace
+//     (Router-7 at tick ~3610): the fail interval ends there and a
+//     hold interval at c_hat = 0.9 begins near there (Tables II-III).
+//
+// The generator also provides the "well-behaved" profile used as the
+// substrate for the §IV.D perturbation experiments (n = 906).
+
+#ifndef CONSERVATION_DATAGEN_ROUTER_H_
+#define CONSERVATION_DATAGEN_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "series/sequence.h"
+
+namespace conservation::datagen {
+
+enum class RouterProfile {
+  // Outgoing matches incoming with <= 1-tick jitter and tiny noise.
+  kClean,
+  // A fraction of outgoing traffic is never measured, for the whole trace.
+  kUnmonitoredLink,
+  // Like kUnmonitoredLink until `activation_tick`, fully monitored after.
+  kLateActivation,
+};
+
+struct RouterParams {
+  RouterProfile profile = RouterProfile::kClean;
+  std::string name = "Router";
+  int64_t num_ticks = 3800;
+  // Mean packets per tick; modulated by a diurnal wave.
+  double mean_traffic = 1200.0;
+  double diurnal_amplitude = 0.35;
+  // Ticks per simulated day (5-minute ticks -> 288).
+  int64_t ticks_per_day = 288;
+  // Fraction of outgoing traffic flowing over the unmonitored link.
+  double unmonitored_fraction = 0.55;
+  // First tick at which the missing link is monitored (kLateActivation).
+  int64_t activation_tick = 3610;
+  // Fraction of each tick's outgoing traffic delayed to the next tick.
+  double forwarding_jitter = 0.15;
+  uint64_t seed = 7001;
+};
+
+struct RouterData {
+  std::string name;
+  series::CountSequence counts;  // a = measured outgoing, b = incoming
+  RouterParams params;
+};
+
+RouterData GenerateRouter(const RouterParams& params);
+
+// A fleet mirroring the paper's Table II setting: `num_clean` clean routers,
+// plus unmonitored routers (names from the paper's table: Router-1, -10,
+// -12, -6, -25) and the late-activation Router-7. Seeds derive from `seed`.
+std::vector<RouterData> GenerateRouterFleet(int num_clean, int64_t num_ticks,
+                                            uint64_t seed);
+
+// The §IV.D substrate: a clean trace with confidence ~1 over [1, n].
+series::CountSequence GenerateWellBehavedTraffic(int64_t num_ticks = 906,
+                                                 uint64_t seed = 906906);
+
+}  // namespace conservation::datagen
+
+#endif  // CONSERVATION_DATAGEN_ROUTER_H_

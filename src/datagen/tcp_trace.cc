@@ -1,0 +1,50 @@
+#include "datagen/tcp_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace conservation::datagen {
+
+TcpTraceData GenerateTcpTrace(const TcpTraceParams& params) {
+  CR_CHECK(params.num_ticks >= 2);
+  util::Rng rng(params.seed);
+
+  const int64_t n = params.num_ticks;
+  std::vector<double> terminations(static_cast<size_t>(n), 0.0);
+  std::vector<double> opens(static_cast<size_t>(n), 0.0);
+
+  double rate = params.mean_syn_rate;
+  for (int64_t t = 0; t < n; ++t) {
+    // Mean-reverting multiplicative random walk keeps the rate positive and
+    // produces the bursty structure of real packet traces.
+    rate *= std::exp(rng.Normal(0.0, params.rate_volatility));
+    rate += 0.01 * (params.mean_syn_rate - rate);
+    rate = std::max(rate, 0.05);
+
+    const int64_t syns = rng.Poisson(rate);
+    opens[static_cast<size_t>(t)] = static_cast<double>(syns);
+    for (int64_t c = 0; c < syns; ++c) {
+      if (rng.Bernoulli(params.abandon_fraction)) continue;
+      const double lifetime =
+          rng.LogNormal(params.lifetime_log_mean, params.lifetime_log_sigma);
+      const int64_t closes_at =
+          t + std::max<int64_t>(0, static_cast<int64_t>(lifetime));
+      if (closes_at < n) {
+        terminations[static_cast<size_t>(closes_at)] += 1.0;
+      }
+      // Connections outliving the trace simply never terminate in it —
+      // indistinguishable from loss, as the paper models it.
+    }
+  }
+
+  auto counts = series::CountSequence::Create(std::move(terminations),
+                                              std::move(opens));
+  CR_CHECK(counts.ok());
+  return TcpTraceData{std::move(counts).value(), params};
+}
+
+}  // namespace conservation::datagen

@@ -1,0 +1,42 @@
+// Synthetic stand-in for the DEC-PKT-3 TCP trace (paper §IV): per-tick
+// counts of SYN packets (inbound b: connection-open requests) and FIN+RST
+// packets (outbound a: connection terminations), n = 177802.
+//
+// The conservation law: every opened connection eventually terminates. The
+// generator produces bursty SYN arrivals (a mean-reverting random-walk rate)
+// and terminations after heavy-tailed connection lifetimes, with a small
+// fraction of connections never terminating inside the trace. Used as the
+// timing substrate for Fig. 6 (middle/right).
+
+#ifndef CONSERVATION_DATAGEN_TCP_TRACE_H_
+#define CONSERVATION_DATAGEN_TCP_TRACE_H_
+
+#include <cstdint>
+
+#include "series/sequence.h"
+
+namespace conservation::datagen {
+
+struct TcpTraceParams {
+  int64_t num_ticks = 177802;
+  // Mean SYNs per tick; the actual rate random-walks around this.
+  double mean_syn_rate = 6.0;
+  double rate_volatility = 0.03;
+  // Connection lifetime ~ LogNormal(log_mean, log_sigma) ticks.
+  double lifetime_log_mean = 2.2;  // median ~9 ticks
+  double lifetime_log_sigma = 1.1;
+  // Fraction of connections that never send FIN/RST.
+  double abandon_fraction = 0.003;
+  uint64_t seed = 177802;
+};
+
+struct TcpTraceData {
+  series::CountSequence counts;  // a = FIN+RST, b = SYN
+  TcpTraceParams params;
+};
+
+TcpTraceData GenerateTcpTrace(const TcpTraceParams& params = {});
+
+}  // namespace conservation::datagen
+
+#endif  // CONSERVATION_DATAGEN_TCP_TRACE_H_

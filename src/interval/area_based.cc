@@ -1,0 +1,156 @@
+#include "interval/area_based.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stopwatch.h"
+
+namespace conservation::interval {
+
+namespace internal {
+
+double SparsificationArea(const core::ConfidenceEvaluator& eval,
+                          core::TableauType type, int64_t i, int64_t j) {
+  if (type == core::TableauType::kHold) return eval.AreaB(i, j);
+  // Fail tableaux sparsify on the numerator area. In the credit model the
+  // baseline A_{i-1} - S_i is not monotone, so the algorithm reuses the
+  // balance-model breakpoints (paper §III.D, Theorems 5-6).
+  if (eval.model() == core::ConfidenceModel::kCredit) {
+    return eval.AreaABalance(i, j);
+  }
+  return eval.AreaA(i, j);
+}
+
+}  // namespace internal
+
+std::vector<Interval> AreaBasedGenerator::Generate(
+    const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
+    GeneratorStats* stats) const {
+  CR_CHECK(options.epsilon > 0.0);
+  util::Stopwatch timer;
+  const int64_t n = eval.n();
+  const core::TableauType type = options.type;
+  const double delta = ResolveDelta(eval.series(), options);
+  const double growth = 1.0 + options.epsilon;
+
+  // Upper bound on the number of levels: area(i, n) <= Sum(1, n) because all
+  // baselines are >= 0 (A is non-negative and, for debit, S_i >= 0).
+  const double max_area = type == core::TableauType::kHold
+                              ? eval.series().SumB(1, n)
+                              : eval.series().SumA(1, n);
+  int64_t num_levels = 0;
+  if (max_area > delta) {
+    num_levels =
+        static_cast<int64_t>(std::ceil(std::log(max_area / delta) /
+                                       std::log(growth))) +
+        1;
+  }
+
+  // Level thresholds T_l = Delta * (1+eps)^l. For fail tableaux a "zero
+  // level" T = 0 is prepended to catch confidence-0 intervals.
+  std::vector<double> thresholds;
+  if (type == core::TableauType::kFail) thresholds.push_back(0.0);
+  double t_value = delta;
+  for (int64_t l = 0; l <= num_levels; ++l) {
+    thresholds.push_back(t_value);
+    t_value *= growth;
+  }
+
+  // One never-retreating pointer per level (Lemma 3).
+  std::vector<int64_t> pointer(thresholds.size(), 1);
+
+  // Credit-model fail tableaux need extra care beyond the paper's zero
+  // level: within the prefix where the balance numerator area is 0, the
+  // credit confidence (len * S_i) / area_B is not 0 and not monotone, so the
+  // single zero-level breakpoint may overshoot past every qualifying j.
+  // Testing length-geometric endpoints inside that prefix restores the
+  // guarantee: len' <= (1+eps) len* and area_B(i,j') >= area_B(i,j*) give
+  // conf_c(i,j') <= (1+eps) conf_c(i,j*).
+  const bool credit_fail = type == core::TableauType::kFail &&
+                           eval.model() == core::ConfidenceModel::kCredit;
+  std::vector<int64_t> zero_prefix_lengths;
+  if (credit_fail) {
+    double power = 1.0;
+    while (static_cast<int64_t>(power) < n) {
+      zero_prefix_lengths.push_back(static_cast<int64_t>(power));
+      power *= growth;
+    }
+    zero_prefix_lengths.push_back(n);
+  }
+
+  std::vector<Interval> out;
+  uint64_t tested = 0;
+  uint64_t steps = 0;
+
+  for (int64_t i = 1; i <= n; ++i) {
+    int64_t best_j = 0;
+    int64_t zero_area_end = 0;  // largest j with zero sparsification area
+    // Levels whose threshold is below area(i, i) have no breakpoint for
+    // this anchor; skip straight past them (with a safety margin of one
+    // level against floating-point rounding). The zero level for fail
+    // tableaux (index 0, threshold 0) is never skipped. Output-equivalent
+    // to iterating every level, but avoids an O(log(area(i,i)/Delta) / eps)
+    // undefined prefix per anchor.
+    size_t first_level = type == core::TableauType::kFail ? 1 : 0;
+    {
+      const double anchor_area =
+          internal::SparsificationArea(eval, type, i, i);
+      if (anchor_area > delta) {
+        const double levels_below =
+            std::log(anchor_area / delta) / std::log(growth);
+        first_level += static_cast<size_t>(std::max(0.0, levels_below - 1.0));
+      }
+    }
+    for (size_t level = type == core::TableauType::kFail ? 0 : first_level;
+         level < thresholds.size(); ++level) {
+      if (level == 1 && first_level > 1) level = first_level;  // after zero
+      const double threshold = thresholds[level];
+      int64_t t = std::max(pointer[level], i);
+      while (t + 1 <= n &&
+             internal::SparsificationArea(eval, type, i, t + 1) <= threshold) {
+        ++t;
+        ++steps;
+      }
+      pointer[level] = t;
+      const bool exists =
+          internal::SparsificationArea(eval, type, i, t) <= threshold;
+      if (exists) {
+        if (threshold == 0.0) zero_area_end = t;
+        const std::optional<double> conf = eval.Confidence(i, t);
+        ++tested;
+        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+          best_j = std::max(best_j, t);
+        }
+      }
+      // Once the breakpoint reaches n, higher levels produce the same
+      // interval; the paper's level count L_i = ceil(log(area(i,n)/Delta))
+      // stops here too.
+      if (exists && t == n) break;
+    }
+    if (credit_fail && zero_area_end > i) {
+      for (const int64_t len : zero_prefix_lengths) {
+        const int64_t j = i + len - 1;
+        if (j >= zero_area_end) break;  // zero_area_end itself was tested
+        const std::optional<double> conf = eval.Confidence(i, j);
+        ++tested;
+        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+          best_j = std::max(best_j, j);
+        }
+      }
+    }
+    if (best_j >= i) {
+      out.push_back(Interval{i, best_j});
+      if (options.stop_on_full_cover && i == 1 && best_j == n) break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->intervals_tested = tested;
+    stats->endpoint_steps = steps;
+    stats->candidates = out.size();
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace conservation::interval

@@ -1,0 +1,134 @@
+#include "interval/area_based_opt.h"
+
+#include <algorithm>
+
+#include "interval/area_based.h"
+#include "util/stopwatch.h"
+
+namespace conservation::interval {
+
+namespace {
+
+// Largest j in [lo, hi] with area(i, j) <= threshold, or lo - 1 if even
+// area(i, lo) exceeds it. Binary search over the nondecreasing area.
+int64_t LargestEndpointWithin(const core::ConfidenceEvaluator& eval,
+                              core::TableauType type, int64_t i, int64_t lo,
+                              int64_t hi, double threshold, uint64_t* probes) {
+  int64_t result = lo - 1;
+  while (lo <= hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    ++*probes;
+    if (internal::SparsificationArea(eval, type, i, mid) <= threshold) {
+      result = mid;
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Interval> AreaBasedOptGenerator::Generate(
+    const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
+    GeneratorStats* stats) const {
+  CR_CHECK(options.epsilon > 0.0);
+  util::Stopwatch timer;
+  const int64_t n = eval.n();
+  const core::TableauType type = options.type;
+  const double delta = ResolveDelta(eval.series(), options);
+  const double growth = 1.0 + options.epsilon;
+
+  std::vector<Interval> out;
+  uint64_t tested = 0;
+  uint64_t probes = 0;
+  std::vector<int64_t> breakpoints;
+
+  // See AreaBasedGenerator: credit-model fail tableaux additionally probe
+  // length-geometric endpoints inside the zero-area prefix, where the
+  // credit confidence is nonzero and non-monotone.
+  const bool credit_fail = type == core::TableauType::kFail &&
+                           eval.model() == core::ConfidenceModel::kCredit;
+  std::vector<int64_t> zero_prefix_lengths;
+  if (credit_fail) {
+    double power = 1.0;
+    while (static_cast<int64_t>(power) < n) {
+      zero_prefix_lengths.push_back(static_cast<int64_t>(power));
+      power *= growth;
+    }
+    zero_prefix_lengths.push_back(n);
+  }
+
+  for (int64_t i = 1; i <= n; ++i) {
+    breakpoints.clear();
+
+    if (credit_fail) {
+      const int64_t zero_area_end =
+          LargestEndpointWithin(eval, type, i, i, n, 0.0, &probes);
+      for (const int64_t len : zero_prefix_lengths) {
+        const int64_t j = i + len - 1;
+        if (j >= zero_area_end) break;  // zero_area_end is a breakpoint below
+        breakpoints.push_back(j);
+      }
+      if (zero_area_end >= i) breakpoints.push_back(zero_area_end);
+    }
+
+    // Initial area breakpoint: the largest j whose area is within the base
+    // unit Delta; if even [i, i] exceeds it, start at i (forced). For fail
+    // tableaux this also covers the zero-area (confidence 0) special case,
+    // since the zero-area prefix lies below Delta.
+    int64_t cur =
+        LargestEndpointWithin(eval, type, i, i, n, delta, &probes);
+    if (cur < i) cur = i;
+    if (breakpoints.empty() || breakpoints.back() < cur) {
+      breakpoints.push_back(cur);
+    }
+
+    while (cur < n) {
+      const double cur_area =
+          internal::SparsificationArea(eval, type, i, cur);
+      const double target = std::max(cur_area, delta) * growth;
+      int64_t next =
+          LargestEndpointWithin(eval, type, i, cur + 1, n, target, &probes);
+      if (next < cur + 1) next = cur + 1;  // forced advance
+      breakpoints.push_back(next);
+      cur = next;
+    }
+
+    int64_t best_j = 0;
+    if (options.largest_first_early_exit) {
+      // Longest-first: the first qualifying breakpoint subsumes the rest.
+      for (auto it = breakpoints.rbegin(); it != breakpoints.rend(); ++it) {
+        const std::optional<double> conf = eval.Confidence(i, *it);
+        ++tested;
+        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+          best_j = *it;
+          break;
+        }
+      }
+    } else {
+      for (const int64_t j : breakpoints) {
+        const std::optional<double> conf = eval.Confidence(i, j);
+        ++tested;
+        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+          best_j = std::max(best_j, j);
+        }
+      }
+    }
+    if (best_j >= i) {
+      out.push_back(Interval{i, best_j});
+      if (options.stop_on_full_cover && i == 1 && best_j == n) break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->intervals_tested = tested;
+    stats->endpoint_steps = probes;
+    stats->candidates = out.size();
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace conservation::interval

@@ -1,0 +1,106 @@
+#include "interval/compare.h"
+
+#include <algorithm>
+#include <set>
+
+namespace conservation::interval {
+
+double IntervalJaccard(const Interval& lhs, const Interval& rhs) {
+  if (!lhs.Overlaps(rhs)) return 0.0;
+  const int64_t intersection =
+      std::min(lhs.end, rhs.end) - std::max(lhs.begin, rhs.begin) + 1;
+  const int64_t union_size =
+      std::max(lhs.end, rhs.end) - std::min(lhs.begin, rhs.begin) + 1;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+namespace {
+
+// Ticks covered by the intersection of two interval unions, plus by each
+// union alone, via a merged boundary sweep.
+void CoverageCounts(std::vector<Interval> lhs, std::vector<Interval> rhs,
+                    int64_t* both, int64_t* either) {
+  // Coalesce each side into disjoint sorted runs.
+  const auto coalesce = [](std::vector<Interval>& intervals) {
+    std::sort(intervals.begin(), intervals.end(), ByPosition);
+    std::vector<Interval> out;
+    for (const Interval& iv : intervals) {
+      if (!out.empty() && iv.begin <= out.back().end + 1) {
+        out.back().end = std::max(out.back().end, iv.end);
+      } else {
+        out.push_back(iv);
+      }
+    }
+    intervals = std::move(out);
+  };
+  coalesce(lhs);
+  coalesce(rhs);
+
+  *both = 0;
+  *either = 0;
+  size_t i = 0;
+  size_t j = 0;
+  // Union sizes plus intersection by two-pointer sweep.
+  for (const Interval& iv : lhs) *either += iv.length();
+  for (const Interval& iv : rhs) *either += iv.length();
+  while (i < lhs.size() && j < rhs.size()) {
+    const Interval& a = lhs[i];
+    const Interval& b = rhs[j];
+    const int64_t lo = std::max(a.begin, b.begin);
+    const int64_t hi = std::min(a.end, b.end);
+    if (lo <= hi) *both += hi - lo + 1;
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  *either -= *both;
+}
+
+}  // namespace
+
+SetComparison CompareIntervalSets(const std::vector<Interval>& lhs,
+                                  const std::vector<Interval>& rhs) {
+  SetComparison result;
+  result.lhs_total = lhs.size();
+  result.rhs_total = rhs.size();
+
+  std::set<std::pair<int64_t, int64_t>> rhs_exact;
+  for (const Interval& iv : rhs) rhs_exact.emplace(iv.begin, iv.end);
+
+  double jaccard_sum = 0.0;
+  for (const Interval& candidate : lhs) {
+    if (rhs_exact.count({candidate.begin, candidate.end}) > 0) {
+      ++result.identical;
+      continue;
+    }
+    double best = 0.0;
+    for (const Interval& other : rhs) {
+      best = std::max(best, IntervalJaccard(candidate, other));
+    }
+    if (best > 0.0) {
+      ++result.overlapping;
+      jaccard_sum += best;
+    } else {
+      ++result.unmatched;
+    }
+  }
+  result.mean_jaccard =
+      result.overlapping > 0 ? jaccard_sum / result.overlapping : 0.0;
+
+  if (lhs.empty() && rhs.empty()) {
+    result.coverage_jaccard = 1.0;
+  } else {
+    int64_t both = 0;
+    int64_t either = 0;
+    CoverageCounts(lhs, rhs, &both, &either);
+    result.coverage_jaccard =
+        either > 0 ? static_cast<double>(both) / static_cast<double>(either)
+                   : 1.0;
+  }
+  return result;
+}
+
+}  // namespace conservation::interval

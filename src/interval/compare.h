@@ -1,0 +1,43 @@
+// Interval-set comparison: quantify how two candidate/tableau interval sets
+// relate. Used to reproduce the paper's §VI result-agreement analysis (AB
+// vs NAB) and generally useful for comparing algorithm variants, epsilon
+// settings, or runs over revised data.
+
+#ifndef CONSERVATION_INTERVAL_COMPARE_H_
+#define CONSERVATION_INTERVAL_COMPARE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "interval/interval.h"
+
+namespace conservation::interval {
+
+struct SetComparison {
+  size_t lhs_total = 0;
+  size_t rhs_total = 0;
+  // Intervals present (exactly) in both sets.
+  size_t identical = 0;
+  // Non-identical lhs intervals overlapping at least one rhs interval.
+  size_t overlapping = 0;
+  // Non-identical lhs intervals with no rhs overlap at all.
+  size_t unmatched = 0;
+  // Mean best-overlap Jaccard among the `overlapping` ones.
+  double mean_jaccard = 0.0;
+  // Coverage agreement: |union(lhs) ∩ union(rhs)| / |union(lhs) ∪
+  // union(rhs)|; 1.0 when both cover exactly the same ticks (or both are
+  // empty).
+  double coverage_jaccard = 1.0;
+};
+
+// Jaccard similarity of two intervals: |∩| / |∪| over ticks; 0 when
+// disjoint.
+double IntervalJaccard(const Interval& lhs, const Interval& rhs);
+
+// Compares the two sets. O(|lhs| * |rhs| + (|lhs|+|rhs|) log(...)).
+SetComparison CompareIntervalSets(const std::vector<Interval>& lhs,
+                                  const std::vector<Interval>& rhs);
+
+}  // namespace conservation::interval
+
+#endif  // CONSERVATION_INTERVAL_COMPARE_H_

@@ -1,0 +1,29 @@
+// ExhaustiveGenerator: the Theta(n^2) exact baseline of paper §III.
+//
+// For each left endpoint i it scans every right endpoint j and returns the
+// largest j such that [i, j] satisfies the exact confidence predicate.
+// Confidence is not monotone in j, so the full scan is necessary for
+// exactness. Serves as the ground truth for the approximation-guarantee
+// tests and as the "naive" competitor in the Fig. 6 benchmark.
+
+#ifndef CONSERVATION_INTERVAL_EXHAUSTIVE_H_
+#define CONSERVATION_INTERVAL_EXHAUSTIVE_H_
+
+#include <vector>
+
+#include "interval/generator.h"
+
+namespace conservation::interval {
+
+class ExhaustiveGenerator : public CandidateGenerator {
+ public:
+  std::vector<Interval> Generate(const core::ConfidenceEvaluator& eval,
+                                 const GeneratorOptions& options,
+                                 GeneratorStats* stats) const override;
+
+  AlgorithmKind kind() const override { return AlgorithmKind::kExhaustive; }
+};
+
+}  // namespace conservation::interval
+
+#endif  // CONSERVATION_INTERVAL_EXHAUSTIVE_H_

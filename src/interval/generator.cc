@@ -1,0 +1,69 @@
+#include "interval/generator.h"
+
+#include "interval/exhaustive.h"
+#include "interval/area_based.h"
+#include "interval/area_based_opt.h"
+#include "interval/non_area_based.h"
+
+namespace conservation::interval {
+
+const char* AlgorithmKindName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kExhaustive:
+      return "exhaustive";
+    case AlgorithmKind::kAreaBased:
+      return "area_based";
+    case AlgorithmKind::kAreaBasedOpt:
+      return "area_based_opt";
+    case AlgorithmKind::kNonAreaBased:
+      return "non_area_based";
+    case AlgorithmKind::kNonAreaBasedOpt:
+      return "non_area_based_opt";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CandidateGenerator> MakeGenerator(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kExhaustive:
+      return std::make_unique<ExhaustiveGenerator>();
+    case AlgorithmKind::kAreaBased:
+      return std::make_unique<AreaBasedGenerator>();
+    case AlgorithmKind::kAreaBasedOpt:
+      return std::make_unique<AreaBasedOptGenerator>();
+    case AlgorithmKind::kNonAreaBased:
+      return std::make_unique<NonAreaBasedGenerator>(
+          NonAreaBasedGenerator::LengthSchedule::kGeometric);
+    case AlgorithmKind::kNonAreaBasedOpt:
+      return std::make_unique<NonAreaBasedGenerator>(
+          NonAreaBasedGenerator::LengthSchedule::kRecursive);
+  }
+  CR_UNREACHABLE();
+}
+
+double ResolveDelta(const series::CumulativeSeries& series,
+                    const GeneratorOptions& options) {
+  switch (options.delta_mode) {
+    case DeltaMode::kMinPositiveCount:
+      return series.delta();
+    case DeltaMode::kOne:
+      return 1.0;
+  }
+  CR_UNREACHABLE();
+}
+
+bool PassesRelaxedThreshold(double conf, const GeneratorOptions& options) {
+  if (options.type == core::TableauType::kHold) {
+    return conf >= options.c_hat / (1.0 + options.epsilon);
+  }
+  return conf <= options.c_hat * (1.0 + options.epsilon);
+}
+
+bool PassesExactThreshold(double conf, const GeneratorOptions& options) {
+  if (options.type == core::TableauType::kHold) {
+    return conf >= options.c_hat;
+  }
+  return conf <= options.c_hat;
+}
+
+}  // namespace conservation::interval

@@ -1,0 +1,116 @@
+// Candidate interval generation — phase 1 of TABLEAU DISCOVERY (paper §III).
+//
+// The CANDIDATE INTERVAL GENERATION PROBLEM (Definition 5): for each anchor,
+// find the longest interval satisfying the confidence predicate
+//   hold: conf(I) >= c_hat        fail: conf(I) <= c_hat.
+// The exhaustive generator solves it exactly in Theta(n^2). The approximate
+// generators trade the threshold for speed: they return, per anchor, the
+// longest tested interval with
+//   hold: conf(I) >= c_hat / (1 + epsilon)
+//   fail: conf(I) <= c_hat * (1 + epsilon)
+// and guarantee (Theorems 2, 3, 6, 8, 9) that the returned interval is at
+// least as long as the exact per-anchor optimum, so no optimal tableau
+// interval is missed ("no false negatives").
+
+#ifndef CONSERVATION_INTERVAL_GENERATOR_H_
+#define CONSERVATION_INTERVAL_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/confidence.h"
+#include "core/model.h"
+#include "interval/interval.h"
+
+namespace conservation::interval {
+
+enum class AlgorithmKind {
+  // Tests all Theta(n^2) intervals; exact, no epsilon relaxation.
+  kExhaustive,
+  // Area-based (AB, paper §III): anchored at left endpoints, sparse right
+  // endpoints chosen by geometric growth of area_B (hold) / area_A (fail).
+  // Supports all three models. O((n/eps) * log(area/Delta)).
+  kAreaBased,
+  // AB-opt (paper §VI): like AB, but endpoints found by per-anchor binary
+  // search so that consecutive tested areas differ by a factor ~(1+eps),
+  // eliminating duplicate tests at the cost of a log factor per step.
+  kAreaBasedOpt,
+  // Non-area-based (NAB, paper §V): anchored at right endpoints, sparse left
+  // endpoints chosen by geometric growth of interval *length*; running time
+  // independent of the area under the curves. Balance model only.
+  kNonAreaBased,
+  // NAB-opt (paper §VI): NAB with the recursive length schedule
+  // len := min(len + 1, floor((1+eps) * len)), which skips the duplicate
+  // lengths that plain NAB tests when (1+eps)^h grows slower than 1 per step.
+  kNonAreaBasedOpt,
+};
+
+const char* AlgorithmKindName(AlgorithmKind kind);
+
+// The paper's theory sets Delta to the minimum positive count; the paper's
+// own implementation fixed Delta = 1 (§IV). Both are supported for ablation.
+enum class DeltaMode {
+  kMinPositiveCount,
+  kOne,
+};
+
+struct GeneratorOptions {
+  core::TableauType type = core::TableauType::kHold;
+  // Confidence threshold c_hat in [0, 1].
+  double c_hat = 0.9;
+  // Approximation knob; must be > 0 for the approximate generators.
+  double epsilon = 0.01;
+  DeltaMode delta_mode = DeltaMode::kMinPositiveCount;
+  // §VI optimizations, both off by default to match the paper's experiments:
+  //
+  // Stop the anchor loop as soon as an emitted candidate spans [1, n] — the
+  // greedy cover then needs nothing else. Used by the Fig. 7 benchmark.
+  bool stop_on_full_cover = false;
+  // Per anchor, test candidate intervals longest-first and stop at the first
+  // one satisfying the (relaxed) threshold; shorter qualifying intervals are
+  // subsumed. Supported by the per-anchor generators (AB-opt, NAB, NAB-opt).
+  bool largest_first_early_exit = false;
+};
+
+struct GeneratorStats {
+  // Number of confidence evaluations ("iterations" in paper Figs. 7-10).
+  uint64_t intervals_tested = 0;
+  // Endpoint-search work: pointer advances (AB/NAB) or binary-search probes
+  // (AB-opt).
+  uint64_t endpoint_steps = 0;
+  // Number of candidate intervals emitted.
+  uint64_t candidates = 0;
+  double seconds = 0.0;
+
+  void Reset() { *this = GeneratorStats{}; }
+};
+
+class CandidateGenerator {
+ public:
+  virtual ~CandidateGenerator() = default;
+
+  // Produces the per-anchor longest qualifying intervals, sorted by position.
+  // `stats` may be null.
+  virtual std::vector<Interval> Generate(const core::ConfidenceEvaluator& eval,
+                                         const GeneratorOptions& options,
+                                         GeneratorStats* stats) const = 0;
+
+  virtual AlgorithmKind kind() const = 0;
+};
+
+// Factory for all five algorithms.
+std::unique_ptr<CandidateGenerator> MakeGenerator(AlgorithmKind kind);
+
+// Resolves Delta per `options.delta_mode`.
+double ResolveDelta(const series::CumulativeSeries& series,
+                    const GeneratorOptions& options);
+
+// The relaxed acceptance predicate used by the approximate generators, and
+// the exact one (epsilon = 0) used by the exhaustive generator.
+bool PassesRelaxedThreshold(double conf, const GeneratorOptions& options);
+bool PassesExactThreshold(double conf, const GeneratorOptions& options);
+
+}  // namespace conservation::interval
+
+#endif  // CONSERVATION_INTERVAL_GENERATOR_H_

@@ -1,0 +1,39 @@
+#include "interval/interval.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace conservation::interval {
+
+std::string Interval::ToString() const {
+  return util::StrFormat("[%lld, %lld]", static_cast<long long>(begin),
+                         static_cast<long long>(end));
+}
+
+bool ByPosition(const Interval& lhs, const Interval& rhs) {
+  if (lhs.begin != rhs.begin) return lhs.begin < rhs.begin;
+  return lhs.end < rhs.end;
+}
+
+int64_t UnionSize(std::vector<Interval> intervals) {
+  if (intervals.empty()) return 0;
+  std::sort(intervals.begin(), intervals.end(), ByPosition);
+  int64_t covered = 0;
+  int64_t cur_begin = intervals[0].begin;
+  int64_t cur_end = intervals[0].end;
+  for (size_t k = 1; k < intervals.size(); ++k) {
+    const Interval& iv = intervals[k];
+    if (iv.begin > cur_end + 1) {
+      covered += cur_end - cur_begin + 1;
+      cur_begin = iv.begin;
+      cur_end = iv.end;
+    } else {
+      cur_end = std::max(cur_end, iv.end);
+    }
+  }
+  covered += cur_end - cur_begin + 1;
+  return covered;
+}
+
+}  // namespace conservation::interval

@@ -1,0 +1,40 @@
+// Interval: a closed range [begin, end] of 1-based time ticks.
+
+#ifndef CONSERVATION_INTERVAL_INTERVAL_H_
+#define CONSERVATION_INTERVAL_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace conservation::interval {
+
+struct Interval {
+  int64_t begin = 0;  // first tick, 1-based, inclusive
+  int64_t end = 0;    // last tick, inclusive
+
+  int64_t length() const { return end - begin + 1; }
+
+  bool Contains(int64_t tick) const { return begin <= tick && tick <= end; }
+  bool Contains(const Interval& other) const {
+    return begin <= other.begin && other.end <= end;
+  }
+  bool Overlaps(const Interval& other) const {
+    return begin <= other.end && other.begin <= end;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+  std::string ToString() const;
+};
+
+// Orders by begin, then end; the canonical order for tableau output.
+bool ByPosition(const Interval& lhs, const Interval& rhs);
+
+// Total number of ticks covered by the union of `intervals` (which may
+// overlap). O(k log k).
+int64_t UnionSize(std::vector<Interval> intervals);
+
+}  // namespace conservation::interval
+
+#endif  // CONSERVATION_INTERVAL_INTERVAL_H_

@@ -1,0 +1,103 @@
+#include "interval/non_area_based.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stopwatch.h"
+
+namespace conservation::interval {
+
+std::vector<int64_t> NonAreaBasedGenerator::MakeLengthSchedule(
+    LengthSchedule schedule, double epsilon, int64_t max_length) {
+  CR_CHECK(epsilon > 0.0);
+  CR_CHECK(max_length >= 1);
+  const double growth = 1.0 + epsilon;
+  std::vector<int64_t> lengths;
+  if (schedule == LengthSchedule::kGeometric) {
+    // floor((1+eps)^h), h = 0, 1, 2, ... — duplicates included, as in the
+    // paper's NAB, whose per-anchor level count is 1 + ceil(log_{1+eps} j).
+    double power = 1.0;
+    while (true) {
+      const int64_t len = static_cast<int64_t>(power);
+      lengths.push_back(std::min(len, max_length));
+      if (len >= max_length) break;
+      power *= growth;
+    }
+  } else {
+    int64_t len = 1;
+    while (true) {
+      lengths.push_back(std::min(len, max_length));
+      if (len >= max_length) break;
+      len = std::max(len + 1,
+                     static_cast<int64_t>(growth * static_cast<double>(len)));
+    }
+  }
+  return lengths;
+}
+
+std::vector<Interval> NonAreaBasedGenerator::Generate(
+    const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
+    GeneratorStats* stats) const {
+  // The §V algorithms are defined for the balance model only; the tableau
+  // facade routes other models to AB. See header.
+  CR_CHECK(eval.model() == core::ConfidenceModel::kBalance);
+  util::Stopwatch timer;
+  const int64_t n = eval.n();
+  const std::vector<int64_t> lengths =
+      MakeLengthSchedule(schedule_, options.epsilon, n);
+
+  std::vector<Interval> out;
+  uint64_t tested = 0;
+
+  // Right anchors are processed in descending order so that, with
+  // stop_on_full_cover, the anchor that can produce [1, n] comes first —
+  // mirroring AB, whose i = 1 anchor comes first. Results are order
+  // independent otherwise.
+  //
+  // `first_covering` tracks the index of the first schedule entry >= j; it
+  // only moves left as j decreases, so maintaining it is O(1) amortized.
+  size_t first_covering = lengths.size() - 1;  // last entry is >= n >= j
+  for (int64_t j = n; j >= 1; --j) {
+    int64_t best_i = 0;
+    while (first_covering > 0 && lengths[first_covering - 1] >= j) {
+      --first_covering;
+    }
+    // Schedule entries applicable to this anchor: all lengths < j plus the
+    // first one >= j (which clamps to i = 1).
+    const size_t applicable = first_covering + 1;
+
+    auto test_level = [&](size_t h) -> bool {
+      const int64_t i = std::max<int64_t>(1, j + 1 - lengths[h]);
+      const std::optional<double> conf = eval.Confidence(i, j);
+      ++tested;
+      if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+        best_i = best_i == 0 ? i : std::min(best_i, i);
+        return true;
+      }
+      return false;
+    };
+
+    if (options.largest_first_early_exit) {
+      for (size_t h = applicable; h-- > 0;) {
+        if (test_level(h)) break;  // longer candidates subsume shorter ones
+      }
+    } else {
+      for (size_t h = 0; h < applicable; ++h) test_level(h);
+    }
+
+    if (best_i >= 1) {
+      out.push_back(Interval{best_i, j});
+      if (options.stop_on_full_cover && best_i == 1 && j == n) break;
+    }
+  }
+
+  std::sort(out.begin(), out.end(), ByPosition);
+  if (stats != nullptr) {
+    stats->intervals_tested = tested;
+    stats->candidates = out.size();
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace conservation::interval

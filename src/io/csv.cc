@@ -1,0 +1,106 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace conservation::io {
+
+util::Result<series::CountSequence> ReadCountsCsv(
+    const std::string& path, const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open " + path);
+  }
+  const int needed_columns =
+      std::max(options.column_a, options.column_b) + 1;
+
+  std::vector<double> a;
+  std::vector<double> b;
+  std::string line;
+  size_t line_number = 0;
+  bool header_pending = options.has_header;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (header_pending) {
+      header_pending = false;
+      continue;
+    }
+    if (util::StripWhitespace(line).empty()) continue;
+    const std::vector<std::string> fields =
+        util::Split(line, options.separator);
+    double value_a = 0.0;
+    double value_b = 0.0;
+    const bool parsed =
+        static_cast<int>(fields.size()) >= needed_columns &&
+        util::ParseDouble(fields[static_cast<size_t>(options.column_a)],
+                          &value_a) &&
+        util::ParseDouble(fields[static_cast<size_t>(options.column_b)],
+                          &value_b);
+    if (!parsed) {
+      if (options.skip_malformed_rows) continue;
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s:%zu: malformed row", path.c_str(), line_number));
+    }
+    a.push_back(value_a);
+    b.push_back(value_b);
+  }
+  return series::CountSequence::Create(std::move(a), std::move(b));
+}
+
+util::Status WriteCountsCsv(const std::string& path,
+                            const series::CountSequence& counts) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::InvalidArgument("cannot open for write: " + path);
+  }
+  out << "outbound_a,inbound_b\n";
+  for (int64_t t = 1; t <= counts.n(); ++t) {
+    out << util::FormatNumber(counts.a(t), 9) << ','
+        << util::FormatNumber(counts.b(t), 9) << '\n';
+  }
+  if (!out) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  return util::Status::Ok();
+}
+
+util::Status WriteColumnsCsv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<double>>>& columns) {
+  if (columns.empty()) {
+    return util::Status::InvalidArgument("no columns to write");
+  }
+  const size_t rows = columns.front().second.size();
+  for (const auto& [name, values] : columns) {
+    if (values.size() != rows) {
+      return util::Status::InvalidArgument(
+          "column length mismatch at " + name);
+    }
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::InvalidArgument("cannot open for write: " + path);
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out << ',';
+    out << columns[c].first;
+  }
+  out << '\n';
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) out << ',';
+      out << util::FormatNumber(columns[c].second[r], 9);
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace conservation::io

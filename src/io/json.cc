@@ -1,0 +1,152 @@
+#include "io/json.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace conservation::io {
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  CR_CHECK(!pending_comma_stack_.empty());
+  if (pending_comma_stack_.back() == 'y') {
+    out_ += ',';
+  } else {
+    pending_comma_stack_.back() = 'y';
+  }
+}
+
+void JsonWriter::AppendEscaped(const std::string& text) {
+  out_ += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += util::StrFormat("\\u%04x", c);
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  pending_comma_stack_ += 'n';
+}
+
+void JsonWriter::EndObject() {
+  CR_CHECK(pending_comma_stack_.size() > 1);
+  pending_comma_stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  pending_comma_stack_ += 'n';
+}
+
+void JsonWriter::EndArray() {
+  CR_CHECK(pending_comma_stack_.size() > 1);
+  pending_comma_stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& name) {
+  Separate();
+  AppendEscaped(name);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  Separate();
+  AppendEscaped(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  Separate();
+  out_ += util::StrFormat("%lld", static_cast<long long>(value));
+}
+
+void JsonWriter::Double(double value) {
+  Separate();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  out_ += util::FormatNumber(value, 9);
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+}
+
+std::string TableauToJson(const core::Tableau& tableau) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("type");
+  json.String(core::TableauTypeName(tableau.type));
+  json.Key("model");
+  json.String(core::ConfidenceModelName(tableau.model));
+  json.Key("covered");
+  json.Int(tableau.covered);
+  json.Key("required");
+  json.Int(tableau.required);
+  json.Key("support_satisfied");
+  json.Bool(tableau.support_satisfied);
+  json.Key("num_candidates");
+  json.Int(static_cast<int64_t>(tableau.num_candidates));
+  json.Key("rows");
+  json.BeginArray();
+  for (const core::TableauRow& row : tableau.rows) {
+    json.BeginObject();
+    json.Key("begin");
+    json.Int(row.interval.begin);
+    json.Key("end");
+    json.Int(row.interval.end);
+    json.Key("confidence");
+    json.Double(row.confidence);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("generation");
+  json.BeginObject();
+  json.Key("intervals_tested");
+  json.Int(static_cast<int64_t>(tableau.generation_stats.intervals_tested));
+  json.Key("seconds");
+  json.Double(tableau.generation_stats.seconds);
+  json.EndObject();
+  json.EndObject();
+  return std::move(json).Take();
+}
+
+}  // namespace conservation::io

@@ -1,0 +1,55 @@
+// Minimal JSON emission for machine-readable tool output. Writer-only by
+// design: the library consumes CSV measurements and emits analysis results;
+// no JSON parsing is needed.
+
+#ifndef CONSERVATION_IO_JSON_H_
+#define CONSERVATION_IO_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/tableau.h"
+
+namespace conservation::io {
+
+// Incremental JSON builder producing compact output. Usage:
+//   JsonWriter json;
+//   json.BeginObject();
+//   json.Key("n"); json.Int(42);
+//   json.Key("rows"); json.BeginArray(); ... json.EndArray();
+//   json.EndObject();
+//   std::string out = std::move(json).Take();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  // Must be called inside an object, before the corresponding value.
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  std::string Take() && { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  void Separate();
+  void AppendEscaped(const std::string& text);
+
+  std::string out_;
+  // Whether the next emission at the current nesting level needs a comma.
+  std::string pending_comma_stack_ = "n";  // 'n' = no, 'y' = yes, per level
+  bool after_key_ = false;
+};
+
+// Serializes a tableau: type, model, coverage accounting, rows with
+// intervals and confidences, and generation statistics.
+std::string TableauToJson(const core::Tableau& tableau);
+
+}  // namespace conservation::io
+
+#endif  // CONSERVATION_IO_JSON_H_

@@ -1,0 +1,31 @@
+// Aligned ASCII table rendering for the benchmark harness and examples.
+
+#ifndef CONSERVATION_IO_TABLE_PRINTER_H_
+#define CONSERVATION_IO_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace conservation::io {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  // Row length must match the header length.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders headers, a separator rule, and the rows, column-aligned.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace conservation::io
+
+#endif  // CONSERVATION_IO_TABLE_PRINTER_H_

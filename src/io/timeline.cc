@@ -1,0 +1,78 @@
+#include "io/timeline.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace conservation::io {
+
+namespace {
+
+constexpr const char* kMonthNames[] = {"Jan", "Feb", "Mar", "Apr",
+                                       "May", "Jun", "Jul", "Aug",
+                                       "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+int MonthTimeline::YearOf(int64_t tick) const {
+  CR_CHECK(tick >= 1);
+  const int64_t months = (start_month_ - 1) + (tick - 1);
+  return start_year_ + static_cast<int>(months / 12);
+}
+
+int MonthTimeline::MonthOf(int64_t tick) const {
+  CR_CHECK(tick >= 1);
+  const int64_t months = (start_month_ - 1) + (tick - 1);
+  return static_cast<int>(months % 12) + 1;
+}
+
+std::string MonthTimeline::Label(int64_t tick) const {
+  return util::StrFormat("%s %d", kMonthNames[MonthOf(tick) - 1],
+                         YearOf(tick));
+}
+
+std::string MonthTimeline::LabelRange(const interval::Interval& iv) const {
+  if (iv.begin == iv.end) return Label(iv.begin);
+  if (YearOf(iv.begin) == YearOf(iv.end)) {
+    return util::StrFormat("%s-%s %d", kMonthNames[MonthOf(iv.begin) - 1],
+                           kMonthNames[MonthOf(iv.end) - 1], YearOf(iv.end));
+  }
+  return Label(iv.begin) + " - " + Label(iv.end);
+}
+
+int64_t MonthTimeline::TickOf(int year, int month) const {
+  const int64_t months = static_cast<int64_t>(year - start_year_) * 12 +
+                         (month - start_month_);
+  return months < 0 ? 0 : months + 1;
+}
+
+int SlotTimeline::DayOf(int64_t tick) const {
+  CR_CHECK(tick >= 1);
+  return static_cast<int>((tick - 1) / slots_per_day_);
+}
+
+int SlotTimeline::SlotOf(int64_t tick) const {
+  CR_CHECK(tick >= 1);
+  return static_cast<int>((tick - 1) % slots_per_day_);
+}
+
+std::string SlotTimeline::TimeOfSlot(int slot) const {
+  const int minutes_per_slot = 24 * 60 / slots_per_day_;
+  const int minutes = slot * minutes_per_slot;
+  return util::StrFormat("%02d:%02d", minutes / 60, minutes % 60);
+}
+
+std::string SlotTimeline::Label(int64_t tick) const {
+  return util::StrFormat("day %03d %s", DayOf(tick),
+                         TimeOfSlot(SlotOf(tick)).c_str());
+}
+
+std::string SlotTimeline::LabelRange(const interval::Interval& iv) const {
+  if (DayOf(iv.begin) == DayOf(iv.end)) {
+    return util::StrFormat("day %03d %s-%s", DayOf(iv.begin),
+                           TimeOfSlot(SlotOf(iv.begin)).c_str(),
+                           TimeOfSlot(SlotOf(iv.end)).c_str());
+  }
+  return Label(iv.begin) + " - " + Label(iv.end);
+}
+
+}  // namespace conservation::io

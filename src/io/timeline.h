@@ -1,0 +1,59 @@
+// Timelines: map 1-based ticks to human-readable labels, so that tableaux
+// over monthly or half-hourly data print like the paper's tables
+// ("Nov-Dec 2007", "Aug 09, 11:00-14:00").
+
+#ifndef CONSERVATION_IO_TIMELINE_H_
+#define CONSERVATION_IO_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "interval/interval.h"
+
+namespace conservation::io {
+
+// Monthly data: tick 1 = `start_month` of `start_year` (1 = January).
+class MonthTimeline {
+ public:
+  MonthTimeline(int start_year, int start_month)
+      : start_year_(start_year), start_month_(start_month) {}
+
+  int YearOf(int64_t tick) const;
+  int MonthOf(int64_t tick) const;  // 1..12
+
+  // "Nov 2007".
+  std::string Label(int64_t tick) const;
+  // "Nov-Dec 2007" (or "Nov 2007 - Feb 2008" across a year boundary).
+  std::string LabelRange(const interval::Interval& iv) const;
+
+  // The tick of a given year/month, or 0 if before the timeline start.
+  int64_t TickOf(int year, int month) const;
+
+ private:
+  int start_year_;
+  int start_month_;
+};
+
+// Sub-daily data: tick 1 = slot 0 of day 0; `slots_per_day` equal slots.
+class SlotTimeline {
+ public:
+  explicit SlotTimeline(int slots_per_day) : slots_per_day_(slots_per_day) {}
+
+  int DayOf(int64_t tick) const;   // 0-based
+  int SlotOf(int64_t tick) const;  // 0-based within the day
+
+  // "day 042 11:00".
+  std::string Label(int64_t tick) const;
+  // "day 042 11:00-14:30" (or spanning days, "day 042 23:00 - day 043 01:00").
+  std::string LabelRange(const interval::Interval& iv) const;
+
+  // "11:00" for a slot index.
+  std::string TimeOfSlot(int slot) const;
+
+ private:
+  int slots_per_day_;
+};
+
+}  // namespace conservation::io
+
+#endif  // CONSERVATION_IO_TIMELINE_H_

@@ -1,0 +1,77 @@
+#include "matching/rightward_matching.h"
+
+#include <cmath>
+#include <deque>
+
+#include "util/string_util.h"
+
+namespace conservation::matching {
+
+bool RightwardMatchingExists(const series::CumulativeSeries& series,
+                             double tolerance) {
+  const int64_t n = series.n();
+  if (std::fabs(series.A(n) - series.B(n)) > tolerance) return false;
+  return series.Dominates(tolerance);
+}
+
+double RightwardMatchingDelay(const series::CumulativeSeries& series) {
+  CR_CHECK(RightwardMatchingExists(series));
+  return series.TotalDelay();
+}
+
+util::Result<std::vector<MatchGroup>> BuildRightwardMatching(
+    const series::CountSequence& counts, MatchPolicy policy) {
+  const series::CumulativeSeries series(counts);
+  const int64_t n = series.n();
+  if (!series.Dominates()) {
+    return util::Status::FailedPrecondition(
+        "no rightward perfect matching: B does not dominate A (Lemma 1)");
+  }
+  if (std::fabs(series.A(n) - series.B(n)) > 1e-9) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "no rightward perfect matching: A_n=%g != B_n=%g (Lemma 1)",
+        series.A(n), series.B(n)));
+  }
+
+  // Pending inbound events, as (arrival time, remaining multiplicity).
+  // FIFO consumes from the front, LIFO from the back.
+  struct Pending {
+    int64_t time;
+    double remaining;
+  };
+  std::deque<Pending> pending;
+  std::vector<MatchGroup> matching;
+
+  for (int64_t t = 1; t <= n; ++t) {
+    const double arrivals = counts.b(t);
+    if (arrivals > 0.0) pending.push_back(Pending{t, arrivals});
+
+    double departures = counts.a(t);
+    while (departures > 1e-12) {
+      // Dominance guarantees enough pending inbound mass.
+      CR_CHECK(!pending.empty());
+      Pending& source =
+          policy == MatchPolicy::kFifo ? pending.front() : pending.back();
+      const double used = std::min(departures, source.remaining);
+      matching.push_back(MatchGroup{source.time, t, used});
+      source.remaining -= used;
+      departures -= used;
+      if (source.remaining <= 1e-12) {
+        if (policy == MatchPolicy::kFifo) {
+          pending.pop_front();
+        } else {
+          pending.pop_back();
+        }
+      }
+    }
+  }
+  return matching;
+}
+
+double MatchingDelay(const std::vector<MatchGroup>& matching) {
+  double delay = 0.0;
+  for (const MatchGroup& group : matching) delay += group.Delay();
+  return delay;
+}
+
+}  // namespace conservation::matching

@@ -1,0 +1,65 @@
+// Rightward perfect matchings between anonymous inbound/outbound events
+// (paper §II, Lemmas 1-2).
+//
+// A rightward perfect matching pairs every inbound event with an outbound
+// event occurring no earlier. Lemma 1: such a matching exists iff A_n = B_n
+// and A_l <= B_l for all l. Lemma 2: when it exists, *every* rightward
+// perfect matching has the same total delay, sum_l (B_l - A_l) — the fact
+// that grounds the confidence definitions.
+//
+// This module constructs explicit matchings under different pairing policies
+// (FIFO, LIFO) so that the delay-invariance theorem can be exercised rather
+// than assumed; the examples also use it to report concrete matched pairs.
+
+#ifndef CONSERVATION_MATCHING_RIGHTWARD_MATCHING_H_
+#define CONSERVATION_MATCHING_RIGHTWARD_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "series/cumulative.h"
+#include "series/sequence.h"
+#include "util/status.h"
+
+namespace conservation::matching {
+
+// True iff a rightward perfect matching exists (Lemma 1).
+bool RightwardMatchingExists(const series::CumulativeSeries& series,
+                             double tolerance = 1e-9);
+
+// The delay of every rightward perfect matching, sum_l (B_l - A_l)
+// (Lemma 2). CR_CHECKs that the matching exists.
+double RightwardMatchingDelay(const series::CumulativeSeries& series);
+
+// A batch of matched events: `count` inbound events at `inbound_time` paired
+// with outbound events at `outbound_time` (>= inbound_time). Batching keeps
+// the representation compact for large integer counts.
+struct MatchGroup {
+  int64_t inbound_time = 0;
+  int64_t outbound_time = 0;
+  double count = 0.0;
+
+  double Delay() const {
+    return count * static_cast<double>(outbound_time - inbound_time);
+  }
+};
+
+enum class MatchPolicy {
+  // Match each outbound event to the earliest waiting inbound event.
+  kFifo,
+  // Match each outbound event to the latest waiting inbound event.
+  kLifo,
+};
+
+// Builds an explicit rightward perfect matching, or an error when none
+// exists (Lemma 1 conditions violated). Works for fractional counts too:
+// groups carry fractional multiplicities.
+util::Result<std::vector<MatchGroup>> BuildRightwardMatching(
+    const series::CountSequence& counts, MatchPolicy policy);
+
+// Total delay of an explicit matching.
+double MatchingDelay(const std::vector<MatchGroup>& matching);
+
+}  // namespace conservation::matching
+
+#endif  // CONSERVATION_MATCHING_RIGHTWARD_MATCHING_H_

@@ -1,0 +1,75 @@
+#include "mining/divergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace conservation::mining {
+
+std::vector<DivergencePoint> TopPointwiseDivergence(
+    const series::CountSequence& counts, int64_t k) {
+  CR_CHECK(k >= 1);
+  std::vector<DivergencePoint> points;
+  points.reserve(static_cast<size_t>(counts.n()));
+  for (int64_t t = 1; t <= counts.n(); ++t) {
+    points.push_back(DivergencePoint{t, counts.b(t) - counts.a(t)});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const DivergencePoint& lhs, const DivergencePoint& rhs) {
+              const double la = std::fabs(lhs.divergence);
+              const double ra = std::fabs(rhs.divergence);
+              if (la != ra) return la > ra;
+              return lhs.tick < rhs.tick;
+            });
+  if (static_cast<int64_t>(points.size()) > k) {
+    points.resize(static_cast<size_t>(k));
+  }
+  return points;
+}
+
+std::vector<DivergenceWindow> TopWindowDivergence(
+    const series::CountSequence& counts, int64_t window_length, int64_t k) {
+  const int64_t n = counts.n();
+  CR_CHECK(k >= 1);
+  CR_CHECK(window_length >= 1 && window_length <= n);
+
+  // Sliding-window sums of (b - a).
+  std::vector<DivergenceWindow> windows;
+  double sum = 0.0;
+  for (int64_t t = 1; t <= n; ++t) {
+    sum += counts.b(t) - counts.a(t);
+    if (t > window_length) {
+      const int64_t out = t - window_length;
+      sum -= counts.b(out) - counts.a(out);
+    }
+    if (t >= window_length) {
+      windows.push_back(
+          DivergenceWindow{{t - window_length + 1, t}, sum});
+    }
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const DivergenceWindow& lhs, const DivergenceWindow& rhs) {
+              const double la = std::fabs(lhs.divergence);
+              const double ra = std::fabs(rhs.divergence);
+              if (la != ra) return la > ra;
+              return lhs.window.begin < rhs.window.begin;
+            });
+
+  // Greedy non-overlapping selection.
+  std::vector<DivergenceWindow> chosen;
+  for (const DivergenceWindow& candidate : windows) {
+    if (static_cast<int64_t>(chosen.size()) >= k) break;
+    bool overlaps = false;
+    for (const DivergenceWindow& picked : chosen) {
+      if (candidate.window.Overlaps(picked.window)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) chosen.push_back(candidate);
+  }
+  return chosen;
+}
+
+}  // namespace conservation::mining

@@ -1,0 +1,40 @@
+// The naive divergence detectors of paper §I.B, provided as utilities and
+// as foils for the experiments: pointwise divergence misses violations that
+// build up slowly (false negatives), and fixed-size sliding windows are
+// fooled by boundary effects (false positives).
+
+#ifndef CONSERVATION_MINING_DIVERGENCE_H_
+#define CONSERVATION_MINING_DIVERGENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "interval/interval.h"
+#include "series/sequence.h"
+
+namespace conservation::mining {
+
+struct DivergencePoint {
+  int64_t tick = 0;
+  // b_tick - a_tick (positive: inbound excess).
+  double divergence = 0.0;
+};
+
+struct DivergenceWindow {
+  interval::Interval window;
+  // sum b - sum a over the window.
+  double divergence = 0.0;
+};
+
+// The k ticks with the largest |b - a|, ordered by decreasing magnitude.
+std::vector<DivergencePoint> TopPointwiseDivergence(
+    const series::CountSequence& counts, int64_t k);
+
+// The k non-overlapping windows of fixed length with the largest
+// |sum b - sum a|, greedily selected by decreasing magnitude.
+std::vector<DivergenceWindow> TopWindowDivergence(
+    const series::CountSequence& counts, int64_t window_length, int64_t k);
+
+}  // namespace conservation::mining
+
+#endif  // CONSERVATION_MINING_DIVERGENCE_H_

@@ -1,0 +1,173 @@
+#include "mining/support_rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "series/cumulative.h"
+#include "util/check.h"
+
+namespace conservation::mining {
+
+const char* RatioMetricName(RatioMetric metric) {
+  switch (metric) {
+    case RatioMetric::kInstantaneousSum:
+      return "instantaneous_sum";
+    case RatioMetric::kZeroBaselineArea:
+      return "zero_baseline_area";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Fenwick tree over value ranks storing the maximum position index; answers
+// "largest j whose U_j is <= x" after offline rank compression.
+class MaxPositionByRank {
+ public:
+  explicit MaxPositionByRank(size_t size)
+      : tree_(size + 1, kNone) {}
+
+  void Update(size_t rank, int64_t position) {
+    for (size_t k = rank + 1; k < tree_.size(); k += k & (~k + 1)) {
+      tree_[k] = std::max(tree_[k], position);
+    }
+  }
+
+  // Max position among ranks [0, rank]; kNone when empty.
+  int64_t QueryPrefix(size_t rank) const {
+    int64_t best = kNone;
+    for (size_t k = rank + 1; k > 0; k -= k & (~k + 1)) {
+      best = std::max(best, tree_[k]);
+    }
+    return best;
+  }
+
+  static constexpr int64_t kNone = -1;
+
+ private:
+  std::vector<int64_t> tree_;
+};
+
+// The numerator/denominator series for the chosen metric, 1-based.
+struct MetricSeries {
+  std::vector<double> x;  // numerator terms (a_l or A_l), x[0] unused
+  std::vector<double> y;  // denominator terms (b_l or B_l)
+};
+
+MetricSeries BuildMetricSeries(const series::CountSequence& counts,
+                               RatioMetric metric) {
+  const int64_t n = counts.n();
+  MetricSeries out;
+  out.x.resize(static_cast<size_t>(n) + 1, 0.0);
+  out.y.resize(static_cast<size_t>(n) + 1, 0.0);
+  if (metric == RatioMetric::kInstantaneousSum) {
+    for (int64_t l = 1; l <= n; ++l) {
+      out.x[static_cast<size_t>(l)] = counts.a(l);
+      out.y[static_cast<size_t>(l)] = counts.b(l);
+    }
+  } else {
+    const series::CumulativeSeries cumulative(counts);
+    for (int64_t l = 1; l <= n; ++l) {
+      out.x[static_cast<size_t>(l)] = cumulative.A(l);
+      out.y[static_cast<size_t>(l)] = cumulative.B(l);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MinedInterval> MineMaximalIntervals(
+    const series::CountSequence& counts, const SupportRulesOptions& options) {
+  const int64_t n = counts.n();
+  const MetricSeries metric = BuildMetricSeries(counts, options.metric);
+
+  // u_l = x_l - c * y_l, sign-flipped for hold so that "qualifies" is always
+  // "interval sum <= 0" <=> U_j <= U_{i-1}.
+  const double sign =
+      options.type == core::TableauType::kFail ? 1.0 : -1.0;
+  std::vector<double> U(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> Y(static_cast<size_t>(n) + 1, 0.0);  // denominator sums
+  std::vector<double> X(static_cast<size_t>(n) + 1, 0.0);  // numerator sums
+  for (int64_t l = 1; l <= n; ++l) {
+    const size_t k = static_cast<size_t>(l);
+    U[k] = U[k - 1] +
+           sign * (metric.x[k] - options.c_hat * metric.y[k]);
+    X[k] = X[k - 1] + metric.x[k];
+    Y[k] = Y[k - 1] + metric.y[k];
+  }
+
+  // For each left endpoint i, the largest j >= i with U_j <= U_{i-1}.
+  // Offline sweep from the right: positions j enter the structure keyed by
+  // rank(U_j); the query for i is a prefix-max over ranks <= rank(U_{i-1}).
+  // Ties in U are ordered by position so that equal values are admissible
+  // (U_j == U_{i-1} qualifies; rank comparison must treat equal-valued later
+  // positions as <=). To get that, ranks are compressed on value only.
+  std::vector<double> sorted_values(U.begin(), U.end());
+  std::sort(sorted_values.begin(), sorted_values.end());
+  sorted_values.erase(
+      std::unique(sorted_values.begin(), sorted_values.end()),
+      sorted_values.end());
+  auto value_rank = [&](double v) {
+    return static_cast<size_t>(
+        std::upper_bound(sorted_values.begin(), sorted_values.end(), v) -
+        sorted_values.begin() - 1);
+  };
+
+  MaxPositionByRank structure(sorted_values.size());
+  std::vector<int64_t> largest_j(static_cast<size_t>(n) + 1,
+                                 MaxPositionByRank::kNone);
+  // Process i descending; before answering i, insert j = i (intervals need
+  // j >= i).
+  for (int64_t i = n; i >= 1; --i) {
+    structure.Update(value_rank(U[static_cast<size_t>(i)]), i);
+    largest_j[static_cast<size_t>(i)] =
+        structure.QueryPrefix(value_rank(U[static_cast<size_t>(i - 1)]));
+  }
+
+  // Keep only maximal intervals: scan left-to-right, keep [i, j_i] whose j_i
+  // strictly exceeds every j seen so far.
+  std::vector<MinedInterval> out;
+  int64_t max_end_seen = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    const int64_t j = largest_j[static_cast<size_t>(i)];
+    if (j < i) continue;
+    if (j <= max_end_seen) continue;  // contained in an earlier interval
+    max_end_seen = j;
+    if (j - i + 1 < options.min_length) continue;
+    const double denom =
+        Y[static_cast<size_t>(j)] - Y[static_cast<size_t>(i - 1)];
+    if (denom <= 0.0) continue;  // ratio undefined
+    const double numer =
+        X[static_cast<size_t>(j)] - X[static_cast<size_t>(i - 1)];
+    out.push_back(MinedInterval{interval::Interval{i, j}, numer / denom});
+  }
+  return out;
+}
+
+std::vector<MinedInterval> MineOutsideRange(
+    const series::CountSequence& counts, RatioMetric metric, double range_low,
+    double range_high, int64_t min_length) {
+  CR_CHECK(range_low <= range_high);
+  SupportRulesOptions low_options;
+  low_options.metric = metric;
+  low_options.type = core::TableauType::kFail;
+  low_options.c_hat = range_low;
+  low_options.min_length = min_length;
+  std::vector<MinedInterval> out = MineMaximalIntervals(counts, low_options);
+
+  SupportRulesOptions high_options = low_options;
+  high_options.type = core::TableauType::kHold;
+  high_options.c_hat = range_high;
+  std::vector<MinedInterval> high =
+      MineMaximalIntervals(counts, high_options);
+  out.insert(out.end(), high.begin(), high.end());
+  std::sort(out.begin(), out.end(),
+            [](const MinedInterval& lhs, const MinedInterval& rhs) {
+              return interval::ByPosition(lhs.interval, rhs.interval);
+            });
+  return out;
+}
+
+}  // namespace conservation::mining

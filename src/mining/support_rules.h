@@ -1,0 +1,70 @@
+// Baseline interval miner in the style of Optimized Support Rules
+// (Fukuda, Morimoto, Morishita, Tokuyama — PODS 1996 [9]).
+//
+// The paper compares its confidence metrics against two alternatives that
+// this family of algorithms can evaluate (§IV): the ratio of *instantaneous*
+// count sums within an interval, and the ratio of areas under the cumulative
+// curves with a fixed zero baseline. Both reduce, for a threshold c, to sign
+// conditions on prefix sums of the transformed series u_l = x_l - c * y_l:
+//   ratio(I) <= c  <=>  sum_{l in I} u_l <= 0.
+// "Maximal intervals with ratio outside a range" are then found in
+// O(n log n) with an order-statistics sweep over the prefix sums — no
+// Theta(n^2) enumeration, faithful to the optimized spirit of [9].
+//
+// The technical reason these metrics are weaker than conservation-rule
+// confidence (and the reason [9] cannot host the CR metrics) is that they
+// use a single fixed baseline for all intervals, whereas CR baselines H_i
+// depend on the interval's start (paper §VII).
+
+#ifndef CONSERVATION_MINING_SUPPORT_RULES_H_
+#define CONSERVATION_MINING_SUPPORT_RULES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "interval/interval.h"
+#include "series/sequence.h"
+
+namespace conservation::mining {
+
+enum class RatioMetric {
+  // sum_{l in I} a_l / sum_{l in I} b_l — "summing up the counts".
+  kInstantaneousSum,
+  // sum_{l in I} A_l / sum_{l in I} B_l — cumulative areas down to a fixed
+  // zero baseline.
+  kZeroBaselineArea,
+};
+
+const char* RatioMetricName(RatioMetric metric);
+
+struct MinedInterval {
+  interval::Interval interval;
+  double ratio = 0.0;
+};
+
+struct SupportRulesOptions {
+  RatioMetric metric = RatioMetric::kInstantaneousSum;
+  // kHold: ratio >= c_hat; kFail: ratio <= c_hat.
+  core::TableauType type = core::TableauType::kFail;
+  double c_hat = 0.8;
+  // Drop intervals shorter than this many ticks.
+  int64_t min_length = 1;
+};
+
+// All maximal qualifying intervals (not contained in another qualifying
+// interval), sorted by position. Intervals whose ratio denominator is zero
+// are skipped. O(n log n).
+std::vector<MinedInterval> MineMaximalIntervals(
+    const series::CountSequence& counts, const SupportRulesOptions& options);
+
+// Maximal intervals whose ratio lies *outside* [range_low, range_high] —
+// the formulation the paper quotes from [9]. Union of a fail pass at
+// range_low and a hold pass at range_high.
+std::vector<MinedInterval> MineOutsideRange(
+    const series::CountSequence& counts, RatioMetric metric, double range_low,
+    double range_high, int64_t min_length = 1);
+
+}  // namespace conservation::mining
+
+#endif  // CONSERVATION_MINING_SUPPORT_RULES_H_

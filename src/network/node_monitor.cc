@@ -1,0 +1,114 @@
+#include "network/node_monitor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace conservation::network {
+
+util::Result<core::ConservationRule> NodeConservation::AggregateRule(
+    const std::vector<LinkSeries>& links, const LinkSeries* exclude) {
+  if (links.empty()) {
+    return util::Status::InvalidArgument("node has no links");
+  }
+  const size_t n = links.front().to_node.size();
+  std::vector<double> inbound(n, 0.0);
+  std::vector<double> outbound(n, 0.0);
+  for (const LinkSeries& link : links) {
+    if (&link == exclude) continue;
+    if (link.to_node.size() != n || link.from_node.size() != n) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "link %s has mismatched series length", link.name.c_str()));
+    }
+    for (size_t t = 0; t < n; ++t) {
+      inbound[t] += link.to_node[t];
+      outbound[t] += link.from_node[t];
+    }
+  }
+  return core::ConservationRule::Create(std::move(outbound),
+                                        std::move(inbound));
+}
+
+util::Result<NodeConservation> NodeConservation::Create(
+    std::string node_name, std::vector<LinkSeries> links) {
+  auto rule = AggregateRule(links, nullptr);
+  if (!rule.ok()) return rule.status();
+  return NodeConservation(std::move(node_name), std::move(links),
+                          std::move(rule).value());
+}
+
+double NodeConservation::MissingOutboundFraction() const {
+  const auto& cumulative = rule_.cumulative();
+  const double total_in = cumulative.B(rule_.n());
+  if (total_in <= 0.0) return 0.0;
+  return 1.0 - cumulative.A(rule_.n()) / total_in;
+}
+
+std::vector<LinkDiagnosis> NodeConservation::DiagnoseLinks(
+    core::ConfidenceModel model) const {
+  std::vector<LinkDiagnosis> out;
+  const double full =
+      rule_.OverallConfidence(model).value_or(1.0);
+  const double total_in = rule_.cumulative().B(rule_.n());
+  const double total_out = rule_.cumulative().A(rule_.n());
+
+  for (const LinkSeries& link : links_) {
+    LinkDiagnosis diagnosis;
+    diagnosis.link = link.name;
+    diagnosis.full_confidence = full;
+
+    auto without = AggregateRule(links_, &link);
+    // A node with one link degenerates when that link is excluded; report
+    // the full confidence as a neutral fallback.
+    diagnosis.without_link_confidence =
+        without.ok() ? without->OverallConfidence(model).value_or(full)
+                     : full;
+    diagnosis.impact = diagnosis.without_link_confidence - full;
+
+    const double link_in =
+        std::accumulate(link.to_node.begin(), link.to_node.end(), 0.0);
+    const double link_out =
+        std::accumulate(link.from_node.begin(), link.from_node.end(), 0.0);
+    diagnosis.inbound_share = total_in > 0.0 ? link_in / total_in : 0.0;
+    diagnosis.outbound_share = total_out > 0.0 ? link_out / total_out : 0.0;
+    out.push_back(diagnosis);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LinkDiagnosis& lhs, const LinkDiagnosis& rhs) {
+              if (lhs.impact != rhs.impact) return lhs.impact > rhs.impact;
+              return lhs.link < rhs.link;
+            });
+  return out;
+}
+
+std::vector<NodeRanking> RankNodesByFailure(
+    const std::vector<NodeConservation>& nodes,
+    const core::TableauRequest& request) {
+  std::vector<NodeRanking> out(nodes.size());
+  // Per-node audits are independent; fan them out across cores.
+  util::ParallelFor(static_cast<int64_t>(nodes.size()), 0, [&](int64_t k) {
+    const NodeConservation& node = nodes[static_cast<size_t>(k)];
+    NodeRanking ranking;
+    ranking.node_name = node.node_name();
+    ranking.overall_confidence =
+        node.rule().OverallConfidence(request.model).value_or(1.0);
+    auto tableau = node.DiscoverTableau(request);
+    if (tableau.ok() && node.n() > 0) {
+      ranking.covered_fraction = static_cast<double>(tableau->covered) /
+                                 static_cast<double>(node.n());
+    }
+    out[static_cast<size_t>(k)] = ranking;
+  });
+  std::sort(out.begin(), out.end(),
+            [](const NodeRanking& lhs, const NodeRanking& rhs) {
+              if (lhs.covered_fraction != rhs.covered_fraction) {
+                return lhs.covered_fraction > rhs.covered_fraction;
+              }
+              return lhs.overall_confidence < rhs.overall_confidence;
+            });
+  return out;
+}
+
+}  // namespace conservation::network

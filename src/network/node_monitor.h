@@ -1,0 +1,112 @@
+// Node-level conservation analysis — the paper's motivating setting (§I,
+// Figure 1): a network node (router, road intersection, substation) with
+// several bidirectional links, each reporting inbound and outbound counts.
+// Ideally total in-traffic equals total out-traffic at every tick; an
+// unmonitored link shows up as a persistent conservation violation.
+//
+// This module aggregates per-link series into a node-level ConservationRule,
+// quantifies the apparent missing share, and ranks links by how much of the
+// node's imbalance disappears when the link's counts are excluded — the
+// leave-one-out diagnosis a network operator runs when hunting for the
+// link "D" of Figure 1.
+
+#ifndef CONSERVATION_NETWORK_NODE_MONITOR_H_
+#define CONSERVATION_NETWORK_NODE_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/conservation_rule.h"
+#include "core/model.h"
+#include "util/status.h"
+
+namespace conservation::network {
+
+// Per-link measurements at a node: `to_node` counts traffic arriving at the
+// node over this link, `from_node` traffic leaving over it. Vectors must
+// share one length across all links of a node.
+struct LinkSeries {
+  std::string name;
+  std::vector<double> to_node;    // inbound direction
+  std::vector<double> from_node;  // outbound direction
+};
+
+// Diagnosis entry for one link (see NodeConservation::DiagnoseLinks).
+struct LinkDiagnosis {
+  std::string link;
+  // Node-level confidence with all links included.
+  double full_confidence = 0.0;
+  // Node-level confidence with this link's two directions excluded.
+  double without_link_confidence = 0.0;
+  // without_link - full: positive means removing the link *improves*
+  // conservation, i.e. the link sources unmatched inbound traffic whose
+  // outbound counterpart is unaccounted for (or vice versa).
+  double impact = 0.0;
+  // This link's share of the node's inbound / outbound totals.
+  double inbound_share = 0.0;
+  double outbound_share = 0.0;
+};
+
+class NodeConservation {
+ public:
+  // Validates that all links share one length and aggregates them. The
+  // node-level rule uses b = sum of to_node, a = sum of from_node.
+  static util::Result<NodeConservation> Create(std::string node_name,
+                                               std::vector<LinkSeries> links);
+
+  const std::string& node_name() const { return node_name_; }
+  int64_t n() const { return rule_.n(); }
+  size_t num_links() const { return links_.size(); }
+  const std::vector<LinkSeries>& links() const { return links_; }
+
+  // The aggregated node-level conservation rule.
+  const core::ConservationRule& rule() const { return rule_; }
+
+  // Fraction of inbound traffic with no recorded outbound counterpart,
+  // 1 - A_n / B_n. Near zero for a healthy node; approximately the traffic
+  // share of an unmonitored outbound link otherwise.
+  double MissingOutboundFraction() const;
+
+  // Leave-one-out link ranking under `model`, sorted by decreasing impact.
+  // Interpreting the top entry: a large positive impact with a large
+  // inbound share and a small outbound share marks a link whose outbound
+  // counterpart is likely unmonitored elsewhere.
+  std::vector<LinkDiagnosis> DiagnoseLinks(core::ConfidenceModel model) const;
+
+  // Node-level tableau passthrough.
+  util::Result<core::Tableau> DiscoverTableau(
+      const core::TableauRequest& request) const {
+    return rule_.DiscoverTableau(request);
+  }
+
+ private:
+  NodeConservation(std::string node_name, std::vector<LinkSeries> links,
+                   core::ConservationRule rule)
+      : node_name_(std::move(node_name)),
+        links_(std::move(links)),
+        rule_(std::move(rule)) {}
+
+  static util::Result<core::ConservationRule> AggregateRule(
+      const std::vector<LinkSeries>& links, const LinkSeries* exclude);
+
+  std::string node_name_;
+  std::vector<LinkSeries> links_;
+  core::ConservationRule rule_;
+};
+
+// Ranks many nodes by how badly they fail a conservation rule: runs the
+// given fail-tableau request per node and sorts by covered fraction, the
+// Table II workflow generalized to a fleet.
+struct NodeRanking {
+  std::string node_name;
+  double covered_fraction = 0.0;
+  double overall_confidence = 0.0;
+};
+
+std::vector<NodeRanking> RankNodesByFailure(
+    const std::vector<NodeConservation>& nodes,
+    const core::TableauRequest& request);
+
+}  // namespace conservation::network
+
+#endif  // CONSERVATION_NETWORK_NODE_MONITOR_H_

@@ -1,0 +1,103 @@
+#include "network/simulator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace conservation::network {
+
+namespace {
+
+// Samples an index proportionally to `weights` (total > 0).
+int SampleWeighted(util::Rng& rng, const std::vector<double>& weights,
+                   double total) {
+  double pick = rng.Uniform(0.0, total);
+  for (size_t k = 0; k < weights.size(); ++k) {
+    pick -= weights[k];
+    if (pick <= 0.0) return static_cast<int>(k);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace
+
+NodeSimResult SimulateNode(const NodeSimConfig& config) {
+  CR_CHECK(config.num_links >= 2);
+  CR_CHECK(config.num_ticks >= 2);
+  util::Rng rng(config.seed);
+
+  std::vector<double> arrival_rates = config.arrival_rates;
+  arrival_rates.resize(static_cast<size_t>(config.num_links),
+                       config.default_arrival_rate);
+  std::vector<double> departure_weights = config.departure_weights;
+  departure_weights.resize(static_cast<size_t>(config.num_links), 1.0);
+  const double weight_total = std::accumulate(
+      departure_weights.begin(), departure_weights.end(), 0.0);
+  CR_CHECK(weight_total > 0.0);
+
+  const size_t n = static_cast<size_t>(config.num_ticks);
+  std::vector<LinkSeries> links(static_cast<size_t>(config.num_links));
+  for (int l = 0; l < config.num_links; ++l) {
+    links[static_cast<size_t>(l)].name =
+        util::StrFormat("link-%c", 'A' + l);
+    links[static_cast<size_t>(l)].to_node.assign(n, 0.0);
+    links[static_cast<size_t>(l)].from_node.assign(n, 0.0);
+  }
+
+  for (int64_t t = 0; t < config.num_ticks; ++t) {
+    for (int l = 0; l < config.num_links; ++l) {
+      const int64_t arrivals =
+          rng.Poisson(arrival_rates[static_cast<size_t>(l)]);
+      links[static_cast<size_t>(l)].to_node[static_cast<size_t>(t)] +=
+          static_cast<double>(arrivals);
+      for (int64_t p = 0; p < arrivals; ++p) {
+        const int departs_via =
+            SampleWeighted(rng, departure_weights, weight_total);
+        const int64_t departs_at =
+            t + rng.UniformInt(0, config.max_forward_delay);
+        if (departs_at < config.num_ticks) {
+          links[static_cast<size_t>(departs_via)]
+              .from_node[static_cast<size_t>(departs_at)] += 1.0;
+        }
+      }
+    }
+  }
+
+  NodeSimResult result;
+  result.config = config;
+  result.ground_truth = links;
+  for (int l = 0; l < config.num_links; ++l) {
+    const bool hidden =
+        std::find(config.hidden_links.begin(), config.hidden_links.end(),
+                  l) != config.hidden_links.end();
+    if (!hidden) result.observed.push_back(links[static_cast<size_t>(l)]);
+  }
+  return result;
+}
+
+std::vector<NodeSimResult> SimulateNodeFleet(int num_nodes, int num_bad,
+                                             int64_t num_ticks,
+                                             uint64_t seed) {
+  CR_CHECK(num_bad <= num_nodes);
+  std::vector<NodeSimResult> fleet;
+  for (int k = 0; k < num_nodes; ++k) {
+    NodeSimConfig config;
+    config.node_name = util::StrFormat("node-%02d", k);
+    config.num_ticks = num_ticks;
+    config.seed = seed + static_cast<uint64_t>(k) * 7919;
+    config.num_links = 4;
+    if (k < num_bad) {
+      // The hidden link carries a disproportionate share of departures, so
+      // its absence leaves clearly-unmatched inbound traffic.
+      config.departure_weights = {1.0, 1.0, 1.0, 3.0};
+      config.hidden_links = {3};
+    }
+    fleet.push_back(SimulateNode(config));
+  }
+  return fleet;
+}
+
+}  // namespace conservation::network

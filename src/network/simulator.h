@@ -1,0 +1,60 @@
+// Node traffic simulator: the substrate for the Figure 1 scenario.
+//
+// Simulates a network node with several bidirectional links. Packets arrive
+// on links (Poisson), are forwarded to an outgoing link chosen by weight
+// after a small queueing delay, and depart. The monitoring system records
+// per-link per-tick counts — except for links it does not know about
+// (`hidden_links`), whose measurements are silently absent, exactly the
+// data-quality failure the paper's introduction describes ("a new router
+// interface is activated ... but this interface is not known to the
+// monitoring system").
+
+#ifndef CONSERVATION_NETWORK_SIMULATOR_H_
+#define CONSERVATION_NETWORK_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "network/node_monitor.h"
+
+namespace conservation::network {
+
+struct NodeSimConfig {
+  std::string node_name = "node";
+  int num_links = 4;
+  int64_t num_ticks = 2000;
+  // Mean packet arrivals per link per tick; resized/filled to `num_links`
+  // with `default_arrival_rate` when left empty.
+  std::vector<double> arrival_rates;
+  double default_arrival_rate = 40.0;
+  // Relative likelihood that a forwarded packet departs via each link;
+  // uniform when empty. A hidden link with a high weight models the
+  // "unmonitored exit" whose absence depresses outbound counts.
+  std::vector<double> departure_weights;
+  // 0-based link indices missing from the observed data.
+  std::vector<int> hidden_links;
+  // Packets depart between 0 and this many ticks after arrival.
+  int64_t max_forward_delay = 2;
+  uint64_t seed = 4242;
+};
+
+struct NodeSimResult {
+  // What the monitoring system sees: only non-hidden links.
+  std::vector<LinkSeries> observed;
+  // Everything, including hidden links (ground truth for tests).
+  std::vector<LinkSeries> ground_truth;
+  NodeSimConfig config;
+};
+
+NodeSimResult SimulateNode(const NodeSimConfig& config);
+
+// Convenience: a fleet of independently-seeded nodes, `num_bad` of which
+// have their highest-weight departure link hidden.
+std::vector<NodeSimResult> SimulateNodeFleet(int num_nodes, int num_bad,
+                                             int64_t num_ticks,
+                                             uint64_t seed);
+
+}  // namespace conservation::network
+
+#endif  // CONSERVATION_NETWORK_SIMULATOR_H_

@@ -1,0 +1,50 @@
+#include "series/cumulative.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace conservation::series {
+
+CumulativeSeries::CumulativeSeries(const CountSequence& counts)
+    : n_(counts.n()) {
+  const size_t size = static_cast<size_t>(n_) + 1;
+  A_.resize(size);
+  B_.resize(size);
+  SA_.resize(size);
+  SB_.resize(size);
+  A_[0] = B_[0] = SA_[0] = SB_[0] = 0.0;
+
+  delta_ = std::numeric_limits<double>::infinity();
+  for (int64_t l = 1; l <= n_; ++l) {
+    const double a = counts.a(l);
+    const double b = counts.b(l);
+    const size_t k = static_cast<size_t>(l);
+    A_[k] = A_[k - 1] + a;
+    B_[k] = B_[k - 1] + b;
+    SA_[k] = SA_[k - 1] + A_[k];
+    SB_[k] = SB_[k - 1] + B_[k];
+    if (a > 0.0) delta_ = std::min(delta_, a);
+    if (b > 0.0) delta_ = std::min(delta_, b);
+  }
+  // CountSequence::Create guarantees at least one positive count.
+  CR_CHECK(delta_ < std::numeric_limits<double>::infinity());
+
+  suffix_min_gap_.resize(size + 1);
+  suffix_min_gap_[size] = std::numeric_limits<double>::infinity();
+  for (int64_t i = n_; i >= 1; --i) {
+    const size_t k = static_cast<size_t>(i);
+    suffix_min_gap_[k] = std::min(suffix_min_gap_[k + 1], B_[k] - A_[k]);
+  }
+  if (!suffix_min_gap_.empty()) {
+    suffix_min_gap_[0] = suffix_min_gap_[std::min<size_t>(1, size - 1)];
+  }
+}
+
+bool CumulativeSeries::Dominates(double tolerance) const {
+  for (int64_t l = 1; l <= n_; ++l) {
+    if (B(l) - A(l) < -tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace conservation::series

@@ -1,0 +1,43 @@
+#include "series/preprocess.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "series/cumulative.h"
+
+namespace conservation::series {
+
+CountSequence EnforceDominance(const CountSequence& counts) {
+  const int64_t n = counts.n();
+  std::vector<double> a(static_cast<size_t>(n));
+  std::vector<double> b(static_cast<size_t>(n));
+  double prev_a_cum = 0.0;  // A'_{l-1}
+  double prev_b_cum = 0.0;  // B'_{l-1}
+  double raw_a_cum = 0.0;   // A_l
+  double raw_b_cum = 0.0;   // B_l
+  for (int64_t l = 1; l <= n; ++l) {
+    raw_a_cum += counts.a(l);
+    raw_b_cum += counts.b(l);
+    const double a_cum = std::min(raw_a_cum, raw_b_cum);
+    const double b_cum = std::max(raw_a_cum, raw_b_cum);
+    // min/max of nondecreasing functions is nondecreasing, so the diffs are
+    // non-negative; max(..., 0) guards rounding only.
+    a[static_cast<size_t>(l - 1)] = std::max(a_cum - prev_a_cum, 0.0);
+    b[static_cast<size_t>(l - 1)] = std::max(b_cum - prev_b_cum, 0.0);
+    prev_a_cum = a_cum;
+    prev_b_cum = b_cum;
+  }
+  auto result = CountSequence::Create(std::move(a), std::move(b));
+  // Input was a valid CountSequence; the swap cannot invalidate it.
+  CR_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+util::Result<CountSequence> MakeDominatedSequence(std::vector<double> a,
+                                                  std::vector<double> b) {
+  auto counts = CountSequence::Create(std::move(a), std::move(b));
+  if (!counts.ok()) return counts.status();
+  return EnforceDominance(counts.value());
+}
+
+}  // namespace conservation::series

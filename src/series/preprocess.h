@@ -1,0 +1,29 @@
+// Domain-independent preprocessing from paper §II.
+//
+// The confidence definitions assume B dominates A (B_l >= A_l for all l).
+// When raw data violates this, the paper suggests the cumulative swap
+//   A'_l := min{A_l, B_l},  B'_l := max{A_l, B_l},
+// which preserves monotonicity and therefore yields valid (non-negative)
+// instantaneous sequences a', b'.
+
+#ifndef CONSERVATION_SERIES_PREPROCESS_H_
+#define CONSERVATION_SERIES_PREPROCESS_H_
+
+#include <vector>
+
+#include "series/sequence.h"
+#include "util/status.h"
+
+namespace conservation::series {
+
+// Applies the min/max cumulative swap and returns the corrected sequence.
+// If B already dominates A the result equals the input.
+CountSequence EnforceDominance(const CountSequence& counts);
+
+// Convenience entry point: validates raw vectors, then enforces dominance.
+util::Result<CountSequence> MakeDominatedSequence(std::vector<double> a,
+                                                  std::vector<double> b);
+
+}  // namespace conservation::series
+
+#endif  // CONSERVATION_SERIES_PREPROCESS_H_

@@ -1,0 +1,42 @@
+#include "series/resample.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace conservation::series {
+
+CountSequence Downsample(const CountSequence& counts,
+                         const ResampleOptions& options) {
+  CR_CHECK(options.factor >= 1);
+  const int64_t n = counts.n();
+  const int64_t full_buckets = n / options.factor;
+  const bool has_tail = n % options.factor != 0;
+  const int64_t buckets =
+      full_buckets + (has_tail && options.keep_partial_tail ? 1 : 0);
+  CR_CHECK(buckets >= 1);
+
+  std::vector<double> a(static_cast<size_t>(buckets), 0.0);
+  std::vector<double> b(static_cast<size_t>(buckets), 0.0);
+  for (int64_t t = 1; t <= n; ++t) {
+    const int64_t bucket = (t - 1) / options.factor;
+    if (bucket >= buckets) break;  // dropped tail
+    a[static_cast<size_t>(bucket)] += counts.a(t);
+    b[static_cast<size_t>(bucket)] += counts.b(t);
+  }
+  auto result = CountSequence::Create(std::move(a), std::move(b));
+  CR_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+TickRange NativeRange(int64_t coarse_tick, const ResampleOptions& options,
+                      int64_t native_n) {
+  CR_CHECK(coarse_tick >= 1);
+  TickRange range;
+  range.first = (coarse_tick - 1) * options.factor + 1;
+  range.last = std::min(native_n, coarse_tick * options.factor);
+  CR_CHECK(range.first <= native_n);
+  return range;
+}
+
+}  // namespace conservation::series

@@ -1,0 +1,44 @@
+// Resampling: re-aggregate count sequences at coarser granularities.
+//
+// Monitoring systems aggregate events at some native interval (the paper's
+// datasets range from 5-minute SNMP buckets to monthly card statements).
+// Analysts often work coarser: hourly roll-ups of minute data, daily
+// roll-ups of half-hour people counts. Coarsening sums counts within
+// buckets, which preserves totals and dominance but absorbs any violation
+// shorter than a bucket — delays within one bucket become invisible
+// (confidence can only increase for intervals aligned to bucket
+// boundaries). The tests pin down exactly that semantics.
+
+#ifndef CONSERVATION_SERIES_RESAMPLE_H_
+#define CONSERVATION_SERIES_RESAMPLE_H_
+
+#include <cstdint>
+
+#include "series/sequence.h"
+
+namespace conservation::series {
+
+struct ResampleOptions {
+  // Number of native ticks per output bucket (>= 1).
+  int64_t factor = 1;
+  // When the length is not a multiple of `factor`: keep a final partial
+  // bucket (true) or drop the tail ticks (false).
+  bool keep_partial_tail = true;
+};
+
+// Sums counts within consecutive buckets of `factor` ticks.
+CountSequence Downsample(const CountSequence& counts,
+                         const ResampleOptions& options);
+
+// Maps a 1-based tick of the downsampled series back to the native range
+// [first, last] it covers.
+struct TickRange {
+  int64_t first = 0;
+  int64_t last = 0;
+};
+TickRange NativeRange(int64_t coarse_tick, const ResampleOptions& options,
+                      int64_t native_n);
+
+}  // namespace conservation::series
+
+#endif  // CONSERVATION_SERIES_RESAMPLE_H_

@@ -1,0 +1,58 @@
+#include "series/sequence.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace conservation::series {
+
+util::Result<CountSequence> CountSequence::Create(
+    std::vector<double> outbound_a, std::vector<double> inbound_b) {
+  if (outbound_a.size() != inbound_b.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "sequence lengths differ: |a|=%zu |b|=%zu", outbound_a.size(),
+        inbound_b.size()));
+  }
+  if (outbound_a.empty()) {
+    return util::Status::InvalidArgument("sequences must be non-empty");
+  }
+  bool a_has_positive = false;
+  bool b_has_positive = false;
+  for (size_t k = 0; k < outbound_a.size(); ++k) {
+    const double av = outbound_a[k];
+    const double bv = inbound_b[k];
+    if (!std::isfinite(av) || !std::isfinite(bv)) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("non-finite count at tick %zu", k + 1));
+    }
+    if (av < 0.0 || bv < 0.0) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("negative count at tick %zu", k + 1));
+    }
+    a_has_positive |= av > 0.0;
+    b_has_positive |= bv > 0.0;
+  }
+  if (!a_has_positive && !b_has_positive) {
+    return util::Status::InvalidArgument(
+        "both sequences are identically zero");
+  }
+  return CountSequence(std::move(outbound_a), std::move(inbound_b));
+}
+
+CountSequence CountSequence::Prefix(int64_t m) const {
+  CR_CHECK(m >= 1 && m <= n());
+  std::vector<double> a(a_.begin(), a_.begin() + m);
+  std::vector<double> b(b_.begin(), b_.begin() + m);
+  return CountSequence(std::move(a), std::move(b));
+}
+
+CountSequence CountSequence::Scaled(double factor) const {
+  CR_CHECK(factor > 0.0);
+  std::vector<double> a = a_;
+  std::vector<double> b = b_;
+  for (double& v : a) v *= factor;
+  for (double& v : b) v *= factor;
+  return CountSequence(std::move(a), std::move(b));
+}
+
+}  // namespace conservation::series

@@ -1,0 +1,61 @@
+// CountSequence: the validated input of a conservation rule.
+//
+// A conservation rule relates two non-negative numeric sequences over the
+// same uniformly-spaced ordered attribute (paper §II):
+//   b = <b_1..b_n>  "inbound" counts (events),
+//   a = <a_1..a_n>  "outbound" counts (responses to those events).
+//
+// Indexing convention used throughout this library: time ticks are 1-based,
+// matching the paper, so element k of the underlying std::vector is a_{k+1}.
+// See Interval in interval/interval.h.
+
+#ifndef CONSERVATION_SERIES_SEQUENCE_H_
+#define CONSERVATION_SERIES_SEQUENCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace conservation::series {
+
+class CountSequence {
+ public:
+  // Validates and adopts the two sequences. Requirements:
+  //   * equal, non-zero length;
+  //   * all values finite and non-negative;
+  //   * neither sequence identically zero (the algorithms' Delta — the
+  //     minimum positive count — must exist, paper §III.A).
+  static util::Result<CountSequence> Create(std::vector<double> outbound_a,
+                                            std::vector<double> inbound_b);
+
+  // Number of time ticks n.
+  int64_t n() const { return static_cast<int64_t>(a_.size()); }
+
+  // 1-based element access: a(1) is the first outbound count.
+  double a(int64_t t) const { return a_[static_cast<size_t>(t - 1)]; }
+  double b(int64_t t) const { return b_[static_cast<size_t>(t - 1)]; }
+
+  const std::vector<double>& outbound() const { return a_; }
+  const std::vector<double>& inbound() const { return b_; }
+
+  // The first `m` ticks as a new sequence (1 <= m <= n). Used by the
+  // scalability benchmarks, which sweep over prefixes of a large trace.
+  CountSequence Prefix(int64_t m) const;
+
+  // Both sequences multiplied by `factor` (> 0). The candidate-generation
+  // algorithms are scale invariant (paper §III.A); tests use this to verify.
+  CountSequence Scaled(double factor) const;
+
+ private:
+  CountSequence(std::vector<double> a, std::vector<double> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  std::vector<double> a_;  // outbound
+  std::vector<double> b_;  // inbound
+};
+
+}  // namespace conservation::series
+
+#endif  // CONSERVATION_SERIES_SEQUENCE_H_

@@ -1,0 +1,74 @@
+#include "stream/multi_window_monitor.h"
+
+#include <set>
+
+namespace conservation::stream {
+
+MultiWindowMonitor::MultiWindowMonitor(const StreamOptions& base_options,
+                                       const std::vector<int64_t>& windows)
+    : windows_(windows) {
+  CR_CHECK(!windows.empty());
+  std::set<int64_t> seen;
+  monitors_.reserve(windows.size());
+  for (const int64_t window : windows) {
+    CR_CHECK(window >= 1);
+    CR_CHECK(seen.insert(window).second);  // distinct lengths
+    StreamOptions options = base_options;
+    options.window = window;
+    monitors_.emplace_back(options);
+  }
+}
+
+void MultiWindowMonitor::Observe(double outbound_a, double inbound_b) {
+  ++ticks_;
+  for (StreamingMonitor& monitor : monitors_) {
+    monitor.Observe(outbound_a, inbound_b);
+  }
+}
+
+void MultiWindowMonitor::Flush() {
+  for (StreamingMonitor& monitor : monitors_) monitor.Flush();
+}
+
+std::vector<std::optional<double>> MultiWindowMonitor::WindowConfidences()
+    const {
+  std::vector<std::optional<double>> out;
+  out.reserve(monitors_.size());
+  for (const StreamingMonitor& monitor : monitors_) {
+    out.push_back(monitor.WindowConfidence());
+  }
+  return out;
+}
+
+std::optional<MultiWindowMonitor::WorstWindow> MultiWindowMonitor::Worst()
+    const {
+  std::optional<WorstWindow> worst;
+  for (size_t k = 0; k < monitors_.size(); ++k) {
+    const std::optional<double> conf = monitors_[k].WindowConfidence();
+    if (!conf.has_value()) continue;
+    if (!worst.has_value() || *conf < worst->confidence) {
+      worst = WorstWindow{windows_[k], *conf};
+    }
+  }
+  return worst;
+}
+
+bool MultiWindowMonitor::AnyViolation() const {
+  for (const StreamingMonitor& monitor : monitors_) {
+    if (monitor.in_violation()) return true;
+  }
+  return false;
+}
+
+std::vector<MultiWindowMonitor::ScopedEpisode>
+MultiWindowMonitor::AllEpisodes() const {
+  std::vector<ScopedEpisode> out;
+  for (size_t k = 0; k < monitors_.size(); ++k) {
+    for (const ViolationEpisode& episode : monitors_[k].episodes()) {
+      out.push_back(ScopedEpisode{windows_[k], episode});
+    }
+  }
+  return out;
+}
+
+}  // namespace conservation::stream

@@ -1,0 +1,66 @@
+// MultiWindowMonitor: one stream, several window lengths at once.
+//
+// Violations live at different time scales — a one-minute burst, an
+// hour-long outage, a slow day-scale leak. Rather than picking one window,
+// this composes a StreamingMonitor per configured window over a single
+// Observe() feed; each window keeps its own episode stream, and the
+// summary reports the most alarmed window at any moment.
+
+#ifndef CONSERVATION_STREAM_MULTI_WINDOW_MONITOR_H_
+#define CONSERVATION_STREAM_MULTI_WINDOW_MONITOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stream/streaming_monitor.h"
+
+namespace conservation::stream {
+
+class MultiWindowMonitor {
+ public:
+  // One monitor per window length, sharing the base options (model,
+  // thresholds). Window lengths must be positive and distinct.
+  MultiWindowMonitor(const StreamOptions& base_options,
+                     const std::vector<int64_t>& windows);
+
+  void Observe(double outbound_a, double inbound_b);
+  void Flush();
+
+  int64_t ticks() const { return ticks_; }
+  size_t num_windows() const { return monitors_.size(); }
+  int64_t window_length(size_t index) const { return windows_[index]; }
+  const StreamingMonitor& monitor(size_t index) const {
+    return monitors_[index];
+  }
+
+  // Confidence per window at the current tick (nullopt where undefined).
+  std::vector<std::optional<double>> WindowConfidences() const;
+
+  // The lowest defined window confidence right now, with its window length;
+  // nullopt when no window has a defined value yet.
+  struct WorstWindow {
+    int64_t window = 0;
+    double confidence = 1.0;
+  };
+  std::optional<WorstWindow> Worst() const;
+
+  // True when any window is inside a violation episode.
+  bool AnyViolation() const;
+
+  // All episodes across windows, annotated with their window length.
+  struct ScopedEpisode {
+    int64_t window = 0;
+    ViolationEpisode episode;
+  };
+  std::vector<ScopedEpisode> AllEpisodes() const;
+
+ private:
+  std::vector<int64_t> windows_;
+  std::vector<StreamingMonitor> monitors_;
+  int64_t ticks_ = 0;
+};
+
+}  // namespace conservation::stream
+
+#endif  // CONSERVATION_STREAM_MULTI_WINDOW_MONITOR_H_

@@ -1,0 +1,135 @@
+#include "stream/streaming_monitor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace conservation::stream {
+
+StreamingMonitor::StreamingMonitor(const StreamOptions& options)
+    : options_(options) {
+  CR_CHECK(options.window >= 1);
+  CR_CHECK(options.clear_threshold >= options.alert_threshold);
+  ring_size_ = options.window + 2;
+  ring_A_.assign(static_cast<size_t>(ring_size_), 0.0);
+  ring_B_.assign(static_cast<size_t>(ring_size_), 0.0);
+  min_gap_ = std::numeric_limits<double>::infinity();
+}
+
+void StreamingMonitor::Observe(double outbound_a, double inbound_b) {
+  CR_CHECK(outbound_a >= 0.0 && inbound_b >= 0.0);
+  ++t_;
+  A_t_ += outbound_a;
+  B_t_ += inbound_b;
+  const double gap = B_t_ - A_t_;
+  CR_CHECK(gap >= -1e-9);  // dominance; preprocess upstream if violated
+  sum_A_ += A_t_;
+  sum_B_ += B_t_;
+  min_gap_ = std::min(min_gap_, gap);
+
+  // Expire the tick leaving the window from the sliding sums before its
+  // ring slot can be overwritten (ring_size_ > window guarantees the old
+  // value is still present).
+  if (t_ > options_.window) {
+    window_sum_A_ -= RingA(t_ - options_.window);
+    window_sum_B_ -= RingB(t_ - options_.window);
+  }
+  window_sum_A_ += A_t_;
+  window_sum_B_ += B_t_;
+  ring_A_[static_cast<size_t>(t_ % ring_size_)] = A_t_;
+  ring_B_[static_cast<size_t>(t_ % ring_size_)] = B_t_;
+
+  // Maintain the monotonic min-deque of gaps over the window.
+  const int64_t window_begin = std::max<int64_t>(1, t_ - options_.window + 1);
+  while (!gap_min_.empty() && gap_min_.front().first < window_begin) {
+    gap_min_.pop_front();
+  }
+  while (!gap_min_.empty() && gap_min_.back().second >= gap) {
+    gap_min_.pop_back();
+  }
+  gap_min_.emplace_back(t_, gap);
+
+  UpdateAlerting(WindowConfidence());
+}
+
+std::optional<double> StreamingMonitor::ConfidenceFrom(int64_t i) const {
+  CR_CHECK(i >= 1 && i <= t_);
+  const double len = static_cast<double>(t_ - i + 1);
+  double sum_a;
+  double sum_b;
+  double prev_a;
+  double suffix_min;
+  if (i == 1) {
+    sum_a = sum_A_;
+    sum_b = sum_B_;
+    prev_a = 0.0;
+    suffix_min = min_gap_;
+  } else {
+    // Window query: i-1 is still inside the ring.
+    CR_CHECK(i - 1 >= t_ - options_.window);
+    sum_a = window_sum_A_;
+    sum_b = window_sum_B_;
+    prev_a = RingA(i - 1);
+    CR_CHECK(!gap_min_.empty());
+    suffix_min = gap_min_.front().second;
+  }
+
+  double baseline_a = prev_a;
+  double baseline_b = prev_a;
+  switch (options_.model) {
+    case core::ConfidenceModel::kBalance:
+      break;
+    case core::ConfidenceModel::kCredit:
+      baseline_a -= suffix_min;
+      break;
+    case core::ConfidenceModel::kDebit:
+      baseline_b += suffix_min;
+      break;
+  }
+  const double area_a = std::max(sum_a - len * baseline_a, 0.0);
+  const double area_b = std::max(sum_b - len * baseline_b, 0.0);
+  if (area_b <= 0.0) return std::nullopt;
+  return area_a / area_b;
+}
+
+std::optional<double> StreamingMonitor::CumulativeConfidence() const {
+  if (t_ == 0) return std::nullopt;
+  return ConfidenceFrom(1);
+}
+
+std::optional<double> StreamingMonitor::WindowConfidence() const {
+  if (t_ == 0) return std::nullopt;
+  if (options_.require_full_window && t_ < options_.window) {
+    return std::nullopt;
+  }
+  return ConfidenceFrom(std::max<int64_t>(1, t_ - options_.window + 1));
+}
+
+void StreamingMonitor::UpdateAlerting(std::optional<double> window_conf) {
+  if (!window_conf.has_value()) return;  // no signal this tick
+  if (!open_episode_.has_value()) {
+    if (*window_conf < options_.alert_threshold) {
+      open_episode_ = ViolationEpisode{t_, t_, *window_conf};
+    }
+    return;
+  }
+  if (*window_conf < options_.clear_threshold) {
+    open_episode_->end = t_;
+    open_episode_->min_confidence =
+        std::min(open_episode_->min_confidence, *window_conf);
+    return;
+  }
+  // Recovered: close the episode.
+  episodes_.push_back(*open_episode_);
+  if (callback_) callback_(*open_episode_);
+  open_episode_.reset();
+}
+
+void StreamingMonitor::Flush() {
+  if (open_episode_.has_value()) {
+    episodes_.push_back(*open_episode_);
+    if (callback_) callback_(*open_episode_);
+    open_episode_.reset();
+  }
+}
+
+}  // namespace conservation::stream

@@ -1,0 +1,132 @@
+// Online conservation monitoring over an unbounded stream of count pairs.
+//
+// The batch pipeline (ConservationRule + tableau discovery) analyzes a
+// stored sequence; production monitoring systems instead see one
+// (outbound_a, inbound_b) pair per tick and must react as data arrives —
+// the setting the paper's introduction motivates. StreamingMonitor ingests
+// ticks in O(1) amortized time and maintains:
+//
+//   * whole-stream confidence conf(1, t) under any model;
+//   * sliding-window confidence conf(t-w+1, t) for a fixed window w,
+//     via ring buffers and a monotonic deque over the gap B_l - A_l;
+//   * violation episodes: maximal runs of ticks whose window confidence
+//     sits below an alert threshold (with hysteresis), reported through a
+//     callback as they close.
+//
+// Semantics note: the batch credit/debit models discount using
+// S_i = min_{i <= k <= n} (B_k - A_k), which peeks at the *future*. A
+// streaming monitor cannot, so it uses the prefix-consistent variant
+// S_i^(t) = min_{i <= k <= t} (B_k - A_k). At any time t, the monitor's
+// answers equal a batch ConfidenceEvaluator built over the first t ticks —
+// a property the tests verify — and converge to the batch values as the
+// suffix minimum settles.
+
+#ifndef CONSERVATION_STREAM_STREAMING_MONITOR_H_
+#define CONSERVATION_STREAM_STREAMING_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/model.h"
+#include "interval/interval.h"
+#include "util/check.h"
+
+namespace conservation::stream {
+
+// A maximal run of ticks whose sliding-window confidence stayed below the
+// alert threshold.
+struct ViolationEpisode {
+  int64_t begin = 0;  // first tick whose window confidence was below
+  int64_t end = 0;    // last such tick
+  double min_confidence = 1.0;
+};
+
+struct StreamOptions {
+  core::ConfidenceModel model = core::ConfidenceModel::kBalance;
+  // Sliding-window length for WindowConfidence and alerting.
+  int64_t window = 64;
+  // An episode opens when window confidence drops below `alert_threshold`
+  // and closes once it recovers above `clear_threshold` (hysteresis;
+  // clear_threshold >= alert_threshold).
+  double alert_threshold = 0.5;
+  double clear_threshold = 0.6;
+  // Ticks to wait before alerting (the window must be full).
+  bool require_full_window = true;
+};
+
+class StreamingMonitor {
+ public:
+  using EpisodeCallback = std::function<void(const ViolationEpisode&)>;
+
+  explicit StreamingMonitor(const StreamOptions& options);
+
+  // Ingests one tick. O(1) amortized. Counts must be non-negative and the
+  // running inbound total must dominate the outbound total (preprocess
+  // upstream if unsure).
+  void Observe(double outbound_a, double inbound_b);
+
+  // Registers a callback fired when a violation episode closes (and for
+  // the still-open episode on Flush()).
+  void OnEpisode(EpisodeCallback callback) { callback_ = std::move(callback); }
+
+  // Closes any open episode; call at end of stream.
+  void Flush();
+
+  int64_t ticks() const { return t_; }
+
+  // conf(1, t) under the monitor's model (prefix-consistent credit/debit).
+  std::optional<double> CumulativeConfidence() const;
+
+  // conf(max(1, t-w+1), t); nullopt when undefined or (with
+  // require_full_window) before the window fills.
+  std::optional<double> WindowConfidence() const;
+
+  // Episodes closed so far (the open one, if any, is excluded until Flush).
+  const std::vector<ViolationEpisode>& episodes() const { return episodes_; }
+  bool in_violation() const { return open_episode_.has_value(); }
+
+ private:
+  // Ring-buffer access for cumulative values at absolute tick l
+  // (t - window_history_ < l <= t). Index 0 holds tick 0 sentinels until
+  // overwritten.
+  double RingA(int64_t l) const {
+    return ring_A_[static_cast<size_t>(l % ring_size_)];
+  }
+  double RingB(int64_t l) const {
+    return ring_B_[static_cast<size_t>(l % ring_size_)];
+  }
+
+  std::optional<double> ConfidenceFrom(int64_t i) const;
+  void UpdateAlerting(std::optional<double> window_conf);
+
+  StreamOptions options_;
+  EpisodeCallback callback_;
+
+  int64_t t_ = 0;       // ticks observed
+  double A_t_ = 0.0;    // cumulative outbound
+  double B_t_ = 0.0;    // cumulative inbound
+  double sum_A_ = 0.0;  // sum_{l<=t} A_l   (for whole-stream areas)
+  double sum_B_ = 0.0;  // sum_{l<=t} B_l
+  double min_gap_ = 0.0;  // min_{1<=k<=t} (B_k - A_k), prefix S_1
+
+  // Ring buffers of cumulative values for the last `window`+1 ticks.
+  int64_t ring_size_ = 0;
+  std::vector<double> ring_A_;
+  std::vector<double> ring_B_;
+  // Sliding sums over the window: sum of A_l / B_l for l in (t-w, t].
+  double window_sum_A_ = 0.0;
+  double window_sum_B_ = 0.0;
+  // Monotonic deque of (tick, gap) with increasing gap values, over the
+  // window, for S_i^(t) = min gap in [i, t].
+  std::deque<std::pair<int64_t, double>> gap_min_;
+
+  std::optional<ViolationEpisode> open_episode_;
+  std::vector<ViolationEpisode> episodes_;
+};
+
+}  // namespace conservation::stream
+
+#endif  // CONSERVATION_STREAM_STREAMING_MONITOR_H_

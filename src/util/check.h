@@ -1,0 +1,38 @@
+// Lightweight contract-checking macros.
+//
+// The library does not use exceptions (see DESIGN.md §5). Programming errors
+// (violated preconditions, broken invariants) abort with a diagnostic via
+// CR_CHECK; recoverable errors (bad input files, unsatisfiable requests)
+// travel through util::Status / util::Result instead.
+
+#ifndef CONSERVATION_UTIL_CHECK_H_
+#define CONSERVATION_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace conservation::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace conservation::internal
+
+// Aborts the process when `expr` is false. Always on, including in release
+// builds: the cost is negligible next to the scans this library performs, and
+// silent invariant violations in a data-quality tool are worse than a crash.
+#define CR_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::conservation::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                 \
+  } while (0)
+
+// Marks unreachable code paths.
+#define CR_UNREACHABLE() \
+  ::conservation::internal::CheckFailed(__FILE__, __LINE__, "unreachable")
+
+#endif  // CONSERVATION_UTIL_CHECK_H_

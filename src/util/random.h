@@ -1,0 +1,70 @@
+// Deterministic random number generation for the synthetic data generators.
+//
+// Wraps std::mt19937_64 behind a small interface so every generator in
+// src/datagen is reproducible from a single uint64 seed and the distribution
+// zoo used across generators lives in one place.
+
+#ifndef CONSERVATION_UTIL_RANDOM_H_
+#define CONSERVATION_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace conservation::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  // Poisson count with the given mean (mean <= 0 yields 0).
+  int64_t Poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    std::poisson_distribution<int64_t> dist(mean);
+    return dist(engine_);
+  }
+
+  // Log-normal: exp(Normal(log_mean, log_stddev)).
+  double LogNormal(double log_mean, double log_stddev) {
+    std::lognormal_distribution<double> dist(log_mean, log_stddev);
+    return dist(engine_);
+  }
+
+  // Geometric number of failures before first success; p in (0, 1].
+  int64_t Geometric(double p) {
+    std::geometric_distribution<int64_t> dist(p);
+    return dist(engine_);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace conservation::util
+
+#endif  // CONSERVATION_UTIL_RANDOM_H_

@@ -1,0 +1,110 @@
+// Error propagation without exceptions: Status and Result<T>.
+//
+// Modeled on the absl::Status / StatusOr idiom. Used at the library boundary
+// (file I/O, request validation); internal invariants use CR_CHECK instead.
+
+#ifndef CONSERVATION_UTIL_STATUS_H_
+#define CONSERVATION_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace conservation::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no message
+// allocated), explicit about failure on the error path.
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    CR_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. `value()` CR_CHECKs on access when not ok.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and errors keeps call sites natural:
+  //   Result<int> F() { return 42; }
+  //   Result<int> G() { return Status::InvalidArgument("nope"); }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CR_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CR_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    CR_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CR_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // ok() unless an error was stored.
+  std::optional<T> value_;
+};
+
+}  // namespace conservation::util
+
+#endif  // CONSERVATION_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for the benchmark harness and generator statistics.
+
+#ifndef CONSERVATION_UTIL_STOPWATCH_H_
+#define CONSERVATION_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace conservation::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace conservation::util
+
+#endif  // CONSERVATION_UTIL_STOPWATCH_H_

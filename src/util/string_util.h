@@ -1,0 +1,34 @@
+// Small string helpers used by the I/O and reporting layers.
+
+#ifndef CONSERVATION_UTIL_STRING_UTIL_H_
+#define CONSERVATION_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace conservation::util {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on a single character; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Parses a double; returns false on malformed or trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+// Formats a double compactly: integers without a decimal point, otherwise up
+// to `max_decimals` digits with trailing zeros trimmed.
+std::string FormatNumber(double value, int max_decimals = 4);
+
+}  // namespace conservation::util
+
+#endif  // CONSERVATION_UTIL_STRING_UTIL_H_

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "datagen/power_grid.h"
+#include "tests/test_data.h"
+
+namespace conservation::core {
+namespace {
+
+TEST(ThresholdSweepTest, MonotoneCoverageForFailTableaux) {
+  const series::CountSequence counts =
+      testing_util::RandomDominatedCounts(41, 150);
+  auto rule = ConservationRule::Create(counts);
+  ASSERT_TRUE(rule.ok());
+
+  TableauRequest request;
+  request.type = TableauType::kFail;
+  request.s_hat = 1.0;  // cover as much as candidates allow
+  auto sweep =
+      ThresholdSweep(*rule, request, {0.1, 0.3, 0.5, 0.7, 0.9});
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->size(), 5u);
+  // Raising the fail threshold only admits more intervals: coverage is
+  // nondecreasing in c_hat.
+  for (size_t k = 1; k < sweep->size(); ++k) {
+    EXPECT_GE((*sweep)[k].covered, (*sweep)[k - 1].covered)
+        << "c_hat=" << (*sweep)[k].c_hat;
+  }
+}
+
+TEST(ThresholdSweepTest, PropagatesValidationErrors) {
+  auto rule = ConservationRule::Create({1.0, 2.0}, {2.0, 2.0});
+  ASSERT_TRUE(rule.ok());
+  TableauRequest request;
+  auto sweep = ThresholdSweep(*rule, request, {0.5, 1.5});
+  EXPECT_FALSE(sweep.ok());
+}
+
+TEST(ConfidenceProfileTest, LengthAndValues) {
+  auto rule = ConservationRule::Create({5, 5, 0, 5, 5}, {5, 5, 5, 5, 5});
+  ASSERT_TRUE(rule.ok());
+  const std::vector<double> profile =
+      ConfidenceProfile(*rule, ConfidenceModel::kBalance, 2);
+  ASSERT_EQ(profile.size(), 4u);  // t = 2..5
+  // Window [2,3] spans the dead tick: depressed confidence.
+  EXPECT_LT(profile[1], profile[0]);
+  // Profile values match direct evaluation.
+  const ConfidenceEvaluator eval = rule->Evaluator(ConfidenceModel::kBalance);
+  for (size_t k = 0; k < profile.size(); ++k) {
+    const int64_t t = 2 + static_cast<int64_t>(k);
+    const auto direct = eval.Confidence(t - 1, t);
+    EXPECT_DOUBLE_EQ(profile[k], direct.value_or(-1.0));
+  }
+}
+
+TEST(ConfidenceProfileTest, FullWindowIsSinglePoint) {
+  auto rule = ConservationRule::Create({1, 1, 1}, {1, 1, 1});
+  ASSERT_TRUE(rule.ok());
+  const std::vector<double> profile =
+      ConfidenceProfile(*rule, ConfidenceModel::kBalance, 3);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile[0], 1.0);
+}
+
+TEST(RankBySeverityTest, OrdersByMisplacedMass) {
+  // Two failures far enough apart that no single interval below the
+  // threshold spans both: a heavy outage (ticks 3-8) and a light one
+  // (ticks 42-43) in an otherwise-perfect 50-tick trace.
+  std::vector<double> a(50, 9.0);
+  std::vector<double> b(50, 9.0);
+  for (int t = 2; t <= 7; ++t) a[static_cast<size_t>(t)] = 0.0;
+  for (int t = 41; t <= 42; ++t) a[static_cast<size_t>(t)] = 0.0;
+  auto rule = ConservationRule::Create(a, b);
+  ASSERT_TRUE(rule.ok());
+
+  TableauRequest request;
+  request.type = TableauType::kFail;
+  request.c_hat = 0.4;
+  request.s_hat = 0.5;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  ASSERT_GE(tableau->size(), 2u);
+
+  // Rank under the debit model: severity should reflect mass misplaced
+  // *inside* each interval, not the imbalance inherited from earlier
+  // outages (which the balance model rightly charges to later intervals).
+  const auto ranked =
+      RankBySeverity(*rule, ConfidenceModel::kDebit, *tableau);
+  ASSERT_EQ(ranked.size(), tableau->size());
+  for (size_t k = 1; k < ranked.size(); ++k) {
+    EXPECT_GE(ranked[k - 1].misplaced_mass, ranked[k].misplaced_mass);
+  }
+  // The heavy outage ranks first and overlaps ticks 3-8.
+  EXPECT_TRUE(ranked.front().interval.Overlaps({3, 8}));
+  EXPECT_TRUE(ranked.back().interval.Overlaps({42, 50}));
+}
+
+// Power-grid scenario exercised through the analysis helpers: theft is a
+// persistent violation (profile stays low after onset), an outage is
+// transient (profile recovers).
+TEST(PowerGridAnalysisTest, TheftVersusOutageProfiles) {
+  datagen::PowerGridParams theft_params;
+  theft_params.theft_start_tick = 1000;
+  theft_params.theft_fraction = 0.8;
+  const datagen::PowerGridData theft = datagen::GeneratePowerGrid(theft_params);
+
+  datagen::PowerGridParams outage_params;
+  outage_params.outage_begin_tick = 1000;
+  outage_params.outage_end_tick = 1200;
+  const datagen::PowerGridData outage =
+      datagen::GeneratePowerGrid(outage_params);
+
+  auto theft_rule = ConservationRule::Create(theft.counts);
+  auto outage_rule = ConservationRule::Create(outage.counts);
+  ASSERT_TRUE(theft_rule.ok());
+  ASSERT_TRUE(outage_rule.ok());
+
+  const int64_t window = 96;  // one day
+  const auto theft_profile =
+      ConfidenceProfile(*theft_rule, ConfidenceModel::kDebit, window);
+  const auto outage_profile =
+      ConfidenceProfile(*outage_rule, ConfidenceModel::kDebit, window);
+
+  // Late in the trace (well after both fault onsets), theft keeps the
+  // windowed confidence depressed while the ended outage has recovered.
+  const size_t late = theft_profile.size() - 200;
+  EXPECT_LT(theft_profile[late], outage_profile[late] - 0.005);
+  // Before the faults, both are equally healthy.
+  EXPECT_NEAR(theft_profile[400], outage_profile[400], 0.02);
+}
+
+}  // namespace
+}  // namespace conservation::core

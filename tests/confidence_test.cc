@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/confidence.h"
+#include "series/cumulative.h"
+#include "series/sequence.h"
+#include "util/random.h"
+
+namespace conservation::core {
+namespace {
+
+using series::CountSequence;
+using series::CumulativeSeries;
+
+// Paper Figure 2: a = <2,0,1,1,2> (outbound), b = <3,1,1,2,0> (inbound).
+// I = [2, 4] (the paper writes it half-open as [2, 5)).
+class PaperFigure2Confidence : public ::testing::Test {
+ protected:
+  PaperFigure2Confidence()
+      : counts_(*CountSequence::Create({2, 0, 1, 1, 2}, {3, 1, 1, 2, 0})),
+        cumulative_(counts_) {}
+
+  CountSequence counts_;
+  CumulativeSeries cumulative_;
+};
+
+TEST_F(PaperFigure2Confidence, BalanceModelIsThreeTenths) {
+  const ConfidenceEvaluator eval(&cumulative_, ConfidenceModel::kBalance);
+  EXPECT_DOUBLE_EQ(eval.AreaA(2, 4), 3.0);
+  EXPECT_DOUBLE_EQ(eval.AreaB(2, 4), 10.0);
+  ASSERT_TRUE(eval.Confidence(2, 4).has_value());
+  EXPECT_DOUBLE_EQ(*eval.Confidence(2, 4), 0.3);
+}
+
+TEST_F(PaperFigure2Confidence, DebitModelIsThreeSevenths) {
+  const ConfidenceEvaluator eval(&cumulative_, ConfidenceModel::kDebit);
+  // S_2 = min_{k>=2}(B_k - A_k) = 1; B is shifted down by 1.
+  EXPECT_DOUBLE_EQ(eval.AreaA(2, 4), 3.0);
+  EXPECT_DOUBLE_EQ(eval.AreaB(2, 4), 7.0);
+  EXPECT_DOUBLE_EQ(*eval.Confidence(2, 4), 3.0 / 7.0);
+}
+
+TEST_F(PaperFigure2Confidence, CreditModelIsSixTenths) {
+  const ConfidenceEvaluator eval(&cumulative_, ConfidenceModel::kCredit);
+  // A is shifted up by S_2 = 1.
+  EXPECT_DOUBLE_EQ(eval.AreaA(2, 4), 6.0);
+  EXPECT_DOUBLE_EQ(eval.AreaB(2, 4), 10.0);
+  EXPECT_DOUBLE_EQ(*eval.Confidence(2, 4), 0.6);
+}
+
+TEST_F(PaperFigure2Confidence, BaselinesMatchDefinitions) {
+  const ConfidenceEvaluator balance(&cumulative_, ConfidenceModel::kBalance);
+  const ConfidenceEvaluator credit(&cumulative_, ConfidenceModel::kCredit);
+  const ConfidenceEvaluator debit(&cumulative_, ConfidenceModel::kDebit);
+  // i = 2: A_1 = 2, S_2 = 1.
+  EXPECT_DOUBLE_EQ(balance.BaselineA(2), 2.0);
+  EXPECT_DOUBLE_EQ(balance.BaselineB(2), 2.0);
+  EXPECT_DOUBLE_EQ(credit.BaselineA(2), 1.0);
+  EXPECT_DOUBLE_EQ(credit.BaselineB(2), 2.0);
+  EXPECT_DOUBLE_EQ(debit.BaselineA(2), 2.0);
+  EXPECT_DOUBLE_EQ(debit.BaselineB(2), 3.0);
+}
+
+TEST_F(PaperFigure2Confidence, ZeroOutboundIntervalHasZeroBalanceConfidence) {
+  // The balance model's motivating requirement (§II): if A stays flat in I,
+  // conf must be 0 regardless of history.
+  auto counts = CountSequence::Create({3, 0, 0, 1}, {3, 2, 2, 2});
+  ASSERT_TRUE(counts.ok());
+  const CumulativeSeries cumulative(*counts);
+  const ConfidenceEvaluator eval(&cumulative, ConfidenceModel::kBalance);
+  EXPECT_DOUBLE_EQ(*eval.Confidence(2, 3), 0.0);
+}
+
+TEST_F(PaperFigure2Confidence, UndefinedWhenDenominatorZero) {
+  // With no inbound mass above the baseline, confidence is undefined.
+  auto flat = CountSequence::Create({2, 0}, {2, 0});
+  ASSERT_TRUE(flat.ok());
+  const CumulativeSeries flat_cumulative(*flat);
+  const ConfidenceEvaluator flat_eval(&flat_cumulative,
+                                      ConfidenceModel::kBalance);
+  // [2, 2]: baseline A_1 = 2, B_2 = 2 -> areaB = 0 -> undefined.
+  EXPECT_FALSE(flat_eval.Confidence(2, 2).has_value());
+}
+
+// Property sweep: on random dominated integer data, all three models yield
+// confidences in [0, 1] whenever defined, and credit >= balance, while
+// debit's and credit's discounting never increases the implied delay
+// penalty relative to balance (conf_d >= conf_b, conf_c >= conf_b).
+class ConfidenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConfidenceProperty, ModelsAreBoundedAndOrdered) {
+  util::Rng rng(GetParam());
+  const int64_t n = 60;
+  std::vector<double> a;
+  std::vector<double> b;
+  double slack = 0.0;  // cumulative B - A, kept non-negative
+  for (int64_t t = 0; t < n; ++t) {
+    const double inbound = static_cast<double>(rng.Poisson(5.0));
+    // Outbound cannot exceed available slack + current inbound.
+    const double max_out = slack + inbound;
+    double outbound = static_cast<double>(
+        rng.UniformInt(0, static_cast<int64_t>(max_out)));
+    b.push_back(inbound);
+    a.push_back(outbound);
+    slack += inbound - outbound;
+  }
+  auto counts = CountSequence::Create(std::move(a), std::move(b));
+  ASSERT_TRUE(counts.ok());
+  const CumulativeSeries cumulative(*counts);
+  ASSERT_TRUE(cumulative.Dominates());
+
+  const ConfidenceEvaluator balance(&cumulative, ConfidenceModel::kBalance);
+  const ConfidenceEvaluator credit(&cumulative, ConfidenceModel::kCredit);
+  const ConfidenceEvaluator debit(&cumulative, ConfidenceModel::kDebit);
+
+  for (int64_t i = 1; i <= n; i += 3) {
+    for (int64_t j = i; j <= n; j += 2) {
+      for (const ConfidenceEvaluator* eval : {&balance, &credit, &debit}) {
+        const std::optional<double> conf = eval->Confidence(i, j);
+        if (conf.has_value()) {
+          EXPECT_GE(*conf, 0.0) << "i=" << i << " j=" << j;
+          EXPECT_LE(*conf, 1.0 + 1e-12) << "i=" << i << " j=" << j;
+        }
+      }
+      const auto conf_b = balance.Confidence(i, j);
+      const auto conf_c = credit.Confidence(i, j);
+      const auto conf_d = debit.Confidence(i, j);
+      if (conf_b.has_value() && conf_c.has_value()) {
+        EXPECT_GE(*conf_c, *conf_b - 1e-12);
+      }
+      if (conf_b.has_value() && conf_d.has_value()) {
+        EXPECT_GE(*conf_d, *conf_b - 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(ConfidenceProperty, AreaClosedFormMatchesDirectSummation) {
+  util::Rng rng(GetParam() + 1000);
+  const int64_t n = 40;
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int64_t t = 0; t < n; ++t) {
+    a.push_back(static_cast<double>(rng.Poisson(3.0)));
+    b.push_back(a.back() + static_cast<double>(rng.Poisson(2.0)));
+  }
+  auto counts = CountSequence::Create(std::move(a), std::move(b));
+  ASSERT_TRUE(counts.ok());
+  const CumulativeSeries cumulative(*counts);
+  ASSERT_TRUE(cumulative.Dominates());
+
+  for (const ConfidenceModel model :
+       {ConfidenceModel::kBalance, ConfidenceModel::kCredit,
+        ConfidenceModel::kDebit}) {
+    const ConfidenceEvaluator eval(&cumulative, model);
+    for (int64_t i = 1; i <= n; i += 5) {
+      for (int64_t j = i; j <= n; j += 3) {
+        double direct_a = 0.0;
+        double direct_b = 0.0;
+        for (int64_t l = i; l <= j; ++l) {
+          direct_a += cumulative.A(l) - eval.BaselineA(i);
+          direct_b += cumulative.B(l) - eval.BaselineB(i);
+        }
+        EXPECT_NEAR(eval.AreaA(i, j), std::max(direct_a, 0.0), 1e-7);
+        EXPECT_NEAR(eval.AreaB(i, j), std::max(direct_b, 0.0), 1e-7);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfidenceProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace conservation::core

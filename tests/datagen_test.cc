@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "datagen/credit_card.h"
+#include "datagen/job_log.h"
+#include "datagen/people_count.h"
+#include "datagen/router.h"
+#include "datagen/tcp_trace.h"
+#include "core/confidence.h"
+#include "series/cumulative.h"
+
+namespace conservation::datagen {
+namespace {
+
+TEST(CreditCardTest, ShapeAndDominance) {
+  const CreditCardData data = GenerateCreditCard();
+  EXPECT_EQ(data.counts.n(), 344);
+  const series::CumulativeSeries cumulative(data.counts);
+  EXPECT_TRUE(cumulative.Dominates());
+}
+
+TEST(CreditCardTest, Deterministic) {
+  const CreditCardData one = GenerateCreditCard();
+  const CreditCardData two = GenerateCreditCard();
+  for (int64_t t = 1; t <= one.counts.n(); ++t) {
+    EXPECT_DOUBLE_EQ(one.counts.a(t), two.counts.a(t));
+    EXPECT_DOUBLE_EQ(one.counts.b(t), two.counts.b(t));
+  }
+}
+
+TEST(CreditCardTest, DecemberChargesDominatePayments) {
+  const CreditCardData data = GenerateCreditCard();
+  // In Decembers of late (non-recession) years, charges exceed payments.
+  int december_excess = 0;
+  int december_count = 0;
+  for (int64_t t = 1; t <= data.counts.n(); ++t) {
+    const int month = static_cast<int>((t - 1) % 12) + 1;
+    const int year = data.params.start_year + static_cast<int>((t - 1) / 12);
+    if (month == 12 && year >= 2000 && year != data.params.recession_year) {
+      ++december_count;
+      if (data.counts.b(t) > data.counts.a(t)) ++december_excess;
+    }
+  }
+  EXPECT_GT(december_count, 0);
+  EXPECT_EQ(december_excess, december_count);
+}
+
+TEST(CreditCardTest, OverallConfidenceNearOne) {
+  const CreditCardData data = GenerateCreditCard();
+  const series::CumulativeSeries cumulative(data.counts);
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kBalance);
+  ASSERT_TRUE(eval.Confidence(1, data.counts.n()).has_value());
+  EXPECT_GT(*eval.Confidence(1, data.counts.n()), 0.9);
+}
+
+TEST(PeopleCountTest, ShapeAndDominance) {
+  const PeopleCountData data = GeneratePeopleCount();
+  EXPECT_EQ(data.counts.n(), 15 * 7 * 48);
+  const series::CumulativeSeries cumulative(data.counts);
+  EXPECT_TRUE(cumulative.Dominates());
+}
+
+TEST(PeopleCountTest, SideExitCreatesPersistentGap) {
+  const PeopleCountData data = GeneratePeopleCount();
+  const series::CumulativeSeries cumulative(data.counts);
+  const int64_t n = data.counts.n();
+  // The cumulative gap at the end reflects the unrecorded side exits: a
+  // small but persistent share of all entrances (kept modest so it does not
+  // drown the event signal; see PeopleCountParams::side_exit_fraction).
+  const double gap = cumulative.B(n) - cumulative.A(n);
+  EXPECT_GT(gap / cumulative.B(n), 0.01);
+  EXPECT_LT(gap / cumulative.B(n), 0.2);
+}
+
+TEST(PeopleCountTest, EventsAreWithinTraceAndOrdered) {
+  const PeopleCountData data = GeneratePeopleCount();
+  EXPECT_EQ(static_cast<int>(data.events.size()), data.params.num_events);
+  const int64_t n = data.counts.n();
+  int previous_day = -1;
+  for (const BuildingEvent& event : data.events) {
+    EXPECT_GE(event.day, previous_day);
+    previous_day = event.day;
+    EXPECT_GE(event.BeginTick(), 1);
+    EXPECT_LE(event.EndTick(), n);
+    EXPECT_LE(event.start_slot, event.end_slot);
+    EXPECT_GT(event.attendance, 0);
+  }
+}
+
+TEST(PeopleCountTest, EventsInflateEntrances) {
+  PeopleCountParams params;
+  params.num_events = 6;
+  params.min_attendance = 150;
+  params.max_attendance = 200;
+  const PeopleCountData data = GeneratePeopleCount(params);
+  // Around each event's start, entrances should spike well above the
+  // weekday baseline.
+  for (const BuildingEvent& event : data.events) {
+    double near_event = 0.0;
+    for (int64_t t = std::max<int64_t>(1, event.BeginTick() - 2);
+         t <= event.BeginTick(); ++t) {
+      near_event += data.counts.b(t);
+    }
+    EXPECT_GT(near_event, 50.0) << event.label;
+  }
+}
+
+TEST(RouterTest, CleanRouterConservesTraffic) {
+  RouterParams params;
+  params.profile = RouterProfile::kClean;
+  params.num_ticks = 1000;
+  const RouterData data = GenerateRouter(params);
+  const series::CumulativeSeries cumulative(data.counts);
+  EXPECT_TRUE(cumulative.Dominates());
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kDebit);
+  EXPECT_GT(*eval.Confidence(1, 1000), 0.95);
+}
+
+TEST(RouterTest, UnmonitoredLinkDepressesConfidence) {
+  RouterParams params;
+  params.profile = RouterProfile::kUnmonitoredLink;
+  params.num_ticks = 1000;
+  const RouterData data = GenerateRouter(params);
+  const series::CumulativeSeries cumulative(data.counts);
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kDebit);
+  EXPECT_LT(*eval.Confidence(1, 1000), 0.7);
+}
+
+TEST(RouterTest, LateActivationRecoversAfterTick) {
+  RouterParams params;
+  params.profile = RouterProfile::kLateActivation;
+  params.num_ticks = 1000;
+  params.activation_tick = 800;
+  const RouterData data = GenerateRouter(params);
+  const series::CumulativeSeries cumulative(data.counts);
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kDebit);
+  // Before activation traffic is under-measured; after, it conserves.
+  EXPECT_LT(*eval.Confidence(1, 799), 0.7);
+  EXPECT_GT(*eval.Confidence(810, 1000), 0.85);
+}
+
+TEST(RouterTest, FleetHasExpectedNames) {
+  const std::vector<RouterData> fleet = GenerateRouterFleet(3, 500, 99);
+  ASSERT_EQ(fleet.size(), 5u + 1u + 3u);
+  EXPECT_EQ(fleet[0].name, "Router-1");
+  EXPECT_EQ(fleet[5].name, "Router-7");
+  EXPECT_EQ(fleet[5].params.profile, RouterProfile::kLateActivation);
+  EXPECT_EQ(fleet[6].params.profile, RouterProfile::kClean);
+}
+
+TEST(RouterTest, WellBehavedTrafficHasConfidenceNearOne) {
+  const series::CountSequence counts = GenerateWellBehavedTraffic(906);
+  EXPECT_EQ(counts.n(), 906);
+  const series::CumulativeSeries cumulative(counts);
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kBalance);
+  EXPECT_GT(*eval.Confidence(1, 906), 0.99);
+}
+
+TEST(TcpTraceTest, ShapeDominanceAndBurstiness) {
+  TcpTraceParams params;
+  params.num_ticks = 20000;
+  const TcpTraceData data = GenerateTcpTrace(params);
+  EXPECT_EQ(data.counts.n(), 20000);
+  const series::CumulativeSeries cumulative(data.counts);
+  EXPECT_TRUE(cumulative.Dominates());
+  // Burstiness: the per-tick SYN variance should exceed the mean
+  // (overdispersion vs. plain Poisson).
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int64_t t = 1; t <= data.counts.n(); ++t) {
+    sum += data.counts.b(t);
+    sum_sq += data.counts.b(t) * data.counts.b(t);
+  }
+  const double mean = sum / static_cast<double>(data.counts.n());
+  const double variance =
+      sum_sq / static_cast<double>(data.counts.n()) - mean * mean;
+  EXPECT_GT(variance, 1.2 * mean);
+}
+
+TEST(JobLogTest, ShapeDominanceAndHighConfidence) {
+  JobLogParams params;
+  params.num_ticks = 50000;
+  const JobLogData data = GenerateJobLog(params);
+  const series::CumulativeSeries cumulative(data.counts);
+  EXPECT_TRUE(cumulative.Dominates());
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kBalance);
+  // Fig. 7 requires conf(1, n) to be extremely high on the job data.
+  EXPECT_GT(*eval.Confidence(1, data.counts.n()), 0.995);
+}
+
+TEST(JobLogTest, WeekendsAreQuieter) {
+  JobLogParams params;
+  params.num_ticks = 14 * 1440;  // two weeks of minute ticks
+  const JobLogData data = GenerateJobLog(params);
+  double weekday_sum = 0.0;
+  double weekend_sum = 0.0;
+  int64_t weekday_ticks = 0;
+  int64_t weekend_ticks = 0;
+  for (int64_t t = 1; t <= data.counts.n(); ++t) {
+    const int64_t day = (t - 1) / params.ticks_per_day;
+    if (day % 7 >= 5) {
+      weekend_sum += data.counts.b(t);
+      ++weekend_ticks;
+    } else {
+      weekday_sum += data.counts.b(t);
+      ++weekday_ticks;
+    }
+  }
+  EXPECT_LT(weekend_sum / weekend_ticks, weekday_sum / weekday_ticks);
+}
+
+}  // namespace
+}  // namespace conservation::datagen

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "core/delay.h"
+#include "series/cumulative.h"
+#include "series/sequence.h"
+
+namespace conservation::core {
+namespace {
+
+TEST(DelayTest, PaperFigure2TotalDelay) {
+  // Figure 2(a): total delay is at least eight with the unmatched 7-in
+  // event; sum (B_l - A_l) = 9 counts its one outstanding tick too.
+  auto counts =
+      series::CountSequence::Create({2, 0, 1, 1, 2}, {3, 1, 1, 2, 0});
+  ASSERT_TRUE(counts.ok());
+  const series::CumulativeSeries cumulative(*counts);
+  const DelayReport report = TotalDelay(cumulative);
+  EXPECT_DOUBLE_EQ(report.total_delay, 9.0);
+  EXPECT_DOUBLE_EQ(report.outstanding_at_end, 1.0);
+  EXPECT_DOUBLE_EQ(report.delay_per_event, 9.0 / 7.0);
+}
+
+TEST(DelayTest, ZeroDelayWhenCurvesCoincide) {
+  auto counts = series::CountSequence::Create({3, 1, 2}, {3, 1, 2});
+  ASSERT_TRUE(counts.ok());
+  const series::CumulativeSeries cumulative(*counts);
+  const DelayReport report = TotalDelay(cumulative);
+  EXPECT_DOUBLE_EQ(report.total_delay, 0.0);
+  EXPECT_DOUBLE_EQ(report.outstanding_at_end, 0.0);
+}
+
+TEST(DelayTest, IntervalDelayIsAdditive) {
+  auto counts = series::CountSequence::Create({0, 1, 2, 1, 0},
+                                              {2, 1, 0, 1, 0});
+  ASSERT_TRUE(counts.ok());
+  const series::CumulativeSeries cumulative(*counts);
+  const double whole = IntervalDelay(cumulative, 1, 5).total_delay;
+  const double left = IntervalDelay(cumulative, 1, 2).total_delay;
+  const double right = IntervalDelay(cumulative, 3, 5).total_delay;
+  EXPECT_DOUBLE_EQ(whole, left + right);
+}
+
+TEST(DelayTest, OneTickShiftDelaysEverything) {
+  // b = <4, 0>, a = <0, 4>: four events each delayed one tick.
+  auto counts = series::CountSequence::Create({0, 4}, {4, 0});
+  ASSERT_TRUE(counts.ok());
+  const series::CumulativeSeries cumulative(*counts);
+  EXPECT_DOUBLE_EQ(TotalDelay(cumulative).total_delay, 4.0);
+  EXPECT_DOUBLE_EQ(TotalDelay(cumulative).delay_per_event, 1.0);
+}
+
+}  // namespace
+}  // namespace conservation::core

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/diagnose.h"
+#include "datagen/perturb.h"
+#include "datagen/router.h"
+
+namespace conservation::core {
+namespace {
+
+class DiagnoseTest : public ::testing::Test {
+ protected:
+  DiagnoseTest() : base_(datagen::GenerateWellBehavedTraffic(906)) {}
+
+  series::CountSequence Perturb(bool compensate,
+                                datagen::PerturbationInfo* info) {
+    datagen::PerturbationSpec spec;
+    spec.fraction = 0.15;
+    spec.compensate = compensate;
+    spec.latest_start_fraction = 0.4;
+    return datagen::ApplyPerturbation(base_, spec, info);
+  }
+
+  series::CountSequence base_;
+};
+
+TEST_F(DiagnoseTest, DelayedOutageIsClassifiedAsDelay) {
+  datagen::PerturbationInfo info;
+  const series::CountSequence delayed = Perturb(/*compensate=*/true, &info);
+  const series::CumulativeSeries cumulative(delayed);
+
+  const ViolationDiagnosis diagnosis = DiagnoseViolation(
+      cumulative, {info.drop_begin, info.drop_end});
+  EXPECT_EQ(diagnosis.kind, ViolationKind::kDelay);
+  EXPECT_GT(diagnosis.missing_mass, 0.0);
+  EXPECT_GT(diagnosis.recovered_fraction, 0.9);
+  // Recovery is detected at (or just after) the compensation tick.
+  EXPECT_GE(diagnosis.recovery_tick, info.recovery_tick - 1);
+  EXPECT_LE(diagnosis.recovery_tick, info.recovery_tick + 5);
+}
+
+TEST_F(DiagnoseTest, LossIsClassifiedAsLoss) {
+  datagen::PerturbationInfo info;
+  const series::CountSequence lost = Perturb(/*compensate=*/false, &info);
+  const series::CumulativeSeries cumulative(lost);
+
+  const ViolationDiagnosis diagnosis = DiagnoseViolation(
+      cumulative, {info.drop_begin, info.drop_end});
+  EXPECT_EQ(diagnosis.kind, ViolationKind::kLoss);
+  EXPECT_EQ(diagnosis.recovery_tick, 0);
+  EXPECT_LT(diagnosis.recovered_fraction, 0.25);
+  // The missing mass matches what the perturbation removed (up to the
+  // background forwarding jitter of the trace).
+  EXPECT_NEAR(diagnosis.missing_mass, info.amount_removed,
+              0.05 * info.amount_removed);
+}
+
+TEST_F(DiagnoseTest, PartialRecoveryIsOngoing) {
+  // Hand-built: lose 100, recover 50 later.
+  std::vector<double> a(40, 10.0);
+  std::vector<double> b(40, 10.0);
+  for (int t = 10; t < 20; ++t) a[static_cast<size_t>(t)] = 0.0;  // -100
+  a[30] = 60.0;  // +50 back
+  auto counts = series::CountSequence::Create(a, b);
+  ASSERT_TRUE(counts.ok());
+  const series::CumulativeSeries cumulative(*counts);
+
+  const ViolationDiagnosis diagnosis =
+      DiagnoseViolation(cumulative, {11, 20});
+  EXPECT_EQ(diagnosis.kind, ViolationKind::kOngoing);
+  EXPECT_NEAR(diagnosis.missing_mass, 100.0, 1e-9);
+  EXPECT_NEAR(diagnosis.recovered_fraction, 0.5, 1e-9);
+  EXPECT_EQ(diagnosis.recovery_tick, 0);  // never within 10% of baseline
+}
+
+TEST_F(DiagnoseTest, ZeroMissingMassIsTrivialDelay) {
+  auto counts = series::CountSequence::Create({5, 5, 5}, {5, 5, 5});
+  ASSERT_TRUE(counts.ok());
+  const series::CumulativeSeries cumulative(*counts);
+  const ViolationDiagnosis diagnosis = DiagnoseViolation(cumulative, {2, 3});
+  EXPECT_EQ(diagnosis.kind, ViolationKind::kDelay);
+  EXPECT_DOUBLE_EQ(diagnosis.recovered_fraction, 1.0);
+  EXPECT_EQ(diagnosis.recovery_tick, 3);
+}
+
+TEST_F(DiagnoseTest, DiagnoseTableauClassifiesEveryRow) {
+  datagen::PerturbationInfo info;
+  const series::CountSequence delayed = Perturb(/*compensate=*/true, &info);
+  auto rule = ConservationRule::Create(delayed);
+  ASSERT_TRUE(rule.ok());
+  TableauRequest request;
+  request.type = TableauType::kFail;
+  request.c_hat = 0.1;
+  request.s_hat = 0.02;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  ASSERT_GE(tableau->size(), 1u);
+
+  const auto diagnoses = DiagnoseTableau(*rule, *tableau);
+  ASSERT_EQ(diagnoses.size(), tableau->size());
+  // The interval overlapping the drop is classified as delay (the mass
+  // comes back at the recovery tick).
+  bool found_delay_over_drop = false;
+  for (const ViolationDiagnosis& diagnosis : diagnoses) {
+    if (diagnosis.interval.Overlaps({info.drop_begin, info.drop_end}) &&
+        diagnosis.kind == ViolationKind::kDelay) {
+      found_delay_over_drop = true;
+    }
+    EXPECT_FALSE(diagnosis.ToString().empty());
+  }
+  EXPECT_TRUE(found_delay_over_drop);
+}
+
+TEST_F(DiagnoseTest, KindNames) {
+  EXPECT_STREQ(ViolationKindName(ViolationKind::kDelay), "delay");
+  EXPECT_STREQ(ViolationKindName(ViolationKind::kLoss), "loss");
+  EXPECT_STREQ(ViolationKindName(ViolationKind::kOngoing), "ongoing");
+}
+
+}  // namespace
+}  // namespace conservation::core

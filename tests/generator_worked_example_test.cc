@@ -1,0 +1,152 @@
+// Reproduces the worked example of paper §III.A: the hold-tableau interval
+// selection on a = <5,8,6,8,7,4,3,20,11,7>, b = <10,8,11,13,6,6,5,9,12,6>
+// with eps = 1 and Delta = 3.
+//
+// Note: the paper's running text around this example contains small
+// arithmetic slips (e.g. it lists conf(3,7) = 94/121, mixing the [3,7]
+// numerator with the [3,6] denominator, and claims areaB[3,10] = 362 > 384).
+// The assertions below follow the paper's *definitions*, under which the
+// final answer (interval [3, 10] is selected for anchor 3) is unchanged.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/confidence.h"
+#include "interval/area_based.h"
+#include "interval/exhaustive.h"
+#include "series/cumulative.h"
+#include "series/sequence.h"
+
+namespace conservation::interval {
+namespace {
+
+class WorkedExample : public ::testing::Test {
+ protected:
+  WorkedExample()
+      : counts_(*series::CountSequence::Create(
+            {5, 8, 6, 8, 7, 4, 3, 20, 11, 7},
+            {10, 8, 11, 13, 6, 6, 5, 9, 12, 6})),
+        cumulative_(counts_),
+        eval_(&cumulative_, core::ConfidenceModel::kBalance) {}
+
+  series::CountSequence counts_;
+  series::CumulativeSeries cumulative_;
+  core::ConfidenceEvaluator eval_;
+};
+
+TEST_F(WorkedExample, CumulativeSeriesMatchPaper) {
+  const double expected_A[] = {0, 5, 13, 19, 27, 34, 38, 41, 61, 72, 79};
+  const double expected_B[] = {0, 10, 18, 29, 42, 48, 54, 59, 68, 80, 86};
+  for (int64_t l = 0; l <= 10; ++l) {
+    EXPECT_DOUBLE_EQ(cumulative_.A(l), expected_A[l]) << "l=" << l;
+    EXPECT_DOUBLE_EQ(cumulative_.B(l), expected_B[l]) << "l=" << l;
+  }
+  EXPECT_DOUBLE_EQ(cumulative_.delta(), 3.0);
+  // areaB(1, 10) = sum B_l = 494 (baseline A_0 = 0).
+  EXPECT_DOUBLE_EQ(eval_.AreaB(1, 10), 494.0);
+}
+
+TEST_F(WorkedExample, AreasForAnchorThree) {
+  // Baseline for i = 3 is A_2 = 13.
+  EXPECT_DOUBLE_EQ(eval_.AreaB(3, 3), 16.0);
+  EXPECT_DOUBLE_EQ(eval_.AreaB(3, 4), 45.0);
+  EXPECT_DOUBLE_EQ(eval_.AreaB(3, 5), 80.0);
+  EXPECT_DOUBLE_EQ(eval_.AreaB(3, 6), 121.0);
+  EXPECT_DOUBLE_EQ(eval_.AreaB(3, 7), 167.0);
+  EXPECT_DOUBLE_EQ(eval_.AreaB(3, 8), 222.0);
+  EXPECT_DOUBLE_EQ(eval_.AreaB(3, 9), 289.0);
+  EXPECT_DOUBLE_EQ(eval_.AreaB(3, 10), 362.0);
+}
+
+TEST_F(WorkedExample, ConfidencesForAnchorThree) {
+  EXPECT_DOUBLE_EQ(*eval_.Confidence(3, 3), 6.0 / 16.0);
+  EXPECT_DOUBLE_EQ(*eval_.Confidence(3, 4), 20.0 / 45.0);
+  EXPECT_DOUBLE_EQ(*eval_.Confidence(3, 5), 41.0 / 80.0);
+  EXPECT_DOUBLE_EQ(*eval_.Confidence(3, 7), 94.0 / 167.0);
+  EXPECT_DOUBLE_EQ(*eval_.Confidence(3, 9), 201.0 / 289.0);
+  EXPECT_DOUBLE_EQ(*eval_.Confidence(3, 10), 267.0 / 362.0);
+}
+
+// The breakpoints r_{3,l} for thresholds Delta * 2^l:
+//   l = 0..2: none (16 > 3, 6, 12); l = 3: 3; l = 4: 4; l = 5: 5;
+//   l = 6: 7; l = 7: 10 (areaB[3,10] = 362 <= 384).
+TEST_F(WorkedExample, BreakpointsForAnchorThree) {
+  const double thresholds[] = {3, 6, 12, 24, 48, 96, 192, 384};
+  const int64_t expected_r[] = {0, 0, 0, 3, 4, 5, 7, 10};
+  for (int level = 0; level < 8; ++level) {
+    int64_t r = 0;
+    for (int64_t j = 3; j <= 10; ++j) {
+      if (eval_.AreaB(3, j) <= thresholds[level]) r = j;
+    }
+    EXPECT_EQ(r, expected_r[level]) << "level " << level;
+  }
+}
+
+TEST_F(WorkedExample, AreaBasedSelectsLongestQualifyingInterval) {
+  GeneratorOptions options;
+  options.type = core::TableauType::kHold;
+  options.c_hat = 1.0;
+  options.epsilon = 1.0;  // threshold c_hat / (1 + eps) = 0.5
+  AreaBasedGenerator generator;
+  GeneratorStats stats;
+  const std::vector<Interval> candidates =
+      generator.Generate(eval_, options, &stats);
+
+  const auto at_anchor_3 =
+      std::find_if(candidates.begin(), candidates.end(),
+                   [](const Interval& iv) { return iv.begin == 3; });
+  ASSERT_NE(at_anchor_3, candidates.end());
+  EXPECT_EQ(at_anchor_3->end, 10);
+  EXPECT_GT(stats.intervals_tested, 0u);
+}
+
+TEST_F(WorkedExample, DeltaModeOneUsesUnitBase) {
+  GeneratorOptions options;
+  options.delta_mode = DeltaMode::kOne;
+  EXPECT_DOUBLE_EQ(ResolveDelta(cumulative_, options), 1.0);
+  options.delta_mode = DeltaMode::kMinPositiveCount;
+  EXPECT_DOUBLE_EQ(ResolveDelta(cumulative_, options), 3.0);
+}
+
+TEST_F(WorkedExample, ScaleInvariance) {
+  // §III.A: multiplying both sequences by a positive scalar changes neither
+  // the answers nor (asymptotically) the running time.
+  GeneratorOptions options;
+  options.type = core::TableauType::kHold;
+  options.c_hat = 0.8;
+  options.epsilon = 0.25;
+
+  AreaBasedGenerator generator;
+  const std::vector<Interval> base =
+      generator.Generate(eval_, options, nullptr);
+
+  const series::CountSequence scaled = counts_.Scaled(37.5);
+  const series::CumulativeSeries scaled_cumulative(scaled);
+  const core::ConfidenceEvaluator scaled_eval(&scaled_cumulative,
+                                              core::ConfidenceModel::kBalance);
+  const std::vector<Interval> scaled_result =
+      generator.Generate(scaled_eval, options, nullptr);
+  EXPECT_EQ(base, scaled_result);
+}
+
+TEST_F(WorkedExample, ExhaustiveFindsPerAnchorOptimum) {
+  GeneratorOptions options;
+  options.type = core::TableauType::kHold;
+  options.c_hat = 0.5;
+  ExhaustiveGenerator generator;
+  GeneratorStats stats;
+  const std::vector<Interval> candidates =
+      generator.Generate(eval_, options, &stats);
+  // n = 10 => 55 interval tests.
+  EXPECT_EQ(stats.intervals_tested, 55u);
+  // Anchor 3's largest j with conf >= 0.5 is 10 (conf = 0.7376).
+  const auto at_anchor_3 =
+      std::find_if(candidates.begin(), candidates.end(),
+                   [](const Interval& iv) { return iv.begin == 3; });
+  ASSERT_NE(at_anchor_3, candidates.end());
+  EXPECT_EQ(at_anchor_3->end, 10);
+}
+
+}  // namespace
+}  // namespace conservation::interval

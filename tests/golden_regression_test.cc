@@ -1,0 +1,86 @@
+// Golden regression tests: pin the headline reproduction numbers produced
+// by the deterministic, seeded generators. If a generator or algorithm
+// change shifts these, EXPERIMENTS.md needs re-validation — this test makes
+// that visible instead of silent.
+
+#include <gtest/gtest.h>
+
+#include "core/conservation_rule.h"
+#include "datagen/credit_card.h"
+#include "datagen/router.h"
+#include "io/timeline.h"
+
+namespace conservation {
+namespace {
+
+TEST(GoldenRegression, CreditCardFailTableauIsSevenHolidaySeasons) {
+  const datagen::CreditCardData data = datagen::GenerateCreditCard();
+  auto rule = core::ConservationRule::Create(data.counts);
+  ASSERT_TRUE(rule.ok());
+  core::TableauRequest request;
+  request.type = core::TableauType::kFail;
+  request.c_hat = 0.7;
+  request.s_hat = 0.04;
+  request.epsilon = 0.01;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+
+  // The Fig. 3 reproduction: exactly the Nov-Dec seasons of 2001-2007.
+  ASSERT_EQ(tableau->size(), 7u);
+  const io::MonthTimeline timeline(1981, 1);
+  int expected_year = 2001;
+  for (const core::TableauRow& row : tableau->rows) {
+    EXPECT_EQ(timeline.MonthOf(row.interval.begin), 11);
+    EXPECT_EQ(timeline.MonthOf(row.interval.end), 12);
+    EXPECT_EQ(timeline.YearOf(row.interval.begin), expected_year);
+    ++expected_year;
+  }
+  // And the overall confidence the experiment reports.
+  EXPECT_NEAR(*rule->OverallConfidence(core::ConfidenceModel::kBalance),
+              0.9988, 5e-4);
+}
+
+TEST(GoldenRegression, Router7HoldTableauStartsNearActivation) {
+  const std::vector<datagen::RouterData> fleet =
+      datagen::GenerateRouterFleet(0, 3800, 20120402);
+  const datagen::RouterData* router7 = nullptr;
+  for (const auto& router : fleet) {
+    if (router.name == "Router-7") router7 = &router;
+  }
+  ASSERT_NE(router7, nullptr);
+  ASSERT_EQ(router7->params.activation_tick, 3610);
+
+  auto rule = core::ConservationRule::Create(router7->counts);
+  ASSERT_TRUE(rule.ok());
+  core::TableauRequest request;
+  request.type = core::TableauType::kHold;
+  request.model = core::ConfidenceModel::kDebit;
+  request.c_hat = 0.9;
+  request.s_hat = 0.04;
+  request.epsilon = 0.001;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  ASSERT_GE(tableau->size(), 1u);
+  // The Table III reproduction: the hold interval begins within ~25 ticks
+  // of the hidden link's activation and runs to the end.
+  EXPECT_NEAR(static_cast<double>(tableau->rows.front().interval.begin),
+              3610.0, 25.0);
+  EXPECT_EQ(tableau->rows.back().interval.end, 3800);
+}
+
+TEST(GoldenRegression, WorkedExampleConstantsNeverDrift) {
+  // Section III.A numbers that docs/ALGORITHMS.md §4 cites.
+  auto counts = series::CountSequence::Create(
+      {5, 8, 6, 8, 7, 4, 3, 20, 11, 7}, {10, 8, 11, 13, 6, 6, 5, 9, 12, 6});
+  ASSERT_TRUE(counts.ok());
+  const series::CumulativeSeries cumulative(*counts);
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kBalance);
+  EXPECT_DOUBLE_EQ(eval.AreaB(3, 7), 167.0);
+  EXPECT_DOUBLE_EQ(eval.AreaB(3, 9), 289.0);
+  EXPECT_DOUBLE_EQ(eval.AreaB(3, 10), 362.0);
+  EXPECT_NEAR(*eval.Confidence(3, 10), 0.7376, 5e-5);
+}
+
+}  // namespace
+}  // namespace conservation

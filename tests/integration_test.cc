@@ -1,0 +1,292 @@
+// End-to-end scenarios mirroring the paper's experiments (§IV), run through
+// the full pipeline: generator -> ConservationRule -> tableau discovery.
+
+#include <gtest/gtest.h>
+
+#include "core/conservation_rule.h"
+#include "datagen/credit_card.h"
+#include "datagen/people_count.h"
+#include "datagen/perturb.h"
+#include "datagen/router.h"
+#include "interval/generator.h"
+#include "io/timeline.h"
+
+namespace conservation {
+namespace {
+
+using core::ConfidenceModel;
+using core::ConservationRule;
+using core::TableauRequest;
+using core::TableauType;
+
+// --- §IV.D: perturbed data ------------------------------------------------
+
+class PerturbedScenario : public ::testing::Test {
+ protected:
+  PerturbedScenario() : base_(datagen::GenerateWellBehavedTraffic(906)) {}
+
+  series::CountSequence base_;
+};
+
+TEST_F(PerturbedScenario, WellBehavedDataHasEmptyFailTableau) {
+  auto rule = ConservationRule::Create(base_);
+  ASSERT_TRUE(rule.ok());
+  TableauRequest request;
+  request.type = TableauType::kFail;
+  request.c_hat = 0.3;
+  request.s_hat = 0.05;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  // Paper: "we obtained empty fail tableaux with a confidence bound as high
+  // as 0.3" on the unperturbed data.
+  EXPECT_FALSE(tableau->support_satisfied);
+  EXPECT_EQ(tableau->covered, 0);
+}
+
+TEST_F(PerturbedScenario, WellBehavedDataHoldsNearOne) {
+  auto rule = ConservationRule::Create(base_);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_GT(*rule->OverallConfidence(ConfidenceModel::kBalance), 0.99);
+}
+
+TEST_F(PerturbedScenario, DelayedTrafficSplitsHoldTableau) {
+  datagen::PerturbationSpec spec;
+  spec.fraction = 0.1;
+  spec.compensate = true;
+  spec.latest_start_fraction = 0.4;  // leave room for outage + recovery
+  datagen::PerturbationInfo info;
+  const series::CountSequence perturbed =
+      datagen::ApplyPerturbation(base_, spec, &info);
+  auto rule = ConservationRule::Create(perturbed);
+  ASSERT_TRUE(rule.ok());
+
+  TableauRequest request;
+  request.type = TableauType::kHold;
+  request.c_hat = 0.99;
+  request.s_hat = 0.6;
+  request.epsilon = 0.01;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  ASSERT_GE(tableau->size(), 1u);
+
+  // Paper: the hold tableau picks up the period before the drop and the
+  // period after the compensation — the middle of the outage stays
+  // uncovered.
+  const int64_t mid = (info.drop_end + info.recovery_tick) / 2;
+  for (const core::TableauRow& row : tableau->rows) {
+    EXPECT_FALSE(row.interval.Contains(mid))
+        << row.interval.ToString() << " covers outage midpoint " << mid;
+  }
+  // Some interval covers ticks before the drop and some covers ticks after
+  // the recovery.
+  bool covers_early = false;
+  bool covers_late = false;
+  for (const core::TableauRow& row : tableau->rows) {
+    if (row.interval.begin < info.drop_begin) covers_early = true;
+    if (row.interval.end > info.recovery_tick) covers_late = true;
+  }
+  EXPECT_TRUE(covers_early);
+  EXPECT_TRUE(covers_late);
+}
+
+TEST_F(PerturbedScenario, FailTableauPinpointsTheDrop) {
+  datagen::PerturbationSpec spec;
+  spec.fraction = 0.1;
+  spec.compensate = true;
+  spec.latest_start_fraction = 0.4;  // leave room for outage + recovery
+  datagen::PerturbationInfo info;
+  const series::CountSequence perturbed =
+      datagen::ApplyPerturbation(base_, spec, &info);
+  auto rule = ConservationRule::Create(perturbed);
+  ASSERT_TRUE(rule.ok());
+
+  TableauRequest request;
+  request.type = TableauType::kFail;
+  request.c_hat = 0.1;
+  request.s_hat = 0.01;
+  request.epsilon = 0.01;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  ASSERT_GE(tableau->size(), 1u);
+  // The reported intervals overlap the drop region.
+  bool overlaps_drop = false;
+  for (const core::TableauRow& row : tableau->rows) {
+    if (row.interval.Overlaps({info.drop_begin, info.drop_end + 5})) {
+      overlaps_drop = true;
+    }
+  }
+  EXPECT_TRUE(overlaps_drop);
+}
+
+TEST_F(PerturbedScenario, LossKeepsFailingUntilTheEnd) {
+  datagen::PerturbationSpec spec;
+  spec.fraction = 0.25;
+  spec.compensate = false;  // loss
+  spec.latest_start_fraction = 0.4;
+  datagen::PerturbationInfo info;
+  const series::CountSequence perturbed =
+      datagen::ApplyPerturbation(base_, spec, &info);
+  auto rule = ConservationRule::Create(perturbed);
+  ASSERT_TRUE(rule.ok());
+
+  // Paper: "when there was loss rather than delay, hold tableaux picked up
+  // only the interval before the loss, and fail tableaux picked up
+  // intervals until the end of time" (balance model).
+  TableauRequest hold;
+  hold.type = TableauType::kHold;
+  hold.c_hat = 0.99;
+  hold.s_hat = 0.3;
+  auto hold_tableau = rule->DiscoverTableau(hold);
+  ASSERT_TRUE(hold_tableau.ok());
+  for (const core::TableauRow& row : hold_tableau->rows) {
+    EXPECT_LT(row.interval.end, info.drop_begin + 50);
+  }
+
+  TableauRequest fail;
+  fail.type = TableauType::kFail;
+  fail.c_hat = 0.3;
+  fail.s_hat = 0.7;  // force coverage deep into the post-drop regime
+  auto fail_tableau = rule->DiscoverTableau(fail);
+  ASSERT_TRUE(fail_tableau.ok());
+  ASSERT_GE(fail_tableau->size(), 1u);
+  EXPECT_TRUE(fail_tableau->support_satisfied);
+  int64_t latest_end = 0;
+  for (const core::TableauRow& row : fail_tableau->rows) {
+    latest_end = std::max(latest_end, row.interval.end);
+  }
+  EXPECT_GE(latest_end, base_.n() - 5);
+}
+
+TEST_F(PerturbedScenario, CreditModelForgivesLossAfterwards) {
+  // With loss, credit/debit models discount the missing mass, so fail
+  // tableaux report (roughly) only the drop period, not the suffix.
+  datagen::PerturbationSpec spec;
+  spec.fraction = 0.25;
+  spec.compensate = false;
+  spec.latest_start_fraction = 0.4;
+  datagen::PerturbationInfo info;
+  const series::CountSequence perturbed =
+      datagen::ApplyPerturbation(base_, spec, &info);
+  auto rule = ConservationRule::Create(perturbed);
+  ASSERT_TRUE(rule.ok());
+
+  // Confidence of a post-drop suffix: near zero under balance, near one
+  // under credit.
+  const int64_t suffix_start = info.drop_end + 50;
+  const int64_t n = perturbed.n();
+  if (suffix_start < n - 50) {
+    const double balance =
+        *rule->Confidence(ConfidenceModel::kBalance, suffix_start, n);
+    const double credit =
+        *rule->Confidence(ConfidenceModel::kCredit, suffix_start, n);
+    EXPECT_LT(balance, 0.7);
+    EXPECT_GT(credit, 0.9);
+  }
+}
+
+// --- §IV.A: credit-card scenario -------------------------------------------
+
+TEST(CreditCardScenario, FailTableauFindsHolidaySeasons) {
+  const datagen::CreditCardData data = datagen::GenerateCreditCard();
+  auto rule = ConservationRule::Create(data.counts);
+  ASSERT_TRUE(rule.ok());
+
+  // Whole-sequence confidence is high (bills eventually get paid).
+  EXPECT_GT(*rule->OverallConfidence(ConfidenceModel::kBalance), 0.9);
+
+  TableauRequest request;
+  request.type = TableauType::kFail;
+  request.model = ConfidenceModel::kBalance;
+  // The paper used c_hat = 0.8 on the RBNZ data; our synthetic absolute
+  // levels sit slightly lower, and 0.7 separates Nov-Dec (conf ~0.65) from
+  // the clean Oct-Dec envelope (conf ~0.79). See EXPERIMENTS.md.
+  request.c_hat = 0.7;
+  request.s_hat = 0.03;
+  request.epsilon = 0.01;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  ASSERT_GE(tableau->size(), 1u);
+
+  const io::MonthTimeline timeline(data.params.start_year, 1);
+  int november_or_december_starts = 0;
+  for (const core::TableauRow& row : tableau->rows) {
+    const int month = timeline.MonthOf(row.interval.begin);
+    if (month == 11 || month == 12) ++november_or_december_starts;
+    // Paper: no tableau intervals ending in January — the January payment
+    // catch-up lifts confidence back above the threshold.
+    EXPECT_NE(timeline.MonthOf(row.interval.end), 1)
+        << timeline.LabelRange(row.interval);
+  }
+  EXPECT_GT(november_or_december_starts, 0);
+}
+
+// --- §IV.B: people-count scenario -------------------------------------------
+
+TEST(PeopleCountScenario, CreditFailIntervalsAlignWithEvents) {
+  const datagen::PeopleCountData data = datagen::GeneratePeopleCount();
+  auto rule = ConservationRule::Create(data.counts);
+  ASSERT_TRUE(rule.ok());
+
+  // Mirror the paper's Table I protocol: generate the candidate maximal
+  // fail intervals (credit model, c_hat = 0.6) and, for each event day,
+  // check that some interval on that day overlaps the event.
+  const core::ConfidenceEvaluator eval =
+      rule->Evaluator(ConfidenceModel::kCredit);
+  interval::GeneratorOptions options;
+  options.type = TableauType::kFail;
+  options.c_hat = 0.6;
+  options.epsilon = 0.01;
+  const auto generator =
+      interval::MakeGenerator(interval::AlgorithmKind::kAreaBased);
+  const std::vector<interval::Interval> candidates =
+      generator->Generate(eval, options, nullptr);
+
+  int matched = 0;
+  for (const datagen::BuildingEvent& event : data.events) {
+    const interval::Interval event_range{event.BeginTick(), event.EndTick()};
+    for (const interval::Interval& candidate : candidates) {
+      if (candidate.Overlaps(event_range)) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  // A clear majority of events is flagged (a couple of low-attendance or
+  // late-day events can stay above the threshold, as in any real trace).
+  EXPECT_GE(matched * 10, static_cast<int>(data.events.size()) * 6);
+
+  // And the side-exit imbalance depresses the *balance* model on late days
+  // while the credit model holds — the reason the paper switches models.
+  const int64_t n = data.counts.n();
+  const int64_t late_day_begin = n - 48 * 7 + 1;  // last week
+  const double balance_conf =
+      *rule->Confidence(ConfidenceModel::kBalance, late_day_begin, n);
+  const double credit_conf =
+      *rule->Confidence(ConfidenceModel::kCredit, late_day_begin, n);
+  EXPECT_GT(credit_conf, balance_conf + 0.1);
+}
+
+// --- §IV.C: network scenario ------------------------------------------------
+
+TEST(NetworkScenario, DebitFailTableauFlagsOnlyBadRouters) {
+  const std::vector<datagen::RouterData> fleet =
+      datagen::GenerateRouterFleet(4, 1200, 31337);
+  for (const datagen::RouterData& router : fleet) {
+    auto rule = ConservationRule::Create(router.counts);
+    ASSERT_TRUE(rule.ok()) << router.name;
+    TableauRequest request;
+    request.type = TableauType::kFail;
+    request.model = ConfidenceModel::kDebit;
+    request.c_hat = 0.5;
+    request.s_hat = 0.5;
+    auto tableau = rule->DiscoverTableau(request);
+    ASSERT_TRUE(tableau.ok()) << router.name;
+
+    const bool is_bad =
+        router.params.profile != datagen::RouterProfile::kClean;
+    EXPECT_EQ(tableau->support_satisfied, is_bad) << router.name;
+  }
+}
+
+}  // namespace
+}  // namespace conservation

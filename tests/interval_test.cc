@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "interval/interval.h"
+#include "interval/non_area_based.h"
+
+namespace conservation::interval {
+namespace {
+
+TEST(IntervalTest, LengthAndContains) {
+  const Interval iv{3, 7};
+  EXPECT_EQ(iv.length(), 5);
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(7));
+  EXPECT_FALSE(iv.Contains(2));
+  EXPECT_FALSE(iv.Contains(8));
+  EXPECT_TRUE(iv.Contains(Interval{4, 6}));
+  EXPECT_TRUE(iv.Contains(Interval{3, 7}));
+  EXPECT_FALSE(iv.Contains(Interval{2, 6}));
+}
+
+TEST(IntervalTest, Overlaps) {
+  const Interval iv{3, 7};
+  EXPECT_TRUE(iv.Overlaps(Interval{7, 9}));
+  EXPECT_TRUE(iv.Overlaps(Interval{1, 3}));
+  EXPECT_FALSE(iv.Overlaps(Interval{8, 9}));
+  EXPECT_FALSE(iv.Overlaps(Interval{1, 2}));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ((Interval{1, 10}.ToString()), "[1, 10]");
+}
+
+TEST(IntervalTest, ByPosition) {
+  EXPECT_TRUE(ByPosition(Interval{1, 5}, Interval{2, 3}));
+  EXPECT_TRUE(ByPosition(Interval{1, 3}, Interval{1, 5}));
+  EXPECT_FALSE(ByPosition(Interval{1, 5}, Interval{1, 5}));
+}
+
+TEST(IntervalTest, UnionSizeDisjoint) {
+  EXPECT_EQ(UnionSize({{1, 3}, {5, 6}}), 5);
+}
+
+TEST(IntervalTest, UnionSizeOverlapping) {
+  EXPECT_EQ(UnionSize({{1, 5}, {3, 8}, {8, 9}}), 9);
+}
+
+TEST(IntervalTest, UnionSizeAdjacentMerges) {
+  EXPECT_EQ(UnionSize({{1, 3}, {4, 6}}), 6);
+}
+
+TEST(IntervalTest, UnionSizeNestedAndEmpty) {
+  EXPECT_EQ(UnionSize({{2, 9}, {3, 4}}), 8);
+  EXPECT_EQ(UnionSize({}), 0);
+}
+
+TEST(LengthScheduleTest, GeometricCoversAllMagnitudes) {
+  const auto lengths = NonAreaBasedGenerator::MakeLengthSchedule(
+      NonAreaBasedGenerator::LengthSchedule::kGeometric, 0.5, 100);
+  ASSERT_FALSE(lengths.empty());
+  EXPECT_EQ(lengths.front(), 1);
+  EXPECT_GE(lengths.back(), 100);
+  // Nondecreasing, growth factor at most 1.5 between consecutive entries.
+  for (size_t k = 1; k < lengths.size(); ++k) {
+    EXPECT_GE(lengths[k], lengths[k - 1]);
+    EXPECT_LE(static_cast<double>(lengths[k]),
+              1.5 * static_cast<double>(lengths[k - 1]) + 1.0);
+  }
+}
+
+TEST(LengthScheduleTest, GeometricHasDuplicatesAtSmallEpsilon) {
+  // The plain NAB overhead of Fig. 9: floor((1+eps)^h) repeats for small h.
+  const auto lengths = NonAreaBasedGenerator::MakeLengthSchedule(
+      NonAreaBasedGenerator::LengthSchedule::kGeometric, 0.1, 50);
+  int duplicates = 0;
+  for (size_t k = 1; k < lengths.size(); ++k) {
+    if (lengths[k] == lengths[k - 1]) ++duplicates;
+  }
+  EXPECT_GT(duplicates, 0);
+}
+
+TEST(LengthScheduleTest, RecursiveIsStrictlyIncreasing) {
+  const auto lengths = NonAreaBasedGenerator::MakeLengthSchedule(
+      NonAreaBasedGenerator::LengthSchedule::kRecursive, 0.1, 1000);
+  EXPECT_EQ(lengths.front(), 1);
+  EXPECT_GE(lengths.back(), 1000);
+  for (size_t k = 1; k + 1 < lengths.size(); ++k) {
+    EXPECT_GT(lengths[k], lengths[k - 1]);
+    // Steps are +1 or a factor <= 1.1 — the Theorem 8/9 requirement.
+    EXPECT_TRUE(lengths[k] == lengths[k - 1] + 1 ||
+                static_cast<double>(lengths[k]) <=
+                    1.1 * static_cast<double>(lengths[k - 1]))
+        << "k=" << k;
+  }
+}
+
+TEST(LengthScheduleTest, RecursiveShorterThanGeometricAtSmallEpsilon) {
+  const auto geometric = NonAreaBasedGenerator::MakeLengthSchedule(
+      NonAreaBasedGenerator::LengthSchedule::kGeometric, 0.01, 10000);
+  const auto recursive = NonAreaBasedGenerator::MakeLengthSchedule(
+      NonAreaBasedGenerator::LengthSchedule::kRecursive, 0.01, 10000);
+  EXPECT_LT(recursive.size(), geometric.size());
+}
+
+}  // namespace
+}  // namespace conservation::interval

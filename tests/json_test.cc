@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/conservation_rule.h"
+#include "io/json.h"
+
+namespace conservation::io {
+namespace {
+
+TEST(JsonWriterTest, PrimitiveValues) {
+  {
+    JsonWriter json;
+    json.Int(42);
+    EXPECT_EQ(json.str(), "42");
+  }
+  {
+    JsonWriter json;
+    json.Double(2.5);
+    EXPECT_EQ(json.str(), "2.5");
+  }
+  {
+    JsonWriter json;
+    json.Bool(true);
+    EXPECT_EQ(json.str(), "true");
+  }
+  {
+    JsonWriter json;
+    json.Null();
+    EXPECT_EQ(json.str(), "null");
+  }
+  {
+    JsonWriter json;
+    json.String("hi");
+    EXPECT_EQ(json.str(), "\"hi\"");
+  }
+}
+
+TEST(JsonWriterTest, NestedStructure) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("a");
+  json.Int(1);
+  json.Key("list");
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.BeginObject();
+  json.Key("x");
+  json.Bool(false);
+  json.EndObject();
+  json.EndArray();
+  json.Key("b");
+  json.String("z");
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Take(),
+            R"({"a":1,"list":[1,2,{"x":false}],"b":"z"})");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter json;
+  json.String("a\"b\\c\nd\te");
+  EXPECT_EQ(json.str(), "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonWriterTest, ControlCharactersEscaped) {
+  JsonWriter json;
+  json.String(std::string("x") + '\x01' + "y");
+  EXPECT_EQ(json.str(), "\"x\\u0001y\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.Double(std::numeric_limits<double>::infinity());
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(TableauJsonTest, RoundTripShape) {
+  auto rule = core::ConservationRule::Create({9, 9, 0, 0, 9, 9},
+                                             {9, 9, 9, 9, 9, 9});
+  ASSERT_TRUE(rule.ok());
+  core::TableauRequest request;
+  request.type = core::TableauType::kFail;
+  request.c_hat = 0.3;
+  request.s_hat = 0.2;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  const std::string json = TableauToJson(*tableau);
+
+  EXPECT_NE(json.find("\"type\":\"fail\""), std::string::npos);
+  EXPECT_NE(json.find("\"model\":\"balance\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":["), std::string::npos);
+  EXPECT_NE(json.find("\"begin\":"), std::string::npos);
+  EXPECT_NE(json.find("\"support_satisfied\":true"), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace conservation::io

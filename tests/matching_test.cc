@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "matching/rightward_matching.h"
+#include "series/cumulative.h"
+#include "series/sequence.h"
+#include "util/random.h"
+
+namespace conservation::matching {
+namespace {
+
+using series::CountSequence;
+using series::CumulativeSeries;
+
+// Paper Figure 2(a) without the unmatched 7-in event: a = <2,0,1,1,2>,
+// b = <3,1,1,1,0> (total 6 in, 6 out), delay of every rightward perfect
+// matching is seven.
+class Figure2WithoutSeventhEvent : public ::testing::Test {
+ protected:
+  Figure2WithoutSeventhEvent()
+      : counts_(*CountSequence::Create({2, 0, 1, 1, 2}, {3, 1, 1, 1, 0})),
+        cumulative_(counts_) {}
+
+  CountSequence counts_;
+  CumulativeSeries cumulative_;
+};
+
+TEST_F(Figure2WithoutSeventhEvent, MatchingExists) {
+  EXPECT_TRUE(RightwardMatchingExists(cumulative_));
+}
+
+TEST_F(Figure2WithoutSeventhEvent, LemmaTwoDelayIsSeven) {
+  EXPECT_DOUBLE_EQ(RightwardMatchingDelay(cumulative_), 7.0);
+}
+
+TEST_F(Figure2WithoutSeventhEvent, FifoAndLifoHaveEqualDelay) {
+  auto fifo = BuildRightwardMatching(counts_, MatchPolicy::kFifo);
+  auto lifo = BuildRightwardMatching(counts_, MatchPolicy::kLifo);
+  ASSERT_TRUE(fifo.ok());
+  ASSERT_TRUE(lifo.ok());
+  EXPECT_DOUBLE_EQ(MatchingDelay(*fifo), 7.0);
+  EXPECT_DOUBLE_EQ(MatchingDelay(*lifo), 7.0);
+}
+
+TEST_F(Figure2WithoutSeventhEvent, EdgesAreRightward) {
+  auto fifo = BuildRightwardMatching(counts_, MatchPolicy::kFifo);
+  ASSERT_TRUE(fifo.ok());
+  double total = 0.0;
+  for (const MatchGroup& group : *fifo) {
+    EXPECT_LE(group.inbound_time, group.outbound_time);
+    EXPECT_GT(group.count, 0.0);
+    total += group.count;
+  }
+  EXPECT_DOUBLE_EQ(total, 6.0);  // all six events matched
+}
+
+TEST(RightwardMatchingTest, Lemma1FailsWithoutEqualTotals) {
+  auto counts = CountSequence::Create({2, 0, 1, 1, 2}, {3, 1, 1, 2, 0});
+  ASSERT_TRUE(counts.ok());
+  const CumulativeSeries cumulative(*counts);
+  EXPECT_FALSE(RightwardMatchingExists(cumulative));  // A_n=6 != B_n=7
+  EXPECT_FALSE(BuildRightwardMatching(*counts, MatchPolicy::kFifo).ok());
+}
+
+TEST(RightwardMatchingTest, Lemma1FailsWithoutDominance) {
+  auto counts = CountSequence::Create({2, 0}, {0, 2});
+  ASSERT_TRUE(counts.ok());
+  const CumulativeSeries cumulative(*counts);
+  EXPECT_FALSE(RightwardMatchingExists(cumulative));
+  EXPECT_FALSE(BuildRightwardMatching(*counts, MatchPolicy::kFifo).ok());
+}
+
+TEST(RightwardMatchingTest, FractionalCounts) {
+  auto counts = CountSequence::Create({0.5, 1.5}, {1.0, 1.0});
+  ASSERT_TRUE(counts.ok());
+  auto matching = BuildRightwardMatching(*counts, MatchPolicy::kFifo);
+  ASSERT_TRUE(matching.ok());
+  // Delay = sum(B - A) = (1 - 0.5) + (2 - 2) = 0.5.
+  EXPECT_NEAR(MatchingDelay(*matching), 0.5, 1e-9);
+}
+
+// Lemma 2 as a property: on random balanced data, FIFO delay == LIFO delay
+// == sum(B - A).
+class MatchingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchingProperty, AllPoliciesGiveTheLemmaDelay) {
+  util::Rng rng(GetParam());
+  const int64_t n = 50;
+  std::vector<double> a(n, 0.0);
+  std::vector<double> b(n, 0.0);
+  // Generate events and both endpoints to guarantee Lemma 1's conditions.
+  for (int event = 0; event < 200; ++event) {
+    const int64_t arrive = rng.UniformInt(0, n - 1);
+    const int64_t depart = rng.UniformInt(arrive, n - 1);
+    b[static_cast<size_t>(arrive)] += 1.0;
+    a[static_cast<size_t>(depart)] += 1.0;
+  }
+  auto counts = CountSequence::Create(std::move(a), std::move(b));
+  ASSERT_TRUE(counts.ok());
+  const CumulativeSeries cumulative(*counts);
+  ASSERT_TRUE(RightwardMatchingExists(cumulative));
+
+  const double lemma_delay = RightwardMatchingDelay(cumulative);
+  auto fifo = BuildRightwardMatching(*counts, MatchPolicy::kFifo);
+  auto lifo = BuildRightwardMatching(*counts, MatchPolicy::kLifo);
+  ASSERT_TRUE(fifo.ok());
+  ASSERT_TRUE(lifo.ok());
+  EXPECT_NEAR(MatchingDelay(*fifo), lemma_delay, 1e-9);
+  EXPECT_NEAR(MatchingDelay(*lifo), lemma_delay, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperty,
+                         ::testing::Values(3, 7, 31, 127, 8191));
+
+}  // namespace
+}  // namespace conservation::matching

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "mining/divergence.h"
+#include "mining/support_rules.h"
+#include "tests/test_data.h"
+
+namespace conservation::mining {
+namespace {
+
+using series::CountSequence;
+
+// Brute-force reference: all maximal intervals whose ratio passes.
+std::vector<MinedInterval> BruteForceMaximal(
+    const CountSequence& counts, const SupportRulesOptions& options) {
+  const int64_t n = counts.n();
+  std::vector<double> x(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> y(static_cast<size_t>(n) + 1, 0.0);
+  double cum_a = 0.0;
+  double cum_b = 0.0;
+  for (int64_t l = 1; l <= n; ++l) {
+    cum_a += counts.a(l);
+    cum_b += counts.b(l);
+    if (options.metric == RatioMetric::kInstantaneousSum) {
+      x[static_cast<size_t>(l)] = counts.a(l);
+      y[static_cast<size_t>(l)] = counts.b(l);
+    } else {
+      x[static_cast<size_t>(l)] = cum_a;
+      y[static_cast<size_t>(l)] = cum_b;
+    }
+  }
+  const auto qualifies = [&](int64_t i, int64_t j, double* ratio) {
+    double sx = 0.0;
+    double sy = 0.0;
+    for (int64_t l = i; l <= j; ++l) {
+      sx += x[static_cast<size_t>(l)];
+      sy += y[static_cast<size_t>(l)];
+    }
+    // Match the miner's transform-based predicate: sum(x - c*y) <= 0 (fail)
+    // or >= 0 (hold). The ratio is only reported when sy > 0.
+    const double slack = sx - options.c_hat * sy;
+    const bool pass = options.type == core::TableauType::kFail
+                          ? slack <= 0.0
+                          : slack >= 0.0;
+    if (!pass || sy <= 0.0) return false;
+    if (j - i + 1 < options.min_length) return false;
+    *ratio = sx / sy;
+    return true;
+  };
+  std::vector<MinedInterval> all;
+  for (int64_t i = 1; i <= n; ++i) {
+    for (int64_t j = i; j <= n; ++j) {
+      double ratio = 0.0;
+      if (qualifies(i, j, &ratio)) {
+        all.push_back(MinedInterval{{i, j}, ratio});
+      }
+    }
+  }
+  // Maximal filter.
+  std::vector<MinedInterval> maximal;
+  for (const MinedInterval& cand : all) {
+    bool contained = false;
+    for (const MinedInterval& other : all) {
+      if (other.interval == cand.interval) continue;
+      if (other.interval.Contains(cand.interval)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) maximal.push_back(cand);
+  }
+  return maximal;
+}
+
+TEST(SupportRulesTest, SimpleFailInterval) {
+  // a matches b except ticks 3-5 where outbound drops.
+  auto counts = CountSequence::Create({5, 5, 0, 0, 0, 5, 5},
+                                      {5, 5, 5, 5, 5, 5, 5});
+  ASSERT_TRUE(counts.ok());
+  SupportRulesOptions options;
+  options.metric = RatioMetric::kInstantaneousSum;
+  options.type = core::TableauType::kFail;
+  options.c_hat = 0.2;
+  const auto mined = MineMaximalIntervals(*counts, options);
+  ASSERT_EQ(mined.size(), 1u);
+  EXPECT_EQ(mined[0].interval, (interval::Interval{3, 5}));
+  EXPECT_DOUBLE_EQ(mined[0].ratio, 0.0);
+}
+
+TEST(SupportRulesTest, HoldCoversEverythingWhenBalanced) {
+  auto counts = CountSequence::Create({5, 5, 5}, {5, 5, 5});
+  ASSERT_TRUE(counts.ok());
+  SupportRulesOptions options;
+  options.type = core::TableauType::kHold;
+  options.c_hat = 1.0;
+  const auto mined = MineMaximalIntervals(*counts, options);
+  ASSERT_EQ(mined.size(), 1u);
+  EXPECT_EQ(mined[0].interval, (interval::Interval{1, 3}));
+}
+
+TEST(SupportRulesTest, MinLengthFilters) {
+  auto counts = CountSequence::Create({5, 0, 5, 5, 5}, {5, 5, 5, 5, 5});
+  ASSERT_TRUE(counts.ok());
+  SupportRulesOptions options;
+  options.type = core::TableauType::kFail;
+  options.c_hat = 0.1;
+  options.min_length = 2;
+  const auto mined = MineMaximalIntervals(*counts, options);
+  EXPECT_TRUE(mined.empty());  // the only failing interval has length 1
+}
+
+TEST(SupportRulesTest, OutsideRangeMergesBothSides) {
+  auto counts = CountSequence::Create({0, 10, 5}, {10, 10, 5});
+  ASSERT_TRUE(counts.ok());
+  const auto mined = MineOutsideRange(
+      *counts, RatioMetric::kInstantaneousSum, 0.1, 0.99);
+  // Tick 1 has ratio 0 (<= 0.1); ticks 2-3 have ratio 1 (>= 0.99).
+  ASSERT_GE(mined.size(), 2u);
+  EXPECT_EQ(mined.front().interval.begin, 1);
+}
+
+class SupportRulesProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, RatioMetric,
+                                                 core::TableauType, double>> {
+};
+
+TEST_P(SupportRulesProperty, MatchesBruteForce) {
+  const auto& [seed, metric, type, c_hat] = GetParam();
+  const CountSequence counts =
+      testing_util::RandomDominatedCounts(seed, 40);
+  SupportRulesOptions options;
+  options.metric = metric;
+  options.type = type;
+  options.c_hat = c_hat;
+  const auto fast = MineMaximalIntervals(counts, options);
+  const auto slow = BruteForceMaximal(counts, options);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (size_t k = 0; k < fast.size(); ++k) {
+    EXPECT_EQ(fast[k].interval, slow[k].interval) << k;
+    EXPECT_NEAR(fast[k].ratio, slow[k].ratio, 1e-9) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SupportRulesProperty,
+    ::testing::Combine(::testing::Values(5u, 17u, 23u),
+                       ::testing::Values(RatioMetric::kInstantaneousSum,
+                                         RatioMetric::kZeroBaselineArea),
+                       ::testing::Values(core::TableauType::kHold,
+                                         core::TableauType::kFail),
+                       ::testing::Values(0.3, 0.8)));
+
+TEST(DivergenceTest, TopPointwiseOrdersByMagnitude) {
+  auto counts = CountSequence::Create({1, 1, 1, 1}, {2, 9, 1, 4});
+  ASSERT_TRUE(counts.ok());
+  const auto top = TopPointwiseDivergence(*counts, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].tick, 2);
+  EXPECT_DOUBLE_EQ(top[0].divergence, 8.0);
+  EXPECT_EQ(top[1].tick, 4);
+}
+
+TEST(DivergenceTest, TopPointwiseKLargerThanN) {
+  auto counts = CountSequence::Create({1, 1}, {2, 2});
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(TopPointwiseDivergence(*counts, 10).size(), 2u);
+}
+
+TEST(DivergenceTest, WindowsAreNonOverlapping) {
+  auto counts = CountSequence::Create({0, 0, 0, 0, 0, 0},
+                                      {3, 3, 3, 3, 3, 3});
+  ASSERT_TRUE(counts.ok());
+  const auto top = TopWindowDivergence(*counts, 2, 3);
+  ASSERT_EQ(top.size(), 3u);
+  for (size_t p = 0; p < top.size(); ++p) {
+    for (size_t q = p + 1; q < top.size(); ++q) {
+      EXPECT_FALSE(top[p].window.Overlaps(top[q].window));
+    }
+  }
+}
+
+TEST(DivergenceTest, WindowDivergenceValues) {
+  auto counts = CountSequence::Create({1, 1, 1, 1}, {1, 5, 5, 1});
+  ASSERT_TRUE(counts.ok());
+  const auto top = TopWindowDivergence(*counts, 2, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].window, (interval::Interval{2, 3}));
+  EXPECT_DOUBLE_EQ(top[0].divergence, 8.0);
+}
+
+}  // namespace
+}  // namespace conservation::mining

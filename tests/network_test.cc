@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "network/node_monitor.h"
+#include "network/simulator.h"
+#include "series/cumulative.h"
+
+namespace conservation::network {
+namespace {
+
+// The Figure 1 example: four links with one tick of counts. In (to node):
+// A=50, B=80, C=65, D=30? The figure's point is totals match: use values
+// whose in-total equals out-total.
+TEST(NodeConservationTest, Figure1BalancedNode) {
+  std::vector<LinkSeries> links = {
+      {"A", {50}, {70}},
+      {"B", {80}, {90}},
+      {"C", {65}, {50}},
+      {"D", {65}, {50}},
+  };
+  // in total = 260, out total = 260.
+  auto node = NodeConservation::Create("intersection", std::move(links));
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->n(), 1);
+  EXPECT_DOUBLE_EQ(node->MissingOutboundFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      *node->rule().OverallConfidence(core::ConfidenceModel::kBalance), 1.0);
+}
+
+TEST(NodeConservationTest, RejectsMismatchedLengths) {
+  std::vector<LinkSeries> links = {
+      {"A", {1, 2}, {1, 2}},
+      {"B", {1}, {1, 2}},
+  };
+  EXPECT_FALSE(NodeConservation::Create("x", std::move(links)).ok());
+}
+
+TEST(NodeConservationTest, RejectsEmpty) {
+  EXPECT_FALSE(NodeConservation::Create("x", {}).ok());
+}
+
+TEST(NodeConservationTest, MissingOutboundFraction) {
+  // 10 in per tick, 7.5 recorded out per tick.
+  std::vector<LinkSeries> links = {
+      {"A", {5, 5}, {5, 5}},
+      {"B", {5, 5}, {2.5, 2.5}},
+  };
+  auto node = NodeConservation::Create("n", std::move(links));
+  ASSERT_TRUE(node.ok());
+  EXPECT_NEAR(node->MissingOutboundFraction(), 0.25, 1e-12);
+}
+
+TEST(SimulatorTest, HealthyNodeConserves) {
+  NodeSimConfig config;
+  config.num_ticks = 1500;
+  config.seed = 11;
+  const NodeSimResult sim = SimulateNode(config);
+  ASSERT_EQ(sim.observed.size(), 4u);
+  auto node = NodeConservation::Create(config.node_name, sim.observed);
+  ASSERT_TRUE(node.ok());
+  EXPECT_LT(node->MissingOutboundFraction(), 0.01);
+  EXPECT_GT(
+      *node->rule().OverallConfidence(core::ConfidenceModel::kBalance), 0.95);
+}
+
+TEST(SimulatorTest, HiddenLinkDepressesConservation) {
+  NodeSimConfig config;
+  config.num_ticks = 1500;
+  config.seed = 12;
+  config.departure_weights = {1.0, 1.0, 1.0, 3.0};
+  config.hidden_links = {3};
+  const NodeSimResult sim = SimulateNode(config);
+  ASSERT_EQ(sim.observed.size(), 3u);
+  ASSERT_EQ(sim.ground_truth.size(), 4u);
+  auto node = NodeConservation::Create(config.node_name, sim.observed);
+  ASSERT_TRUE(node.ok());
+  // Hidden link carries 3/6 of departures: about half the outbound mass of
+  // the *observed* inbound is missing.
+  EXPECT_GT(node->MissingOutboundFraction(), 0.25);
+  EXPECT_LT(
+      *node->rule().OverallConfidence(core::ConfidenceModel::kBalance), 0.7);
+}
+
+TEST(SimulatorTest, GroundTruthConservesEvenWithHiddenLink) {
+  NodeSimConfig config;
+  config.num_ticks = 1200;
+  config.seed = 13;
+  config.hidden_links = {0};
+  const NodeSimResult sim = SimulateNode(config);
+  auto node = NodeConservation::Create(config.node_name, sim.ground_truth);
+  ASSERT_TRUE(node.ok());
+  EXPECT_LT(node->MissingOutboundFraction(), 0.01);
+}
+
+TEST(SimulatorTest, Deterministic) {
+  NodeSimConfig config;
+  config.num_ticks = 300;
+  config.seed = 99;
+  const NodeSimResult one = SimulateNode(config);
+  const NodeSimResult two = SimulateNode(config);
+  for (size_t l = 0; l < one.observed.size(); ++l) {
+    EXPECT_EQ(one.observed[l].to_node, two.observed[l].to_node);
+    EXPECT_EQ(one.observed[l].from_node, two.observed[l].from_node);
+  }
+}
+
+TEST(DiagnosisTest, LeaveOneOutFingersTheImbalancedLink) {
+  // Three links conserve; link "C" receives traffic whose outbound
+  // counterpart is unrecorded (it leaves via an unmonitored path), so
+  // excluding C repairs the node's confidence.
+  const int64_t n = 400;
+  std::vector<LinkSeries> links(3);
+  links[0].name = "A";
+  links[1].name = "B";
+  links[2].name = "C";
+  for (auto& link : links) {
+    link.to_node.assign(n, 10.0);
+    link.from_node.assign(n, 10.0);
+  }
+  // C's inbound never shows up on any outbound: drop a third of total out.
+  for (int64_t t = 0; t < n; ++t) {
+    links[2].from_node[static_cast<size_t>(t)] = 0.0;
+    links[0].from_node[static_cast<size_t>(t)] = 10.0;
+    links[1].from_node[static_cast<size_t>(t)] = 10.0;
+  }
+  auto node = NodeConservation::Create("n", links);
+  ASSERT_TRUE(node.ok());
+  const auto diagnoses =
+      node->DiagnoseLinks(core::ConfidenceModel::kBalance);
+  ASSERT_EQ(diagnoses.size(), 3u);
+  EXPECT_EQ(diagnoses.front().link, "C");
+  EXPECT_GT(diagnoses.front().impact, 0.1);
+  EXPECT_GT(diagnoses.front().without_link_confidence,
+            diagnoses.front().full_confidence);
+}
+
+TEST(FleetTest, RankingSeparatesBadNodes) {
+  const std::vector<NodeSimResult> fleet = SimulateNodeFleet(6, 2, 800, 77);
+  std::vector<NodeConservation> nodes;
+  for (const NodeSimResult& sim : fleet) {
+    auto node = NodeConservation::Create(sim.config.node_name, sim.observed);
+    ASSERT_TRUE(node.ok());
+    nodes.push_back(std::move(node).value());
+  }
+  core::TableauRequest request;
+  request.type = core::TableauType::kFail;
+  request.model = core::ConfidenceModel::kDebit;
+  request.c_hat = 0.6;
+  request.s_hat = 0.5;
+  const std::vector<NodeRanking> ranking =
+      RankNodesByFailure(nodes, request);
+  ASSERT_EQ(ranking.size(), 6u);
+  // The two bad nodes (node-00, node-01) rank first.
+  EXPECT_TRUE(ranking[0].node_name == "node-00" ||
+              ranking[0].node_name == "node-01");
+  EXPECT_TRUE(ranking[1].node_name == "node-00" ||
+              ranking[1].node_name == "node-01");
+  EXPECT_GT(ranking[0].covered_fraction, ranking[2].covered_fraction);
+}
+
+}  // namespace
+}  // namespace conservation::network

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/parallel.h"
+
+namespace conservation::util {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  const int64_t count = 1000;
+  std::vector<std::atomic<int>> visits(count);
+  ParallelFor(count, 4, [&](int64_t i) {
+    visits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int64_t i = 0; i < count; ++i) {
+    EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroAndNegativeCounts) {
+  int calls = 0;
+  ParallelFor(0, 4, [&](int64_t) { ++calls; });
+  ParallelFor(-5, 4, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingleThreadIsSequential) {
+  std::vector<int64_t> order;
+  ParallelFor(10, 1, [&](int64_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(3, 64, [&](int64_t i) {
+    visits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, HardwareConcurrencyDefault) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(500, 0, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 500 * 499 / 2);
+}
+
+}  // namespace
+}  // namespace conservation::util

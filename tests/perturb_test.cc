@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/perturb.h"
+#include "datagen/router.h"
+#include "series/cumulative.h"
+
+namespace conservation::datagen {
+namespace {
+
+class PerturbTest : public ::testing::Test {
+ protected:
+  PerturbTest() : base_(GenerateWellBehavedTraffic(906)) {}
+
+  static double Total(const std::vector<double>& values) {
+    return std::accumulate(values.begin(), values.end(), 0.0);
+  }
+
+  series::CountSequence base_;
+};
+
+TEST_F(PerturbTest, DelayPreservesTotalOutbound) {
+  PerturbationSpec spec;
+  spec.fraction = 0.1;
+  spec.compensate = true;
+  PerturbationInfo info;
+  const series::CountSequence perturbed =
+      ApplyPerturbation(base_, spec, &info);
+  EXPECT_NEAR(Total(perturbed.outbound()), Total(base_.outbound()), 1e-6);
+  EXPECT_GT(info.recovery_tick, info.drop_end);
+  EXPECT_NEAR(info.amount_removed, 0.1 * Total(base_.outbound()), 1e-6);
+}
+
+TEST_F(PerturbTest, LossRemovesMass) {
+  PerturbationSpec spec;
+  spec.fraction = 0.25;
+  spec.compensate = false;
+  PerturbationInfo info;
+  const series::CountSequence perturbed =
+      ApplyPerturbation(base_, spec, &info);
+  EXPECT_NEAR(Total(perturbed.outbound()),
+              0.75 * Total(base_.outbound()), 1e-6);
+  EXPECT_EQ(info.recovery_tick, 0);
+}
+
+TEST_F(PerturbTest, DropStartsAtPeakTick) {
+  PerturbationSpec spec;
+  spec.fraction = 0.01;
+  PerturbationInfo info;
+  ApplyPerturbation(base_, spec, &info);
+  int64_t peak = 1;
+  for (int64_t t = 2; t <= base_.n(); ++t) {
+    if (base_.a(t) > base_.a(peak)) peak = t;
+  }
+  EXPECT_EQ(info.drop_begin, peak);
+}
+
+TEST_F(PerturbTest, FullDropZeroesConsecutiveTicks) {
+  PerturbationSpec spec;
+  spec.fraction = 0.05;
+  spec.max_step_drop_fraction = 1.0;
+  PerturbationInfo info;
+  const series::CountSequence perturbed =
+      ApplyPerturbation(base_, spec, &info);
+  // All ticks strictly inside the drop are fully drained.
+  for (int64_t t = info.drop_begin; t < info.drop_end; ++t) {
+    EXPECT_DOUBLE_EQ(perturbed.a(t), 0.0) << "t=" << t;
+  }
+}
+
+TEST_F(PerturbTest, DampenedDropKeepsMostTraffic) {
+  PerturbationSpec spec;
+  spec.fraction = 0.05;
+  spec.max_step_drop_fraction = 0.25;
+  PerturbationInfo info;
+  const series::CountSequence perturbed =
+      ApplyPerturbation(base_, spec, &info);
+  // Every perturbed tick keeps at least 75% of its traffic...
+  for (int64_t t = info.drop_begin; t <= info.drop_end; ++t) {
+    EXPECT_GE(perturbed.a(t), 0.7499 * base_.a(t)) << "t=" << t;
+  }
+  // ... so the drop stretches over more ticks than the full drop.
+  PerturbationSpec full = spec;
+  full.max_step_drop_fraction = 1.0;
+  PerturbationInfo full_info;
+  ApplyPerturbation(base_, full, &full_info);
+  EXPECT_GT(info.drop_end - info.drop_begin,
+            full_info.drop_end - full_info.drop_begin);
+}
+
+TEST_F(PerturbTest, DominancePreserved) {
+  for (const bool compensate : {true, false}) {
+    for (const double d : {0.01, 0.1, 0.25}) {
+      PerturbationSpec spec;
+      spec.fraction = d;
+      spec.compensate = compensate;
+      const series::CountSequence perturbed =
+          ApplyPerturbation(base_, spec, nullptr);
+      const series::CumulativeSeries cumulative(perturbed);
+      EXPECT_TRUE(cumulative.Dominates())
+          << "d=" << d << " compensate=" << compensate;
+    }
+  }
+}
+
+TEST_F(PerturbTest, ExplicitRecoveryTickHonored) {
+  PerturbationSpec spec;
+  spec.fraction = 0.1;
+  spec.recovery_tick = 800;
+  PerturbationInfo info;
+  const series::CountSequence perturbed =
+      ApplyPerturbation(base_, spec, &info);
+  EXPECT_EQ(info.recovery_tick, 800);
+  EXPECT_GT(perturbed.a(800), base_.a(800));
+}
+
+TEST_F(PerturbTest, InboundUntouched) {
+  PerturbationSpec spec;
+  spec.fraction = 0.1;
+  const series::CountSequence perturbed =
+      ApplyPerturbation(base_, spec, nullptr);
+  for (int64_t t = 1; t <= base_.n(); ++t) {
+    EXPECT_DOUBLE_EQ(perturbed.b(t), base_.b(t));
+  }
+}
+
+}  // namespace
+}  // namespace conservation::datagen

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/conservation_rule.h"
+#include "datagen/power_grid.h"
+#include "series/cumulative.h"
+
+namespace conservation::datagen {
+namespace {
+
+TEST(PowerGridTest, ShapeAndDominance) {
+  const PowerGridData data = GeneratePowerGrid();
+  EXPECT_EQ(data.counts.n(), 2880);
+  const series::CumulativeSeries cumulative(data.counts);
+  EXPECT_TRUE(cumulative.Dominates());
+}
+
+TEST(PowerGridTest, Deterministic) {
+  const PowerGridData one = GeneratePowerGrid();
+  const PowerGridData two = GeneratePowerGrid();
+  for (int64_t t = 1; t <= one.counts.n(); t += 37) {
+    EXPECT_DOUBLE_EQ(one.counts.a(t), two.counts.a(t));
+  }
+}
+
+TEST(PowerGridTest, HealthyFeederHasSteadyTechnicalLoss) {
+  const PowerGridData data = GeneratePowerGrid();
+  const series::CumulativeSeries cumulative(data.counts);
+  const int64_t n = data.counts.n();
+  // Metered / supplied ratio approximates 1 - technical loss.
+  const double ratio = cumulative.A(n) / cumulative.B(n);
+  EXPECT_NEAR(ratio, 1.0 - data.params.technical_loss_fraction, 0.01);
+}
+
+TEST(PowerGridTest, TheftDepressesConfidenceAfterOnset) {
+  PowerGridParams params;
+  params.theft_start_tick = 1440;
+  params.theft_fraction = 0.8;
+  const PowerGridData data = GeneratePowerGrid(params);
+  auto rule = core::ConservationRule::Create(data.counts);
+  ASSERT_TRUE(rule.ok());
+  const auto before = rule->Confidence(core::ConfidenceModel::kDebit, 96,
+                                       params.theft_start_tick - 1);
+  const auto after =
+      rule->Confidence(core::ConfidenceModel::kDebit,
+                       params.theft_start_tick, data.counts.n());
+  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GT(*before, *after + 0.01);
+}
+
+TEST(PowerGridTest, OutageIsBoundedInTime) {
+  PowerGridParams params;
+  params.outage_begin_tick = 1000;
+  params.outage_end_tick = 1100;
+  const PowerGridData data = GeneratePowerGrid(params);
+  auto rule = core::ConservationRule::Create(data.counts);
+  ASSERT_TRUE(rule.ok());
+
+  // The outage is visible as a fail interval, and post-outage suffixes are
+  // healthy under the debit model (prior imbalance discounted).
+  core::TableauRequest request;
+  request.type = core::TableauType::kFail;
+  request.model = core::ConfidenceModel::kDebit;
+  request.c_hat = 0.9;
+  request.s_hat = 0.01;
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  bool overlaps_outage = false;
+  for (const core::TableauRow& row : tableau->rows) {
+    if (row.interval.Overlaps({1000, 1100})) overlaps_outage = true;
+  }
+  EXPECT_TRUE(overlaps_outage);
+
+  const auto post = rule->Confidence(core::ConfidenceModel::kDebit, 1400,
+                                     data.counts.n());
+  ASSERT_TRUE(post.has_value());
+  EXPECT_GT(*post, 0.93);
+}
+
+TEST(PowerGridTest, TheftFractionScalesImbalance) {
+  auto missing_share = [](double fraction) {
+    PowerGridParams params;
+    params.theft_start_tick = 1;
+    params.theft_fraction = fraction;
+    const PowerGridData data = GeneratePowerGrid(params);
+    const series::CumulativeSeries cumulative(data.counts);
+    return 1.0 - cumulative.A(data.counts.n()) / cumulative.B(data.counts.n());
+  };
+  EXPECT_LT(missing_share(0.2), missing_share(0.5));
+  EXPECT_LT(missing_share(0.5), missing_share(0.9));
+}
+
+}  // namespace
+}  // namespace conservation::datagen

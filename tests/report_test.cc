@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "datagen/perturb.h"
+#include "datagen/router.h"
+
+namespace conservation::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() : base_(datagen::GenerateWellBehavedTraffic(906)) {}
+
+  series::CountSequence base_;
+};
+
+TEST_F(ReportTest, CleanDataReportsEmptyTableau) {
+  auto rule = ConservationRule::Create(base_);
+  ASSERT_TRUE(rule.ok());
+  ReportOptions options;
+  options.fail_c_hat = 0.3;
+  auto report = BuildQualityReport(*rule, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->n, 906);
+  EXPECT_TRUE(report->fail_tableau.rows.empty());
+  ASSERT_EQ(report->overall.size(), 3u);
+  for (const auto& [name, conf] : report->overall) {
+    ASSERT_TRUE(conf.has_value()) << name;
+    EXPECT_GT(*conf, 0.99) << name;
+  }
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("quality report (906 ticks)"), std::string::npos);
+  EXPECT_NE(text.find("empty"), std::string::npos);
+  EXPECT_NE(text.find("per-segment confidence"), std::string::npos);
+}
+
+TEST_F(ReportTest, OutageShowsUpWithDiagnosisAndSeverity) {
+  datagen::PerturbationSpec spec;
+  spec.fraction = 0.1;
+  spec.compensate = true;
+  spec.latest_start_fraction = 0.4;
+  datagen::PerturbationInfo info;
+  const series::CountSequence perturbed =
+      datagen::ApplyPerturbation(base_, spec, &info);
+  auto rule = ConservationRule::Create(perturbed);
+  ASSERT_TRUE(rule.ok());
+
+  ReportOptions options;
+  options.fail_c_hat = 0.3;
+  options.support = 0.02;
+  auto report = BuildQualityReport(*rule, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->fail_tableau.size(), 1u);
+  ASSERT_EQ(report->diagnoses.size(), report->fail_tableau.size());
+  ASSERT_EQ(report->by_severity.size(), report->fail_tableau.size());
+
+  // The rendered report names the violation kind and draws segment bars.
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("delay"), std::string::npos);
+  EXPECT_NE(text.find("worst interval by misplaced mass"),
+            std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST_F(ReportTest, SegmentLengthOverride) {
+  auto rule = ConservationRule::Create(base_);
+  ASSERT_TRUE(rule.ok());
+  ReportOptions options;
+  options.segment_length = 100;
+  auto report = BuildQualityReport(*rule, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->segments.size(), 10u);  // ceil(906 / 100)
+}
+
+TEST_F(ReportTest, InvalidOptionsPropagate) {
+  auto rule = ConservationRule::Create(base_);
+  ASSERT_TRUE(rule.ok());
+  ReportOptions options;
+  options.fail_c_hat = 1.7;
+  EXPECT_FALSE(BuildQualityReport(*rule, options).ok());
+}
+
+}  // namespace
+}  // namespace conservation::core

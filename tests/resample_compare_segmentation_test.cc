@@ -1,0 +1,197 @@
+// Tests for the analyst-layer utilities: resampling, interval-set
+// comparison, and calendar segmentation.
+
+#include <gtest/gtest.h>
+
+#include "core/segmentation.h"
+#include "interval/compare.h"
+#include "series/cumulative.h"
+#include "series/resample.h"
+#include "tests/test_data.h"
+
+namespace conservation {
+namespace {
+
+using interval::Interval;
+
+// --- Downsample --------------------------------------------------------------
+
+TEST(ResampleTest, SumsWithinBuckets) {
+  auto counts = series::CountSequence::Create({1, 2, 3, 4, 5, 6},
+                                              {6, 5, 4, 3, 2, 1});
+  ASSERT_TRUE(counts.ok());
+  series::ResampleOptions options;
+  options.factor = 2;
+  const series::CountSequence coarse =
+      series::Downsample(*counts, options);
+  ASSERT_EQ(coarse.n(), 3);
+  EXPECT_DOUBLE_EQ(coarse.a(1), 3.0);
+  EXPECT_DOUBLE_EQ(coarse.a(3), 11.0);
+  EXPECT_DOUBLE_EQ(coarse.b(1), 11.0);
+  EXPECT_DOUBLE_EQ(coarse.b(3), 3.0);
+}
+
+TEST(ResampleTest, PartialTailKeptOrDropped) {
+  auto counts = series::CountSequence::Create({1, 1, 1, 1, 1},
+                                              {1, 1, 1, 1, 1});
+  ASSERT_TRUE(counts.ok());
+  series::ResampleOptions keep;
+  keep.factor = 2;
+  EXPECT_EQ(series::Downsample(*counts, keep).n(), 3);
+  series::ResampleOptions drop = keep;
+  drop.keep_partial_tail = false;
+  EXPECT_EQ(series::Downsample(*counts, drop).n(), 2);
+}
+
+TEST(ResampleTest, FactorOneIsIdentity) {
+  const series::CountSequence counts =
+      testing_util::RandomDominatedCounts(5, 30);
+  const series::CountSequence coarse =
+      series::Downsample(counts, series::ResampleOptions{});
+  ASSERT_EQ(coarse.n(), counts.n());
+  for (int64_t t = 1; t <= counts.n(); ++t) {
+    EXPECT_DOUBLE_EQ(coarse.a(t), counts.a(t));
+    EXPECT_DOUBLE_EQ(coarse.b(t), counts.b(t));
+  }
+}
+
+TEST(ResampleTest, PreservesTotalsAndDominance) {
+  const series::CountSequence counts =
+      testing_util::RandomDominatedCounts(9, 101);
+  series::ResampleOptions options;
+  options.factor = 7;
+  const series::CountSequence coarse = series::Downsample(counts, options);
+  const series::CumulativeSeries fine_cumulative(counts);
+  const series::CumulativeSeries coarse_cumulative(coarse);
+  EXPECT_DOUBLE_EQ(coarse_cumulative.A(coarse.n()),
+                   fine_cumulative.A(counts.n()));
+  EXPECT_DOUBLE_EQ(coarse_cumulative.B(coarse.n()),
+                   fine_cumulative.B(counts.n()));
+  EXPECT_TRUE(coarse_cumulative.Dominates());
+}
+
+TEST(ResampleTest, CoarseningAbsorbsSubBucketDelay) {
+  // A one-tick delay inside a bucket disappears after coarsening.
+  auto counts = series::CountSequence::Create({0, 8, 0, 8}, {8, 0, 8, 0});
+  ASSERT_TRUE(counts.ok());
+  const series::CumulativeSeries fine(*counts);
+  const core::ConfidenceEvaluator fine_eval(&fine,
+                                            core::ConfidenceModel::kBalance);
+  EXPECT_LT(*fine_eval.Confidence(1, 4), 1.0);
+
+  series::ResampleOptions options;
+  options.factor = 2;
+  const series::CountSequence coarse = series::Downsample(*counts, options);
+  const series::CumulativeSeries coarse_cumulative(coarse);
+  const core::ConfidenceEvaluator coarse_eval(
+      &coarse_cumulative, core::ConfidenceModel::kBalance);
+  EXPECT_DOUBLE_EQ(*coarse_eval.Confidence(1, 2), 1.0);
+}
+
+TEST(ResampleTest, NativeRangeMapsBack) {
+  series::ResampleOptions options;
+  options.factor = 4;
+  const auto range = series::NativeRange(3, options, 11);
+  EXPECT_EQ(range.first, 9);
+  EXPECT_EQ(range.last, 11);  // clamped tail
+  const auto first = series::NativeRange(1, options, 11);
+  EXPECT_EQ(first.first, 1);
+  EXPECT_EQ(first.last, 4);
+}
+
+// --- Interval-set comparison -------------------------------------------------
+
+TEST(CompareTest, JaccardBasics) {
+  EXPECT_DOUBLE_EQ(interval::IntervalJaccard({1, 4}, {1, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(interval::IntervalJaccard({1, 4}, {5, 8}), 0.0);
+  EXPECT_DOUBLE_EQ(interval::IntervalJaccard({1, 4}, {3, 6}), 2.0 / 6.0);
+}
+
+TEST(CompareTest, IdenticalSets) {
+  const std::vector<Interval> set = {{1, 5}, {8, 9}};
+  const auto result = interval::CompareIntervalSets(set, set);
+  EXPECT_EQ(result.identical, 2u);
+  EXPECT_EQ(result.overlapping, 0u);
+  EXPECT_EQ(result.unmatched, 0u);
+  EXPECT_DOUBLE_EQ(result.coverage_jaccard, 1.0);
+}
+
+TEST(CompareTest, OverlapAndUnmatched) {
+  const std::vector<Interval> lhs = {{1, 10}, {20, 25}, {40, 41}};
+  const std::vector<Interval> rhs = {{1, 10}, {21, 26}};
+  const auto result = interval::CompareIntervalSets(lhs, rhs);
+  EXPECT_EQ(result.identical, 1u);
+  EXPECT_EQ(result.overlapping, 1u);  // [20,25] vs [21,26]
+  EXPECT_EQ(result.unmatched, 1u);    // [40,41]
+  EXPECT_NEAR(result.mean_jaccard, 5.0 / 7.0, 1e-12);
+  // Coverage: lhs covers 10+6+2=18, rhs 10+6=16, both: 10+5=15,
+  // either: 18+16-15=19.
+  EXPECT_NEAR(result.coverage_jaccard, 15.0 / 19.0, 1e-12);
+}
+
+TEST(CompareTest, EmptySets) {
+  const auto both_empty = interval::CompareIntervalSets({}, {});
+  EXPECT_DOUBLE_EQ(both_empty.coverage_jaccard, 1.0);
+  const auto one_empty = interval::CompareIntervalSets({{1, 3}}, {});
+  EXPECT_EQ(one_empty.unmatched, 1u);
+  EXPECT_DOUBLE_EQ(one_empty.coverage_jaccard, 0.0);
+}
+
+TEST(CompareTest, OverlappingInputsWithinOneSet) {
+  // Coverage computation must coalesce overlapping intervals per side.
+  const std::vector<Interval> lhs = {{1, 6}, {4, 10}};
+  const std::vector<Interval> rhs = {{1, 10}};
+  const auto result = interval::CompareIntervalSets(lhs, rhs);
+  EXPECT_DOUBLE_EQ(result.coverage_jaccard, 1.0);
+}
+
+// --- Segmentation -------------------------------------------------------------
+
+TEST(SegmentationTest, UniformSegments) {
+  const auto segments = core::UniformSegments(10, 4);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].range, (Interval{1, 4}));
+  EXPECT_EQ(segments[2].range, (Interval{9, 10}));
+  EXPECT_EQ(segments[0].label, "seg 000");
+}
+
+TEST(SegmentationTest, SummariesMatchDirectEvaluation) {
+  const series::CountSequence counts =
+      testing_util::RandomDominatedCounts(77, 60);
+  auto rule = core::ConservationRule::Create(counts);
+  ASSERT_TRUE(rule.ok());
+  const auto segments = core::UniformSegments(60, 15);
+  const auto summaries = core::SummarizeSegments(
+      *rule, core::ConfidenceModel::kBalance, segments);
+  ASSERT_EQ(summaries.size(), 4u);
+  const core::ConfidenceEvaluator eval =
+      rule->Evaluator(core::ConfidenceModel::kBalance);
+  for (const core::SegmentSummary& summary : summaries) {
+    const auto direct = eval.Confidence(summary.segment.range.begin,
+                                        summary.segment.range.end);
+    EXPECT_EQ(summary.confidence.has_value(), direct.has_value());
+    if (direct.has_value()) {
+      EXPECT_DOUBLE_EQ(*summary.confidence, *direct);
+    }
+    EXPECT_GE(summary.misplaced_mass, -1e-9);
+  }
+}
+
+TEST(SegmentationTest, SegmentLocalMaximal) {
+  const std::vector<Interval> candidates = {
+      {2, 5}, {3, 5}, {4, 9}, {12, 14}, {1, 20}};
+  const auto local = core::SegmentLocalMaximal(candidates, {1, 10});
+  // {1,20} crosses the boundary; {3,5} ⊂ {2,5}; survivors: {2,5}, {4,9}.
+  ASSERT_EQ(local.size(), 2u);
+  EXPECT_EQ(local[0], (Interval{2, 5}));
+  EXPECT_EQ(local[1], (Interval{4, 9}));
+}
+
+TEST(SegmentationTest, SegmentLocalMaximalEmpty) {
+  EXPECT_TRUE(core::SegmentLocalMaximal({}, {1, 10}).empty());
+  EXPECT_TRUE(
+      core::SegmentLocalMaximal({{11, 12}}, {1, 10}).empty());
+}
+
+}  // namespace
+}  // namespace conservation

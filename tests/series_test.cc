@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "series/cumulative.h"
+#include "series/preprocess.h"
+#include "series/sequence.h"
+
+namespace conservation::series {
+namespace {
+
+TEST(CountSequenceTest, CreateValid) {
+  auto counts = CountSequence::Create({1, 2, 3}, {4, 5, 6});
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->n(), 3);
+  EXPECT_DOUBLE_EQ(counts->a(1), 1.0);
+  EXPECT_DOUBLE_EQ(counts->b(3), 6.0);
+}
+
+TEST(CountSequenceTest, RejectsLengthMismatch) {
+  auto counts = CountSequence::Create({1, 2}, {1});
+  EXPECT_FALSE(counts.ok());
+  EXPECT_EQ(counts.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(CountSequenceTest, RejectsEmpty) {
+  EXPECT_FALSE(CountSequence::Create({}, {}).ok());
+}
+
+TEST(CountSequenceTest, RejectsNegative) {
+  EXPECT_FALSE(CountSequence::Create({1, -2}, {1, 2}).ok());
+  EXPECT_FALSE(CountSequence::Create({1, 2}, {-1, 2}).ok());
+}
+
+TEST(CountSequenceTest, RejectsNonFinite) {
+  EXPECT_FALSE(
+      CountSequence::Create({1, std::numeric_limits<double>::infinity()},
+                            {1, 2})
+          .ok());
+  EXPECT_FALSE(
+      CountSequence::Create({1, 2},
+                            {std::numeric_limits<double>::quiet_NaN(), 2})
+          .ok());
+}
+
+TEST(CountSequenceTest, RejectsAllZero) {
+  EXPECT_FALSE(CountSequence::Create({0, 0}, {0, 0}).ok());
+}
+
+TEST(CountSequenceTest, AllowsOneSideZero) {
+  // Outbound all-zero is legal: it models total loss.
+  EXPECT_TRUE(CountSequence::Create({0, 0}, {1, 2}).ok());
+}
+
+TEST(CountSequenceTest, PrefixAndScale) {
+  auto counts = CountSequence::Create({1, 2, 3, 4}, {5, 6, 7, 8});
+  ASSERT_TRUE(counts.ok());
+  const CountSequence prefix = counts->Prefix(2);
+  EXPECT_EQ(prefix.n(), 2);
+  EXPECT_DOUBLE_EQ(prefix.b(2), 6.0);
+  const CountSequence scaled = counts->Scaled(2.0);
+  EXPECT_DOUBLE_EQ(scaled.a(3), 6.0);
+  EXPECT_DOUBLE_EQ(scaled.b(1), 10.0);
+}
+
+// The paper's Figure 2 data: a = <2,0,1,1,2>, b = <3,1,1,2,0>.
+class PaperFigure2 : public ::testing::Test {
+ protected:
+  PaperFigure2()
+      : counts_(*CountSequence::Create({2, 0, 1, 1, 2}, {3, 1, 1, 2, 0})),
+        cumulative_(counts_) {}
+
+  CountSequence counts_;
+  CumulativeSeries cumulative_;
+};
+
+TEST_F(PaperFigure2, CumulativeCurves) {
+  // A = <0,2,2,3,4,6>, B = <0,3,4,5,7,7>.
+  const double expected_A[] = {0, 2, 2, 3, 4, 6};
+  const double expected_B[] = {0, 3, 4, 5, 7, 7};
+  for (int64_t l = 0; l <= 5; ++l) {
+    EXPECT_DOUBLE_EQ(cumulative_.A(l), expected_A[l]) << "l=" << l;
+    EXPECT_DOUBLE_EQ(cumulative_.B(l), expected_B[l]) << "l=" << l;
+  }
+}
+
+TEST_F(PaperFigure2, SumsOverIntervals) {
+  // sum_{l=2..5} A_l = 2+3+4+6 = 15; sum B = 4+5+7+7 = 23.
+  EXPECT_DOUBLE_EQ(cumulative_.SumA(2, 5), 15.0);
+  EXPECT_DOUBLE_EQ(cumulative_.SumB(2, 5), 23.0);
+  EXPECT_DOUBLE_EQ(cumulative_.SumA(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(cumulative_.SumA(3, 2), 0.0);  // empty
+}
+
+TEST_F(PaperFigure2, SuffixMinGap) {
+  // B - A = <1,2,2,3,1> at l = 1..5.
+  EXPECT_DOUBLE_EQ(cumulative_.SuffixMinGap(1), 1.0);
+  EXPECT_DOUBLE_EQ(cumulative_.SuffixMinGap(2), 1.0);
+  EXPECT_DOUBLE_EQ(cumulative_.SuffixMinGap(3), 1.0);
+  EXPECT_DOUBLE_EQ(cumulative_.SuffixMinGap(4), 1.0);
+  EXPECT_DOUBLE_EQ(cumulative_.SuffixMinGap(5), 1.0);
+}
+
+TEST_F(PaperFigure2, DeltaIsMinPositive) { EXPECT_DOUBLE_EQ(cumulative_.delta(), 1.0); }
+
+TEST_F(PaperFigure2, Dominates) { EXPECT_TRUE(cumulative_.Dominates()); }
+
+TEST_F(PaperFigure2, TotalDelay) {
+  // sum (B_l - A_l) = 1+2+2+3+1 = 9.
+  EXPECT_DOUBLE_EQ(cumulative_.TotalDelay(), 9.0);
+}
+
+TEST(CumulativeSeriesTest, SuffixMinGapDecreasingTail) {
+  auto counts = CountSequence::Create({0, 0, 5, 0}, {3, 2, 0, 1});
+  ASSERT_TRUE(counts.ok());
+  const CumulativeSeries cumulative(*counts);
+  // B = <3,5,5,6>, A = <0,0,5,5>; gaps = <3,5,0,1>.
+  EXPECT_DOUBLE_EQ(cumulative.SuffixMinGap(1), 0.0);
+  EXPECT_DOUBLE_EQ(cumulative.SuffixMinGap(2), 0.0);
+  EXPECT_DOUBLE_EQ(cumulative.SuffixMinGap(3), 0.0);
+  EXPECT_DOUBLE_EQ(cumulative.SuffixMinGap(4), 1.0);
+}
+
+TEST(CumulativeSeriesTest, DominanceDetectsViolation) {
+  auto counts = CountSequence::Create({5, 0}, {1, 4});
+  ASSERT_TRUE(counts.ok());
+  const CumulativeSeries cumulative(*counts);
+  EXPECT_FALSE(cumulative.Dominates());
+}
+
+TEST(PreprocessTest, EnforceDominanceSwapsCurves) {
+  auto counts = CountSequence::Create({5, 0, 1}, {1, 4, 1});
+  ASSERT_TRUE(counts.ok());
+  const CountSequence fixed = EnforceDominance(*counts);
+  const CumulativeSeries cumulative(fixed);
+  EXPECT_TRUE(cumulative.Dominates());
+  // Totals are preserved: min+max swap keeps the multiset of curve values.
+  const CumulativeSeries original(*counts);
+  EXPECT_DOUBLE_EQ(cumulative.A(3) + cumulative.B(3),
+                   original.A(3) + original.B(3));
+}
+
+TEST(PreprocessTest, EnforceDominanceIdempotentWhenDominated) {
+  auto counts = CountSequence::Create({1, 1, 1}, {2, 2, 2});
+  ASSERT_TRUE(counts.ok());
+  const CountSequence fixed = EnforceDominance(*counts);
+  for (int64_t t = 1; t <= 3; ++t) {
+    EXPECT_DOUBLE_EQ(fixed.a(t), counts->a(t));
+    EXPECT_DOUBLE_EQ(fixed.b(t), counts->b(t));
+  }
+}
+
+TEST(PreprocessTest, MakeDominatedSequencePropagatesErrors) {
+  EXPECT_FALSE(MakeDominatedSequence({1, -1}, {1, 1}).ok());
+  auto ok = MakeDominatedSequence({5, 0}, {0, 5});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(CumulativeSeries(*ok).Dominates());
+}
+
+}  // namespace
+}  // namespace conservation::series

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "core/confidence.h"
+#include "datagen/perturb.h"
+#include "datagen/router.h"
+#include "series/cumulative.h"
+#include "stream/streaming_monitor.h"
+#include "tests/test_data.h"
+
+namespace conservation::stream {
+namespace {
+
+using core::ConfidenceModel;
+
+TEST(StreamingMonitorTest, EmptyStream) {
+  StreamOptions options;
+  StreamingMonitor monitor(options);
+  EXPECT_EQ(monitor.ticks(), 0);
+  EXPECT_FALSE(monitor.CumulativeConfidence().has_value());
+  EXPECT_FALSE(monitor.WindowConfidence().has_value());
+}
+
+TEST(StreamingMonitorTest, PerfectConservationIsOne) {
+  StreamOptions options;
+  options.window = 4;
+  StreamingMonitor monitor(options);
+  for (int t = 0; t < 10; ++t) monitor.Observe(3.0, 3.0);
+  ASSERT_TRUE(monitor.CumulativeConfidence().has_value());
+  EXPECT_DOUBLE_EQ(*monitor.CumulativeConfidence(), 1.0);
+  EXPECT_DOUBLE_EQ(*monitor.WindowConfidence(), 1.0);
+  EXPECT_FALSE(monitor.in_violation());
+}
+
+TEST(StreamingMonitorTest, RequireFullWindowSuppressesEarlyAnswers) {
+  StreamOptions options;
+  options.window = 8;
+  StreamingMonitor monitor(options);
+  for (int t = 0; t < 7; ++t) {
+    monitor.Observe(1.0, 1.0);
+    EXPECT_FALSE(monitor.WindowConfidence().has_value()) << t;
+  }
+  monitor.Observe(1.0, 1.0);
+  EXPECT_TRUE(monitor.WindowConfidence().has_value());
+}
+
+// Differential test: the monitor's answers equal a batch evaluator built on
+// the prefix seen so far (prefix-consistent credit/debit semantics).
+class StreamDifferential
+    : public ::testing::TestWithParam<std::tuple<ConfidenceModel, uint64_t>> {
+};
+
+TEST_P(StreamDifferential, MatchesBatchEvaluatorOnPrefixes) {
+  const auto& [model, seed] = GetParam();
+  const int64_t n = 200;
+  const int64_t window = 16;
+  const series::CountSequence counts =
+      testing_util::RandomDominatedCounts(seed, n);
+
+  StreamOptions options;
+  options.model = model;
+  options.window = window;
+  options.require_full_window = false;
+  StreamingMonitor monitor(options);
+
+  for (int64_t t = 1; t <= n; ++t) {
+    monitor.Observe(counts.a(t), counts.b(t));
+    if (t % 7 != 0) continue;  // check a sample of prefixes
+
+    const series::CountSequence prefix = counts.Prefix(t);
+    const series::CumulativeSeries cumulative(prefix);
+    const core::ConfidenceEvaluator eval(&cumulative, model);
+
+    const auto batch_whole = eval.Confidence(1, t);
+    const auto stream_whole = monitor.CumulativeConfidence();
+    ASSERT_EQ(batch_whole.has_value(), stream_whole.has_value()) << t;
+    if (batch_whole.has_value()) {
+      EXPECT_NEAR(*batch_whole, *stream_whole, 1e-9) << "t=" << t;
+    }
+
+    const int64_t i = std::max<int64_t>(1, t - window + 1);
+    const auto batch_window = eval.Confidence(i, t);
+    const auto stream_window = monitor.WindowConfidence();
+    ASSERT_EQ(batch_window.has_value(), stream_window.has_value()) << t;
+    if (batch_window.has_value()) {
+      EXPECT_NEAR(*batch_window, *stream_window, 1e-9) << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StreamDifferential,
+    ::testing::Combine(::testing::Values(ConfidenceModel::kBalance,
+                                         ConfidenceModel::kCredit,
+                                         ConfidenceModel::kDebit),
+                       ::testing::Values(21u, 22u, 23u, 24u)));
+
+TEST(StreamingMonitorTest, DetectsInjectedOutage) {
+  const series::CountSequence base =
+      datagen::GenerateWellBehavedTraffic(906, 777);
+  datagen::PerturbationSpec spec;
+  spec.fraction = 0.1;
+  spec.compensate = true;
+  spec.latest_start_fraction = 0.4;
+  datagen::PerturbationInfo info;
+  const series::CountSequence perturbed =
+      datagen::ApplyPerturbation(base, spec, &info);
+
+  StreamOptions options;
+  options.model = ConfidenceModel::kBalance;
+  options.window = 48;
+  options.alert_threshold = 0.5;
+  options.clear_threshold = 0.7;
+  StreamingMonitor monitor(options);
+
+  int callbacks = 0;
+  monitor.OnEpisode([&](const ViolationEpisode&) { ++callbacks; });
+  for (int64_t t = 1; t <= perturbed.n(); ++t) {
+    monitor.Observe(perturbed.a(t), perturbed.b(t));
+  }
+  monitor.Flush();
+
+  ASSERT_GE(monitor.episodes().size(), 1u);
+  EXPECT_EQ(static_cast<int>(monitor.episodes().size()), callbacks);
+  // The first episode starts shortly after the drop begins (the window
+  // needs some violating mass before the threshold trips) and ends around
+  // the recovery.
+  const ViolationEpisode& episode = monitor.episodes().front();
+  EXPECT_GE(episode.begin, info.drop_begin);
+  EXPECT_LE(episode.begin, info.drop_begin + options.window);
+  EXPECT_LE(episode.end, info.recovery_tick + options.window);
+  EXPECT_LT(episode.min_confidence, 0.3);
+}
+
+TEST(StreamingMonitorTest, NoEpisodesOnCleanTraffic) {
+  const series::CountSequence clean =
+      datagen::GenerateWellBehavedTraffic(906, 778);
+  StreamOptions options;
+  options.window = 48;
+  options.alert_threshold = 0.5;
+  options.clear_threshold = 0.6;
+  StreamingMonitor monitor(options);
+  for (int64_t t = 1; t <= clean.n(); ++t) {
+    monitor.Observe(clean.a(t), clean.b(t));
+  }
+  monitor.Flush();
+  EXPECT_TRUE(monitor.episodes().empty());
+}
+
+TEST(StreamingMonitorTest, HysteresisMergesFlappingTicks) {
+  StreamOptions options;
+  options.window = 2;
+  options.alert_threshold = 0.4;
+  options.clear_threshold = 0.9;
+  StreamingMonitor monitor(options);
+  // Alternate bad (a=0) and mediocre (a=b/2) ticks; with a high clear
+  // threshold, the episode must not close in between. The flapping phase
+  // accrues a backlog of 18, drained afterwards without ever violating
+  // dominance.
+  for (int t = 0; t < 4; ++t) monitor.Observe(4.0, 4.0);
+  for (int t = 0; t < 6; ++t) monitor.Observe(t % 2 == 0 ? 0.0 : 2.0, 4.0);
+  for (int t = 0; t < 9; ++t) monitor.Observe(6.0, 4.0);  // drain backlog
+  for (int t = 0; t < 5; ++t) monitor.Observe(4.0, 4.0);  // steady state
+  monitor.Flush();
+  EXPECT_EQ(monitor.episodes().size(), 1u);
+}
+
+TEST(StreamingMonitorTest, DominanceViolationAborts) {
+  StreamOptions options;
+  StreamingMonitor monitor(options);
+  monitor.Observe(1.0, 2.0);
+  EXPECT_DEATH(monitor.Observe(5.0, 0.0), "gap");
+}
+
+}  // namespace
+}  // namespace conservation::stream

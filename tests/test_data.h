@@ -1,0 +1,53 @@
+// Shared helpers for generating random dominated integer count data in
+// tests. Integer counts with minimum positive value 1 keep the paper's
+// "smallest nonzero area >= Delta" fact exact, so the approximation
+// guarantees are testable without tolerance games.
+
+#ifndef CONSERVATION_TESTS_TEST_DATA_H_
+#define CONSERVATION_TESTS_TEST_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "series/cumulative.h"
+#include "series/sequence.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace conservation::testing_util {
+
+// Random dominated integer sequences of length n: inbound ~ Poisson(mean),
+// outbound drains a random share of the accumulated slack, with occasional
+// dry spells (zero outbound) so confidence varies widely.
+inline series::CountSequence RandomDominatedCounts(uint64_t seed, int64_t n,
+                                                   double mean = 5.0) {
+  util::Rng rng(seed);
+  std::vector<double> a;
+  std::vector<double> b;
+  a.reserve(static_cast<size_t>(n));
+  b.reserve(static_cast<size_t>(n));
+  double slack = 0.0;
+  bool dry = false;
+  for (int64_t t = 0; t < n; ++t) {
+    if (rng.Bernoulli(0.1)) dry = !dry;  // toggle dry spells
+    const double inbound = static_cast<double>(rng.Poisson(mean));
+    const double available = slack + inbound;
+    double outbound = 0.0;
+    if (!dry && available > 0.0) {
+      outbound = static_cast<double>(
+          rng.UniformInt(0, static_cast<int64_t>(available)));
+    }
+    a.push_back(outbound);
+    b.push_back(inbound);
+    slack += inbound - outbound;
+  }
+  // Guarantee at least one positive count.
+  if (slack == 0.0 && a.empty()) b.push_back(1.0);
+  auto counts = series::CountSequence::Create(std::move(a), std::move(b));
+  CR_CHECK(counts.ok());
+  return std::move(counts).value();
+}
+
+}  // namespace conservation::testing_util
+
+#endif  // CONSERVATION_TESTS_TEST_DATA_H_

@@ -1,0 +1,224 @@
+// crdiscover: discover conservation-rule tableaux in a two-column CSV.
+//
+// Usage:
+//   crdiscover --input=data.csv [options]
+//
+// Input options:
+//   --col_a=<idx> --col_b=<idx>   0-based columns (default 0, 1)
+//   --sep=<char>                  field separator (default ',')
+//   --no_header                   first row is data
+// Rule options:
+//   --type=hold|fail              (default fail)
+//   --model=balance|credit|debit  (default balance)
+//   --c_hat=<x>    confidence threshold        (default 0.8)
+//   --s_hat=<x>    support fraction            (default 0.1)
+//   --epsilon=<x>  approximation knob          (default 0.01)
+//   --algorithm=exhaustive|area|area_opt|nab|nab_opt   (default area)
+// Extras:
+//   --report         full quality report (tableau + diagnosis + segments)
+//   --json           emit the tableau as JSON
+//   --severity       also print intervals ranked by misplaced mass
+//   --sweep=a,b,c    threshold sweep instead of a single tableau
+//   --profile=<w>    dump rolling window-w confidence to stdout as CSV
+//   --segments=<len> per-segment confidence summary (CSV)
+
+#include <cstdio>
+#include <string>
+
+#include "core/analysis.h"
+#include "core/report.h"
+#include "core/segmentation.h"
+#include "core/conservation_rule.h"
+#include "io/csv.h"
+#include "io/json.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace conservation;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "crdiscover: %s\n", message.c_str());
+  return 1;
+}
+
+util::Result<core::ConfidenceModel> ParseModel(const std::string& name) {
+  if (name == "balance") return core::ConfidenceModel::kBalance;
+  if (name == "credit") return core::ConfidenceModel::kCredit;
+  if (name == "debit") return core::ConfidenceModel::kDebit;
+  return util::Status::InvalidArgument("unknown model: " + name);
+}
+
+util::Result<interval::AlgorithmKind> ParseAlgorithm(
+    const std::string& name) {
+  if (name == "exhaustive") return interval::AlgorithmKind::kExhaustive;
+  if (name == "area") return interval::AlgorithmKind::kAreaBased;
+  if (name == "area_opt") return interval::AlgorithmKind::kAreaBasedOpt;
+  if (name == "nab") return interval::AlgorithmKind::kNonAreaBased;
+  if (name == "nab_opt") return interval::AlgorithmKind::kNonAreaBasedOpt;
+  return util::Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  if (util::Status status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  const std::string input = flags.GetStringOr("input", "");
+  if (input.empty()) return Fail("required: --input=<csv>");
+
+  io::CsvReadOptions read_options;
+  auto col_a = flags.GetIntOr("col_a", 0);
+  auto col_b = flags.GetIntOr("col_b", 1);
+  auto no_header = flags.GetBoolOr("no_header", false);
+  if (!col_a.ok()) return Fail(col_a.status().ToString());
+  if (!col_b.ok()) return Fail(col_b.status().ToString());
+  if (!no_header.ok()) return Fail(no_header.status().ToString());
+  read_options.column_a = static_cast<int>(*col_a);
+  read_options.column_b = static_cast<int>(*col_b);
+  read_options.has_header = !*no_header;
+  const std::string sep = flags.GetStringOr("sep", ",");
+  if (sep.size() != 1) return Fail("--sep must be one character");
+  read_options.separator = sep[0];
+
+  auto counts = io::ReadCountsCsv(input, read_options);
+  if (!counts.ok()) return Fail(counts.status().ToString());
+  auto rule = core::ConservationRule::Create(std::move(counts).value());
+  if (!rule.ok()) return Fail(rule.status().ToString());
+
+  auto model = ParseModel(flags.GetStringOr("model", "balance"));
+  if (!model.ok()) return Fail(model.status().ToString());
+
+  // Rolling profile mode.
+  auto profile = flags.GetIntOr("profile", 0);
+  if (!profile.ok()) return Fail(profile.status().ToString());
+  if (*profile > 0) {
+    if (*profile > rule->n()) return Fail("--profile window exceeds n");
+    const std::vector<double> series =
+        core::ConfidenceProfile(*rule, *model, *profile);
+    std::printf("t,confidence\n");
+    for (size_t k = 0; k < series.size(); ++k) {
+      std::printf("%lld,%s\n",
+                  static_cast<long long>(*profile + static_cast<int64_t>(k)),
+                  util::FormatNumber(series[k], 6).c_str());
+    }
+    return 0;
+  }
+
+  // Per-segment summary mode.
+  auto segments = flags.GetIntOr("segments", 0);
+  if (!segments.ok()) return Fail(segments.status().ToString());
+  if (*segments > 0) {
+    const auto summaries = core::SummarizeSegments(
+        *rule, *model, core::UniformSegments(rule->n(), *segments));
+    std::printf("segment,begin,end,confidence,misplaced_mass\n");
+    for (const core::SegmentSummary& summary : summaries) {
+      std::printf("%s,%lld,%lld,%s,%s\n", summary.segment.label.c_str(),
+                  static_cast<long long>(summary.segment.range.begin),
+                  static_cast<long long>(summary.segment.range.end),
+                  summary.confidence.has_value()
+                      ? util::FormatNumber(*summary.confidence, 6).c_str()
+                      : "undefined",
+                  util::FormatNumber(summary.misplaced_mass, 3).c_str());
+    }
+    return 0;
+  }
+
+  // Full-report mode.
+  auto want_report = flags.GetBoolOr("report", false);
+  if (!want_report.ok()) return Fail(want_report.status().ToString());
+  if (*want_report) {
+    core::ReportOptions report_options;
+    report_options.model = *model;
+    auto c = flags.GetDoubleOr("c_hat", 0.7);
+    auto s_opt = flags.GetDoubleOr("s_hat", 0.05);
+    if (!c.ok()) return Fail(c.status().ToString());
+    if (!s_opt.ok()) return Fail(s_opt.status().ToString());
+    report_options.fail_c_hat = *c;
+    report_options.support = *s_opt;
+    auto report = core::BuildQualityReport(*rule, report_options);
+    if (!report.ok()) return Fail(report.status().ToString());
+    std::printf("%s", report->ToString().c_str());
+    return 0;
+  }
+
+  core::TableauRequest request;
+  const std::string type = flags.GetStringOr("type", "fail");
+  if (type == "hold") {
+    request.type = core::TableauType::kHold;
+  } else if (type == "fail") {
+    request.type = core::TableauType::kFail;
+  } else {
+    return Fail("unknown type: " + type);
+  }
+  request.model = *model;
+  auto algorithm = ParseAlgorithm(flags.GetStringOr("algorithm", "area"));
+  if (!algorithm.ok()) return Fail(algorithm.status().ToString());
+  request.algorithm = *algorithm;
+  auto c_hat = flags.GetDoubleOr("c_hat", 0.8);
+  auto s_hat = flags.GetDoubleOr("s_hat", 0.1);
+  auto epsilon = flags.GetDoubleOr("epsilon", 0.01);
+  if (!c_hat.ok()) return Fail(c_hat.status().ToString());
+  if (!s_hat.ok()) return Fail(s_hat.status().ToString());
+  if (!epsilon.ok()) return Fail(epsilon.status().ToString());
+  request.c_hat = *c_hat;
+  request.s_hat = *s_hat;
+  request.epsilon = *epsilon;
+
+  std::printf("n = %lld ticks; overall %s confidence = %s\n",
+              static_cast<long long>(rule->n()),
+              core::ConfidenceModelName(*model),
+              util::FormatNumber(
+                  rule->OverallConfidence(*model).value_or(-1.0), 6)
+                  .c_str());
+
+  // Threshold sweep mode.
+  const std::string sweep = flags.GetStringOr("sweep", "");
+  if (!sweep.empty()) {
+    std::vector<double> thresholds;
+    for (const std::string& item : util::Split(sweep, ',')) {
+      double value = 0.0;
+      if (!util::ParseDouble(item, &value)) {
+        return Fail("bad --sweep entry: " + item);
+      }
+      thresholds.push_back(value);
+    }
+    auto points = core::ThresholdSweep(*rule, request, thresholds);
+    if (!points.ok()) return Fail(points.status().ToString());
+    std::printf("c_hat,intervals,covered,satisfied\n");
+    for (const core::SweepPoint& point : *points) {
+      std::printf("%s,%zu,%lld,%s\n",
+                  util::FormatNumber(point.c_hat, 4).c_str(),
+                  point.tableau_size,
+                  static_cast<long long>(point.covered),
+                  point.support_satisfied ? "yes" : "no");
+    }
+    return 0;
+  }
+
+  auto tableau = rule->DiscoverTableau(request);
+  if (!tableau.ok()) return Fail(tableau.status().ToString());
+  auto as_json = flags.GetBoolOr("json", false);
+  if (!as_json.ok()) return Fail(as_json.status().ToString());
+  if (*as_json) {
+    std::printf("%s\n", io::TableauToJson(*tableau).c_str());
+    return 0;
+  }
+  std::printf("%s", tableau->ToString().c_str());
+
+  auto severity = flags.GetBoolOr("severity", false);
+  if (!severity.ok()) return Fail(severity.status().ToString());
+  if (*severity) {
+    std::printf("\nby severity (misplaced mass):\n");
+    for (const core::SeverityEntry& entry :
+         core::RankBySeverity(*rule, *model, *tableau)) {
+      std::printf("  %-14s conf=%.4f misplaced=%s\n",
+                  entry.interval.ToString().c_str(), entry.confidence,
+                  util::FormatNumber(entry.misplaced_mass, 2).c_str());
+    }
+  }
+  return 0;
+}
