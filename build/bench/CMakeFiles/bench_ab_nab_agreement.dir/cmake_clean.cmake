@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab_nab_agreement.dir/bench_ab_nab_agreement.cc.o"
+  "CMakeFiles/bench_ab_nab_agreement.dir/bench_ab_nab_agreement.cc.o.d"
+  "bench_ab_nab_agreement"
+  "bench_ab_nab_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab_nab_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_credit_card.dir/bench_fig3_credit_card.cc.o"
+  "CMakeFiles/bench_fig3_credit_card.dir/bench_fig3_credit_card.cc.o.d"
+  "bench_fig3_credit_card"
+  "bench_fig3_credit_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_credit_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_perturbed.dir/bench_fig5_perturbed.cc.o"
+  "CMakeFiles/bench_fig5_perturbed.dir/bench_fig5_perturbed.cc.o.d"
+  "bench_fig5_perturbed"
+  "bench_fig5_perturbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_perturbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

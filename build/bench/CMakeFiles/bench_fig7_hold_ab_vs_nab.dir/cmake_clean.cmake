@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hold_ab_vs_nab.dir/bench_fig7_hold_ab_vs_nab.cc.o"
+  "CMakeFiles/bench_fig7_hold_ab_vs_nab.dir/bench_fig7_hold_ab_vs_nab.cc.o.d"
+  "bench_fig7_hold_ab_vs_nab"
+  "bench_fig7_hold_ab_vs_nab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hold_ab_vs_nab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

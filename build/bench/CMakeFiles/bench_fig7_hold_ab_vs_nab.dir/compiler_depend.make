@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_hold_ab_vs_nab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_nab_opt.dir/bench_fig9_nab_opt.cc.o"
+  "CMakeFiles/bench_fig9_nab_opt.dir/bench_fig9_nab_opt.cc.o.d"
+  "bench_fig9_nab_opt"
+  "bench_fig9_nab_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_nab_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_strawmen.dir/bench_intro_strawmen.cc.o"
+  "CMakeFiles/bench_intro_strawmen.dir/bench_intro_strawmen.cc.o.d"
+  "bench_intro_strawmen"
+  "bench_intro_strawmen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_strawmen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

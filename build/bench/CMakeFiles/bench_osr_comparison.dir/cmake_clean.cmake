@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_osr_comparison.dir/bench_osr_comparison.cc.o"
+  "CMakeFiles/bench_osr_comparison.dir/bench_osr_comparison.cc.o.d"
+  "bench_osr_comparison"
+  "bench_osr_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_osr_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

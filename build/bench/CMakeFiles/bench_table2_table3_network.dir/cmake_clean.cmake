@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_table3_network.dir/bench_table2_table3_network.cc.o"
+  "CMakeFiles/bench_table2_table3_network.dir/bench_table2_table3_network.cc.o.d"
+  "bench_table2_table3_network"
+  "bench_table2_table3_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_table3_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

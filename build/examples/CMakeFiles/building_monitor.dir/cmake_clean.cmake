@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/building_monitor.dir/building_monitor.cpp.o"
+  "CMakeFiles/building_monitor.dir/building_monitor.cpp.o.d"
+  "building_monitor"
+  "building_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/building_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_card_analysis.dir/credit_card_analysis.cpp.o"
+  "CMakeFiles/credit_card_analysis.dir/credit_card_analysis.cpp.o.d"
+  "credit_card_analysis"
+  "credit_card_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_card_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_audit.dir/grid_audit.cpp.o"
+  "CMakeFiles/grid_audit.dir/grid_audit.cpp.o.d"
+  "grid_audit"
+  "grid_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_diagnosis.dir/node_diagnosis.cpp.o"
+  "CMakeFiles/node_diagnosis.dir/node_diagnosis.cpp.o.d"
+  "node_diagnosis"
+  "node_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/cr_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/conservation_rule.cc" "src/core/CMakeFiles/cr_core.dir/conservation_rule.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/conservation_rule.cc.o.d"
+  "/root/repo/src/core/diagnose.cc" "src/core/CMakeFiles/cr_core.dir/diagnose.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/diagnose.cc.o.d"
+  "/root/repo/src/core/multi_resolution.cc" "src/core/CMakeFiles/cr_core.dir/multi_resolution.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/multi_resolution.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/cr_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/report.cc.o.d"
+  "/root/repo/src/core/segmentation.cc" "src/core/CMakeFiles/cr_core.dir/segmentation.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/segmentation.cc.o.d"
+  "/root/repo/src/core/tableau.cc" "src/core/CMakeFiles/cr_core.dir/tableau.cc.o" "gcc" "src/core/CMakeFiles/cr_core.dir/tableau.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cr_core_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/cr_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cover/CMakeFiles/cr_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/series/CMakeFiles/cr_series.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

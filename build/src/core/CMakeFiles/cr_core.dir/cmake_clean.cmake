@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_core.dir/analysis.cc.o"
+  "CMakeFiles/cr_core.dir/analysis.cc.o.d"
+  "CMakeFiles/cr_core.dir/conservation_rule.cc.o"
+  "CMakeFiles/cr_core.dir/conservation_rule.cc.o.d"
+  "CMakeFiles/cr_core.dir/diagnose.cc.o"
+  "CMakeFiles/cr_core.dir/diagnose.cc.o.d"
+  "CMakeFiles/cr_core.dir/multi_resolution.cc.o"
+  "CMakeFiles/cr_core.dir/multi_resolution.cc.o.d"
+  "CMakeFiles/cr_core.dir/report.cc.o"
+  "CMakeFiles/cr_core.dir/report.cc.o.d"
+  "CMakeFiles/cr_core.dir/segmentation.cc.o"
+  "CMakeFiles/cr_core.dir/segmentation.cc.o.d"
+  "CMakeFiles/cr_core.dir/tableau.cc.o"
+  "CMakeFiles/cr_core.dir/tableau.cc.o.d"
+  "libcr_core.a"
+  "libcr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

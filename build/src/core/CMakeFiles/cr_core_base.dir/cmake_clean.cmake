@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_core_base.dir/delay.cc.o"
+  "CMakeFiles/cr_core_base.dir/delay.cc.o.d"
+  "CMakeFiles/cr_core_base.dir/model.cc.o"
+  "CMakeFiles/cr_core_base.dir/model.cc.o.d"
+  "libcr_core_base.a"
+  "libcr_core_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_core_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/core/CMakeFiles/cr_core_base.dir/model.cc.o: \
+ /root/repo/src/core/model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/model.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_cover.dir/partial_set_cover.cc.o"
+  "CMakeFiles/cr_cover.dir/partial_set_cover.cc.o.d"
+  "libcr_cover.a"
+  "libcr_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/credit_card.cc" "src/datagen/CMakeFiles/cr_datagen.dir/credit_card.cc.o" "gcc" "src/datagen/CMakeFiles/cr_datagen.dir/credit_card.cc.o.d"
+  "/root/repo/src/datagen/intersection.cc" "src/datagen/CMakeFiles/cr_datagen.dir/intersection.cc.o" "gcc" "src/datagen/CMakeFiles/cr_datagen.dir/intersection.cc.o.d"
+  "/root/repo/src/datagen/job_log.cc" "src/datagen/CMakeFiles/cr_datagen.dir/job_log.cc.o" "gcc" "src/datagen/CMakeFiles/cr_datagen.dir/job_log.cc.o.d"
+  "/root/repo/src/datagen/people_count.cc" "src/datagen/CMakeFiles/cr_datagen.dir/people_count.cc.o" "gcc" "src/datagen/CMakeFiles/cr_datagen.dir/people_count.cc.o.d"
+  "/root/repo/src/datagen/perturb.cc" "src/datagen/CMakeFiles/cr_datagen.dir/perturb.cc.o" "gcc" "src/datagen/CMakeFiles/cr_datagen.dir/perturb.cc.o.d"
+  "/root/repo/src/datagen/power_grid.cc" "src/datagen/CMakeFiles/cr_datagen.dir/power_grid.cc.o" "gcc" "src/datagen/CMakeFiles/cr_datagen.dir/power_grid.cc.o.d"
+  "/root/repo/src/datagen/router.cc" "src/datagen/CMakeFiles/cr_datagen.dir/router.cc.o" "gcc" "src/datagen/CMakeFiles/cr_datagen.dir/router.cc.o.d"
+  "/root/repo/src/datagen/tcp_trace.cc" "src/datagen/CMakeFiles/cr_datagen.dir/tcp_trace.cc.o" "gcc" "src/datagen/CMakeFiles/cr_datagen.dir/tcp_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/series/CMakeFiles/cr_series.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

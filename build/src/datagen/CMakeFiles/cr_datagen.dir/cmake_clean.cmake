@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_datagen.dir/credit_card.cc.o"
+  "CMakeFiles/cr_datagen.dir/credit_card.cc.o.d"
+  "CMakeFiles/cr_datagen.dir/intersection.cc.o"
+  "CMakeFiles/cr_datagen.dir/intersection.cc.o.d"
+  "CMakeFiles/cr_datagen.dir/job_log.cc.o"
+  "CMakeFiles/cr_datagen.dir/job_log.cc.o.d"
+  "CMakeFiles/cr_datagen.dir/people_count.cc.o"
+  "CMakeFiles/cr_datagen.dir/people_count.cc.o.d"
+  "CMakeFiles/cr_datagen.dir/perturb.cc.o"
+  "CMakeFiles/cr_datagen.dir/perturb.cc.o.d"
+  "CMakeFiles/cr_datagen.dir/power_grid.cc.o"
+  "CMakeFiles/cr_datagen.dir/power_grid.cc.o.d"
+  "CMakeFiles/cr_datagen.dir/router.cc.o"
+  "CMakeFiles/cr_datagen.dir/router.cc.o.d"
+  "CMakeFiles/cr_datagen.dir/tcp_trace.cc.o"
+  "CMakeFiles/cr_datagen.dir/tcp_trace.cc.o.d"
+  "libcr_datagen.a"
+  "libcr_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

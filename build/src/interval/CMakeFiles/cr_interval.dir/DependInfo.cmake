@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interval/area_based.cc" "src/interval/CMakeFiles/cr_interval.dir/area_based.cc.o" "gcc" "src/interval/CMakeFiles/cr_interval.dir/area_based.cc.o.d"
+  "/root/repo/src/interval/area_based_opt.cc" "src/interval/CMakeFiles/cr_interval.dir/area_based_opt.cc.o" "gcc" "src/interval/CMakeFiles/cr_interval.dir/area_based_opt.cc.o.d"
+  "/root/repo/src/interval/compare.cc" "src/interval/CMakeFiles/cr_interval.dir/compare.cc.o" "gcc" "src/interval/CMakeFiles/cr_interval.dir/compare.cc.o.d"
+  "/root/repo/src/interval/exhaustive.cc" "src/interval/CMakeFiles/cr_interval.dir/exhaustive.cc.o" "gcc" "src/interval/CMakeFiles/cr_interval.dir/exhaustive.cc.o.d"
+  "/root/repo/src/interval/generator.cc" "src/interval/CMakeFiles/cr_interval.dir/generator.cc.o" "gcc" "src/interval/CMakeFiles/cr_interval.dir/generator.cc.o.d"
+  "/root/repo/src/interval/interval.cc" "src/interval/CMakeFiles/cr_interval.dir/interval.cc.o" "gcc" "src/interval/CMakeFiles/cr_interval.dir/interval.cc.o.d"
+  "/root/repo/src/interval/non_area_based.cc" "src/interval/CMakeFiles/cr_interval.dir/non_area_based.cc.o" "gcc" "src/interval/CMakeFiles/cr_interval.dir/non_area_based.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cr_core_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/series/CMakeFiles/cr_series.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_interval.dir/area_based.cc.o"
+  "CMakeFiles/cr_interval.dir/area_based.cc.o.d"
+  "CMakeFiles/cr_interval.dir/area_based_opt.cc.o"
+  "CMakeFiles/cr_interval.dir/area_based_opt.cc.o.d"
+  "CMakeFiles/cr_interval.dir/compare.cc.o"
+  "CMakeFiles/cr_interval.dir/compare.cc.o.d"
+  "CMakeFiles/cr_interval.dir/exhaustive.cc.o"
+  "CMakeFiles/cr_interval.dir/exhaustive.cc.o.d"
+  "CMakeFiles/cr_interval.dir/generator.cc.o"
+  "CMakeFiles/cr_interval.dir/generator.cc.o.d"
+  "CMakeFiles/cr_interval.dir/interval.cc.o"
+  "CMakeFiles/cr_interval.dir/interval.cc.o.d"
+  "CMakeFiles/cr_interval.dir/non_area_based.cc.o"
+  "CMakeFiles/cr_interval.dir/non_area_based.cc.o.d"
+  "libcr_interval.a"
+  "libcr_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/cr_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/cr_io.dir/csv.cc.o.d"
+  "/root/repo/src/io/json.cc" "src/io/CMakeFiles/cr_io.dir/json.cc.o" "gcc" "src/io/CMakeFiles/cr_io.dir/json.cc.o.d"
+  "/root/repo/src/io/table_printer.cc" "src/io/CMakeFiles/cr_io.dir/table_printer.cc.o" "gcc" "src/io/CMakeFiles/cr_io.dir/table_printer.cc.o.d"
+  "/root/repo/src/io/timeline.cc" "src/io/CMakeFiles/cr_io.dir/timeline.cc.o" "gcc" "src/io/CMakeFiles/cr_io.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/series/CMakeFiles/cr_series.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/cr_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cover/CMakeFiles/cr_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cr_core_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

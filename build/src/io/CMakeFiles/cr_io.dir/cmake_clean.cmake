@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_io.dir/csv.cc.o"
+  "CMakeFiles/cr_io.dir/csv.cc.o.d"
+  "CMakeFiles/cr_io.dir/json.cc.o"
+  "CMakeFiles/cr_io.dir/json.cc.o.d"
+  "CMakeFiles/cr_io.dir/table_printer.cc.o"
+  "CMakeFiles/cr_io.dir/table_printer.cc.o.d"
+  "CMakeFiles/cr_io.dir/timeline.cc.o"
+  "CMakeFiles/cr_io.dir/timeline.cc.o.d"
+  "libcr_io.a"
+  "libcr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_matching.dir/rightward_matching.cc.o"
+  "CMakeFiles/cr_matching.dir/rightward_matching.cc.o.d"
+  "libcr_matching.a"
+  "libcr_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/divergence.cc" "src/mining/CMakeFiles/cr_mining.dir/divergence.cc.o" "gcc" "src/mining/CMakeFiles/cr_mining.dir/divergence.cc.o.d"
+  "/root/repo/src/mining/support_rules.cc" "src/mining/CMakeFiles/cr_mining.dir/support_rules.cc.o" "gcc" "src/mining/CMakeFiles/cr_mining.dir/support_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cr_core_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/cr_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/series/CMakeFiles/cr_series.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

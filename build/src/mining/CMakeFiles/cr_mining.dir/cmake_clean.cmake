@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_mining.dir/divergence.cc.o"
+  "CMakeFiles/cr_mining.dir/divergence.cc.o.d"
+  "CMakeFiles/cr_mining.dir/support_rules.cc.o"
+  "CMakeFiles/cr_mining.dir/support_rules.cc.o.d"
+  "libcr_mining.a"
+  "libcr_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_network.dir/node_monitor.cc.o"
+  "CMakeFiles/cr_network.dir/node_monitor.cc.o.d"
+  "CMakeFiles/cr_network.dir/simulator.cc.o"
+  "CMakeFiles/cr_network.dir/simulator.cc.o.d"
+  "libcr_network.a"
+  "libcr_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/series/cumulative.cc" "src/series/CMakeFiles/cr_series.dir/cumulative.cc.o" "gcc" "src/series/CMakeFiles/cr_series.dir/cumulative.cc.o.d"
+  "/root/repo/src/series/preprocess.cc" "src/series/CMakeFiles/cr_series.dir/preprocess.cc.o" "gcc" "src/series/CMakeFiles/cr_series.dir/preprocess.cc.o.d"
+  "/root/repo/src/series/resample.cc" "src/series/CMakeFiles/cr_series.dir/resample.cc.o" "gcc" "src/series/CMakeFiles/cr_series.dir/resample.cc.o.d"
+  "/root/repo/src/series/sequence.cc" "src/series/CMakeFiles/cr_series.dir/sequence.cc.o" "gcc" "src/series/CMakeFiles/cr_series.dir/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

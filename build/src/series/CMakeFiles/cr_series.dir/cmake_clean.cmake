@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_series.dir/cumulative.cc.o"
+  "CMakeFiles/cr_series.dir/cumulative.cc.o.d"
+  "CMakeFiles/cr_series.dir/preprocess.cc.o"
+  "CMakeFiles/cr_series.dir/preprocess.cc.o.d"
+  "CMakeFiles/cr_series.dir/resample.cc.o"
+  "CMakeFiles/cr_series.dir/resample.cc.o.d"
+  "CMakeFiles/cr_series.dir/sequence.cc.o"
+  "CMakeFiles/cr_series.dir/sequence.cc.o.d"
+  "libcr_series.a"
+  "libcr_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/multi_window_monitor.cc" "src/stream/CMakeFiles/cr_stream.dir/multi_window_monitor.cc.o" "gcc" "src/stream/CMakeFiles/cr_stream.dir/multi_window_monitor.cc.o.d"
+  "/root/repo/src/stream/streaming_monitor.cc" "src/stream/CMakeFiles/cr_stream.dir/streaming_monitor.cc.o" "gcc" "src/stream/CMakeFiles/cr_stream.dir/streaming_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cr_core_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/cr_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/series/CMakeFiles/cr_series.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

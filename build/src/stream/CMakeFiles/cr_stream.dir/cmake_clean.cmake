@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_stream.dir/multi_window_monitor.cc.o"
+  "CMakeFiles/cr_stream.dir/multi_window_monitor.cc.o.d"
+  "CMakeFiles/cr_stream.dir/streaming_monitor.cc.o"
+  "CMakeFiles/cr_stream.dir/streaming_monitor.cc.o.d"
+  "libcr_stream.a"
+  "libcr_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_util.dir/flags.cc.o"
+  "CMakeFiles/cr_util.dir/flags.cc.o.d"
+  "CMakeFiles/cr_util.dir/status.cc.o"
+  "CMakeFiles/cr_util.dir/status.cc.o.d"
+  "CMakeFiles/cr_util.dir/string_util.cc.o"
+  "CMakeFiles/cr_util.dir/string_util.cc.o.d"
+  "libcr_util.a"
+  "libcr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

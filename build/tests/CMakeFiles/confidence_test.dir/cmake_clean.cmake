@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidence_test.dir/confidence_test.cc.o"
+  "CMakeFiles/confidence_test.dir/confidence_test.cc.o.d"
+  "confidence_test"
+  "confidence_test.pdb"
+  "confidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_guarantees_test.dir/generator_guarantees_test.cc.o"
+  "CMakeFiles/generator_guarantees_test.dir/generator_guarantees_test.cc.o.d"
+  "generator_guarantees_test"
+  "generator_guarantees_test.pdb"
+  "generator_guarantees_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_guarantees_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_worked_example_test.dir/generator_worked_example_test.cc.o"
+  "CMakeFiles/generator_worked_example_test.dir/generator_worked_example_test.cc.o.d"
+  "generator_worked_example_test"
+  "generator_worked_example_test.pdb"
+  "generator_worked_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_worked_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/network_test.cc" "tests/CMakeFiles/network_test.dir/network_test.cc.o" "gcc" "tests/CMakeFiles/network_test.dir/network_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/cr_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/cr_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/cr_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/cr_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cover/CMakeFiles/cr_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cr_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/cr_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cr_core_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/series/CMakeFiles/cr_series.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

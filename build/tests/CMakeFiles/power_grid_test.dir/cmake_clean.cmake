@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_grid_test.dir/power_grid_test.cc.o"
+  "CMakeFiles/power_grid_test.dir/power_grid_test.cc.o.d"
+  "power_grid_test"
+  "power_grid_test.pdb"
+  "power_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

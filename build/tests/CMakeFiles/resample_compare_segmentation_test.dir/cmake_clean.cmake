@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resample_compare_segmentation_test.dir/resample_compare_segmentation_test.cc.o"
+  "CMakeFiles/resample_compare_segmentation_test.dir/resample_compare_segmentation_test.cc.o.d"
+  "resample_compare_segmentation_test"
+  "resample_compare_segmentation_test.pdb"
+  "resample_compare_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resample_compare_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

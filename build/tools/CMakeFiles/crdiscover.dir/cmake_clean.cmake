@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crdiscover.dir/crdiscover.cc.o"
+  "CMakeFiles/crdiscover.dir/crdiscover.cc.o.d"
+  "crdiscover"
+  "crdiscover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crdiscover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

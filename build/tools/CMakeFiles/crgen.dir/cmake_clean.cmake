@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crgen.dir/crgen.cc.o"
+  "CMakeFiles/crgen.dir/crgen.cc.o.d"
+  "crgen"
+  "crgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
