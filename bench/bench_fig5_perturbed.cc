@@ -116,10 +116,11 @@ int main(int argc, char** argv) {
       a_pert.push_back(cp.A(t));
       b_all.push_back(cb.B(t));
     }
+    const std::string csv_path = bench::OutputPath("fig5_curves.csv");
     const auto status = io::WriteColumnsCsv(
-        "fig5_curves.csv",
+        csv_path,
         {{"A_wellbehaved", a_base}, {"A_perturbed", a_pert}, {"B", b_all}});
-    std::printf("curve data written to fig5_curves.csv (%s)\n\n",
+    std::printf("curve data written to %s (%s)\n\n", csv_path.c_str(),
                 status.ok() ? "ok" : status.ToString().c_str());
   }
 

@@ -2,49 +2,171 @@
 // one table or figure from the paper (see DESIGN.md §3) and prints the rows
 // the paper reports; most accept size/epsilon overrides on the command line
 // so the paper-scale configurations can be run when time permits.
+//
+// Machine-readable mode: pass --json=<path> and use BenchJson to append
+// per-run records {bench, n, algorithm, model, threads, seconds,
+// intervals_tested}; the file is written as a JSON array on Flush (or
+// destruction), so future PRs can regress against BENCH_*.json trajectories.
 
 #ifndef CONSERVATION_BENCH_BENCH_UTIL_H_
 #define CONSERVATION_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "core/confidence.h"
 #include "interval/generator.h"
+#include "io/json.h"
 #include "series/cumulative.h"
 #include "series/sequence.h"
 #include "util/stopwatch.h"
 
 namespace conservation::bench {
 
-// Parses "--flag=value" style int/double overrides; returns fallback when
-// the flag is absent.
-inline int64_t IntFlag(int argc, char** argv, const std::string& name,
-                       int64_t fallback) {
+// Parses "--flag=value" style overrides; returns fallback when the flag is
+// absent. Malformed values (trailing garbage, overflow, empty) are fatal:
+// a silent atoll-style 0 turns "--n=1e6" into an empty benchmark run.
+[[noreturn]] inline void DieBadFlag(const std::string& name,
+                                    const char* text, const char* expected) {
+  std::fprintf(stderr,
+               "invalid value for --%s: '%s' (expected %s)\n"
+               "usage: --%s=<%s>\n",
+               name.c_str(), text, expected, name.c_str(), expected);
+  std::exit(2);
+}
+
+inline const char* FlagValue(int argc, char** argv, const std::string& name) {
   const std::string prefix = "--" + name + "=";
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
-    if (arg.rfind(prefix, 0) == 0) {
-      return std::atoll(arg.c_str() + prefix.size());
-    }
+    if (arg.rfind(prefix, 0) == 0) return argv[k] + prefix.size();
   }
-  return fallback;
+  return nullptr;
+}
+
+inline int64_t IntFlag(int argc, char** argv, const std::string& name,
+                       int64_t fallback) {
+  const char* text = FlagValue(argc, argv, name);
+  if (text == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    DieBadFlag(name, text, "integer");
+  }
+  return value;
 }
 
 inline double DoubleFlag(int argc, char** argv, const std::string& name,
                          double fallback) {
-  const std::string prefix = "--" + name + "=";
-  for (int k = 1; k < argc; ++k) {
-    const std::string arg = argv[k];
-    if (arg.rfind(prefix, 0) == 0) {
-      return std::atof(arg.c_str() + prefix.size());
+  const char* text = FlagValue(argc, argv, name);
+  if (text == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    DieBadFlag(name, text, "number");
+  }
+  return value;
+}
+
+inline std::string StringFlag(int argc, char** argv, const std::string& name,
+                              const std::string& fallback) {
+  const char* text = FlagValue(argc, argv, name);
+  return text == nullptr ? fallback : std::string(text);
+}
+
+// Benches write generated artifacts (CSV curves, JSON records) under
+// bench/out/ relative to the working directory — created on demand and
+// gitignored, so runs never dirty the source tree.
+inline std::string OutputPath(const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench/out", ec);
+  return (std::filesystem::path("bench/out") / filename).string();
+}
+
+// Collects per-run records and writes them as a JSON array. Inactive when
+// constructed with an empty path (no --json flag), so call sites can record
+// unconditionally.
+class BenchJson {
+ public:
+  BenchJson(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
+  // Convenience: picks up --json=<path> from argv.
+  static BenchJson FromArgs(int argc, char** argv, const char* bench_name) {
+    return BenchJson(bench_name, StringFlag(argc, argv, "json", ""));
+  }
+
+  ~BenchJson() { Flush(); }
+
+  bool active() const { return !path_.empty(); }
+
+  struct Record {
+    int64_t n = 0;
+    std::string algorithm;
+    std::string model;
+    int threads = 1;
+    double seconds = 0.0;
+    uint64_t intervals_tested = 0;
+  };
+
+  void Add(int64_t n, const std::string& algorithm, const std::string& model,
+           int threads, double seconds, uint64_t intervals_tested) {
+    if (active()) {
+      records_.push_back(
+          Record{n, algorithm, model, threads, seconds, intervals_tested});
     }
   }
-  return fallback;
-}
+
+  // Writes all records to the path; called automatically on destruction.
+  void Flush() {
+    if (!active() || flushed_) return;
+    io::JsonWriter json;
+    json.BeginArray();
+    for (const Record& record : records_) {
+      json.BeginObject();
+      json.Key("bench");
+      json.String(bench_name_);
+      json.Key("n");
+      json.Int(record.n);
+      json.Key("algorithm");
+      json.String(record.algorithm);
+      json.Key("model");
+      json.String(record.model);
+      json.Key("threads");
+      json.Int(record.threads);
+      json.Key("seconds");
+      json.Double(record.seconds);
+      json.Key("intervals_tested");
+      json.Int(static_cast<int64_t>(record.intervals_tested));
+      json.EndObject();
+    }
+    json.EndArray();
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write --json file %s\n", path_.c_str());
+      flushed_ = true;  // don't retry (and re-warn) from the destructor
+      return;
+    }
+    std::fprintf(file, "%s\n", json.str().c_str());
+    std::fclose(file);
+    std::printf("wrote %zu JSON records to %s\n", records_.size(),
+                path_.c_str());
+    flushed_ = true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<Record> records_;
+  bool flushed_ = false;
+};
 
 // Runs a generator over `counts` and returns its stats (timings measured by
 // the generator itself, excluding the cumulative preprocessing, matching the

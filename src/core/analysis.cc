@@ -2,24 +2,37 @@
 
 #include <algorithm>
 
+#include "util/parallel.h"
+
 namespace conservation::core {
 
 util::Result<std::vector<SweepPoint>> ThresholdSweep(
     const ConservationRule& rule, const TableauRequest& base_request,
     const std::vector<double>& thresholds) {
-  std::vector<SweepPoint> out;
-  out.reserve(thresholds.size());
-  for (const double c_hat : thresholds) {
-    TableauRequest request = base_request;
-    request.c_hat = c_hat;
-    auto tableau = rule.DiscoverTableau(request);
-    if (!tableau.ok()) return tableau.status();
-    SweepPoint point;
-    point.c_hat = c_hat;
-    point.tableau_size = tableau->size();
-    point.covered = tableau->covered;
-    point.support_satisfied = tableau->support_satisfied;
-    out.push_back(point);
+  std::vector<SweepPoint> out(thresholds.size());
+  std::vector<util::Status> failures(thresholds.size(), util::Status::Ok());
+  util::ParallelFor(
+      static_cast<int64_t>(thresholds.size()), base_request.num_threads,
+      [&](int64_t k) {
+        TableauRequest request = base_request;
+        request.c_hat = thresholds[static_cast<size_t>(k)];
+        // Whole requests are already fanned out; keep the inner anchor
+        // loop sequential instead of oversubscribing the pool.
+        request.num_threads = 1;
+        auto tableau = rule.DiscoverTableau(request);
+        if (!tableau.ok()) {
+          failures[static_cast<size_t>(k)] = tableau.status();
+          return;
+        }
+        SweepPoint point;
+        point.c_hat = request.c_hat;
+        point.tableau_size = tableau->size();
+        point.covered = tableau->covered;
+        point.support_satisfied = tableau->support_satisfied;
+        out[static_cast<size_t>(k)] = point;
+      });
+  for (const util::Status& status : failures) {
+    if (!status.ok()) return status;
   }
   return out;
 }

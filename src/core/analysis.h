@@ -26,6 +26,12 @@ struct SweepPoint {
 // request fields taken from `base_request`), returning one point per
 // threshold. Useful for picking c_hat: the paper notes the choice trades
 // false negatives against pinpointing (§IV.D).
+//
+// base_request.num_threads > 1 (or 0 = hardware concurrency) fans the
+// thresholds out across the shared thread pool — each inner discovery then
+// runs its generation sequentially, since whole-request parallelism
+// dominates for sweeps. Points come back in threshold order either way; on
+// error, the failure for the earliest threshold is returned.
 util::Result<std::vector<SweepPoint>> ThresholdSweep(
     const ConservationRule& rule, const TableauRequest& base_request,
     const std::vector<double>& thresholds);

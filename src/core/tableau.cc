@@ -26,6 +26,11 @@ util::Status ValidateRequest(const TableauRequest& request) {
         "epsilon must be > 0 for %s",
         interval::AlgorithmKindName(request.algorithm)));
   }
+  if (request.num_threads < 0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "num_threads must be >= 0 (0 = hardware concurrency), got %d",
+        request.num_threads));
+  }
   const bool non_area_based =
       request.algorithm == interval::AlgorithmKind::kNonAreaBased ||
       request.algorithm == interval::AlgorithmKind::kNonAreaBasedOpt;
@@ -70,6 +75,7 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
   gen_options.delta_mode = request.delta_mode;
   gen_options.stop_on_full_cover = request.stop_on_full_cover;
   gen_options.largest_first_early_exit = request.largest_first_early_exit;
+  gen_options.num_threads = request.num_threads;
 
   Tableau tableau;
   tableau.type = request.type;

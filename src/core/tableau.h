@@ -34,6 +34,10 @@ struct TableauRequest {
   interval::DeltaMode delta_mode = interval::DeltaMode::kMinPositiveCount;
   bool stop_on_full_cover = false;
   bool largest_first_early_exit = false;
+  // Threads for anchor-sharded candidate generation (and for the analysis
+  // layers that fan out whole requests): 1 = sequential, 0 = hardware
+  // concurrency. Candidate output is identical for every setting.
+  int num_threads = 1;
 };
 
 struct TableauRow {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/stopwatch.h"
+#include "interval/shard.h"
 
 namespace conservation::interval {
 
@@ -27,7 +27,6 @@ std::vector<Interval> AreaBasedGenerator::Generate(
     const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
     GeneratorStats* stats) const {
   CR_CHECK(options.epsilon > 0.0);
-  util::Stopwatch timer;
   const int64_t n = eval.n();
   const core::TableauType type = options.type;
   const double delta = ResolveDelta(eval.series(), options);
@@ -56,9 +55,6 @@ std::vector<Interval> AreaBasedGenerator::Generate(
     t_value *= growth;
   }
 
-  // One never-retreating pointer per level (Lemma 3).
-  std::vector<int64_t> pointer(thresholds.size(), 1);
-
   // Credit-model fail tableaux need extra care beyond the paper's zero
   // level: within the prefix where the balance numerator area is 0, the
   // credit confidence (len * S_i) / area_B is not 0 and not monotone, so the
@@ -78,79 +74,115 @@ std::vector<Interval> AreaBasedGenerator::Generate(
     zero_prefix_lengths.push_back(n);
   }
 
-  std::vector<Interval> out;
-  uint64_t tested = 0;
-  uint64_t steps = 0;
+  // Per-block anchor sweep. The level pointers are never-retreating within
+  // a block (Lemma 3) and the breakpoint t is a function of (i, level)
+  // alone — the pointer only amortizes the search for it — so re-basing the
+  // pointers per block changes no output. A naive re-base (walk from the
+  // block start) would re-sweep up to a whole level per block; instead the
+  // first touch of a level inside a block locates its breakpoint by binary
+  // search over the nondecreasing area (O(log n) per level per block), and
+  // the walk proceeds linearly from there as in the sequential run.
+  auto block = [&, n, type, delta, growth](int64_t i_begin, int64_t i_end,
+                                           GeneratorStats* shard_stats) {
+    // One never-retreating pointer per level; 0 = not yet located in this
+    // block (anchors and breakpoints are always >= 1).
+    std::vector<int64_t> pointer(thresholds.size(), 0);
 
-  for (int64_t i = 1; i <= n; ++i) {
-    int64_t best_j = 0;
-    int64_t zero_area_end = 0;  // largest j with zero sparsification area
-    // Levels whose threshold is below area(i, i) have no breakpoint for
-    // this anchor; skip straight past them (with a safety margin of one
-    // level against floating-point rounding). The zero level for fail
-    // tableaux (index 0, threshold 0) is never skipped. Output-equivalent
-    // to iterating every level, but avoids an O(log(area(i,i)/Delta) / eps)
-    // undefined prefix per anchor.
-    size_t first_level = type == core::TableauType::kFail ? 1 : 0;
-    {
-      const double anchor_area =
-          internal::SparsificationArea(eval, type, i, i);
-      if (anchor_area > delta) {
-        const double levels_below =
-            std::log(anchor_area / delta) / std::log(growth);
-        first_level += static_cast<size_t>(std::max(0.0, levels_below - 1.0));
-      }
-    }
-    for (size_t level = type == core::TableauType::kFail ? 0 : first_level;
-         level < thresholds.size(); ++level) {
-      if (level == 1 && first_level > 1) level = first_level;  // after zero
-      const double threshold = thresholds[level];
-      int64_t t = std::max(pointer[level], i);
-      while (t + 1 <= n &&
-             internal::SparsificationArea(eval, type, i, t + 1) <= threshold) {
-        ++t;
-        ++steps;
-      }
-      pointer[level] = t;
-      const bool exists =
-          internal::SparsificationArea(eval, type, i, t) <= threshold;
-      if (exists) {
-        if (threshold == 0.0) zero_area_end = t;
-        const std::optional<double> conf = eval.Confidence(i, t);
-        ++tested;
-        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
-          best_j = std::max(best_j, t);
+    std::vector<Interval> out;
+    uint64_t tested = 0;
+    uint64_t steps = 0;
+
+    for (int64_t i = i_begin; i <= i_end; ++i) {
+      int64_t best_j = 0;
+      int64_t zero_area_end = 0;  // largest j with zero sparsification area
+      // Levels whose threshold is below area(i, i) have no breakpoint for
+      // this anchor; skip straight past them (with a safety margin of one
+      // level against floating-point rounding). The zero level for fail
+      // tableaux (index 0, threshold 0) is never skipped. Output-equivalent
+      // to iterating every level, but avoids an O(log(area(i,i)/Delta) / eps)
+      // undefined prefix per anchor.
+      size_t first_level = type == core::TableauType::kFail ? 1 : 0;
+      {
+        const double anchor_area =
+            internal::SparsificationArea(eval, type, i, i);
+        if (anchor_area > delta) {
+          const double levels_below =
+              std::log(anchor_area / delta) / std::log(growth);
+          first_level +=
+              static_cast<size_t>(std::max(0.0, levels_below - 1.0));
         }
       }
-      // Once the breakpoint reaches n, higher levels produce the same
-      // interval; the paper's level count L_i = ceil(log(area(i,n)/Delta))
-      // stops here too.
-      if (exists && t == n) break;
-    }
-    if (credit_fail && zero_area_end > i) {
-      for (const int64_t len : zero_prefix_lengths) {
-        const int64_t j = i + len - 1;
-        if (j >= zero_area_end) break;  // zero_area_end itself was tested
-        const std::optional<double> conf = eval.Confidence(i, j);
-        ++tested;
-        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
-          best_j = std::max(best_j, j);
+      for (size_t level = type == core::TableauType::kFail ? 0 : first_level;
+           level < thresholds.size(); ++level) {
+        if (level == 1 && first_level > 1) level = first_level;  // after zero
+        const double threshold = thresholds[level];
+        int64_t t;
+        if (pointer[level] == 0) {
+          // First touch in this block: binary-search the largest endpoint
+          // in [i, n] whose area is within the threshold (t = i when even
+          // [i, i] exceeds it, matching the walk's no-advance case).
+          int64_t lo = i;
+          int64_t hi = n;
+          t = i;
+          while (lo <= hi) {
+            const int64_t mid = lo + (hi - lo) / 2;
+            ++steps;
+            if (internal::SparsificationArea(eval, type, i, mid) <=
+                threshold) {
+              t = mid;
+              lo = mid + 1;
+            } else {
+              hi = mid - 1;
+            }
+          }
+        } else {
+          t = std::max(pointer[level], i);
+          while (t + 1 <= n &&
+                 internal::SparsificationArea(eval, type, i, t + 1) <=
+                     threshold) {
+            ++t;
+            ++steps;
+          }
+        }
+        pointer[level] = t;
+        const bool exists =
+            internal::SparsificationArea(eval, type, i, t) <= threshold;
+        if (exists) {
+          if (threshold == 0.0) zero_area_end = t;
+          const std::optional<double> conf = eval.Confidence(i, t);
+          ++tested;
+          if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+            best_j = std::max(best_j, t);
+          }
+        }
+        // Once the breakpoint reaches n, higher levels produce the same
+        // interval; the paper's level count L_i = ceil(log(area(i,n)/Delta))
+        // stops here too.
+        if (exists && t == n) break;
+      }
+      if (credit_fail && zero_area_end > i) {
+        for (const int64_t len : zero_prefix_lengths) {
+          const int64_t j = i + len - 1;
+          if (j >= zero_area_end) break;  // zero_area_end itself was tested
+          const std::optional<double> conf = eval.Confidence(i, j);
+          ++tested;
+          if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+            best_j = std::max(best_j, j);
+          }
         }
       }
+      if (best_j >= i) {
+        out.push_back(Interval{i, best_j});
+        if (options.stop_on_full_cover && i == 1 && best_j == n) break;
+      }
     }
-    if (best_j >= i) {
-      out.push_back(Interval{i, best_j});
-      if (options.stop_on_full_cover && i == 1 && best_j == n) break;
-    }
-  }
 
-  if (stats != nullptr) {
-    stats->intervals_tested = tested;
-    stats->endpoint_steps = steps;
-    stats->candidates = out.size();
-    stats->seconds = timer.ElapsedSeconds();
-  }
-  return out;
+    shard_stats->intervals_tested = tested;
+    shard_stats->endpoint_steps = steps;
+    return out;
+  };
+
+  return internal::RunSharded(n, options, stats, block);
 }
 
 }  // namespace conservation::interval

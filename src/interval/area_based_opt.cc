@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "interval/area_based.h"
-#include "util/stopwatch.h"
+#include "interval/shard.h"
 
 namespace conservation::interval {
 
@@ -34,16 +34,10 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
     const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
     GeneratorStats* stats) const {
   CR_CHECK(options.epsilon > 0.0);
-  util::Stopwatch timer;
   const int64_t n = eval.n();
   const core::TableauType type = options.type;
   const double delta = ResolveDelta(eval.series(), options);
   const double growth = 1.0 + options.epsilon;
-
-  std::vector<Interval> out;
-  uint64_t tested = 0;
-  uint64_t probes = 0;
-  std::vector<int64_t> breakpoints;
 
   // See AreaBasedGenerator: credit-model fail tableaux additionally probe
   // length-geometric endpoints inside the zero-area prefix, where the
@@ -60,75 +54,83 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
     zero_prefix_lengths.push_back(n);
   }
 
-  for (int64_t i = 1; i <= n; ++i) {
-    breakpoints.clear();
+  // AB-opt carries no cross-anchor state (each anchor's breakpoints come
+  // from fresh binary searches), so anchor blocks parallelize directly.
+  auto block = [&, n, type, delta, growth](int64_t i_begin, int64_t i_end,
+                                           GeneratorStats* shard_stats) {
+    std::vector<Interval> out;
+    uint64_t tested = 0;
+    uint64_t probes = 0;
+    std::vector<int64_t> breakpoints;
 
-    if (credit_fail) {
-      const int64_t zero_area_end =
-          LargestEndpointWithin(eval, type, i, i, n, 0.0, &probes);
-      for (const int64_t len : zero_prefix_lengths) {
-        const int64_t j = i + len - 1;
-        if (j >= zero_area_end) break;  // zero_area_end is a breakpoint below
-        breakpoints.push_back(j);
+    for (int64_t i = i_begin; i <= i_end; ++i) {
+      breakpoints.clear();
+
+      if (credit_fail) {
+        const int64_t zero_area_end =
+            LargestEndpointWithin(eval, type, i, i, n, 0.0, &probes);
+        for (const int64_t len : zero_prefix_lengths) {
+          const int64_t j = i + len - 1;
+          if (j >= zero_area_end) break;  // zero_area_end is a breakpoint
+          breakpoints.push_back(j);
+        }
+        if (zero_area_end >= i) breakpoints.push_back(zero_area_end);
       }
-      if (zero_area_end >= i) breakpoints.push_back(zero_area_end);
-    }
 
-    // Initial area breakpoint: the largest j whose area is within the base
-    // unit Delta; if even [i, i] exceeds it, start at i (forced). For fail
-    // tableaux this also covers the zero-area (confidence 0) special case,
-    // since the zero-area prefix lies below Delta.
-    int64_t cur =
-        LargestEndpointWithin(eval, type, i, i, n, delta, &probes);
-    if (cur < i) cur = i;
-    if (breakpoints.empty() || breakpoints.back() < cur) {
-      breakpoints.push_back(cur);
-    }
+      // Initial area breakpoint: the largest j whose area is within the base
+      // unit Delta; if even [i, i] exceeds it, start at i (forced). For fail
+      // tableaux this also covers the zero-area (confidence 0) special case,
+      // since the zero-area prefix lies below Delta.
+      int64_t cur =
+          LargestEndpointWithin(eval, type, i, i, n, delta, &probes);
+      if (cur < i) cur = i;
+      if (breakpoints.empty() || breakpoints.back() < cur) {
+        breakpoints.push_back(cur);
+      }
 
-    while (cur < n) {
-      const double cur_area =
-          internal::SparsificationArea(eval, type, i, cur);
-      const double target = std::max(cur_area, delta) * growth;
-      int64_t next =
-          LargestEndpointWithin(eval, type, i, cur + 1, n, target, &probes);
-      if (next < cur + 1) next = cur + 1;  // forced advance
-      breakpoints.push_back(next);
-      cur = next;
-    }
+      while (cur < n) {
+        const double cur_area =
+            internal::SparsificationArea(eval, type, i, cur);
+        const double target = std::max(cur_area, delta) * growth;
+        int64_t next =
+            LargestEndpointWithin(eval, type, i, cur + 1, n, target, &probes);
+        if (next < cur + 1) next = cur + 1;  // forced advance
+        breakpoints.push_back(next);
+        cur = next;
+      }
 
-    int64_t best_j = 0;
-    if (options.largest_first_early_exit) {
-      // Longest-first: the first qualifying breakpoint subsumes the rest.
-      for (auto it = breakpoints.rbegin(); it != breakpoints.rend(); ++it) {
-        const std::optional<double> conf = eval.Confidence(i, *it);
-        ++tested;
-        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
-          best_j = *it;
-          break;
+      int64_t best_j = 0;
+      if (options.largest_first_early_exit) {
+        // Longest-first: the first qualifying breakpoint subsumes the rest.
+        for (auto it = breakpoints.rbegin(); it != breakpoints.rend(); ++it) {
+          const std::optional<double> conf = eval.Confidence(i, *it);
+          ++tested;
+          if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+            best_j = *it;
+            break;
+          }
+        }
+      } else {
+        for (const int64_t j : breakpoints) {
+          const std::optional<double> conf = eval.Confidence(i, j);
+          ++tested;
+          if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+            best_j = std::max(best_j, j);
+          }
         }
       }
-    } else {
-      for (const int64_t j : breakpoints) {
-        const std::optional<double> conf = eval.Confidence(i, j);
-        ++tested;
-        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
-          best_j = std::max(best_j, j);
-        }
+      if (best_j >= i) {
+        out.push_back(Interval{i, best_j});
+        if (options.stop_on_full_cover && i == 1 && best_j == n) break;
       }
     }
-    if (best_j >= i) {
-      out.push_back(Interval{i, best_j});
-      if (options.stop_on_full_cover && i == 1 && best_j == n) break;
-    }
-  }
 
-  if (stats != nullptr) {
-    stats->intervals_tested = tested;
-    stats->endpoint_steps = probes;
-    stats->candidates = out.size();
-    stats->seconds = timer.ElapsedSeconds();
-  }
-  return out;
+    shard_stats->intervals_tested = tested;
+    shard_stats->endpoint_steps = probes;
+    return out;
+  };
+
+  return internal::RunSharded(n, options, stats, block);
 }
 
 }  // namespace conservation::interval

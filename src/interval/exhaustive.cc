@@ -1,37 +1,36 @@
 #include "interval/exhaustive.h"
 
-#include "util/stopwatch.h"
+#include "interval/shard.h"
 
 namespace conservation::interval {
 
 std::vector<Interval> ExhaustiveGenerator::Generate(
     const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
     GeneratorStats* stats) const {
-  util::Stopwatch timer;
   const int64_t n = eval.n();
-  std::vector<Interval> out;
-  uint64_t tested = 0;
 
-  for (int64_t i = 1; i <= n; ++i) {
-    int64_t best_j = 0;
-    for (int64_t j = i; j <= n; ++j) {
-      const std::optional<double> conf = eval.Confidence(i, j);
-      ++tested;
-      if (!conf.has_value()) continue;  // denominator <= 0: undefined
-      if (PassesExactThreshold(*conf, options)) best_j = j;
+  auto block = [&eval, &options, n](int64_t i_begin, int64_t i_end,
+                                    GeneratorStats* shard_stats) {
+    std::vector<Interval> out;
+    uint64_t tested = 0;
+    for (int64_t i = i_begin; i <= i_end; ++i) {
+      int64_t best_j = 0;
+      for (int64_t j = i; j <= n; ++j) {
+        const std::optional<double> conf = eval.Confidence(i, j);
+        ++tested;
+        if (!conf.has_value()) continue;  // denominator <= 0: undefined
+        if (PassesExactThreshold(*conf, options)) best_j = j;
+      }
+      if (best_j >= i) {
+        out.push_back(Interval{i, best_j});
+        if (options.stop_on_full_cover && i == 1 && best_j == n) break;
+      }
     }
-    if (best_j >= i) {
-      out.push_back(Interval{i, best_j});
-      if (options.stop_on_full_cover && i == 1 && best_j == n) break;
-    }
-  }
+    shard_stats->intervals_tested = tested;
+    return out;
+  };
 
-  if (stats != nullptr) {
-    stats->intervals_tested = tested;
-    stats->candidates = out.size();
-    stats->seconds = timer.ElapsedSeconds();
-  }
-  return out;
+  return internal::RunSharded(n, options, stats, block);
 }
 
 }  // namespace conservation::interval

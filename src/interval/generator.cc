@@ -1,5 +1,8 @@
 #include "interval/generator.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "interval/exhaustive.h"
 #include "interval/area_based.h"
 #include "interval/area_based_opt.h"
@@ -39,6 +42,18 @@ std::unique_ptr<CandidateGenerator> MakeGenerator(AlgorithmKind kind) {
           NonAreaBasedGenerator::LengthSchedule::kRecursive);
   }
   CR_UNREACHABLE();
+}
+
+int ResolveNumShards(int64_t n, const GeneratorOptions& options) {
+  // stop_on_full_cover breaks out of the anchor loop as soon as a full-span
+  // candidate appears; that early exit is inherently sequential, so the
+  // sharded path is bypassed to keep output identical.
+  if (n <= 0 || options.stop_on_full_cover) return 1;
+  int shards = options.num_threads > 0
+                   ? options.num_threads
+                   : static_cast<int>(std::thread::hardware_concurrency());
+  shards = std::max(1, shards);
+  return static_cast<int>(std::min<int64_t>(shards, n));
 }
 
 double ResolveDelta(const series::CumulativeSeries& series,

@@ -71,19 +71,46 @@ struct GeneratorOptions {
   // one satisfying the (relaxed) threshold; shorter qualifying intervals are
   // subsumed. Supported by the per-anchor generators (AB-opt, NAB, NAB-opt).
   bool largest_first_early_exit = false;
+  // Anchor-sharded parallel generation: the anchor range is split into
+  // contiguous blocks, each processed by a worker with its own amortization
+  // state (level pointers / schedule cursor), and per-block outputs are
+  // concatenated in anchor order — results are identical to the sequential
+  // run for every algorithm/model/tableau-type combination. 1 = sequential
+  // (default), 0 = hardware concurrency. stop_on_full_cover forces a
+  // sequential run (its early exit is inherently ordered).
+  int num_threads = 1;
 };
 
 struct GeneratorStats {
   // Number of confidence evaluations ("iterations" in paper Figs. 7-10).
   uint64_t intervals_tested = 0;
   // Endpoint-search work: pointer advances (AB/NAB) or binary-search probes
-  // (AB-opt).
+  // (AB-opt). Sharded runs may re-sweep at most one extra pass per level
+  // per block, so this can exceed the sequential count slightly.
   uint64_t endpoint_steps = 0;
   // Number of candidate intervals emitted.
   uint64_t candidates = 0;
+  // Total work time: summed across shards (equals wall_seconds when
+  // sequential).
   double seconds = 0.0;
+  // End-to-end elapsed time of Generate — the number to plot for parallel
+  // scaling. At least the max over shard times.
+  double wall_seconds = 0.0;
+  // Shards actually used (1 for sequential runs).
+  int shards = 1;
 
   void Reset() { *this = GeneratorStats{}; }
+
+  // Accumulates a shard's stats into this one: counters and work seconds
+  // add, wall time takes the max.
+  void Merge(const GeneratorStats& shard) {
+    intervals_tested += shard.intervals_tested;
+    endpoint_steps += shard.endpoint_steps;
+    candidates += shard.candidates;
+    seconds += shard.seconds;
+    wall_seconds = wall_seconds > shard.wall_seconds ? wall_seconds
+                                                     : shard.wall_seconds;
+  }
 };
 
 class CandidateGenerator {
@@ -105,6 +132,11 @@ std::unique_ptr<CandidateGenerator> MakeGenerator(AlgorithmKind kind);
 // Resolves Delta per `options.delta_mode`.
 double ResolveDelta(const series::CumulativeSeries& series,
                     const GeneratorOptions& options);
+
+// Number of anchor shards a generator should use for n anchors: clamps
+// options.num_threads (0 = hardware concurrency) to [1, n] and forces 1
+// when stop_on_full_cover is set.
+int ResolveNumShards(int64_t n, const GeneratorOptions& options);
 
 // The relaxed acceptance predicate used by the approximate generators, and
 // the exact one (epsilon = 0) used by the exhaustive generator.

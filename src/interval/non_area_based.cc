@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/stopwatch.h"
+#include "interval/shard.h"
 
 namespace conservation::interval {
 
@@ -41,62 +41,66 @@ std::vector<Interval> NonAreaBasedGenerator::Generate(
   // The §V algorithms are defined for the balance model only; the tableau
   // facade routes other models to AB. See header.
   CR_CHECK(eval.model() == core::ConfidenceModel::kBalance);
-  util::Stopwatch timer;
   const int64_t n = eval.n();
   const std::vector<int64_t> lengths =
       MakeLengthSchedule(schedule_, options.epsilon, n);
 
-  std::vector<Interval> out;
-  uint64_t tested = 0;
-
-  // Right anchors are processed in descending order so that, with
-  // stop_on_full_cover, the anchor that can produce [1, n] comes first —
-  // mirroring AB, whose i = 1 anchor comes first. Results are order
-  // independent otherwise.
+  // Right anchors are processed in descending order within a block so that,
+  // with stop_on_full_cover (always single-block), the anchor that can
+  // produce [1, n] comes first — mirroring AB, whose i = 1 anchor comes
+  // first. Results are order independent otherwise, and the final sort
+  // makes the concatenated shard outputs identical to the sequential run
+  // (each anchor emits at most one interval, so positions are distinct).
   //
   // `first_covering` tracks the index of the first schedule entry >= j; it
   // only moves left as j decreases, so maintaining it is O(1) amortized.
-  size_t first_covering = lengths.size() - 1;  // last entry is >= n >= j
-  for (int64_t j = n; j >= 1; --j) {
-    int64_t best_i = 0;
-    while (first_covering > 0 && lengths[first_covering - 1] >= j) {
-      --first_covering;
-    }
-    // Schedule entries applicable to this anchor: all lengths < j plus the
-    // first one >= j (which clamps to i = 1).
-    const size_t applicable = first_covering + 1;
-
-    auto test_level = [&](size_t h) -> bool {
-      const int64_t i = std::max<int64_t>(1, j + 1 - lengths[h]);
-      const std::optional<double> conf = eval.Confidence(i, j);
-      ++tested;
-      if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
-        best_i = best_i == 0 ? i : std::min(best_i, i);
-        return true;
+  // Each block re-bases it from the end of the schedule — at most one extra
+  // walk down the schedule per block.
+  auto block = [&, n](int64_t j_begin, int64_t j_end,
+                      GeneratorStats* shard_stats) {
+    std::vector<Interval> out;
+    uint64_t tested = 0;
+    size_t first_covering = lengths.size() - 1;  // last entry is >= n >= j
+    for (int64_t j = j_end; j >= j_begin; --j) {
+      int64_t best_i = 0;
+      while (first_covering > 0 && lengths[first_covering - 1] >= j) {
+        --first_covering;
       }
-      return false;
-    };
+      // Schedule entries applicable to this anchor: all lengths < j plus
+      // the first one >= j (which clamps to i = 1).
+      const size_t applicable = first_covering + 1;
 
-    if (options.largest_first_early_exit) {
-      for (size_t h = applicable; h-- > 0;) {
-        if (test_level(h)) break;  // longer candidates subsume shorter ones
+      auto test_level = [&](size_t h) -> bool {
+        const int64_t i = std::max<int64_t>(1, j + 1 - lengths[h]);
+        const std::optional<double> conf = eval.Confidence(i, j);
+        ++tested;
+        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+          best_i = best_i == 0 ? i : std::min(best_i, i);
+          return true;
+        }
+        return false;
+      };
+
+      if (options.largest_first_early_exit) {
+        for (size_t h = applicable; h-- > 0;) {
+          if (test_level(h)) break;  // longer candidates subsume shorter
+        }
+      } else {
+        for (size_t h = 0; h < applicable; ++h) test_level(h);
       }
-    } else {
-      for (size_t h = 0; h < applicable; ++h) test_level(h);
-    }
 
-    if (best_i >= 1) {
-      out.push_back(Interval{best_i, j});
-      if (options.stop_on_full_cover && best_i == 1 && j == n) break;
+      if (best_i >= 1) {
+        out.push_back(Interval{best_i, j});
+        if (options.stop_on_full_cover && best_i == 1 && j == n) break;
+      }
     }
-  }
+    shard_stats->intervals_tested = tested;
+    return out;
+  };
 
+  std::vector<Interval> out =
+      internal::RunSharded(n, options, stats, block);
   std::sort(out.begin(), out.end(), ByPosition);
-  if (stats != nullptr) {
-    stats->intervals_tested = tested;
-    stats->candidates = out.size();
-    stats->seconds = timer.ElapsedSeconds();
-  }
   return out;
 }
 

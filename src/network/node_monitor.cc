@@ -87,14 +87,20 @@ std::vector<NodeRanking> RankNodesByFailure(
     const std::vector<NodeConservation>& nodes,
     const core::TableauRequest& request) {
   std::vector<NodeRanking> out(nodes.size());
-  // Per-node audits are independent; fan them out across cores.
-  util::ParallelFor(static_cast<int64_t>(nodes.size()), 0, [&](int64_t k) {
+  // Per-node audits are independent; fan them out across the shared pool at
+  // the request's thread budget. Each node's own discovery stays
+  // sequential — whole-node parallelism dominates for fleets.
+  core::TableauRequest node_request = request;
+  node_request.num_threads = 1;
+  util::ParallelFor(
+      static_cast<int64_t>(nodes.size()), request.num_threads,
+      [&](int64_t k) {
     const NodeConservation& node = nodes[static_cast<size_t>(k)];
     NodeRanking ranking;
     ranking.node_name = node.node_name();
     ranking.overall_confidence =
         node.rule().OverallConfidence(request.model).value_or(1.0);
-    auto tableau = node.DiscoverTableau(request);
+    auto tableau = node.DiscoverTableau(node_request);
     if (tableau.ok() && node.n() > 0) {
       ranking.covered_fraction = static_cast<double>(tableau->covered) /
                                  static_cast<double>(node.n());

@@ -2,11 +2,14 @@
 
 #include <set>
 
+#include "util/parallel.h"
+
 namespace conservation::stream {
 
 MultiWindowMonitor::MultiWindowMonitor(const StreamOptions& base_options,
-                                       const std::vector<int64_t>& windows)
-    : windows_(windows) {
+                                       const std::vector<int64_t>& windows,
+                                       int num_threads)
+    : windows_(windows), num_threads_(num_threads) {
   CR_CHECK(!windows.empty());
   std::set<int64_t> seen;
   monitors_.reserve(windows.size());
@@ -24,6 +27,25 @@ void MultiWindowMonitor::Observe(double outbound_a, double inbound_b) {
   for (StreamingMonitor& monitor : monitors_) {
     monitor.Observe(outbound_a, inbound_b);
   }
+}
+
+void MultiWindowMonitor::ObserveBatch(
+    const std::vector<double>& outbound_a,
+    const std::vector<double>& inbound_b) {
+  CR_CHECK(outbound_a.size() == inbound_b.size());
+  if (outbound_a.empty()) return;
+  ticks_ += static_cast<int64_t>(outbound_a.size());
+  // Windows are fully independent; each worker replays the whole batch into
+  // its own monitor, so per-window tick order (and therefore episode
+  // detection) matches the sequential Observe loop exactly.
+  util::ParallelFor(static_cast<int64_t>(monitors_.size()), num_threads_,
+                    [&](int64_t k) {
+                      StreamingMonitor& monitor =
+                          monitors_[static_cast<size_t>(k)];
+                      for (size_t t = 0; t < outbound_a.size(); ++t) {
+                        monitor.Observe(outbound_a[t], inbound_b[t]);
+                      }
+                    });
 }
 
 void MultiWindowMonitor::Flush() {

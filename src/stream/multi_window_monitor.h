@@ -21,10 +21,23 @@ class MultiWindowMonitor {
  public:
   // One monitor per window length, sharing the base options (model,
   // thresholds). Window lengths must be positive and distinct.
+  // `num_threads` bounds the per-window fan-out of ObserveBatch (1 =
+  // sequential, 0 = hardware concurrency); single-tick Observe is always
+  // sequential — the per-tick work is too small to ship across threads.
   MultiWindowMonitor(const StreamOptions& base_options,
-                     const std::vector<int64_t>& windows);
+                     const std::vector<int64_t>& windows,
+                     int num_threads = 1);
 
   void Observe(double outbound_a, double inbound_b);
+
+  // Ingests a whole batch of ticks, fanning the independent per-window
+  // monitors out across the shared thread pool. Equivalent to calling
+  // Observe per tick: each window's monitor still sees the ticks in order.
+  // Episode callbacks may fire concurrently from different windows during a
+  // batch; register thread-safe callbacks when using num_threads != 1.
+  void ObserveBatch(const std::vector<double>& outbound_a,
+                    const std::vector<double>& inbound_b);
+
   void Flush();
 
   int64_t ticks() const { return ticks_; }
@@ -59,6 +72,7 @@ class MultiWindowMonitor {
   std::vector<int64_t> windows_;
   std::vector<StreamingMonitor> monitors_;
   int64_t ticks_ = 0;
+  int num_threads_ = 1;
 };
 
 }  // namespace conservation::stream

@@ -1,8 +1,11 @@
-// Small parallel-for helper for embarrassingly-parallel analysis loops
-// (per-router/per-node audits over a fleet). Deliberately minimal: static
-// block partitioning over std::thread, no work stealing — fleet items cost
-// roughly the same, and determinism matters more than peak throughput here
-// (each index is processed exactly once; the caller owns any ordering).
+// Parallel-for over the shared persistent ThreadPool (util/thread_pool.h).
+//
+// Historically this spawned fresh std::threads per call; it now dispatches
+// onto ThreadPool::Shared() so repeated parallel sections (per-request
+// tableau sharding, fleet audits) reuse warm workers. Semantics are
+// unchanged: static block partitioning, each index processed exactly once,
+// determinism left to the caller. Nested calls are safe — waiters help
+// drain the pool queue instead of blocking it.
 
 #ifndef CONSERVATION_UTIL_PARALLEL_H_
 #define CONSERVATION_UTIL_PARALLEL_H_
@@ -10,37 +13,30 @@
 #include <algorithm>
 #include <cstdint>
 #include <thread>
-#include <vector>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace conservation::util {
 
-// Invokes fn(i) for every i in [0, count), spread over up to `num_threads`
-// threads (0 = hardware concurrency). fn must be safe to call concurrently
-// for distinct indices. Blocks until all calls return.
+// Invokes fn(i) for every i in [0, count), with at most `num_threads`
+// indices in flight (0 = hardware concurrency). fn must be safe to call
+// concurrently for distinct indices. Blocks until all calls return;
+// num_threads == 1 runs sequentially on the calling thread.
 template <typename Fn>
 void ParallelFor(int64_t count, int num_threads, Fn&& fn) {
   if (count <= 0) return;
   int threads = num_threads > 0
                     ? num_threads
                     : static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::max(1, std::min<int>(threads, static_cast<int>(count)));
+  if (count < threads) threads = static_cast<int>(count);
+  threads = std::max(1, threads);
   if (threads == 1) {
     for (int64_t i = 0; i < count; ++i) fn(i);
     return;
   }
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  const int64_t block = (count + threads - 1) / threads;
-  for (int t = 0; t < threads; ++t) {
-    const int64_t begin = static_cast<int64_t>(t) * block;
-    const int64_t end = std::min(count, begin + block);
-    if (begin >= end) break;
-    pool.emplace_back([begin, end, &fn] {
-      for (int64_t i = begin; i < end; ++i) fn(i);
-    });
-  }
-  for (std::thread& worker : pool) worker.join();
+  PoolParallelFor(ThreadPool::Shared(), count, threads,
+                  std::forward<Fn>(fn));
 }
 
 }  // namespace conservation::util

@@ -1,0 +1,130 @@
+// Persistent worker pool behind all parallel execution in the library.
+//
+// The original ParallelFor spawned (and joined) fresh std::threads on every
+// call, which is fine for one-shot fleet audits but wasteful on the tableau
+// hot path, where a server handling many discovery requests would pay thread
+// creation per request. ThreadPool keeps the workers alive across calls;
+// ParallelFor (util/parallel.h) and the sharded candidate generators all
+// dispatch onto the shared instance.
+//
+// Deadlock note: parallel sections may nest (e.g. RankNodesByFailure fans
+// out per node, and each node's tableau discovery may shard its anchor
+// loop). A waiter that merely blocked could then starve the queue when all
+// workers are themselves waiting. Waiters therefore HELP: while a parallel
+// section is unfinished, the waiting thread drains tasks from the queue
+// (RunOneTask), so every blocked section makes global progress.
+
+#ifndef CONSERVATION_UTIL_THREAD_POOL_H_
+#define CONSERVATION_UTIL_THREAD_POOL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace conservation::util {
+
+class ThreadPool {
+ public:
+  // 0 = hardware concurrency (at least 1 worker either way).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Runs one queued task on the calling thread if any is available.
+  // Returns false when the queue was empty.
+  bool RunOneTask();
+
+  // Process-wide pool sized to the hardware, created on first use and
+  // intentionally leaked (avoids static-destruction-order races with
+  // late-running tasks).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Invokes fn(i) for every i in [0, count) using the pool, with at most
+// `max_concurrency` indices in flight (<= 0 means pool size + 1). The
+// calling thread participates; blocks until every call returned. fn must be
+// safe to call concurrently for distinct indices.
+template <typename Fn>
+void PoolParallelFor(ThreadPool& pool, int64_t count, int max_concurrency,
+                     Fn&& fn) {
+  if (count <= 0) return;
+  int lanes = max_concurrency > 0 ? max_concurrency : pool.size() + 1;
+  lanes = static_cast<int>(
+      std::min<int64_t>(static_cast<int64_t>(std::max(1, lanes)), count));
+  if (lanes == 1) {
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Static block partition: lane t owns [t * block, min(count, (t+1) *
+  // block)). Each lane is one task, so at most `lanes` run concurrently no
+  // matter how large the pool is.
+  const int64_t block = (count + lanes - 1) / lanes;
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+  } done;
+
+  auto run_lane = [&fn, block, count](int lane) {
+    const int64_t begin = static_cast<int64_t>(lane) * block;
+    const int64_t end = std::min(count, begin + block);
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  };
+
+  int submitted = 0;
+  for (int lane = 1; lane < lanes; ++lane) {
+    if (static_cast<int64_t>(lane) * block >= count) break;
+    ++submitted;
+  }
+  done.pending = submitted;
+  for (int lane = 1; lane <= submitted; ++lane) {
+    pool.Submit([&run_lane, &done, lane] {
+      run_lane(lane);
+      std::lock_guard<std::mutex> lock(done.mu);
+      if (--done.pending == 0) done.cv.notify_all();
+    });
+  }
+  run_lane(0);
+
+  // Help-while-wait: drain other tasks (possibly nested sections) until our
+  // lanes all finished. The short timed wait covers the window between "no
+  // task available" and "our last lane completes on a worker".
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(done.mu);
+      if (done.pending == 0) return;
+    }
+    if (!pool.RunOneTask()) {
+      std::unique_lock<std::mutex> lock(done.mu);
+      done.cv.wait_for(lock, std::chrono::microseconds(200),
+                       [&done] { return done.pending == 0; });
+      if (done.pending == 0) return;
+    }
+  }
+}
+
+}  // namespace conservation::util
+
+#endif  // CONSERVATION_UTIL_THREAD_POOL_H_

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "core/confidence.h"
+#include "interval/generator.h"
 #include "interval/interval.h"
 #include "interval/non_area_based.h"
+#include "tests/test_data.h"
 
 namespace conservation::interval {
 namespace {
@@ -99,6 +102,117 @@ TEST(LengthScheduleTest, RecursiveShorterThanGeometricAtSmallEpsilon) {
   const auto recursive = NonAreaBasedGenerator::MakeLengthSchedule(
       NonAreaBasedGenerator::LengthSchedule::kRecursive, 0.01, 10000);
   EXPECT_LT(recursive.size(), geometric.size());
+}
+
+// Anchor-sharded generation is an execution strategy, not an approximation:
+// for every algorithm × model × tableau type the candidate list (and the
+// shard-invariant counters) must be identical for any thread count.
+TEST(ShardInvarianceTest, EveryAlgorithmModelAndTypeMatchesSequential) {
+  const series::CountSequence counts =
+      testing_util::RandomDominatedCounts(/*seed=*/77, /*n=*/700);
+  const series::CumulativeSeries cumulative(counts);
+
+  const AlgorithmKind kinds[] = {
+      AlgorithmKind::kExhaustive, AlgorithmKind::kAreaBased,
+      AlgorithmKind::kAreaBasedOpt, AlgorithmKind::kNonAreaBased,
+      AlgorithmKind::kNonAreaBasedOpt};
+  const core::ConfidenceModel models[] = {core::ConfidenceModel::kBalance,
+                                          core::ConfidenceModel::kCredit,
+                                          core::ConfidenceModel::kDebit};
+  const core::TableauType types[] = {core::TableauType::kHold,
+                                     core::TableauType::kFail};
+
+  for (const AlgorithmKind kind : kinds) {
+    const bool non_area_based = kind == AlgorithmKind::kNonAreaBased ||
+                                kind == AlgorithmKind::kNonAreaBasedOpt;
+    for (const core::ConfidenceModel model : models) {
+      // NAB/NAB-opt are defined for the balance model only (paper §V).
+      if (non_area_based && model != core::ConfidenceModel::kBalance) {
+        continue;
+      }
+      const core::ConfidenceEvaluator eval(&cumulative, model);
+      const auto generator = MakeGenerator(kind);
+      for (const core::TableauType type : types) {
+        GeneratorOptions options;
+        options.type = type;
+        options.c_hat = type == core::TableauType::kHold ? 0.7 : 0.4;
+        options.epsilon = 0.05;
+
+        options.num_threads = 1;
+        GeneratorStats sequential_stats;
+        const std::vector<Interval> sequential =
+            generator->Generate(eval, options, &sequential_stats);
+        EXPECT_EQ(sequential_stats.shards, 1);
+
+        for (const int threads : {2, 7, 0}) {
+          options.num_threads = threads;
+          GeneratorStats stats;
+          const std::vector<Interval> sharded =
+              generator->Generate(eval, options, &stats);
+          EXPECT_EQ(sharded, sequential)
+              << AlgorithmKindName(kind) << " model " << static_cast<int>(model)
+              << " type " << static_cast<int>(type) << " threads " << threads;
+          // The confidence-evaluation count and the emitted candidate count
+          // are functions of the anchors alone, so they are shard
+          // invariant (endpoint_steps may differ: blocks re-locate their
+          // level pointers).
+          EXPECT_EQ(stats.intervals_tested,
+                    sequential_stats.intervals_tested);
+          EXPECT_EQ(stats.candidates, sequential_stats.candidates);
+          if (threads == 2) EXPECT_EQ(stats.shards, 2);
+        }
+      }
+    }
+  }
+}
+
+// stop_on_full_cover keeps its sequential early-exit semantics (and output)
+// under any requested thread count.
+TEST(ShardInvarianceTest, StopOnFullCoverForcesSequentialRun) {
+  const series::CountSequence counts =
+      testing_util::RandomDominatedCounts(/*seed=*/5, /*n=*/300);
+  const series::CumulativeSeries cumulative(counts);
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kBalance);
+  GeneratorOptions options;
+  options.type = core::TableauType::kHold;
+  options.c_hat = 0.0;  // every interval qualifies: anchor 1 spans [1, n]
+  options.epsilon = 0.05;
+  options.stop_on_full_cover = true;
+
+  const auto generator = MakeGenerator(AlgorithmKind::kAreaBased);
+  options.num_threads = 1;
+  const std::vector<Interval> sequential =
+      generator->Generate(eval, options, nullptr);
+  options.num_threads = 7;
+  GeneratorStats stats;
+  const std::vector<Interval> sharded =
+      generator->Generate(eval, options, &stats);
+  EXPECT_EQ(sharded, sequential);
+  EXPECT_EQ(stats.shards, 1);
+}
+
+TEST(GeneratorStatsTest, MergeSumsCountersAndKeepsMaxWallTime) {
+  GeneratorStats total;
+  GeneratorStats a;
+  a.intervals_tested = 10;
+  a.endpoint_steps = 3;
+  a.candidates = 2;
+  a.seconds = 0.5;
+  a.wall_seconds = 0.5;
+  GeneratorStats b;
+  b.intervals_tested = 7;
+  b.endpoint_steps = 9;
+  b.candidates = 1;
+  b.seconds = 0.25;
+  b.wall_seconds = 0.75;
+  total.Merge(a);
+  total.Merge(b);
+  EXPECT_EQ(total.intervals_tested, 17u);
+  EXPECT_EQ(total.endpoint_steps, 12u);
+  EXPECT_EQ(total.candidates, 3u);
+  EXPECT_DOUBLE_EQ(total.seconds, 0.75);
+  EXPECT_DOUBLE_EQ(total.wall_seconds, 0.75);
 }
 
 }  // namespace

@@ -142,5 +142,44 @@ TEST(MultiWindowMonitorTest, RejectsDuplicateWindows) {
   EXPECT_DEATH(stream::MultiWindowMonitor(options, {8, 8}), "insert");
 }
 
+TEST(MultiWindowMonitorTest, ObserveBatchMatchesPerTickObserve) {
+  stream::StreamOptions options;
+  options.alert_threshold = 0.5;
+  options.clear_threshold = 0.6;
+
+  // The same traffic — healthy, dead zone, recovery — fed tick-by-tick and
+  // as parallel batches must leave both monitors in the same state.
+  std::vector<double> out_a;
+  std::vector<double> in_b;
+  for (int t = 0; t < 64; ++t) { out_a.push_back(5.0); in_b.push_back(5.0); }
+  for (int t = 0; t < 10; ++t) { out_a.push_back(0.0); in_b.push_back(5.0); }
+  for (int t = 0; t < 25; ++t) { out_a.push_back(7.0); in_b.push_back(5.0); }
+
+  stream::MultiWindowMonitor sequential(options, {8, 32});
+  for (size_t t = 0; t < out_a.size(); ++t) {
+    sequential.Observe(out_a[t], in_b[t]);
+  }
+  stream::MultiWindowMonitor batched(options, {8, 32}, /*num_threads=*/2);
+  const size_t half = out_a.size() / 2;
+  batched.ObserveBatch({out_a.begin(), out_a.begin() + half},
+                       {in_b.begin(), in_b.begin() + half});
+  batched.ObserveBatch({out_a.begin() + half, out_a.end()},
+                       {in_b.begin() + half, in_b.end()});
+
+  EXPECT_EQ(batched.ticks(), sequential.ticks());
+  const auto seq_conf = sequential.WindowConfidences();
+  const auto bat_conf = batched.WindowConfidences();
+  ASSERT_EQ(bat_conf.size(), seq_conf.size());
+  for (size_t w = 0; w < seq_conf.size(); ++w) {
+    ASSERT_EQ(bat_conf[w].has_value(), seq_conf[w].has_value()) << w;
+    if (seq_conf[w].has_value()) {
+      EXPECT_DOUBLE_EQ(*bat_conf[w], *seq_conf[w]) << w;
+    }
+  }
+  sequential.Flush();
+  batched.Flush();
+  EXPECT_EQ(batched.AllEpisodes().size(), sequential.AllEpisodes().size());
+}
+
 }  // namespace
 }  // namespace conservation

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 
 #include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace conservation::util {
 namespace {
@@ -45,6 +48,82 @@ TEST(ParallelForTest, HardwareConcurrencyDefault) {
   std::atomic<int64_t> sum{0};
   ParallelFor(500, 0, [&](int64_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 500 * 499 / 2);
+}
+
+TEST(ParallelForTest, RepeatedCallsReuseTheSharedPool) {
+  // The pool is persistent: many parallel sections in a row must all
+  // complete and visit every index exactly once.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    ParallelFor(64, 4, [&](int64_t i) { sum.fetch_add(i + 1); });
+    ASSERT_EQ(sum.load(), 64 * 65 / 2) << "round " << round;
+  }
+}
+
+TEST(ParallelForTest, NestedParallelSectionsDoNotDeadlock) {
+  // Outer lanes wait for inner sections; waiters must help drain the pool
+  // queue instead of starving it (RankNodesByFailure over sharded
+  // generation has exactly this shape).
+  std::atomic<int64_t> visits{0};
+  ParallelFor(8, 8, [&](int64_t) {
+    ParallelFor(16, 4, [&](int64_t) { visits.fetch_add(1); });
+  });
+  EXPECT_EQ(visits.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  const int kTasks = 40;
+  for (int k = 0; k < kTasks; ++k) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == kTasks) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == kTasks; });
+  EXPECT_EQ(done, kTasks);
+}
+
+TEST(ThreadPoolTest, RunOneTaskDrainsQueueFromCaller) {
+  // A pool sized 1 whose worker is parked on a slow task: the caller can
+  // steal queued tasks (this is the help-while-wait primitive).
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> parked{false};
+  pool.Submit([&] {
+    parked.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  // The only worker is parked; these can only run via the caller.
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ran.fetch_add(1); });
+  pool.Submit([&] { ran.fetch_add(1); });
+  while (pool.RunOneTask()) {
+  }
+  EXPECT_EQ(ran.load(), 2);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1);
 }
 
 }  // namespace

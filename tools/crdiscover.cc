@@ -14,6 +14,8 @@
 //   --s_hat=<x>    support fraction            (default 0.1)
 //   --epsilon=<x>  approximation knob          (default 0.01)
 //   --algorithm=exhaustive|area|area_opt|nab|nab_opt   (default area)
+//   --threads=<k>  anchor-sharded generation threads; 0 = all cores
+//                  (default 1; results are identical for every setting)
 // Extras:
 //   --report         full quality report (tableau + diagnosis + segments)
 //   --json           emit the tableau as JSON
@@ -167,6 +169,10 @@ int main(int argc, char** argv) {
   request.c_hat = *c_hat;
   request.s_hat = *s_hat;
   request.epsilon = *epsilon;
+  auto threads = flags.GetIntOr("threads", 1);
+  if (!threads.ok()) return Fail(threads.status().ToString());
+  if (*threads < 0) return Fail("--threads must be >= 0");
+  request.num_threads = static_cast<int>(*threads);
 
   std::printf("n = %lld ticks; overall %s confidence = %s\n",
               static_cast<long long>(rule->n()),
