@@ -7,7 +7,10 @@
 // sharding is an execution strategy, not an approximation.
 //
 // With --json=<path>, per-run records {bench, n, algorithm, model, threads,
-// seconds, intervals_tested} are written for regression tracking:
+// seconds, intervals_tested} plus the scheduler observability block
+// {speedup, work_seconds, shards, chunks, imbalance, min/median/max
+// shard seconds, steals, chunks_claimed[]} are written for regression
+// tracking (compare two files with tools/bench_diff.py):
 //   bench_parallel_scaling --json=BENCH_parallel.json
 
 #include <algorithm>
@@ -54,7 +57,8 @@ int main(int argc, char** argv) {
   };
 
   io::TablePrinter table({"algorithm", "type", "threads", "wall s", "work s",
-                          "speedup", "intervals tested", "identical"});
+                          "speedup", "imbalance", "steals",
+                          "intervals tested", "identical"});
   bool all_identical = true;
   for (const Config& config : configs) {
     interval::GeneratorOptions options;
@@ -78,24 +82,27 @@ int main(int argc, char** argv) {
         baseline_wall = run.stats.wall_seconds;
       }
       all_identical = all_identical && identical;
+      const double speedup = run.stats.wall_seconds > 0.0
+                                 ? baseline_wall / run.stats.wall_seconds
+                                 : 0.0;
       table.AddRow(
           {interval::AlgorithmKindName(config.kind),
            config.type == core::TableauType::kHold ? "hold" : "fail",
            util::StrFormat("%lld", static_cast<long long>(threads)),
            util::StrFormat("%.3f", run.stats.wall_seconds),
            util::StrFormat("%.3f", run.stats.seconds),
-           util::StrFormat("%.2fx", run.stats.wall_seconds > 0.0
-                                        ? baseline_wall /
-                                              run.stats.wall_seconds
-                                        : 0.0),
+           util::StrFormat("%.2fx", speedup),
+           util::StrFormat("%.2f", run.stats.ImbalanceRatio()),
+           util::StrFormat("%llu", static_cast<unsigned long long>(
+                                       run.stats.TotalSteals())),
            util::StrFormat("%llu", static_cast<unsigned long long>(
                                        run.stats.intervals_tested)),
            identical ? "yes" : "NO"});
-      json.Add(n, interval::AlgorithmKindName(config.kind),
-               config.type == core::TableauType::kHold ? "balance/hold"
-                                                       : "balance/fail",
-               static_cast<int>(threads), run.stats.wall_seconds,
-               run.stats.intervals_tested);
+      json.AddParallel(n, interval::AlgorithmKindName(config.kind),
+                       config.type == core::TableauType::kHold
+                           ? "balance/hold"
+                           : "balance/fail",
+                       static_cast<int>(threads), speedup, run.stats);
     }
   }
   std::printf("%s\n", table.ToString().c_str());

@@ -112,16 +112,56 @@ class BenchJson {
     std::string algorithm;
     std::string model;
     int threads = 1;
+    // End-to-end wall-clock of the run (the regression-tracked quantity).
     double seconds = 0.0;
     uint64_t intervals_tested = 0;
+    // Parallel observability block, emitted only when has_parallel is set
+    // (AddParallel). All values come from GeneratorStats.
+    bool has_parallel = false;
+    double speedup = 0.0;       // wall(1 thread) / wall(this run)
+    double work_seconds = 0.0;  // summed per-worker work time
+    int64_t shards = 1;
+    int64_t chunks = 1;
+    double imbalance = 1.0;  // max/mean work seconds over participants
+    double min_shard_seconds = 0.0;
+    double median_shard_seconds = 0.0;
+    double max_shard_seconds = 0.0;
+    uint64_t steals = 0;
+    std::vector<uint64_t> chunks_claimed;  // per worker, in worker order
   };
 
   void Add(int64_t n, const std::string& algorithm, const std::string& model,
            int threads, double seconds, uint64_t intervals_tested) {
     if (active()) {
       records_.push_back(
-          Record{n, algorithm, model, threads, seconds, intervals_tested});
+          MakeRecord(n, algorithm, model, threads, seconds, intervals_tested));
     }
+  }
+
+  // Like Add, but also captures the scheduler observability surface of a
+  // parallel generator run. `speedup` is wall(1 thread) / wall(this run),
+  // computed by the bench (it knows the 1-thread baseline).
+  void AddParallel(int64_t n, const std::string& algorithm,
+                   const std::string& model, int threads, double speedup,
+                   const interval::GeneratorStats& stats) {
+    if (!active()) return;
+    Record record = MakeRecord(n, algorithm, model, threads,
+                               stats.wall_seconds, stats.intervals_tested);
+    record.has_parallel = true;
+    record.speedup = speedup;
+    record.work_seconds = stats.seconds;
+    record.shards = stats.shards;
+    record.chunks = stats.chunks;
+    record.imbalance = stats.ImbalanceRatio();
+    record.min_shard_seconds = stats.MinShardSeconds();
+    record.median_shard_seconds = stats.MedianShardSeconds();
+    record.max_shard_seconds = stats.MaxShardSeconds();
+    record.steals = stats.TotalSteals();
+    record.chunks_claimed.reserve(stats.shard_work.size());
+    for (const interval::ShardWork& work : stats.shard_work) {
+      record.chunks_claimed.push_back(work.chunks_claimed);
+    }
+    records_.push_back(std::move(record));
   }
 
   // Writes all records to the path; called automatically on destruction.
@@ -145,6 +185,32 @@ class BenchJson {
       json.Double(record.seconds);
       json.Key("intervals_tested");
       json.Int(static_cast<int64_t>(record.intervals_tested));
+      if (record.has_parallel) {
+        json.Key("speedup");
+        json.Double(record.speedup);
+        json.Key("work_seconds");
+        json.Double(record.work_seconds);
+        json.Key("shards");
+        json.Int(record.shards);
+        json.Key("chunks");
+        json.Int(record.chunks);
+        json.Key("imbalance");
+        json.Double(record.imbalance);
+        json.Key("min_shard_seconds");
+        json.Double(record.min_shard_seconds);
+        json.Key("median_shard_seconds");
+        json.Double(record.median_shard_seconds);
+        json.Key("max_shard_seconds");
+        json.Double(record.max_shard_seconds);
+        json.Key("steals");
+        json.Int(static_cast<int64_t>(record.steals));
+        json.Key("chunks_claimed");
+        json.BeginArray();
+        for (const uint64_t claimed : record.chunks_claimed) {
+          json.Int(static_cast<int64_t>(claimed));
+        }
+        json.EndArray();
+      }
       json.EndObject();
     }
     json.EndArray();
@@ -162,6 +228,19 @@ class BenchJson {
   }
 
  private:
+  static Record MakeRecord(int64_t n, const std::string& algorithm,
+                           const std::string& model, int threads,
+                           double seconds, uint64_t intervals_tested) {
+    Record record;
+    record.n = n;
+    record.algorithm = algorithm;
+    record.model = model;
+    record.threads = threads;
+    record.seconds = seconds;
+    record.intervals_tested = intervals_tested;
+    return record;
+  }
+
   std::string bench_name_;
   std::string path_;
   std::vector<Record> records_;

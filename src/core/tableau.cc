@@ -31,6 +31,11 @@ util::Status ValidateRequest(const TableauRequest& request) {
         "num_threads must be >= 0 (0 = hardware concurrency), got %d",
         request.num_threads));
   }
+  if (request.chunks_per_thread < 1) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("chunks_per_thread must be >= 1, got %d",
+                        request.chunks_per_thread));
+  }
   const bool non_area_based =
       request.algorithm == interval::AlgorithmKind::kNonAreaBased ||
       request.algorithm == interval::AlgorithmKind::kNonAreaBasedOpt;
@@ -76,6 +81,7 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
   gen_options.stop_on_full_cover = request.stop_on_full_cover;
   gen_options.largest_first_early_exit = request.largest_first_early_exit;
   gen_options.num_threads = request.num_threads;
+  gen_options.chunks_per_thread = request.chunks_per_thread;
 
   Tableau tableau;
   tableau.type = request.type;

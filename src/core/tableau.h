@@ -38,6 +38,10 @@ struct TableauRequest {
   // layers that fan out whole requests): 1 = sequential, 0 = hardware
   // concurrency. Candidate output is identical for every setting.
   int num_threads = 1;
+  // Scheduler chunks dispatched per worker during parallel generation; see
+  // interval::GeneratorOptions::chunks_per_thread. Must be >= 1. Output is
+  // identical for every setting — this only tunes load balance.
+  int chunks_per_thread = 12;
 };
 
 struct TableauRow {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "interval/kernel.h"
 #include "interval/shard.h"
 
 namespace conservation::interval {
@@ -74,25 +75,33 @@ std::vector<Interval> AreaBasedGenerator::Generate(
     zero_prefix_lengths.push_back(n);
   }
 
-  // Per-block anchor sweep. The level pointers are never-retreating within
-  // a block (Lemma 3) and the breakpoint t is a function of (i, level)
+  // Per-chunk anchor sweep. The level pointers are never-retreating within
+  // a chunk (Lemma 3) and the breakpoint t is a function of (i, level)
   // alone — the pointer only amortizes the search for it — so re-basing the
-  // pointers per block changes no output. A naive re-base (walk from the
-  // block start) would re-sweep up to a whole level per block; instead the
-  // first touch of a level inside a block locates its breakpoint by binary
-  // search over the nondecreasing area (O(log n) per level per block), and
+  // pointers per chunk changes no output. A naive re-base (walk from the
+  // chunk start) would re-sweep up to a whole level per chunk; instead the
+  // first touch of a level inside a chunk locates its breakpoint by binary
+  // search over the nondecreasing area (O(log n) per level per chunk), and
   // the walk proceeds linearly from there as in the sequential run.
+  //
+  // The inner sweep runs on the flat-array kernel: the cumulative series is
+  // resolved to __restrict pointers once per chunk and the anchor baselines
+  // H_i^A / H_i^B are hoisted out of the endpoint loop (bit-identical
+  // arithmetic; see interval/kernel.h).
   auto block = [&, n, type, delta, growth](int64_t i_begin, int64_t i_end,
-                                           GeneratorStats* shard_stats) {
+                                           GeneratorStats* chunk_stats) {
+    internal::ConfidenceKernel kernel(eval, type);
     // One never-retreating pointer per level; 0 = not yet located in this
-    // block (anchors and breakpoints are always >= 1).
+    // chunk (anchors and breakpoints are always >= 1).
     std::vector<int64_t> pointer(thresholds.size(), 0);
 
     std::vector<Interval> out;
+    out.reserve(static_cast<size_t>(i_end - i_begin + 1));
     uint64_t tested = 0;
     uint64_t steps = 0;
 
     for (int64_t i = i_begin; i <= i_end; ++i) {
+      kernel.BeginAnchor(i);
       int64_t best_j = 0;
       int64_t zero_area_end = 0;  // largest j with zero sparsification area
       // Levels whose threshold is below area(i, i) have no breakpoint for
@@ -103,8 +112,7 @@ std::vector<Interval> AreaBasedGenerator::Generate(
       // undefined prefix per anchor.
       size_t first_level = type == core::TableauType::kFail ? 1 : 0;
       {
-        const double anchor_area =
-            internal::SparsificationArea(eval, type, i, i);
+        const double anchor_area = kernel.SparseArea(i);
         if (anchor_area > delta) {
           const double levels_below =
               std::log(anchor_area / delta) / std::log(growth);
@@ -118,7 +126,7 @@ std::vector<Interval> AreaBasedGenerator::Generate(
         const double threshold = thresholds[level];
         int64_t t;
         if (pointer[level] == 0) {
-          // First touch in this block: binary-search the largest endpoint
+          // First touch in this chunk: binary-search the largest endpoint
           // in [i, n] whose area is within the threshold (t = i when even
           // [i, i] exceeds it, matching the walk's no-advance case).
           int64_t lo = i;
@@ -127,8 +135,7 @@ std::vector<Interval> AreaBasedGenerator::Generate(
           while (lo <= hi) {
             const int64_t mid = lo + (hi - lo) / 2;
             ++steps;
-            if (internal::SparsificationArea(eval, type, i, mid) <=
-                threshold) {
+            if (kernel.SparseArea(mid) <= threshold) {
               t = mid;
               lo = mid + 1;
             } else {
@@ -137,21 +144,19 @@ std::vector<Interval> AreaBasedGenerator::Generate(
           }
         } else {
           t = std::max(pointer[level], i);
-          while (t + 1 <= n &&
-                 internal::SparsificationArea(eval, type, i, t + 1) <=
-                     threshold) {
+          while (t + 1 <= n && kernel.SparseArea(t + 1) <= threshold) {
             ++t;
             ++steps;
           }
         }
         pointer[level] = t;
-        const bool exists =
-            internal::SparsificationArea(eval, type, i, t) <= threshold;
+        const bool exists = kernel.SparseArea(t) <= threshold;
         if (exists) {
           if (threshold == 0.0) zero_area_end = t;
-          const std::optional<double> conf = eval.Confidence(i, t);
+          double conf;
           ++tested;
-          if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+          if (kernel.Confidence(t, &conf) &&
+              PassesRelaxedThreshold(conf, options)) {
             best_j = std::max(best_j, t);
           }
         }
@@ -164,9 +169,10 @@ std::vector<Interval> AreaBasedGenerator::Generate(
         for (const int64_t len : zero_prefix_lengths) {
           const int64_t j = i + len - 1;
           if (j >= zero_area_end) break;  // zero_area_end itself was tested
-          const std::optional<double> conf = eval.Confidence(i, j);
+          double conf;
           ++tested;
-          if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+          if (kernel.Confidence(j, &conf) &&
+              PassesRelaxedThreshold(conf, options)) {
             best_j = std::max(best_j, j);
           }
         }
@@ -177,8 +183,8 @@ std::vector<Interval> AreaBasedGenerator::Generate(
       }
     }
 
-    shard_stats->intervals_tested = tested;
-    shard_stats->endpoint_steps = steps;
+    chunk_stats->intervals_tested = tested;
+    chunk_stats->endpoint_steps = steps;
     return out;
   };
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "interval/area_based.h"
+#include "interval/kernel.h"
 #include "interval/shard.h"
 
 namespace conservation::interval {
@@ -10,15 +10,16 @@ namespace conservation::interval {
 namespace {
 
 // Largest j in [lo, hi] with area(i, j) <= threshold, or lo - 1 if even
-// area(i, lo) exceeds it. Binary search over the nondecreasing area.
-int64_t LargestEndpointWithin(const core::ConfidenceEvaluator& eval,
-                              core::TableauType type, int64_t i, int64_t lo,
-                              int64_t hi, double threshold, uint64_t* probes) {
+// area(i, lo) exceeds it. Binary search over the nondecreasing area; the
+// kernel must be anchored at i (BeginAnchor).
+int64_t LargestEndpointWithin(const internal::ConfidenceKernel& kernel,
+                              int64_t lo, int64_t hi, double threshold,
+                              uint64_t* probes) {
   int64_t result = lo - 1;
   while (lo <= hi) {
     const int64_t mid = lo + (hi - lo) / 2;
     ++*probes;
-    if (internal::SparsificationArea(eval, type, i, mid) <= threshold) {
+    if (kernel.SparseArea(mid) <= threshold) {
       result = mid;
       lo = mid + 1;
     } else {
@@ -55,20 +56,24 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
   }
 
   // AB-opt carries no cross-anchor state (each anchor's breakpoints come
-  // from fresh binary searches), so anchor blocks parallelize directly.
-  auto block = [&, n, type, delta, growth](int64_t i_begin, int64_t i_end,
-                                           GeneratorStats* shard_stats) {
+  // from fresh binary searches), so anchor chunks parallelize directly.
+  // Inner sweeps run on the flat-array kernel (interval/kernel.h).
+  auto block = [&, n, delta, growth](int64_t i_begin, int64_t i_end,
+                                     GeneratorStats* chunk_stats) {
+    internal::ConfidenceKernel kernel(eval, type);
     std::vector<Interval> out;
+    out.reserve(static_cast<size_t>(i_end - i_begin + 1));
     uint64_t tested = 0;
     uint64_t probes = 0;
     std::vector<int64_t> breakpoints;
 
     for (int64_t i = i_begin; i <= i_end; ++i) {
+      kernel.BeginAnchor(i);
       breakpoints.clear();
 
       if (credit_fail) {
         const int64_t zero_area_end =
-            LargestEndpointWithin(eval, type, i, i, n, 0.0, &probes);
+            LargestEndpointWithin(kernel, i, n, 0.0, &probes);
         for (const int64_t len : zero_prefix_lengths) {
           const int64_t j = i + len - 1;
           if (j >= zero_area_end) break;  // zero_area_end is a breakpoint
@@ -81,19 +86,17 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
       // unit Delta; if even [i, i] exceeds it, start at i (forced). For fail
       // tableaux this also covers the zero-area (confidence 0) special case,
       // since the zero-area prefix lies below Delta.
-      int64_t cur =
-          LargestEndpointWithin(eval, type, i, i, n, delta, &probes);
+      int64_t cur = LargestEndpointWithin(kernel, i, n, delta, &probes);
       if (cur < i) cur = i;
       if (breakpoints.empty() || breakpoints.back() < cur) {
         breakpoints.push_back(cur);
       }
 
       while (cur < n) {
-        const double cur_area =
-            internal::SparsificationArea(eval, type, i, cur);
+        const double cur_area = kernel.SparseArea(cur);
         const double target = std::max(cur_area, delta) * growth;
         int64_t next =
-            LargestEndpointWithin(eval, type, i, cur + 1, n, target, &probes);
+            LargestEndpointWithin(kernel, cur + 1, n, target, &probes);
         if (next < cur + 1) next = cur + 1;  // forced advance
         breakpoints.push_back(next);
         cur = next;
@@ -103,18 +106,20 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
       if (options.largest_first_early_exit) {
         // Longest-first: the first qualifying breakpoint subsumes the rest.
         for (auto it = breakpoints.rbegin(); it != breakpoints.rend(); ++it) {
-          const std::optional<double> conf = eval.Confidence(i, *it);
+          double conf;
           ++tested;
-          if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+          if (kernel.Confidence(*it, &conf) &&
+              PassesRelaxedThreshold(conf, options)) {
             best_j = *it;
             break;
           }
         }
       } else {
         for (const int64_t j : breakpoints) {
-          const std::optional<double> conf = eval.Confidence(i, j);
+          double conf;
           ++tested;
-          if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+          if (kernel.Confidence(j, &conf) &&
+              PassesRelaxedThreshold(conf, options)) {
             best_j = std::max(best_j, j);
           }
         }
@@ -125,8 +130,8 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
       }
     }
 
-    shard_stats->intervals_tested = tested;
-    shard_stats->endpoint_steps = probes;
+    chunk_stats->intervals_tested = tested;
+    chunk_stats->endpoint_steps = probes;
     return out;
   };
 

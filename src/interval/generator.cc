@@ -45,15 +45,67 @@ std::unique_ptr<CandidateGenerator> MakeGenerator(AlgorithmKind kind) {
 }
 
 int ResolveNumShards(int64_t n, const GeneratorOptions& options) {
-  // stop_on_full_cover breaks out of the anchor loop as soon as a full-span
-  // candidate appears; that early exit is inherently sequential, so the
-  // sharded path is bypassed to keep output identical.
-  if (n <= 0 || options.stop_on_full_cover) return 1;
+  if (n <= 0) return 1;
   int shards = options.num_threads > 0
                    ? options.num_threads
                    : static_cast<int>(std::thread::hardware_concurrency());
   shards = std::max(1, shards);
   return static_cast<int>(std::min<int64_t>(shards, n));
+}
+
+int64_t ResolveNumChunks(int64_t n, int workers,
+                         const GeneratorOptions& options) {
+  if (workers <= 1 || n <= 1) return 1;
+  const int64_t per_thread =
+      std::max<int64_t>(1, static_cast<int64_t>(options.chunks_per_thread));
+  return std::min<int64_t>(n, static_cast<int64_t>(workers) * per_thread);
+}
+
+namespace {
+
+// Work seconds of workers that claimed at least one chunk, ascending.
+std::vector<double> ParticipatingSeconds(const GeneratorStats& stats) {
+  std::vector<double> seconds;
+  seconds.reserve(stats.shard_work.size());
+  for (const ShardWork& work : stats.shard_work) {
+    if (work.chunks_claimed > 0) seconds.push_back(work.seconds);
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return seconds;
+}
+
+}  // namespace
+
+double GeneratorStats::MinShardSeconds() const {
+  const std::vector<double> s = ParticipatingSeconds(*this);
+  return s.empty() ? 0.0 : s.front();
+}
+
+double GeneratorStats::MaxShardSeconds() const {
+  const std::vector<double> s = ParticipatingSeconds(*this);
+  return s.empty() ? 0.0 : s.back();
+}
+
+double GeneratorStats::MedianShardSeconds() const {
+  const std::vector<double> s = ParticipatingSeconds(*this);
+  if (s.empty()) return 0.0;
+  const size_t mid = s.size() / 2;
+  return s.size() % 2 == 1 ? s[mid] : (s[mid - 1] + s[mid]) / 2.0;
+}
+
+double GeneratorStats::ImbalanceRatio() const {
+  const std::vector<double> s = ParticipatingSeconds(*this);
+  if (s.size() < 2) return 1.0;
+  double sum = 0.0;
+  for (const double v : s) sum += v;
+  const double mean = sum / static_cast<double>(s.size());
+  return mean > 0.0 ? s.back() / mean : 1.0;
+}
+
+uint64_t GeneratorStats::TotalSteals() const {
+  uint64_t total = 0;
+  for (const ShardWork& work : shard_work) total += work.steals;
+  return total;
 }
 
 double ResolveDelta(const series::CumulativeSeries& series,

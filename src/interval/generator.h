@@ -15,6 +15,7 @@
 #ifndef CONSERVATION_INTERVAL_GENERATOR_H_
 #define CONSERVATION_INTERVAL_GENERATOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -72,45 +73,87 @@ struct GeneratorOptions {
   // subsumed. Supported by the per-anchor generators (AB-opt, NAB, NAB-opt).
   bool largest_first_early_exit = false;
   // Anchor-sharded parallel generation: the anchor range is split into
-  // contiguous blocks, each processed by a worker with its own amortization
-  // state (level pointers / schedule cursor), and per-block outputs are
-  // concatenated in anchor order — results are identical to the sequential
-  // run for every algorithm/model/tableau-type combination. 1 = sequential
-  // (default), 0 = hardware concurrency. stop_on_full_cover forces a
-  // sequential run (its early exit is inherently ordered).
+  // many fine-grained contiguous chunks that workers claim dynamically off
+  // an atomic cursor; each chunk runs the unmodified sequential sweep with
+  // its own amortization state (level pointers / schedule cursor), and
+  // per-chunk outputs are concatenated in anchor order — results are
+  // identical to the sequential run for every algorithm/model/tableau-type
+  // combination and every chunking. 1 = sequential (default), 0 = hardware
+  // concurrency.
   int num_threads = 1;
+  // Chunks dispatched per worker. Per-anchor cost is triangular (anchor i
+  // sweeps right endpoints up to n), so contiguous equal-width per-worker
+  // blocks leave the first block owning most of the work; cutting the range
+  // into chunks_per_thread * num_threads chunks and claiming them
+  // dynamically bounds the imbalance by one chunk's work. 8–16 is the sweet
+  // spot: fewer re-exposes the skew, many more just pays per-chunk pointer
+  // re-base overhead. Values < 1 are clamped to 1.
+  int chunks_per_thread = 12;
+};
+
+// Per-worker accounting from one sharded run. Pure observability: none of
+// these values feed back into generation, and (unlike the candidate output)
+// they are timing-dependent, so they vary run to run.
+struct ShardWork {
+  // Summed in-chunk work time of this worker (excludes claim overhead and
+  // idle time).
+  double seconds = 0.0;
+  // Chunks this worker pulled off the claim cursor.
+  uint64_t chunks_claimed = 0;
+  // Chunks claimed beyond the static fair share ceil(chunks / workers) —
+  // work this worker effectively took over from slower workers. 0 everywhere
+  // means static partitioning would have balanced just as well.
+  uint64_t steals = 0;
 };
 
 struct GeneratorStats {
   // Number of confidence evaluations ("iterations" in paper Figs. 7-10).
   uint64_t intervals_tested = 0;
   // Endpoint-search work: pointer advances (AB/NAB) or binary-search probes
-  // (AB-opt). Sharded runs may re-sweep at most one extra pass per level
-  // per block, so this can exceed the sequential count slightly.
+  // (AB-opt). Chunked runs re-base their level pointers per chunk (one
+  // O(log n) search per level per chunk), so this can exceed the sequential
+  // count slightly.
   uint64_t endpoint_steps = 0;
   // Number of candidate intervals emitted.
   uint64_t candidates = 0;
-  // Total work time: summed across shards (equals wall_seconds when
-  // sequential).
+  // Total work time: summed across workers. Equals wall_seconds for a
+  // sequential run; approaches shards * wall_seconds under perfect scaling.
   double seconds = 0.0;
   // End-to-end elapsed time of Generate — the number to plot for parallel
-  // scaling. At least the max over shard times.
+  // scaling. Set once by the execution driver, never merged.
   double wall_seconds = 0.0;
-  // Shards actually used (1 for sequential runs).
+  // Workers the driver dispatched (1 for sequential runs).
   int shards = 1;
+  // Scheduler chunks the anchor range was cut into (1 for sequential runs).
+  int64_t chunks = 1;
+  // One entry per worker (index = worker id). Empty until the driver fills
+  // it; sequential runs get a single entry.
+  std::vector<ShardWork> shard_work;
 
   void Reset() { *this = GeneratorStats{}; }
 
-  // Accumulates a shard's stats into this one: counters and work seconds
-  // add, wall time takes the max.
+  // Accumulates per-chunk (or per-shard) counters into this one: counters
+  // and work seconds add. wall_seconds, shards, chunks, and shard_work
+  // describe the whole run and are owned by the execution driver — Merge
+  // leaves them untouched.
   void Merge(const GeneratorStats& shard) {
     intervals_tested += shard.intervals_tested;
     endpoint_steps += shard.endpoint_steps;
     candidates += shard.candidates;
     seconds += shard.seconds;
-    wall_seconds = wall_seconds > shard.wall_seconds ? wall_seconds
-                                                     : shard.wall_seconds;
   }
+
+  // Shard-level observability, derived from shard_work. Workers that
+  // claimed no chunk (they reached the cursor after exhaustion) are
+  // excluded: they did no work by design, not from imbalance.
+  double MinShardSeconds() const;
+  double MedianShardSeconds() const;
+  double MaxShardSeconds() const;
+  // Max/mean work seconds over participating workers; 1.0 when fewer than
+  // two workers participated. 1.0 is perfect balance; the contiguous-block
+  // scheduler this replaced measured ~1.9 at 8 workers on triangular work.
+  double ImbalanceRatio() const;
+  uint64_t TotalSteals() const;
 };
 
 class CandidateGenerator {
@@ -133,10 +176,15 @@ std::unique_ptr<CandidateGenerator> MakeGenerator(AlgorithmKind kind);
 double ResolveDelta(const series::CumulativeSeries& series,
                     const GeneratorOptions& options);
 
-// Number of anchor shards a generator should use for n anchors: clamps
-// options.num_threads (0 = hardware concurrency) to [1, n] and forces 1
-// when stop_on_full_cover is set.
+// Number of workers a generator should dispatch for n anchors: clamps
+// options.num_threads (0 = hardware concurrency) to [1, n].
 int ResolveNumShards(int64_t n, const GeneratorOptions& options);
+
+// Number of scheduler chunks for n anchors and `workers` workers:
+// min(n, workers * max(1, options.chunks_per_thread)), and 1 when
+// workers == 1 (a sequential run needs no chunking).
+int64_t ResolveNumChunks(int64_t n, int workers,
+                         const GeneratorOptions& options);
 
 // The relaxed acceptance predicate used by the approximate generators, and
 // the exact one (epsilon = 0) used by the exhaustive generator.

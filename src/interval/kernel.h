@@ -1,0 +1,132 @@
+// Flat-array confidence kernels for the generator inner sweeps.
+//
+// The generators evaluate areas and confidences hundreds of millions of
+// times per run. Routing every evaluation through ConfidenceEvaluator costs,
+// per call: two pointer hops into the series object, a recomputation of the
+// per-anchor baselines H_i^A / H_i^B (A(i-1) and SuffixMinGap(i) lookups and
+// a model branch), and an std::optional round trip. ConfidenceKernel
+// resolves the cumulative arrays (A, SA, SB, S) to __restrict pointers once
+// per chunk and hoists the anchor baselines out of the endpoint loop, so the
+// inner sweep touches only flat arrays and registers.
+//
+// Bit-identity contract: every expression below reproduces the evaluator's
+// arithmetic with the same operand values and the same evaluation order
+// (see core/confidence.h), so kernel results are bit-identical to evaluator
+// results — the sharded drivers rely on this to keep parallel output equal
+// to the sequential run.
+
+#ifndef CONSERVATION_INTERVAL_KERNEL_H_
+#define CONSERVATION_INTERVAL_KERNEL_H_
+
+#include <cstdint>
+
+#include "core/confidence.h"
+#include "core/model.h"
+
+namespace conservation::interval::internal {
+
+class ConfidenceKernel {
+ public:
+  ConfidenceKernel(const core::ConfidenceEvaluator& eval,
+                   core::TableauType type)
+      : a_(eval.series().a_data()),
+        sa_(eval.series().sa_data()),
+        sb_(eval.series().sb_data()),
+        s_(eval.series().suffix_min_gap_data()),
+        model_(eval.model()),
+        hold_(type == core::TableauType::kHold),
+        // Fail tableaux sparsify on the numerator area; in the credit model
+        // the baseline A_{i-1} - S_i is not monotone, so the algorithm
+        // reuses the balance-model breakpoints (paper §III.D, Theorems 5-6).
+        sparse_balance_(!hold_ &&
+                        eval.model() == core::ConfidenceModel::kCredit) {}
+
+  // --- Left-anchored sweeps (AB, AB-opt): fix anchor i, vary endpoint j ---
+
+  void BeginAnchor(int64_t i) {
+    i_ = i;
+    const double prev = a_[i - 1];
+    const double gap = s_[i];
+    h_a_ = model_ == core::ConfidenceModel::kCredit ? prev - gap : prev;
+    h_b_ = model_ == core::ConfidenceModel::kDebit ? prev + gap : prev;
+    sa_prev_ = sa_[i - 1];
+    sb_prev_ = sb_[i - 1];
+    sp_ = hold_ ? sb_ : sa_;
+    sp_prev_ = hold_ ? sb_prev_ : sa_prev_;
+    h_sp_ = hold_ ? h_b_ : (sparse_balance_ ? prev : h_a_);
+  }
+
+  // SparsificationArea(i_, j): area_B for hold, area_A for fail
+  // (balance-model area_A when the model is credit).
+  double SparseArea(int64_t j) const {
+    const double raw = (sp_[j] - sp_prev_) -
+                       static_cast<double>(j - i_ + 1) * h_sp_;
+    return raw < 0.0 ? 0.0 : raw;
+  }
+
+  // conf(i_, j); false when the denominator is not positive (undefined).
+  bool Confidence(int64_t j, double* conf) const {
+    const double len = static_cast<double>(j - i_ + 1);
+    const double den_raw = (sb_[j] - sb_prev_) - len * h_b_;
+    const double den = den_raw < 0.0 ? 0.0 : den_raw;
+    if (den <= 0.0) return false;
+    const double num_raw = (sa_[j] - sa_prev_) - len * h_a_;
+    const double num = num_raw < 0.0 ? 0.0 : num_raw;
+    *conf = num / den;
+    return true;
+  }
+
+  // --- Right-anchored sweeps (NAB): fix endpoint j, vary anchor i ---
+
+  void BeginRightAnchor(int64_t j) {
+    j_ = j;
+    sa_end_ = sa_[j];
+    sb_end_ = sb_[j];
+  }
+
+  // conf(i, j_); false when the denominator is not positive.
+  bool ConfidenceFrom(int64_t i, double* conf) const {
+    const double prev = a_[i - 1];
+    const double gap = s_[i];
+    const double h_a =
+        model_ == core::ConfidenceModel::kCredit ? prev - gap : prev;
+    const double h_b =
+        model_ == core::ConfidenceModel::kDebit ? prev + gap : prev;
+    const double len = static_cast<double>(j_ - i + 1);
+    const double den_raw = (sb_end_ - sb_[i - 1]) - len * h_b;
+    const double den = den_raw < 0.0 ? 0.0 : den_raw;
+    if (den <= 0.0) return false;
+    const double num_raw = (sa_end_ - sa_[i - 1]) - len * h_a;
+    const double num = num_raw < 0.0 ? 0.0 : num_raw;
+    *conf = num / den;
+    return true;
+  }
+
+ private:
+  const double* __restrict a_;
+  const double* __restrict sa_;
+  const double* __restrict sb_;
+  const double* __restrict s_;
+  const core::ConfidenceModel model_;
+  const bool hold_;
+  const bool sparse_balance_;
+
+  // Left-anchor state (BeginAnchor).
+  int64_t i_ = 0;
+  double h_a_ = 0.0;
+  double h_b_ = 0.0;
+  double sa_prev_ = 0.0;
+  double sb_prev_ = 0.0;
+  const double* __restrict sp_ = nullptr;
+  double sp_prev_ = 0.0;
+  double h_sp_ = 0.0;
+
+  // Right-anchor state (BeginRightAnchor).
+  int64_t j_ = 0;
+  double sa_end_ = 0.0;
+  double sb_end_ = 0.0;
+};
+
+}  // namespace conservation::interval::internal
+
+#endif  // CONSERVATION_INTERVAL_KERNEL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "interval/kernel.h"
 #include "interval/shard.h"
 
 namespace conservation::interval {
@@ -45,23 +46,29 @@ std::vector<Interval> NonAreaBasedGenerator::Generate(
   const std::vector<int64_t> lengths =
       MakeLengthSchedule(schedule_, options.epsilon, n);
 
-  // Right anchors are processed in descending order within a block so that,
-  // with stop_on_full_cover (always single-block), the anchor that can
-  // produce [1, n] comes first — mirroring AB, whose i = 1 anchor comes
-  // first. Results are order independent otherwise, and the final sort
-  // makes the concatenated shard outputs identical to the sequential run
-  // (each anchor emits at most one interval, so positions are distinct).
+  // Right anchors are processed in descending order within a chunk, and
+  // chunks are claimed in descending anchor order (ChunkOrder::kDescending),
+  // so the anchor that can produce [1, n] under stop_on_full_cover comes
+  // first — mirroring AB, whose i = 1 anchor comes first. Results are order
+  // independent otherwise, and the final sort makes the concatenated chunk
+  // outputs identical to the sequential run (each anchor emits at most one
+  // interval, so positions are distinct).
   //
   // `first_covering` tracks the index of the first schedule entry >= j; it
   // only moves left as j decreases, so maintaining it is O(1) amortized.
-  // Each block re-bases it from the end of the schedule — at most one extra
-  // walk down the schedule per block.
+  // Each chunk re-bases it from the end of the schedule — at most one extra
+  // walk down the schedule per chunk. The confidence sweep runs on the
+  // flat-array kernel with the right-endpoint prefix sums hoisted per
+  // anchor (interval/kernel.h).
   auto block = [&, n](int64_t j_begin, int64_t j_end,
-                      GeneratorStats* shard_stats) {
+                      GeneratorStats* chunk_stats) {
+    internal::ConfidenceKernel kernel(eval, options.type);
     std::vector<Interval> out;
+    out.reserve(static_cast<size_t>(j_end - j_begin + 1));
     uint64_t tested = 0;
     size_t first_covering = lengths.size() - 1;  // last entry is >= n >= j
     for (int64_t j = j_end; j >= j_begin; --j) {
+      kernel.BeginRightAnchor(j);
       int64_t best_i = 0;
       while (first_covering > 0 && lengths[first_covering - 1] >= j) {
         --first_covering;
@@ -72,9 +79,10 @@ std::vector<Interval> NonAreaBasedGenerator::Generate(
 
       auto test_level = [&](size_t h) -> bool {
         const int64_t i = std::max<int64_t>(1, j + 1 - lengths[h]);
-        const std::optional<double> conf = eval.Confidence(i, j);
+        double conf;
         ++tested;
-        if (conf.has_value() && PassesRelaxedThreshold(*conf, options)) {
+        if (kernel.ConfidenceFrom(i, &conf) &&
+            PassesRelaxedThreshold(conf, options)) {
           best_i = best_i == 0 ? i : std::min(best_i, i);
           return true;
         }
@@ -94,12 +102,12 @@ std::vector<Interval> NonAreaBasedGenerator::Generate(
         if (options.stop_on_full_cover && best_i == 1 && j == n) break;
       }
     }
-    shard_stats->intervals_tested = tested;
+    chunk_stats->intervals_tested = tested;
     return out;
   };
 
-  std::vector<Interval> out =
-      internal::RunSharded(n, options, stats, block);
+  std::vector<Interval> out = internal::RunSharded(
+      n, options, stats, block, internal::ChunkOrder::kDescending);
   std::sort(out.begin(), out.end(), ByPosition);
   return out;
 }

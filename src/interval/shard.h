@@ -1,23 +1,44 @@
-// Anchor-sharded execution driver for the candidate generators.
+// Chunked, dynamically balanced execution driver for the candidate
+// generators.
 //
 // Every generator's outer loop visits anchors whose outputs are mutually
 // independent; the only cross-anchor state (AB's level pointers, NAB's
 // schedule cursor) is an amortization device, not a correctness carrier.
-// Splitting the anchor range into contiguous blocks and giving each worker
-// private amortization state initialized at its block start therefore
-// reproduces the sequential output exactly — the per-block pointer reset
-// costs at most one extra sweep per level per block, amortized inside the
-// block (DESIGN.md "Parallel execution").
+// Cutting the anchor range into contiguous chunks and giving each chunk
+// private amortization state initialized at its chunk start therefore
+// reproduces the sequential output exactly (DESIGN.md "Parallel execution").
 //
-// The driver concatenates per-block outputs in anchor order and merges
-// per-block stats (sums + max wall time), so callers observe bit-identical
-// candidates for every num_threads setting.
+// Why many fine chunks instead of one contiguous block per worker: the
+// per-anchor cost of the O(n·δ⁻¹·ε⁻¹) generators is triangular — anchor i
+// sweeps right endpoints up to n — so equal-width per-worker blocks leave
+// the first block owning most of the work while the rest idle (PR 1's
+// measured flat-to-negative scaling). The driver instead cuts [1, n] into
+// ≈ chunks_per_thread × workers chunks and lets workers claim them off an
+// atomic cursor; whichever worker finishes early claims more, bounding the
+// finish-time spread by one chunk's work regardless of the skew shape.
+//
+// Determinism: chunk boundaries are a pure function of (n, workers,
+// chunks_per_thread); outputs land in a per-chunk slot and are concatenated
+// in chunk (= anchor) order, so the candidate list is bit-identical to the
+// sequential run for every thread count and chunking — only the stats'
+// timing fields vary run to run.
+//
+// stop_on_full_cover: a generator's early exit fires only at the anchor the
+// sequential run visits first (i = 1 for left-anchored sweeps, j = n for
+// right-anchored ones) and emits exactly the full-span interval [1, n], so
+// the sequential output is exactly {[1, n]}. The chunked driver reproduces
+// it: the signaling chunk's output replaces everything, outstanding chunks
+// are cancelled at claim granularity, and already-running chunks complete
+// but are discarded. ChunkOrder lets right-anchored generators claim the
+// chunk containing anchor n first so the cancellation actually saves work.
 
 #ifndef CONSERVATION_INTERVAL_SHARD_H_
 #define CONSERVATION_INTERVAL_SHARD_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "interval/generator.h"
@@ -27,60 +48,131 @@
 
 namespace conservation::interval::internal {
 
-// Runs block(begin, end, &shard_stats) over contiguous anchor blocks
-// covering [1, n] (inclusive bounds), concurrently when ResolveNumShards
-// allows, and returns the concatenation of the block outputs in block
-// order. `stats` (may be null) receives the merged counters; its
-// wall_seconds is the driver's end-to-end elapsed time.
+// Claim order of chunks: the direction the sequential run visits anchors.
+// Output is identical either way; the order only determines which chunk the
+// stop_on_full_cover cancellation can short-circuit behind.
+enum class ChunkOrder { kAscending, kDescending };
+
+// Runs block(begin, end, &chunk_stats) over contiguous anchor chunks
+// covering [1, n] (inclusive bounds), claimed dynamically by
+// ResolveNumShards workers, and returns the concatenation of the chunk
+// outputs in anchor order. `stats` (may be null) receives the merged
+// counters plus the scheduler observability fields (shards, chunks,
+// shard_work); its wall_seconds is the driver's end-to-end elapsed time and
+// its seconds the summed per-worker work time.
 //
 // BlockFn: std::vector<Interval>(int64_t begin, int64_t end,
-//                                GeneratorStats* shard_stats).
+//                                GeneratorStats* chunk_stats).
+// Blocks fill only the work counters of chunk_stats; timing and scheduling
+// fields are owned by this driver.
 template <typename BlockFn>
 std::vector<Interval> RunSharded(int64_t n, const GeneratorOptions& options,
-                                 GeneratorStats* stats, BlockFn&& block) {
+                                 GeneratorStats* stats, BlockFn&& block,
+                                 ChunkOrder order = ChunkOrder::kAscending) {
   util::Stopwatch timer;
-  const int shards = ResolveNumShards(n, options);
+  const int workers = ResolveNumShards(n, options);
 
   std::vector<Interval> out;
   GeneratorStats merged;
-  merged.shards = shards;
+  merged.shards = workers;
+  merged.chunks = 1;
+  merged.shard_work.resize(static_cast<size_t>(workers));
 
-  if (shards <= 1) {
-    GeneratorStats shard_stats;
-    util::Stopwatch shard_timer;
-    out = block(1, n, &shard_stats);
-    shard_stats.seconds = shard_timer.ElapsedSeconds();
-    shard_stats.wall_seconds = shard_stats.seconds;
-    merged.Merge(shard_stats);
+  if (workers <= 1) {
+    GeneratorStats counters;
+    util::Stopwatch work_timer;
+    out = block(1, n, &counters);
+    merged.Merge(counters);
+    merged.seconds = work_timer.ElapsedSeconds();
+    merged.shard_work[0] =
+        ShardWork{merged.seconds, /*chunks_claimed=*/1, /*steals=*/0};
   } else {
-    const int64_t width = (n + shards - 1) / shards;
-    std::vector<std::vector<Interval>> block_out(
-        static_cast<size_t>(shards));
-    std::vector<GeneratorStats> block_stats(static_cast<size_t>(shards));
+    const int64_t requested = ResolveNumChunks(n, workers, options);
+    const int64_t width = (n + requested - 1) / requested;
+    const int64_t chunks = (n + width - 1) / width;
+    merged.chunks = chunks;
+    const uint64_t fair_share = static_cast<uint64_t>(
+        (chunks + workers - 1) / static_cast<int64_t>(workers));
+
+    std::vector<std::vector<Interval>> chunk_out(
+        static_cast<size_t>(chunks));
+    std::vector<GeneratorStats> worker_counters(
+        static_cast<size_t>(workers));
+    std::atomic<int64_t> cursor{0};
+    std::atomic<bool> full_cover{false};
+    std::atomic<int64_t> signal_chunk{-1};
+    GeneratorStats signal_counters;  // written by the unique signaling
+                                     // worker, read only after the join
+
     util::PoolParallelFor(
-        util::ThreadPool::Shared(), shards, shards, [&](int64_t k) {
-          const int64_t begin = 1 + k * width;
-          const int64_t end = std::min<int64_t>(n, begin + width - 1);
-          if (begin > end) return;
-          GeneratorStats* shard_stats = &block_stats[static_cast<size_t>(k)];
-          util::Stopwatch shard_timer;
-          block_out[static_cast<size_t>(k)] =
-              block(begin, end, shard_stats);
-          shard_stats->seconds = shard_timer.ElapsedSeconds();
-          shard_stats->wall_seconds = shard_stats->seconds;
+        util::ThreadPool::Shared(), workers, workers, [&](int64_t w) {
+          ShardWork work;
+          GeneratorStats local;
+          for (;;) {
+            if (options.stop_on_full_cover &&
+                full_cover.load(std::memory_order_acquire)) {
+              break;
+            }
+            const int64_t claim =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (claim >= chunks) break;
+            const int64_t k =
+                order == ChunkOrder::kDescending ? chunks - 1 - claim : claim;
+            const int64_t begin = 1 + k * width;
+            const int64_t end = std::min<int64_t>(n, begin + width - 1);
+            GeneratorStats chunk_counters;
+            util::Stopwatch chunk_timer;
+            chunk_out[static_cast<size_t>(k)] =
+                block(begin, end, &chunk_counters);
+            work.seconds += chunk_timer.ElapsedSeconds();
+            ++work.chunks_claimed;
+            local.Merge(chunk_counters);
+            if (options.stop_on_full_cover) {
+              const std::vector<Interval>& part =
+                  chunk_out[static_cast<size_t>(k)];
+              const bool spans_all =
+                  std::any_of(part.begin(), part.end(), [n](const Interval& v) {
+                    return v.begin == 1 && v.end == n;
+                  });
+              if (spans_all) {
+                signal_counters = chunk_counters;
+                signal_chunk.store(k, std::memory_order_relaxed);
+                full_cover.store(true, std::memory_order_release);
+                break;
+              }
+            }
+          }
+          work.steals = work.chunks_claimed > fair_share
+                            ? work.chunks_claimed - fair_share
+                            : 0;
+          merged.shard_work[static_cast<size_t>(w)] = work;
+          worker_counters[static_cast<size_t>(w)] = local;
         });
-    size_t total = 0;
-    for (const auto& part : block_out) total += part.size();
-    out.reserve(total);
-    for (size_t k = 0; k < block_out.size(); ++k) {
-      out.insert(out.end(), block_out[k].begin(), block_out[k].end());
-      merged.Merge(block_stats[k]);
+
+    const int64_t signal = signal_chunk.load(std::memory_order_relaxed);
+    if (signal >= 0) {
+      // Sequential equivalence: the sequential run stops at its first
+      // anchor, so chunks other than the signaling one contribute neither
+      // output nor counters (their work still shows in shard_work.seconds).
+      out = std::move(chunk_out[static_cast<size_t>(signal)]);
+      merged.Merge(signal_counters);
+    } else {
+      size_t total = 0;
+      for (const auto& part : chunk_out) total += part.size();
+      out.reserve(total);
+      for (auto& part : chunk_out) {
+        out.insert(out.end(), part.begin(), part.end());
+      }
+      for (const GeneratorStats& local : worker_counters) merged.Merge(local);
+    }
+    for (const ShardWork& work : merged.shard_work) {
+      merged.seconds += work.seconds;
     }
   }
 
   merged.candidates = out.size();
   merged.wall_seconds = timer.ElapsedSeconds();
-  if (stats != nullptr) *stats = merged;
+  if (stats != nullptr) *stats = std::move(merged);
   return out;
 }
 

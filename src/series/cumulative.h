@@ -57,6 +57,16 @@ class CumulativeSeries {
   // the base area unit: the smallest non-zero area of any interval is >= Delta.
   double delta() const { return delta_; }
 
+  // Raw flat views for the generators' inner-loop kernels
+  // (interval/kernel.h): contiguous arrays indexed exactly like the
+  // accessors above (a_data()[l] == A(l), valid for 0 <= l <= n;
+  // suffix_min_gap_data()[i] == SuffixMinGap(i), valid for 1 <= i <= n+1).
+  const double* a_data() const { return A_.data(); }
+  const double* b_data() const { return B_.data(); }
+  const double* sa_data() const { return SA_.data(); }
+  const double* sb_data() const { return SB_.data(); }
+  const double* suffix_min_gap_data() const { return suffix_min_gap_.data(); }
+
   // True when B dominates A (B_l >= A_l for all l), the standing assumption
   // of the paper. A small negative tolerance absorbs floating-point noise.
   bool Dominates(double tolerance = 1e-9) const;

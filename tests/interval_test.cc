@@ -154,12 +154,24 @@ TEST(ShardInvarianceTest, EveryAlgorithmModelAndTypeMatchesSequential) {
               << " type " << static_cast<int>(type) << " threads " << threads;
           // The confidence-evaluation count and the emitted candidate count
           // are functions of the anchors alone, so they are shard
-          // invariant (endpoint_steps may differ: blocks re-locate their
+          // invariant (endpoint_steps may differ: chunks re-locate their
           // level pointers).
           EXPECT_EQ(stats.intervals_tested,
                     sequential_stats.intervals_tested);
           EXPECT_EQ(stats.candidates, sequential_stats.candidates);
-          if (threads == 2) EXPECT_EQ(stats.shards, 2);
+          if (threads == 2) {
+            EXPECT_EQ(stats.shards, 2);
+            // The chunked scheduler dispatches chunks_per_thread chunks
+            // per worker and reports per-worker accounting.
+            EXPECT_EQ(stats.chunks,
+                      std::min<int64_t>(700, 2 * options.chunks_per_thread));
+            EXPECT_EQ(stats.shard_work.size(), 2u);
+            uint64_t claimed = 0;
+            for (const ShardWork& work : stats.shard_work) {
+              claimed += work.chunks_claimed;
+            }
+            EXPECT_EQ(claimed, static_cast<uint64_t>(stats.chunks));
+          }
         }
       }
     }
@@ -167,8 +179,10 @@ TEST(ShardInvarianceTest, EveryAlgorithmModelAndTypeMatchesSequential) {
 }
 
 // stop_on_full_cover keeps its sequential early-exit semantics (and output)
-// under any requested thread count.
-TEST(ShardInvarianceTest, StopOnFullCoverForcesSequentialRun) {
+// under any requested thread count: the full-span candidate can only come
+// from the sequential run's first anchor, so a multi-chunk run cancels all
+// other chunks and returns exactly the sequential output.
+TEST(ShardInvarianceTest, StopOnFullCoverMatchesSequentialAcrossChunks) {
   const series::CountSequence counts =
       testing_util::RandomDominatedCounts(/*seed=*/5, /*n=*/300);
   const series::CumulativeSeries cumulative(counts);
@@ -180,39 +194,77 @@ TEST(ShardInvarianceTest, StopOnFullCoverForcesSequentialRun) {
   options.epsilon = 0.05;
   options.stop_on_full_cover = true;
 
-  const auto generator = MakeGenerator(AlgorithmKind::kAreaBased);
-  options.num_threads = 1;
-  const std::vector<Interval> sequential =
-      generator->Generate(eval, options, nullptr);
-  options.num_threads = 7;
-  GeneratorStats stats;
-  const std::vector<Interval> sharded =
-      generator->Generate(eval, options, &stats);
-  EXPECT_EQ(sharded, sequential);
-  EXPECT_EQ(stats.shards, 1);
+  for (const AlgorithmKind kind :
+       {AlgorithmKind::kAreaBased, AlgorithmKind::kNonAreaBasedOpt}) {
+    const auto generator = MakeGenerator(kind);
+    options.num_threads = 1;
+    GeneratorStats sequential_stats;
+    const std::vector<Interval> sequential =
+        generator->Generate(eval, options, &sequential_stats);
+    ASSERT_EQ(sequential, (std::vector<Interval>{Interval{1, 300}}))
+        << AlgorithmKindName(kind);
+
+    options.num_threads = 7;
+    GeneratorStats stats;
+    const std::vector<Interval> sharded =
+        generator->Generate(eval, options, &stats);
+    EXPECT_EQ(sharded, sequential) << AlgorithmKindName(kind);
+    EXPECT_EQ(stats.shards, 7) << AlgorithmKindName(kind);
+    EXPECT_GT(stats.chunks, 1) << AlgorithmKindName(kind);
+    // Cancelled chunks contribute no counters: the merged counts match the
+    // sequential early exit.
+    EXPECT_EQ(stats.intervals_tested, sequential_stats.intervals_tested)
+        << AlgorithmKindName(kind);
+    EXPECT_EQ(stats.candidates, 1u) << AlgorithmKindName(kind);
+  }
 }
 
-TEST(GeneratorStatsTest, MergeSumsCountersAndKeepsMaxWallTime) {
+TEST(GeneratorStatsTest, MergeSumsCountersAndLeavesDriverFieldsAlone) {
   GeneratorStats total;
+  total.wall_seconds = 2.0;  // driver-owned: Merge must not touch it
+  total.shards = 3;
+  total.chunks = 9;
   GeneratorStats a;
   a.intervals_tested = 10;
   a.endpoint_steps = 3;
   a.candidates = 2;
   a.seconds = 0.5;
-  a.wall_seconds = 0.5;
   GeneratorStats b;
   b.intervals_tested = 7;
   b.endpoint_steps = 9;
   b.candidates = 1;
   b.seconds = 0.25;
-  b.wall_seconds = 0.75;
+  b.wall_seconds = 0.75;  // ignored: per-chunk stats carry no wall time
   total.Merge(a);
   total.Merge(b);
   EXPECT_EQ(total.intervals_tested, 17u);
   EXPECT_EQ(total.endpoint_steps, 12u);
   EXPECT_EQ(total.candidates, 3u);
   EXPECT_DOUBLE_EQ(total.seconds, 0.75);
-  EXPECT_DOUBLE_EQ(total.wall_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(total.wall_seconds, 2.0);
+  EXPECT_EQ(total.shards, 3);
+  EXPECT_EQ(total.chunks, 9);
+}
+
+TEST(GeneratorStatsTest, ShardObservabilityDerivesFromParticipants) {
+  GeneratorStats stats;
+  // Two participating workers (1.0s, 3.0s), one idle straggler that never
+  // claimed a chunk (excluded from the distribution).
+  stats.shard_work = {ShardWork{1.0, 4, 0}, ShardWork{3.0, 8, 2},
+                      ShardWork{0.0, 0, 0}};
+  EXPECT_DOUBLE_EQ(stats.MinShardSeconds(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.MaxShardSeconds(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.MedianShardSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.ImbalanceRatio(), 1.5);  // 3.0 / mean(1, 3)
+  EXPECT_EQ(stats.TotalSteals(), 2u);
+
+  GeneratorStats sequential;
+  sequential.shard_work = {ShardWork{0.5, 1, 0}};
+  EXPECT_DOUBLE_EQ(sequential.ImbalanceRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(sequential.MedianShardSeconds(), 0.5);
+
+  EXPECT_DOUBLE_EQ(GeneratorStats{}.ImbalanceRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(GeneratorStats{}.MinShardSeconds(), 0.0);
 }
 
 }  // namespace

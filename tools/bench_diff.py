@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare two bench --json files and print per-config deltas.
+
+Records are keyed by (bench, n, algorithm, model, threads); the compared
+quantity is `seconds` (end-to-end wall clock). Configs present in only one
+file are listed separately. When both records carry the parallel
+observability block, speedup and imbalance deltas are shown too.
+
+Usage:
+  tools/bench_diff.py OLD.json NEW.json [--threshold=5] [--fail-on-regress]
+
+  --threshold=PCT      mark a config as a regression when NEW is more than
+                       PCT percent slower than OLD (default 5)
+  --fail-on-regress    exit 1 if any regression was marked (for CI gates)
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a JSON array of records")
+    records = {}
+    for record in data:
+        key = (
+            record.get("bench", ""),
+            record.get("n", 0),
+            record.get("algorithm", ""),
+            record.get("model", ""),
+            record.get("threads", 1),
+        )
+        if key in records:
+            print(f"warning: {path}: duplicate record for {key}; "
+                  "keeping the last one", file=sys.stderr)
+        records[key] = record
+    return records
+
+
+def fmt_key(key):
+    bench, n, algorithm, model, threads = key
+    return f"{bench} n={n} {algorithm} {model} threads={threads}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench JSON files per config.")
+    parser.add_argument("old", help="baseline bench JSON file")
+    parser.add_argument("new", help="candidate bench JSON file")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="regression threshold in percent (default 5)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when any config regresses past the "
+                             "threshold")
+    args = parser.parse_args()
+
+    old = load_records(args.old)
+    new = load_records(args.new)
+
+    shared = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    regressions = []
+    print(f"comparing {args.old} (old) vs {args.new} (new): "
+          f"{len(shared)} shared config(s)")
+    for key in shared:
+        o, n = old[key], new[key]
+        o_sec, n_sec = o.get("seconds", 0.0), n.get("seconds", 0.0)
+        if o_sec > 0:
+            delta_pct = 100.0 * (n_sec - o_sec) / o_sec
+            delta = f"{delta_pct:+.1f}%"
+        else:
+            delta_pct = 0.0
+            delta = "n/a"
+        marker = ""
+        if o_sec > 0 and delta_pct > args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(key)
+        elif o_sec > 0 and delta_pct < -args.threshold:
+            marker = "  (improved)"
+        line = (f"  {fmt_key(key)}: {o_sec:.3f}s -> {n_sec:.3f}s "
+                f"({delta}){marker}")
+        extras = []
+        if "speedup" in o and "speedup" in n:
+            extras.append(f"speedup {o['speedup']:.2f}x -> "
+                          f"{n['speedup']:.2f}x")
+        if "imbalance" in o and "imbalance" in n:
+            extras.append(f"imbalance {o['imbalance']:.2f} -> "
+                          f"{n['imbalance']:.2f}")
+        if extras:
+            line += "\n      " + ", ".join(extras)
+        print(line)
+
+    for key in only_old:
+        print(f"  {fmt_key(key)}: only in {args.old}")
+    for key in only_new:
+        print(f"  {fmt_key(key)}: only in {args.new}")
+
+    if regressions:
+        print(f"{len(regressions)} regression(s) past "
+              f"{args.threshold:.1f}% threshold")
+        if args.fail_on_regress:
+            return 1
+    else:
+        print("no regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

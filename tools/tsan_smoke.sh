@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds shard_smoke under ThreadSanitizer and runs it: a fast
+# parallel-vs-sequential equivalence check over the chunked scheduler's
+# claim/cancel/merge paths. Registered in ctest as
+# tsan_shard_scheduler_smoke so TSan coverage of the scheduler is enforced
+# on every full test run, not just when someone remembers check_tsan.sh.
+#
+# Usage: tools/tsan_smoke.sh [build-dir]   (default: <repo>/build-tsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCONSERVATION_SANITIZE=thread
+cmake --build "${build_dir}" -j --target shard_smoke
+
+# halt_on_error: make the first race fail the run instead of scrolling by.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  "${build_dir}/tools/shard_smoke"
