@@ -7,6 +7,8 @@
 // per-run records {bench, n, algorithm, model, threads, seconds,
 // intervals_tested}; the file is written as a JSON array on Flush (or
 // destruction), so future PRs can regress against BENCH_*.json trajectories.
+// Cover-phase records (AddCover) additionally carry k (candidate count,
+// part of the record key) and the CoverStats counters.
 
 #ifndef CONSERVATION_BENCH_BENCH_UTIL_H_
 #define CONSERVATION_BENCH_BENCH_UTIL_H_
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "core/confidence.h"
+#include "cover/partial_set_cover.h"
 #include "interval/generator.h"
 #include "io/json.h"
 #include "series/cumulative.h"
@@ -128,6 +131,13 @@ class BenchJson {
     double max_shard_seconds = 0.0;
     uint64_t steals = 0;
     std::vector<uint64_t> chunks_claimed;  // per worker, in worker order
+    // Cover-phase observability block, emitted only when has_cover is set
+    // (AddCover). k is the candidate count — part of the record key, since
+    // cover benches sweep it at fixed n. All counters come from CoverStats.
+    bool has_cover = false;
+    int64_t k = 0;
+    double cover_speedup = 0.0;  // naive seconds / lazy seconds (0 = n/a)
+    cover::CoverStats cover_stats;
   };
 
   void Add(int64_t n, const std::string& algorithm, const std::string& model,
@@ -161,6 +171,23 @@ class BenchJson {
     for (const interval::ShardWork& work : stats.shard_work) {
       record.chunks_claimed.push_back(work.chunks_claimed);
     }
+    records_.push_back(std::move(record));
+  }
+
+  // Records one cover-phase run. `algorithm` is "lazy" or "naive", `model`
+  // names the synthetic candidate family, `speedup` is naive seconds / this
+  // run's seconds (pass 0 when the naive baseline was skipped).
+  void AddCover(int64_t n, const std::string& algorithm,
+                const std::string& family, int64_t k, int threads,
+                double seconds, double speedup,
+                const cover::CoverStats& stats) {
+    if (!active()) return;
+    Record record = MakeRecord(n, algorithm, family, threads, seconds,
+                               /*intervals_tested=*/0);
+    record.has_cover = true;
+    record.k = k;
+    record.cover_speedup = speedup;
+    record.cover_stats = stats;
     records_.push_back(std::move(record));
   }
 
@@ -210,6 +237,26 @@ class BenchJson {
           json.Int(static_cast<int64_t>(claimed));
         }
         json.EndArray();
+      }
+      if (record.has_cover) {
+        json.Key("k");
+        json.Int(record.k);
+        json.Key("cover_speedup");
+        json.Double(record.cover_speedup);
+        json.Key("rounds");
+        json.Int(record.cover_stats.rounds);
+        json.Key("heap_pops");
+        json.Int(record.cover_stats.heap_pops);
+        json.Key("stale_reevaluations");
+        json.Int(record.cover_stats.stale_reevaluations);
+        json.Key("tick_visits");
+        json.Int(record.cover_stats.tick_visits);
+        json.Key("peak_heap_size");
+        json.Int(record.cover_stats.peak_heap_size);
+        json.Key("seed_seconds");
+        json.Double(record.cover_stats.seed_seconds);
+        json.Key("select_seconds");
+        json.Double(record.cover_stats.select_seconds);
       }
       json.EndObject();
     }

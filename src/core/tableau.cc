@@ -88,26 +88,36 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
   tableau.model = request.model;
 
   const auto generator = interval::MakeGenerator(request.algorithm);
-  const std::vector<interval::Interval> candidates =
-      generator->Generate(eval, gen_options, &tableau.generation_stats);
+  const std::vector<interval::Candidate> candidates =
+      generator->GenerateCandidates(eval, gen_options,
+                                    &tableau.generation_stats);
   tableau.num_candidates = candidates.size();
+
+  std::vector<interval::Interval> intervals;
+  intervals.reserve(candidates.size());
+  for (const interval::Candidate& candidate : candidates) {
+    intervals.push_back(candidate.interval);
+  }
 
   util::Stopwatch cover_timer;
   cover::CoverOptions cover_options;
   cover_options.s_hat = request.s_hat;
+  cover_options.num_threads = request.num_threads;
   cover::CoverResult cover =
-      cover::GreedyPartialSetCover(candidates, eval.n(), cover_options);
+      cover::GreedyPartialSetCover(intervals, eval.n(), cover_options);
   tableau.cover_seconds = cover_timer.ElapsedSeconds();
+  tableau.cover_stats = cover.stats;
 
   tableau.covered = cover.covered;
   tableau.required = cover.required;
   tableau.support_satisfied = cover.satisfied;
   tableau.rows.reserve(cover.chosen.size());
-  for (const interval::Interval& iv : cover.chosen) {
-    const std::optional<double> conf = eval.Confidence(iv.begin, iv.end);
-    // Generators only emit intervals with defined confidence.
-    CR_CHECK(conf.has_value());
-    tableau.rows.push_back(TableauRow{iv, *conf});
+  // Row confidences are the values the generator computed when it admitted
+  // each candidate (kernel arithmetic is bit-identical to
+  // eval.Confidence) — no per-row O(1)+dispatch rescan here.
+  for (size_t r = 0; r < cover.chosen.size(); ++r) {
+    tableau.rows.push_back(TableauRow{
+        cover.chosen[r], candidates[cover.chosen_indices[r]].confidence});
   }
   return tableau;
 }

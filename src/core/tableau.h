@@ -15,6 +15,7 @@
 
 #include "core/confidence.h"
 #include "core/model.h"
+#include "cover/partial_set_cover.h"
 #include "interval/generator.h"
 #include "interval/interval.h"
 #include "util/status.h"
@@ -66,6 +67,9 @@ struct Tableau {
   uint64_t num_candidates = 0;
   interval::GeneratorStats generation_stats;
   double cover_seconds = 0.0;
+  // Lazy-greedy cover-phase counters (rounds, heap pops, stale
+  // re-evaluations, tick visits, seed/select split); see cover/.
+  cover::CoverStats cover_stats;
 
   bool empty() const { return rows.empty(); }
   size_t size() const { return rows.size(); }

@@ -4,19 +4,64 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace conservation::cover {
 
 namespace {
 
-// Prefix counts of covered ticks: covered_prefix[t] = #covered in [1..t].
-int64_t MarginalCoverage(const std::vector<int64_t>& covered_prefix,
-                         const interval::Interval& iv) {
-  const int64_t already =
-      covered_prefix[static_cast<size_t>(iv.end)] -
-      covered_prefix[static_cast<size_t>(iv.begin - 1)];
-  return iv.length() - already;
-}
+// Fenwick (binary indexed) tree over the covered-tick indicator, 1-based.
+// Mark() is called exactly once per tick that becomes covered; Covered()
+// answers "how many of [1..t] are covered" in O(log n), which turns a
+// marginal-coverage query into two prefix lookups.
+class CoveredFenwick {
+ public:
+  explicit CoveredFenwick(int64_t n)
+      : n_(n), tree_(static_cast<size_t>(n) + 1, 0) {}
+
+  void Mark(int64_t t) {
+    for (; t <= n_; t += t & -t) ++tree_[static_cast<size_t>(t)];
+  }
+
+  int64_t Covered(int64_t t) const {
+    int64_t sum = 0;
+    for (; t > 0; t -= t & -t) sum += tree_[static_cast<size_t>(t)];
+    return sum;
+  }
+
+ private:
+  int64_t n_;
+  std::vector<int64_t> tree_;
+};
+
+struct HeapEntry {
+  // Cached marginal gain: an upper bound on the true gain (coverage only
+  // grows, so gains only decay after caching).
+  int64_t gain = 0;
+  size_t index = 0;
+};
+
+// "Worse-than" order for std::push_heap/pop_heap: the popped top must be
+// the interval the naive linear scan would have selected, i.e. the argmax
+// under (gain desc, ByPosition asc when deterministic, input index asc).
+// The index component reproduces the scan's first-hit-wins behaviour for
+// duplicate intervals (deterministic mode) and for equal gains
+// (non-deterministic mode).
+struct WorseThan {
+  const std::vector<interval::Interval>* candidates;
+  bool deterministic;
+
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    if (deterministic) {
+      const interval::Interval& ia = (*candidates)[a.index];
+      const interval::Interval& ib = (*candidates)[b.index];
+      if (ia != ib) return interval::ByPosition(ib, ia);
+    }
+    return a.index > b.index;
+  }
+};
 
 }  // namespace
 
@@ -32,54 +77,102 @@ CoverResult GreedyPartialSetCover(
   CoverResult result;
   result.required = static_cast<int64_t>(
       std::ceil(options.s_hat * static_cast<double>(n)));
-
-  std::vector<bool> covered(static_cast<size_t>(n) + 1, false);
-  std::vector<int64_t> covered_prefix(static_cast<size_t>(n) + 1, 0);
-  std::vector<bool> used(candidates.size(), false);
-
-  while (result.covered < result.required) {
-    // Rebuild the covered prefix sums for O(1) marginal-coverage queries.
-    for (int64_t t = 1; t <= n; ++t) {
-      covered_prefix[static_cast<size_t>(t)] =
-          covered_prefix[static_cast<size_t>(t - 1)] +
-          (covered[static_cast<size_t>(t)] ? 1 : 0);
-    }
-
-    int64_t best_gain = 0;
-    size_t best_index = candidates.size();
-    for (size_t k = 0; k < candidates.size(); ++k) {
-      if (used[k]) continue;
-      const int64_t gain = MarginalCoverage(covered_prefix, candidates[k]);
-      bool better = gain > best_gain;
-      if (options.deterministic_tie_break && gain == best_gain && gain > 0 &&
-          best_index < candidates.size()) {
-        const interval::Interval& cur = candidates[k];
-        const interval::Interval& best = candidates[best_index];
-        better = interval::ByPosition(cur, best);
-      }
-      if (better) {
-        best_gain = gain;
-        best_index = k;
-      }
-    }
-
-    if (best_index == candidates.size() || best_gain == 0) {
-      break;  // no candidate adds coverage; requirement unreachable
-    }
-
-    used[best_index] = true;
-    const interval::Interval& pick = candidates[best_index];
-    result.chosen.push_back(pick);
-    for (int64_t t = pick.begin; t <= pick.end; ++t) {
-      if (!covered[static_cast<size_t>(t)]) {
-        covered[static_cast<size_t>(t)] = true;
-        ++result.covered;
-      }
-    }
+  if (result.required <= 0 || candidates.empty()) {
+    result.satisfied = result.covered >= result.required;
+    return result;
   }
 
+  CoveredFenwick fenwick(n);
+  // next_uncovered[t] = smallest possibly-uncovered tick >= t (union-find
+  // with path halving; n + 1 is the self-looping "past the end" sentinel).
+  // Marking a tick links it to its right neighbour, so each tick is visited
+  // O(alpha(n)) amortized across ALL picks — the naive per-pick
+  // begin..end walk re-scanned already-covered runs.
+  std::vector<int64_t> next_uncovered(static_cast<size_t>(n) + 2);
+  for (size_t t = 0; t < next_uncovered.size(); ++t) {
+    next_uncovered[t] = static_cast<int64_t>(t);
+  }
+
+  CoverStats& stats = result.stats;
+  auto find_uncovered = [&next_uncovered, &stats](int64_t t) {
+    while (next_uncovered[static_cast<size_t>(t)] != t) {
+      ++stats.tick_visits;
+      next_uncovered[static_cast<size_t>(t)] =
+          next_uncovered[static_cast<size_t>(
+              next_uncovered[static_cast<size_t>(t)])];
+      t = next_uncovered[static_cast<size_t>(t)];
+    }
+    return t;
+  };
+  auto marginal_gain = [&fenwick, &candidates](size_t k) {
+    const interval::Interval& iv = candidates[k];
+    return iv.length() - (fenwick.Covered(iv.end) - fenwick.Covered(iv.begin - 1));
+  };
+
+  // Seed the initial gains in parallel (read-only Fenwick queries into
+  // disjoint slots), then heapify once. With nothing covered yet every gain
+  // equals the interval length, but routing through marginal_gain keeps the
+  // seeding correct for any future warm-start coverage.
+  util::Stopwatch seed_timer;
+  std::vector<HeapEntry> heap(candidates.size());
+  util::ParallelFor(
+      static_cast<int64_t>(candidates.size()), options.num_threads,
+      [&heap, &marginal_gain](int64_t k) {
+        heap[static_cast<size_t>(k)] =
+            HeapEntry{marginal_gain(static_cast<size_t>(k)),
+                      static_cast<size_t>(k)};
+      });
+  const WorseThan worse{&candidates, options.deterministic_tie_break};
+  std::make_heap(heap.begin(), heap.end(), worse);
+  stats.seed_seconds = seed_timer.ElapsedSeconds();
+  stats.peak_heap_size = static_cast<int64_t>(heap.size());
+
+  util::Stopwatch select_timer;
+  std::vector<size_t> picked;
+  while (result.covered < result.required && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    const HeapEntry top = heap.back();
+    heap.pop_back();
+    ++stats.heap_pops;
+
+    const int64_t gain = marginal_gain(top.index);
+    CR_CHECK(gain <= top.gain);  // gains are monotone non-increasing
+    if (gain <= 0) continue;     // fully covered by earlier picks; retire
+    if (gain < top.gain) {
+      // Stale cache: refresh and re-insert. Correct because every cached
+      // gain is an upper bound — when the top's cache IS current, no entry
+      // below it can beat it (anything with a higher true gain would have a
+      // higher cached gain and sit above the top).
+      ++stats.stale_reevaluations;
+      heap.push_back(HeapEntry{gain, top.index});
+      std::push_heap(heap.begin(), heap.end(), worse);
+      continue;
+    }
+
+    ++stats.rounds;
+    picked.push_back(top.index);
+    const interval::Interval& pick = candidates[top.index];
+    for (int64_t t = find_uncovered(pick.begin); t <= pick.end;
+         t = find_uncovered(t + 1)) {
+      fenwick.Mark(t);
+      next_uncovered[static_cast<size_t>(t)] = t + 1;
+      ++result.covered;
+    }
+  }
+  stats.select_seconds = select_timer.ElapsedSeconds();
+
   result.satisfied = result.covered >= result.required;
-  std::sort(result.chosen.begin(), result.chosen.end(), interval::ByPosition);
+  // Chosen intervals are pairwise distinct (a duplicate of a pick never has
+  // positive gain again), so ByPosition totally orders them.
+  std::sort(picked.begin(), picked.end(), [&candidates](size_t a, size_t b) {
+    return interval::ByPosition(candidates[a], candidates[b]);
+  });
+  result.chosen.reserve(picked.size());
+  result.chosen_indices.reserve(picked.size());
+  for (const size_t index : picked) {
+    result.chosen.push_back(candidates[index]);
+    result.chosen_indices.push_back(index);
+  }
   return result;
 }
 

@@ -24,7 +24,7 @@ double SparsificationArea(const core::ConfidenceEvaluator& eval,
 
 }  // namespace internal
 
-std::vector<Interval> AreaBasedGenerator::Generate(
+std::vector<Candidate> AreaBasedGenerator::GenerateCandidates(
     const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
     GeneratorStats* stats) const {
   CR_CHECK(options.epsilon > 0.0);
@@ -95,7 +95,7 @@ std::vector<Interval> AreaBasedGenerator::Generate(
     // chunk (anchors and breakpoints are always >= 1).
     std::vector<int64_t> pointer(thresholds.size(), 0);
 
-    std::vector<Interval> out;
+    std::vector<Candidate> out;
     out.reserve(static_cast<size_t>(i_end - i_begin + 1));
     uint64_t tested = 0;
     uint64_t steps = 0;
@@ -103,6 +103,7 @@ std::vector<Interval> AreaBasedGenerator::Generate(
     for (int64_t i = i_begin; i <= i_end; ++i) {
       kernel.BeginAnchor(i);
       int64_t best_j = 0;
+      double best_conf = 0.0;
       int64_t zero_area_end = 0;  // largest j with zero sparsification area
       // Levels whose threshold is below area(i, i) have no breakpoint for
       // this anchor; skip straight past them (with a safety margin of one
@@ -156,8 +157,9 @@ std::vector<Interval> AreaBasedGenerator::Generate(
           double conf;
           ++tested;
           if (kernel.Confidence(t, &conf) &&
-              PassesRelaxedThreshold(conf, options)) {
-            best_j = std::max(best_j, t);
+              PassesRelaxedThreshold(conf, options) && t > best_j) {
+            best_j = t;
+            best_conf = conf;
           }
         }
         // Once the breakpoint reaches n, higher levels produce the same
@@ -172,13 +174,14 @@ std::vector<Interval> AreaBasedGenerator::Generate(
           double conf;
           ++tested;
           if (kernel.Confidence(j, &conf) &&
-              PassesRelaxedThreshold(conf, options)) {
-            best_j = std::max(best_j, j);
+              PassesRelaxedThreshold(conf, options) && j > best_j) {
+            best_j = j;
+            best_conf = conf;
           }
         }
       }
       if (best_j >= i) {
-        out.push_back(Interval{i, best_j});
+        out.push_back(Candidate{Interval{i, best_j}, best_conf});
         if (options.stop_on_full_cover && i == 1 && best_j == n) break;
       }
     }

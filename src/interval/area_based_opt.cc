@@ -31,7 +31,7 @@ int64_t LargestEndpointWithin(const internal::ConfidenceKernel& kernel,
 
 }  // namespace
 
-std::vector<Interval> AreaBasedOptGenerator::Generate(
+std::vector<Candidate> AreaBasedOptGenerator::GenerateCandidates(
     const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
     GeneratorStats* stats) const {
   CR_CHECK(options.epsilon > 0.0);
@@ -61,7 +61,7 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
   auto block = [&, n, delta, growth](int64_t i_begin, int64_t i_end,
                                      GeneratorStats* chunk_stats) {
     internal::ConfidenceKernel kernel(eval, type);
-    std::vector<Interval> out;
+    std::vector<Candidate> out;
     out.reserve(static_cast<size_t>(i_end - i_begin + 1));
     uint64_t tested = 0;
     uint64_t probes = 0;
@@ -103,6 +103,7 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
       }
 
       int64_t best_j = 0;
+      double best_conf = 0.0;
       if (options.largest_first_early_exit) {
         // Longest-first: the first qualifying breakpoint subsumes the rest.
         for (auto it = breakpoints.rbegin(); it != breakpoints.rend(); ++it) {
@@ -111,6 +112,7 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
           if (kernel.Confidence(*it, &conf) &&
               PassesRelaxedThreshold(conf, options)) {
             best_j = *it;
+            best_conf = conf;
             break;
           }
         }
@@ -119,13 +121,14 @@ std::vector<Interval> AreaBasedOptGenerator::Generate(
           double conf;
           ++tested;
           if (kernel.Confidence(j, &conf) &&
-              PassesRelaxedThreshold(conf, options)) {
-            best_j = std::max(best_j, j);
+              PassesRelaxedThreshold(conf, options) && j > best_j) {
+            best_j = j;
+            best_conf = conf;
           }
         }
       }
       if (best_j >= i) {
-        out.push_back(Interval{i, best_j});
+        out.push_back(Candidate{Interval{i, best_j}, best_conf});
         if (options.stop_on_full_cover && i == 1 && best_j == n) break;
       }
     }

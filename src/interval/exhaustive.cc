@@ -4,25 +4,29 @@
 
 namespace conservation::interval {
 
-std::vector<Interval> ExhaustiveGenerator::Generate(
+std::vector<Candidate> ExhaustiveGenerator::GenerateCandidates(
     const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
     GeneratorStats* stats) const {
   const int64_t n = eval.n();
 
   auto block = [&eval, &options, n](int64_t i_begin, int64_t i_end,
                                     GeneratorStats* shard_stats) {
-    std::vector<Interval> out;
+    std::vector<Candidate> out;
     uint64_t tested = 0;
     for (int64_t i = i_begin; i <= i_end; ++i) {
       int64_t best_j = 0;
+      double best_conf = 0.0;
       for (int64_t j = i; j <= n; ++j) {
         const std::optional<double> conf = eval.Confidence(i, j);
         ++tested;
         if (!conf.has_value()) continue;  // denominator <= 0: undefined
-        if (PassesExactThreshold(*conf, options)) best_j = j;
+        if (PassesExactThreshold(*conf, options)) {
+          best_j = j;
+          best_conf = *conf;
+        }
       }
       if (best_j >= i) {
-        out.push_back(Interval{i, best_j});
+        out.push_back(Candidate{Interval{i, best_j}, best_conf});
         if (options.stop_on_full_cover && i == 1 && best_j == n) break;
       }
     }

@@ -17,9 +17,9 @@ namespace conservation::interval {
 
 class ExhaustiveGenerator : public CandidateGenerator {
  public:
-  std::vector<Interval> Generate(const core::ConfidenceEvaluator& eval,
-                                 const GeneratorOptions& options,
-                                 GeneratorStats* stats) const override;
+  std::vector<Candidate> GenerateCandidates(
+      const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
+      GeneratorStats* stats) const override;
 
   AlgorithmKind kind() const override { return AlgorithmKind::kExhaustive; }
 };

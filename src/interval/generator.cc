@@ -26,6 +26,19 @@ const char* AlgorithmKindName(AlgorithmKind kind) {
   return "unknown";
 }
 
+std::vector<Interval> CandidateGenerator::Generate(
+    const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
+    GeneratorStats* stats) const {
+  const std::vector<Candidate> candidates =
+      GenerateCandidates(eval, options, stats);
+  std::vector<Interval> out;
+  out.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    out.push_back(candidate.interval);
+  }
+  return out;
+}
+
 std::unique_ptr<CandidateGenerator> MakeGenerator(AlgorithmKind kind) {
   switch (kind) {
     case AlgorithmKind::kExhaustive:

@@ -156,15 +156,34 @@ struct GeneratorStats {
   uint64_t TotalSteals() const;
 };
 
+// A candidate interval together with the confidence value that admitted it.
+// The generators evaluate conf(interval) anyway while testing endpoints;
+// carrying it out lets tableau assembly (core/tableau.cc) skip re-evaluating
+// every chosen row. Kernel arithmetic is bit-identical to
+// core::ConfidenceEvaluator (interval/kernel.h), so the carried value equals
+// what a rescan would produce.
+struct Candidate {
+  Interval interval;
+  double confidence = 0.0;
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
 class CandidateGenerator {
  public:
   virtual ~CandidateGenerator() = default;
 
-  // Produces the per-anchor longest qualifying intervals, sorted by position.
-  // `stats` may be null.
-  virtual std::vector<Interval> Generate(const core::ConfidenceEvaluator& eval,
-                                         const GeneratorOptions& options,
-                                         GeneratorStats* stats) const = 0;
+  // Produces the per-anchor longest qualifying intervals, each paired with
+  // its confidence, sorted by position. `stats` may be null.
+  virtual std::vector<Candidate> GenerateCandidates(
+      const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
+      GeneratorStats* stats) const = 0;
+
+  // Interval-only view of GenerateCandidates, for callers that do not need
+  // the confidences.
+  std::vector<Interval> Generate(const core::ConfidenceEvaluator& eval,
+                                 const GeneratorOptions& options,
+                                 GeneratorStats* stats) const;
 
   virtual AlgorithmKind kind() const = 0;
 };

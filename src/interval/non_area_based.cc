@@ -36,7 +36,7 @@ std::vector<int64_t> NonAreaBasedGenerator::MakeLengthSchedule(
   return lengths;
 }
 
-std::vector<Interval> NonAreaBasedGenerator::Generate(
+std::vector<Candidate> NonAreaBasedGenerator::GenerateCandidates(
     const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
     GeneratorStats* stats) const {
   // The §V algorithms are defined for the balance model only; the tableau
@@ -63,13 +63,14 @@ std::vector<Interval> NonAreaBasedGenerator::Generate(
   auto block = [&, n](int64_t j_begin, int64_t j_end,
                       GeneratorStats* chunk_stats) {
     internal::ConfidenceKernel kernel(eval, options.type);
-    std::vector<Interval> out;
+    std::vector<Candidate> out;
     out.reserve(static_cast<size_t>(j_end - j_begin + 1));
     uint64_t tested = 0;
     size_t first_covering = lengths.size() - 1;  // last entry is >= n >= j
     for (int64_t j = j_end; j >= j_begin; --j) {
       kernel.BeginRightAnchor(j);
       int64_t best_i = 0;
+      double best_conf = 0.0;
       while (first_covering > 0 && lengths[first_covering - 1] >= j) {
         --first_covering;
       }
@@ -83,7 +84,10 @@ std::vector<Interval> NonAreaBasedGenerator::Generate(
         ++tested;
         if (kernel.ConfidenceFrom(i, &conf) &&
             PassesRelaxedThreshold(conf, options)) {
-          best_i = best_i == 0 ? i : std::min(best_i, i);
+          if (best_i == 0 || i < best_i) {
+            best_i = i;
+            best_conf = conf;
+          }
           return true;
         }
         return false;
@@ -98,7 +102,7 @@ std::vector<Interval> NonAreaBasedGenerator::Generate(
       }
 
       if (best_i >= 1) {
-        out.push_back(Interval{best_i, j});
+        out.push_back(Candidate{Interval{best_i, j}, best_conf});
         if (options.stop_on_full_cover && best_i == 1 && j == n) break;
       }
     }
@@ -106,9 +110,11 @@ std::vector<Interval> NonAreaBasedGenerator::Generate(
     return out;
   };
 
-  std::vector<Interval> out = internal::RunSharded(
+  std::vector<Candidate> out = internal::RunSharded(
       n, options, stats, block, internal::ChunkOrder::kDescending);
-  std::sort(out.begin(), out.end(), ByPosition);
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return ByPosition(a.interval, b.interval);
+  });
   return out;
 }
 

@@ -46,9 +46,9 @@ class NonAreaBasedGenerator : public CandidateGenerator {
   explicit NonAreaBasedGenerator(LengthSchedule schedule)
       : schedule_(schedule) {}
 
-  std::vector<Interval> Generate(const core::ConfidenceEvaluator& eval,
-                                 const GeneratorOptions& options,
-                                 GeneratorStats* stats) const override;
+  std::vector<Candidate> GenerateCandidates(
+      const core::ConfidenceEvaluator& eval, const GeneratorOptions& options,
+      GeneratorStats* stats) const override;
 
   AlgorithmKind kind() const override {
     return schedule_ == LengthSchedule::kGeometric

@@ -38,6 +38,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -47,6 +48,15 @@
 #include "util/thread_pool.h"
 
 namespace conservation::interval::internal {
+
+// Blocks may emit bare Intervals or Candidates (interval + confidence);
+// the driver's full-cover detection only needs the interval view.
+inline const Interval& ElementInterval(const Interval& element) {
+  return element;
+}
+inline const Interval& ElementInterval(const Candidate& element) {
+  return element.interval;
+}
 
 // Claim order of chunks: the direction the sequential run visits anchors.
 // Output is identical either way; the order only determines which chunk the
@@ -61,18 +71,20 @@ enum class ChunkOrder { kAscending, kDescending };
 // shard_work); its wall_seconds is the driver's end-to-end elapsed time and
 // its seconds the summed per-worker work time.
 //
-// BlockFn: std::vector<Interval>(int64_t begin, int64_t end,
-//                                GeneratorStats* chunk_stats).
+// BlockFn: std::vector<Interval> or std::vector<Candidate>
+//          (int64_t begin, int64_t end, GeneratorStats* chunk_stats).
 // Blocks fill only the work counters of chunk_stats; timing and scheduling
 // fields are owned by this driver.
 template <typename BlockFn>
-std::vector<Interval> RunSharded(int64_t n, const GeneratorOptions& options,
-                                 GeneratorStats* stats, BlockFn&& block,
-                                 ChunkOrder order = ChunkOrder::kAscending) {
+auto RunSharded(int64_t n, const GeneratorOptions& options,
+                GeneratorStats* stats, BlockFn&& block,
+                ChunkOrder order = ChunkOrder::kAscending) {
+  using OutVec = std::invoke_result_t<BlockFn&, int64_t, int64_t,
+                                      GeneratorStats*>;
   util::Stopwatch timer;
   const int workers = ResolveNumShards(n, options);
 
-  std::vector<Interval> out;
+  OutVec out;
   GeneratorStats merged;
   merged.shards = workers;
   merged.chunks = 1;
@@ -94,8 +106,7 @@ std::vector<Interval> RunSharded(int64_t n, const GeneratorOptions& options,
     const uint64_t fair_share = static_cast<uint64_t>(
         (chunks + workers - 1) / static_cast<int64_t>(workers));
 
-    std::vector<std::vector<Interval>> chunk_out(
-        static_cast<size_t>(chunks));
+    std::vector<OutVec> chunk_out(static_cast<size_t>(chunks));
     std::vector<GeneratorStats> worker_counters(
         static_cast<size_t>(workers));
     std::atomic<int64_t> cursor{0};
@@ -128,11 +139,11 @@ std::vector<Interval> RunSharded(int64_t n, const GeneratorOptions& options,
             ++work.chunks_claimed;
             local.Merge(chunk_counters);
             if (options.stop_on_full_cover) {
-              const std::vector<Interval>& part =
-                  chunk_out[static_cast<size_t>(k)];
-              const bool spans_all =
-                  std::any_of(part.begin(), part.end(), [n](const Interval& v) {
-                    return v.begin == 1 && v.end == n;
+              const OutVec& part = chunk_out[static_cast<size_t>(k)];
+              const bool spans_all = std::any_of(
+                  part.begin(), part.end(), [n](const auto& v) {
+                    const Interval& iv = ElementInterval(v);
+                    return iv.begin == 1 && iv.end == n;
                   });
               if (spans_all) {
                 signal_counters = chunk_counters;

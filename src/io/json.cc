@@ -145,6 +145,25 @@ std::string TableauToJson(const core::Tableau& tableau) {
   json.Key("seconds");
   json.Double(tableau.generation_stats.seconds);
   json.EndObject();
+  json.Key("cover");
+  json.BeginObject();
+  json.Key("rounds");
+  json.Int(tableau.cover_stats.rounds);
+  json.Key("heap_pops");
+  json.Int(tableau.cover_stats.heap_pops);
+  json.Key("stale_reevaluations");
+  json.Int(tableau.cover_stats.stale_reevaluations);
+  json.Key("tick_visits");
+  json.Int(tableau.cover_stats.tick_visits);
+  json.Key("peak_heap_size");
+  json.Int(tableau.cover_stats.peak_heap_size);
+  json.Key("seed_seconds");
+  json.Double(tableau.cover_stats.seed_seconds);
+  json.Key("select_seconds");
+  json.Double(tableau.cover_stats.select_seconds);
+  json.Key("seconds");
+  json.Double(tableau.cover_seconds);
+  json.EndObject();
   json.EndObject();
   return std::move(json).Take();
 }

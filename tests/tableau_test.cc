@@ -132,6 +132,67 @@ TEST(TableauTest, AllAlgorithmsAgreeOnCleanData) {
   }
 }
 
+TEST(TableauTest, RowConfidencesMatchRescan) {
+  // Row confidences are carried out of candidate generation (no per-row
+  // rescan in DiscoverTableau); the kernel contract says they must equal
+  // what the evaluator computes for the same interval, bit for bit.
+  const series::CountSequence counts =
+      testing_util::RandomDominatedCounts(11, 150);
+  auto rule = ConservationRule::Create(counts);
+  ASSERT_TRUE(rule.ok());
+
+  for (const auto model : {ConfidenceModel::kBalance, ConfidenceModel::kCredit,
+                           ConfidenceModel::kDebit}) {
+    for (const auto algorithm :
+         {interval::AlgorithmKind::kExhaustive,
+          interval::AlgorithmKind::kAreaBased,
+          interval::AlgorithmKind::kAreaBasedOpt,
+          interval::AlgorithmKind::kNonAreaBased,
+          interval::AlgorithmKind::kNonAreaBasedOpt}) {
+      const bool non_area_based =
+          algorithm == interval::AlgorithmKind::kNonAreaBased ||
+          algorithm == interval::AlgorithmKind::kNonAreaBasedOpt;
+      if (non_area_based && model != ConfidenceModel::kBalance) continue;
+      TableauRequest request;
+      request.type = TableauType::kFail;
+      request.model = model;
+      request.algorithm = algorithm;
+      request.c_hat = 0.6;
+      request.s_hat = 0.5;
+      auto tableau = rule->DiscoverTableau(request);
+      ASSERT_TRUE(tableau.ok()) << interval::AlgorithmKindName(algorithm);
+      for (const TableauRow& row : tableau->rows) {
+        const std::optional<double> rescan =
+            rule->Confidence(model, row.interval.begin, row.interval.end);
+        ASSERT_TRUE(rescan.has_value());
+        EXPECT_EQ(row.confidence, *rescan)
+            << interval::AlgorithmKindName(algorithm) << " "
+            << row.interval.ToString();
+      }
+    }
+  }
+}
+
+TEST(TableauTest, CoverStatsPopulated) {
+  const series::CountSequence counts =
+      testing_util::RandomDominatedCounts(12, 200);
+  auto rule = ConservationRule::Create(counts);
+  ASSERT_TRUE(rule.ok());
+  TableauRequest request;
+  request.type = TableauType::kFail;
+  request.c_hat = 0.6;
+  request.s_hat = 0.5;
+  request.num_threads = 2;  // exercises the parallel seeding path
+  auto tableau = rule->DiscoverTableau(request);
+  ASSERT_TRUE(tableau.ok());
+  EXPECT_EQ(tableau->cover_stats.rounds,
+            static_cast<int64_t>(tableau->rows.size()));
+  EXPECT_GE(tableau->cover_stats.heap_pops, tableau->cover_stats.rounds);
+  if (!tableau->rows.empty()) {
+    EXPECT_GT(tableau->cover_stats.peak_heap_size, 0);
+  }
+}
+
 TEST(TableauTest, ToStringMentionsTypeAndModel) {
   auto rule = ConservationRule::Create({5, 5}, {5, 5});
   ASSERT_TRUE(rule.ok());

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Compare two bench --json files and print per-config deltas.
 
-Records are keyed by (bench, n, algorithm, model, threads); the compared
-quantity is `seconds` (end-to-end wall clock). Configs present in only one
-file are listed separately. When both records carry the parallel
-observability block, speedup and imbalance deltas are shown too.
+Records are keyed by (bench, n, algorithm, model, threads, k); k is 0 for
+records without a candidate-count dimension (everything except the cover
+bench, which sweeps k at fixed n). The compared quantity is `seconds`
+(end-to-end wall clock). Configs present in only one file are listed
+separately. When both records carry the parallel observability block,
+speedup and imbalance deltas are shown too; when both carry the cover
+block, cover_speedup and stale-re-evaluation deltas are shown.
 
 Usage:
   tools/bench_diff.py OLD.json NEW.json [--threshold=5] [--fail-on-regress]
@@ -34,6 +37,7 @@ def load_records(path):
             record.get("algorithm", ""),
             record.get("model", ""),
             record.get("threads", 1),
+            record.get("k", 0),
         )
         if key in records:
             print(f"warning: {path}: duplicate record for {key}; "
@@ -43,8 +47,11 @@ def load_records(path):
 
 
 def fmt_key(key):
-    bench, n, algorithm, model, threads = key
-    return f"{bench} n={n} {algorithm} {model} threads={threads}"
+    bench, n, algorithm, model, threads, k = key
+    text = f"{bench} n={n} {algorithm} {model} threads={threads}"
+    if k:
+        text += f" k={k}"
+    return text
 
 
 def main():
@@ -93,6 +100,12 @@ def main():
         if "imbalance" in o and "imbalance" in n:
             extras.append(f"imbalance {o['imbalance']:.2f} -> "
                           f"{n['imbalance']:.2f}")
+        if o.get("cover_speedup") and n.get("cover_speedup"):
+            extras.append(f"cover_speedup {o['cover_speedup']:.1f}x -> "
+                          f"{n['cover_speedup']:.1f}x")
+        if "stale_reevaluations" in o and "stale_reevaluations" in n:
+            extras.append(f"stale {o['stale_reevaluations']} -> "
+                          f"{n['stale_reevaluations']}")
         if extras:
             line += "\n      " + ", ".join(extras)
         print(line)

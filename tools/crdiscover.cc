@@ -20,7 +20,9 @@
 //                  load-balance knob only, results identical for every value
 // Extras:
 //   --report         full quality report (tableau + diagnosis + segments)
-//   --json           emit the tableau as JSON
+//   --json           emit the tableau as JSON (includes a "cover" stats
+//                    object: rounds, heap_pops, stale_reevaluations, ...)
+//   --cover_stats    also emit the cover-phase stats as a JSON object line
 //   --severity       also print intervals ranked by misplaced mass
 //   --sweep=a,b,c    threshold sweep instead of a single tableau
 //   --profile=<w>    dump rolling window-w confidence to stdout as CSV
@@ -217,11 +219,49 @@ int main(int argc, char** argv) {
   if (!tableau.ok()) return Fail(tableau.status().ToString());
   auto as_json = flags.GetBoolOr("json", false);
   if (!as_json.ok()) return Fail(as_json.status().ToString());
+  auto want_cover_stats = flags.GetBoolOr("cover_stats", false);
+  if (!want_cover_stats.ok()) return Fail(want_cover_stats.status().ToString());
   if (*as_json) {
     std::printf("%s\n", io::TableauToJson(*tableau).c_str());
     return 0;
   }
   std::printf("%s", tableau->ToString().c_str());
+
+  // Phase stats go to stderr: shard counts and wall times vary with
+  // --threads, while stdout must stay bit-identical at any thread count.
+  const cover::CoverStats& cs = tableau->cover_stats;
+  std::fprintf(
+      stderr,
+      "generation: candidates=%llu tested=%llu shards=%d wall=%.4fs\n",
+      static_cast<unsigned long long>(tableau->num_candidates),
+      static_cast<unsigned long long>(
+          tableau->generation_stats.intervals_tested),
+      tableau->generation_stats.shards,
+      tableau->generation_stats.wall_seconds);
+  std::fprintf(
+      stderr,
+      "cover: rounds=%lld heap_pops=%lld stale_reevals=%lld tick_visits=%lld "
+      "peak_heap=%lld seed=%.4fs select=%.4fs total=%.4fs\n",
+      static_cast<long long>(cs.rounds), static_cast<long long>(cs.heap_pops),
+      static_cast<long long>(cs.stale_reevaluations),
+      static_cast<long long>(cs.tick_visits),
+      static_cast<long long>(cs.peak_heap_size), cs.seed_seconds,
+      cs.select_seconds, tableau->cover_seconds);
+  if (*want_cover_stats) {
+    std::printf(
+        "{\"cover_stats\":{\"rounds\":%lld,\"heap_pops\":%lld,"
+        "\"stale_reevaluations\":%lld,\"tick_visits\":%lld,"
+        "\"peak_heap_size\":%lld,\"seed_seconds\":%s,\"select_seconds\":%s,"
+        "\"seconds\":%s}}\n",
+        static_cast<long long>(cs.rounds),
+        static_cast<long long>(cs.heap_pops),
+        static_cast<long long>(cs.stale_reevaluations),
+        static_cast<long long>(cs.tick_visits),
+        static_cast<long long>(cs.peak_heap_size),
+        util::FormatNumber(cs.seed_seconds, 9).c_str(),
+        util::FormatNumber(cs.select_seconds, 9).c_str(),
+        util::FormatNumber(tableau->cover_seconds, 9).c_str());
+  }
 
   auto severity = flags.GetBoolOr("severity", false);
   if (!severity.ok()) return Fail(severity.status().ToString());

@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
-# Builds shard_smoke under ThreadSanitizer and runs it: a fast
-# parallel-vs-sequential equivalence check over the chunked scheduler's
-# claim/cancel/merge paths. Registered in ctest as
-# tsan_shard_scheduler_smoke so TSan coverage of the scheduler is enforced
-# on every full test run, not just when someone remembers check_tsan.sh.
+# Builds a smoke binary under ThreadSanitizer and runs it: fast
+# parallel-vs-sequential equivalence checks over the chunked generation
+# scheduler (shard_smoke) and the cover-phase parallel seeding
+# (cover_smoke). Registered in ctest as tsan_shard_scheduler_smoke and
+# tsan_cover_seeding_smoke so TSan coverage of both parallel paths is
+# enforced on every full test run, not just when someone remembers
+# check_tsan.sh.
 #
-# Usage: tools/tsan_smoke.sh [build-dir]   (default: <repo>/build-tsan)
+# Usage: tools/tsan_smoke.sh [build-dir] [target]
+#   build-dir  default: <repo>/build-tsan
+#   target     default: shard_smoke (also: cover_smoke)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-tsan}"
+target="${2:-shard_smoke}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCONSERVATION_SANITIZE=thread
-cmake --build "${build_dir}" -j --target shard_smoke
+cmake --build "${build_dir}" -j --target "${target}"
 
 # halt_on_error: make the first race fail the run instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
-  "${build_dir}/tools/shard_smoke"
+  "${build_dir}/tools/${target}"
