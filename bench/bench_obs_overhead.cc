@@ -1,0 +1,133 @@
+// Instrumentation-overhead guard for the obs subsystem.
+//
+// Runs the same generation + cover workload with tracing stopped and with
+// tracing recording (verbosity 1, the crdiscover default), takes the median
+// wall time of each, and reports the relative overhead. The acceptance
+// budget is <2% at default verbosity; with --check=1 the bench exits
+// non-zero when the measured overhead exceeds --max_overhead_pct, so ctest
+// can enforce the budget (the registered smoke uses a relaxed threshold —
+// shared CI machines are noisy; run locally with the default for the real
+// number).
+//
+// In a -DCONSERVATION_TRACING=OFF build the macros compile to nothing and
+// both arms run identical code: the measured overhead is pure noise around
+// zero, which doubles as the "compiled out costs nothing" check.
+//
+//   bench_obs_overhead --n=200000 --reps=5 --check=1 --max_overhead_pct=2
+//
+// With --json=<path>, per-arm records (algorithm = "untraced" / "traced")
+// are written; the traced record carries the registry snapshot as its
+// "metrics" block.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/job_log.h"
+#include "obs/trace.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace conservation;
+
+struct Workload {
+  const series::CumulativeSeries* cumulative = nullptr;
+  interval::GeneratorOptions options;
+  int64_t n = 0;
+
+  // One end-to-end pipeline pass: candidate generation (the instrumented
+  // chunked driver) followed by the lazy-greedy cover (seed/select spans).
+  size_t Run() const {
+    const auto run = bench::RunGenerator(
+        *cumulative, core::ConfidenceModel::kBalance,
+        interval::AlgorithmKind::kAreaBased, options);
+    cover::CoverOptions cover_options;
+    cover_options.s_hat = 0.1;
+    cover_options.num_threads = options.num_threads;
+    const cover::CoverResult cover =
+        cover::GreedyPartialSetCover(run.candidates, n, cover_options);
+    return run.candidates.size() + static_cast<size_t>(cover.covered);
+  }
+};
+
+double MedianSeconds(const Workload& workload, int64_t reps,
+                     size_t* checksum) {
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<size_t>(reps));
+  for (int64_t r = 0; r < reps; ++r) {
+    util::Stopwatch timer;
+    *checksum += workload.Run();
+    seconds.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[seconds.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t n = bench::IntFlag(argc, argv, "n", 200000);
+  const int64_t reps = bench::IntFlag(argc, argv, "reps", 5);
+  const int64_t threads = bench::IntFlag(argc, argv, "threads", 2);
+  const bool check = bench::IntFlag(argc, argv, "check", 0) != 0;
+  const double max_overhead_pct =
+      bench::DoubleFlag(argc, argv, "max_overhead_pct", 2.0);
+  bench::BenchJson json =
+      bench::BenchJson::FromArgs(argc, argv, "obs_overhead");
+
+  bench::PrintHeader("tracing overhead, generation + cover pipeline");
+  datagen::JobLogParams params;
+  params.num_ticks = n;
+  const datagen::JobLogData jobs = datagen::GenerateJobLog(params);
+  const series::CumulativeSeries cumulative(jobs.counts);
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kBalance);
+
+  Workload workload;
+  workload.cumulative = &cumulative;
+  workload.n = n;
+  workload.options.type = core::TableauType::kFail;
+  workload.options.c_hat = std::max(0.0, *eval.Confidence(1, n) * 0.999);
+  workload.options.epsilon = 0.01;
+  workload.options.num_threads = static_cast<int>(threads);
+
+  size_t checksum = 0;
+  // Warm-up rep so thread-pool spin-up and page faults hit neither arm.
+  checksum += workload.Run();
+
+  obs::StopTracing();
+  const double untraced = MedianSeconds(workload, reps, &checksum);
+  json.Add(n, "untraced", "balance", static_cast<int>(threads), untraced,
+           /*intervals_tested=*/0);
+
+  obs::TraceOptions trace_options;
+  trace_options.verbosity = 1;
+  obs::StartTracing(trace_options);
+  const double traced = MedianSeconds(workload, reps, &checksum);
+  obs::StopTracing();
+  json.Add(n, "traced", "balance", static_cast<int>(threads), traced,
+           /*intervals_tested=*/0);
+  json.AttachMetrics();
+  obs::ClearTrace();
+
+  const double overhead_pct =
+      untraced > 0.0 ? (traced - untraced) / untraced * 100.0 : 0.0;
+  std::printf(
+      "n = %lld, reps = %lld, threads = %lld (checksum %zu)\n"
+      "untraced median: %.4fs\ntraced median:   %.4fs\noverhead: %+.2f%%\n",
+      static_cast<long long>(n), static_cast<long long>(reps),
+      static_cast<long long>(threads), checksum, untraced, traced,
+      overhead_pct);
+  json.Flush();
+
+  if (check && overhead_pct > max_overhead_pct) {
+    std::printf("FAIL: overhead %.2f%% exceeds budget %.2f%%\n", overhead_pct,
+                max_overhead_pct);
+    return 1;
+  }
+  if (check) {
+    std::printf("OK: overhead within %.2f%% budget\n", max_overhead_pct);
+  }
+  return 0;
+}

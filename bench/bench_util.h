@@ -25,6 +25,7 @@
 #include "cover/partial_set_cover.h"
 #include "interval/generator.h"
 #include "io/json.h"
+#include "obs/metrics.h"
 #include "series/cumulative.h"
 #include "series/sequence.h"
 #include "util/stopwatch.h"
@@ -138,6 +139,10 @@ class BenchJson {
     int64_t k = 0;
     double cover_speedup = 0.0;  // naive seconds / lazy seconds (0 = n/a)
     cover::CoverStats cover_stats;
+    // Serialized obs-registry snapshot (AttachMetrics); emitted as a
+    // "metrics" sub-object when non-empty. bench_diff.py drops this block
+    // when keying records, so attaching it never breaks regressions.
+    std::string metrics_json;
   };
 
   void Add(int64_t n, const std::string& algorithm, const std::string& model,
@@ -189,6 +194,15 @@ class BenchJson {
     record.cover_speedup = speedup;
     record.cover_stats = stats;
     records_.push_back(std::move(record));
+  }
+
+  // Captures the process-wide obs-registry snapshot onto the most recently
+  // added record. Call right after Add*/AddCover when the run should carry
+  // its counter state (counters accumulate, so diff consecutive records to
+  // get per-run deltas). No-op when inactive or before the first record.
+  void AttachMetrics() {
+    if (!active() || records_.empty()) return;
+    records_.back().metrics_json = obs::Registry::Global().Snapshot().ToJson();
   }
 
   // Writes all records to the path; called automatically on destruction.
@@ -257,6 +271,10 @@ class BenchJson {
         json.Double(record.cover_stats.seed_seconds);
         json.Key("select_seconds");
         json.Double(record.cover_stats.select_seconds);
+      }
+      if (!record.metrics_json.empty()) {
+        json.Key("metrics");
+        json.Raw(record.metrics_json);
       }
       json.EndObject();
     }

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "cover/partial_set_cover.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -72,6 +74,11 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
     return util::Status::InvalidArgument(
         "evaluator model does not match request model");
   }
+  CR_TRACE_SPAN_ARGS("tableau.discover", "n", eval.n(), "threads",
+                     request.num_threads);
+  static obs::Counter& discoveries =
+      obs::Registry::Global().Counter("tableau.discoveries");
+  discoveries.Increment();
 
   interval::GeneratorOptions gen_options;
   gen_options.type = request.type;
@@ -88,26 +95,35 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
   tableau.model = request.model;
 
   const auto generator = interval::MakeGenerator(request.algorithm);
-  const std::vector<interval::Candidate> candidates =
-      generator->GenerateCandidates(eval, gen_options,
-                                    &tableau.generation_stats);
+  std::vector<interval::Candidate> candidates;
+  {
+    CR_TRACE_SPAN("tableau.generate");
+    candidates = generator->GenerateCandidates(eval, gen_options,
+                                               &tableau.generation_stats);
+  }
   tableau.num_candidates = candidates.size();
 
-  std::vector<interval::Interval> intervals;
-  intervals.reserve(candidates.size());
-  for (const interval::Candidate& candidate : candidates) {
-    intervals.push_back(candidate.interval);
+  cover::CoverResult cover;
+  {
+    CR_TRACE_SPAN_ARGS("tableau.cover", "candidates",
+                       static_cast<int64_t>(candidates.size()));
+    std::vector<interval::Interval> intervals;
+    intervals.reserve(candidates.size());
+    for (const interval::Candidate& candidate : candidates) {
+      intervals.push_back(candidate.interval);
+    }
+
+    util::Stopwatch cover_timer;
+    cover::CoverOptions cover_options;
+    cover_options.s_hat = request.s_hat;
+    cover_options.num_threads = request.num_threads;
+    cover = cover::GreedyPartialSetCover(intervals, eval.n(), cover_options);
+    tableau.cover_seconds = cover_timer.ElapsedSeconds();
+    tableau.cover_stats = cover.stats;
   }
 
-  util::Stopwatch cover_timer;
-  cover::CoverOptions cover_options;
-  cover_options.s_hat = request.s_hat;
-  cover_options.num_threads = request.num_threads;
-  cover::CoverResult cover =
-      cover::GreedyPartialSetCover(intervals, eval.n(), cover_options);
-  tableau.cover_seconds = cover_timer.ElapsedSeconds();
-  tableau.cover_stats = cover.stats;
-
+  CR_TRACE_SPAN_ARGS("tableau.assemble", "rows",
+                     static_cast<int64_t>(cover.chosen.size()));
   tableau.covered = cover.covered;
   tableau.required = cover.required;
   tableau.support_satisfied = cover.satisfied;
@@ -119,6 +135,9 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
     tableau.rows.push_back(TableauRow{
         cover.chosen[r], candidates[cover.chosen_indices[r]].confidence});
   }
+  static obs::Gauge& last_rows =
+      obs::Registry::Global().Gauge("tableau.last_rows");
+  last_rows.Set(static_cast<double>(tableau.rows.size()));
   return tableau;
 }
 

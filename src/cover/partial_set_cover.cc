@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -10,6 +12,33 @@
 namespace conservation::cover {
 
 namespace {
+
+// Registry mirror of CoverStats (which stays the API-stable per-run view);
+// these counters accumulate across runs. Batch-published after selection.
+struct CoverMetrics {
+  obs::Counter& rounds;
+  obs::Counter& heap_pops;
+  obs::Counter& stale_reevaluations;
+  obs::Counter& tick_visits;
+  obs::Histogram& seed_seconds;
+  obs::Histogram& select_seconds;
+
+  static CoverMetrics& Get() {
+    static CoverMetrics* metrics = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      const std::vector<double> bounds = {1e-5, 1e-4, 1e-3, 1e-2,
+                                          0.1,  1.0,  10.0};
+      return new CoverMetrics{registry.Counter("cover.rounds"),
+                              registry.Counter("cover.heap_pops"),
+                              registry.Counter("cover.stale_reevaluations"),
+                              registry.Counter("cover.tick_visits"),
+                              registry.Histogram("cover.seed_seconds", bounds),
+                              registry.Histogram("cover.select_seconds",
+                                                 bounds)};
+    }();
+    return *metrics;
+  }
+};
 
 // Fenwick (binary indexed) tree over the covered-tick indicator, 1-based.
 // Mark() is called exactly once per tick that becomes covered; Covered()
@@ -115,18 +144,25 @@ CoverResult GreedyPartialSetCover(
   // seeding correct for any future warm-start coverage.
   util::Stopwatch seed_timer;
   std::vector<HeapEntry> heap(candidates.size());
-  util::ParallelFor(
-      static_cast<int64_t>(candidates.size()), options.num_threads,
-      [&heap, &marginal_gain](int64_t k) {
-        heap[static_cast<size_t>(k)] =
-            HeapEntry{marginal_gain(static_cast<size_t>(k)),
-                      static_cast<size_t>(k)};
-      });
   const WorseThan worse{&candidates, options.deterministic_tie_break};
-  std::make_heap(heap.begin(), heap.end(), worse);
+  {
+    CR_TRACE_SPAN_ARGS("cover.seed", "k",
+                       static_cast<int64_t>(candidates.size()));
+    util::ParallelFor(
+        static_cast<int64_t>(candidates.size()), options.num_threads,
+        [&heap, &marginal_gain](int64_t k) {
+          heap[static_cast<size_t>(k)] =
+              HeapEntry{marginal_gain(static_cast<size_t>(k)),
+                        static_cast<size_t>(k)};
+        });
+    std::make_heap(heap.begin(), heap.end(), worse);
+  }
   stats.seed_seconds = seed_timer.ElapsedSeconds();
   stats.peak_heap_size = static_cast<int64_t>(heap.size());
 
+  // Span ends at function exit; the post-loop result assembly it also
+  // covers is O(rounds log rounds) — noise next to the selection loop.
+  CR_TRACE_SPAN_ARGS("cover.select", "required", result.required);
   util::Stopwatch select_timer;
   std::vector<size_t> picked;
   while (result.covered < result.required && !heap.empty()) {
@@ -134,6 +170,8 @@ CoverResult GreedyPartialSetCover(
     const HeapEntry top = heap.back();
     heap.pop_back();
     ++stats.heap_pops;
+    // High-volume: emitted only at --trace_verbosity=2.
+    CR_TRACE_INSTANT_V2("cover.heap_pop");
 
     const int64_t gain = marginal_gain(top.index);
     CR_CHECK(gain <= top.gain);  // gains are monotone non-increasing
@@ -160,6 +198,17 @@ CoverResult GreedyPartialSetCover(
     }
   }
   stats.select_seconds = select_timer.ElapsedSeconds();
+
+  // Mirror the per-run CoverStats into the process-wide registry (one
+  // batched add per counter; the selection loop itself stays untouched).
+  CoverMetrics& metrics = CoverMetrics::Get();
+  metrics.rounds.Add(static_cast<uint64_t>(stats.rounds));
+  metrics.heap_pops.Add(static_cast<uint64_t>(stats.heap_pops));
+  metrics.stale_reevaluations.Add(
+      static_cast<uint64_t>(stats.stale_reevaluations));
+  metrics.tick_visits.Add(static_cast<uint64_t>(stats.tick_visits));
+  metrics.seed_seconds.Record(stats.seed_seconds);
+  metrics.select_seconds.Record(stats.select_seconds);
 
   result.satisfied = result.covered >= result.required;
   // Chosen intervals are pairwise distinct (a duplicate of a pick never has

@@ -44,10 +44,41 @@
 
 #include "interval/generator.h"
 #include "interval/interval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace conservation::interval::internal {
+
+// Registry counters mirroring the per-run GeneratorStats/ShardWork structs
+// (which remain the API-stable per-call view; these accumulate across the
+// process). Kernel work (confidence evaluations, endpoint steps) is
+// published per chunk from the chunk's merged counters, so the flat-array
+// kernels stay uninstrumented on their inner loops.
+struct GenerationMetrics {
+  obs::Counter& chunks_claimed;
+  obs::Counter& steals;
+  obs::Counter& candidates;
+  obs::Counter& confidence_evals;
+  obs::Counter& endpoint_steps;
+  obs::Histogram& chunk_seconds;
+
+  static GenerationMetrics& Get() {
+    static GenerationMetrics* metrics = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      return new GenerationMetrics{
+          registry.Counter("generation.chunks_claimed"),
+          registry.Counter("generation.steals"),
+          registry.Counter("generation.candidates"),
+          registry.Counter("kernel.confidence_evals"),
+          registry.Counter("kernel.endpoint_steps"),
+          registry.Histogram("generation.chunk_seconds",
+                             {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0})};
+    }();
+    return *metrics;
+  }
+};
 
 // Blocks may emit bare Intervals or Candidates (interval + confidence);
 // the driver's full-cover detection only needs the interval view.
@@ -83,6 +114,8 @@ auto RunSharded(int64_t n, const GeneratorOptions& options,
                                       GeneratorStats*>;
   util::Stopwatch timer;
   const int workers = ResolveNumShards(n, options);
+  GenerationMetrics& metrics = GenerationMetrics::Get();
+  CR_TRACE_SPAN_ARGS("generate.sharded", "n", n, "workers", workers);
 
   OutVec out;
   GeneratorStats merged;
@@ -93,11 +126,16 @@ auto RunSharded(int64_t n, const GeneratorOptions& options,
   if (workers <= 1) {
     GeneratorStats counters;
     util::Stopwatch work_timer;
-    out = block(1, n, &counters);
+    {
+      CR_TRACE_SPAN_ARGS("generate.chunk", "begin", 1, "end", n);
+      out = block(1, n, &counters);
+    }
     merged.Merge(counters);
     merged.seconds = work_timer.ElapsedSeconds();
     merged.shard_work[0] =
         ShardWork{merged.seconds, /*chunks_claimed=*/1, /*steals=*/0};
+    metrics.chunks_claimed.Increment();
+    metrics.chunk_seconds.Record(merged.seconds);
   } else {
     const int64_t requested = ResolveNumChunks(n, workers, options);
     const int64_t width = (n + requested - 1) / requested;
@@ -133,10 +171,22 @@ auto RunSharded(int64_t n, const GeneratorOptions& options,
             const int64_t end = std::min<int64_t>(n, begin + width - 1);
             GeneratorStats chunk_counters;
             util::Stopwatch chunk_timer;
-            chunk_out[static_cast<size_t>(k)] =
-                block(begin, end, &chunk_counters);
-            work.seconds += chunk_timer.ElapsedSeconds();
+            {
+              CR_TRACE_SPAN_ARGS("generate.chunk", "begin", begin, "end",
+                                 end);
+              chunk_out[static_cast<size_t>(k)] =
+                  block(begin, end, &chunk_counters);
+            }
+            const double chunk_elapsed = chunk_timer.ElapsedSeconds();
+            work.seconds += chunk_elapsed;
             ++work.chunks_claimed;
+            metrics.chunk_seconds.Record(chunk_elapsed);
+            if (work.chunks_claimed > fair_share) {
+              // Chunk claimed beyond the static fair share: this worker
+              // out-ran the others and took over a chunk a slower worker
+              // would have owned (mirrors ShardWork::steals).
+              CR_TRACE_INSTANT("generate.steal");
+            }
             local.Merge(chunk_counters);
             if (options.stop_on_full_cover) {
               const OutVec& part = chunk_out[static_cast<size_t>(k)];
@@ -178,11 +228,19 @@ auto RunSharded(int64_t n, const GeneratorOptions& options,
     }
     for (const ShardWork& work : merged.shard_work) {
       merged.seconds += work.seconds;
+      metrics.chunks_claimed.Add(work.chunks_claimed);
+      metrics.steals.Add(work.steals);
     }
   }
 
   merged.candidates = out.size();
   merged.wall_seconds = timer.ElapsedSeconds();
+  // Batch-published per run: the kernels' confidence-evaluation and
+  // endpoint-step work reaches the registry without touching the hot
+  // sweeps themselves.
+  metrics.candidates.Add(merged.candidates);
+  metrics.confidence_evals.Add(merged.intervals_tested);
+  metrics.endpoint_steps.Add(merged.endpoint_steps);
   if (stats != nullptr) *stats = std::move(merged);
   return out;
 }

@@ -110,7 +110,13 @@ void JsonWriter::Null() {
   out_ += "null";
 }
 
-std::string TableauToJson(const core::Tableau& tableau) {
+void JsonWriter::Raw(const std::string& json) {
+  Separate();
+  out_ += json;
+}
+
+std::string TableauToJson(const core::Tableau& tableau,
+                          const obs::MetricsSnapshot* metrics) {
   JsonWriter json;
   json.BeginObject();
   json.Key("type");
@@ -164,6 +170,10 @@ std::string TableauToJson(const core::Tableau& tableau) {
   json.Key("seconds");
   json.Double(tableau.cover_seconds);
   json.EndObject();
+  if (metrics != nullptr) {
+    json.Key("metrics");
+    json.Raw(metrics->ToJson());
+  }
   json.EndObject();
   return std::move(json).Take();
 }

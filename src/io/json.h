@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/tableau.h"
+#include "obs/metrics.h"
 
 namespace conservation::io {
 
@@ -32,6 +33,10 @@ class JsonWriter {
   void Double(double value);
   void Bool(bool value);
   void Null();
+  // Splices pre-serialized JSON in as one value. The caller owns its
+  // validity; used to embed sub-documents that already know how to
+  // serialize themselves (e.g. obs::MetricsSnapshot::ToJson).
+  void Raw(const std::string& json);
 
   std::string Take() && { return std::move(out_); }
   const std::string& str() const { return out_; }
@@ -47,8 +52,12 @@ class JsonWriter {
 };
 
 // Serializes a tableau: type, model, coverage accounting, rows with
-// intervals and confidences, and generation statistics.
-std::string TableauToJson(const core::Tableau& tableau);
+// intervals and confidences, and generation statistics. When `metrics` is
+// non-null a trailing "metrics" block carries the registry snapshot; the
+// default (null) output is byte-identical to what pre-observability
+// builds emitted.
+std::string TableauToJson(const core::Tableau& tableau,
+                          const obs::MetricsSnapshot* metrics = nullptr);
 
 }  // namespace conservation::io
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -48,6 +50,11 @@ double NodeConservation::MissingOutboundFraction() const {
 
 std::vector<LinkDiagnosis> NodeConservation::DiagnoseLinks(
     core::ConfidenceModel model) const {
+  CR_TRACE_SPAN_ARGS("network.diagnose_links", "links",
+                     static_cast<int64_t>(links_.size()));
+  static obs::Counter& diagnoses =
+      obs::Registry::Global().Counter("network.link_diagnoses");
+  diagnoses.Add(links_.size());
   std::vector<LinkDiagnosis> out;
   const double full =
       rule_.OverallConfidence(model).value_or(1.0);
@@ -86,6 +93,11 @@ std::vector<LinkDiagnosis> NodeConservation::DiagnoseLinks(
 std::vector<NodeRanking> RankNodesByFailure(
     const std::vector<NodeConservation>& nodes,
     const core::TableauRequest& request) {
+  CR_TRACE_SPAN_ARGS("network.rank_nodes", "nodes",
+                     static_cast<int64_t>(nodes.size()));
+  static obs::Counter& ranked =
+      obs::Registry::Global().Counter("network.nodes_ranked");
+  ranked.Add(nodes.size());
   std::vector<NodeRanking> out(nodes.size());
   // Per-node audits are independent; fan them out across the shared pool at
   // the request's thread budget. Each node's own discovery stays
@@ -96,6 +108,7 @@ std::vector<NodeRanking> RankNodesByFailure(
       static_cast<int64_t>(nodes.size()), request.num_threads,
       [&](int64_t k) {
     const NodeConservation& node = nodes[static_cast<size_t>(k)];
+    CR_TRACE_SPAN_ARGS("network.rank_node", "index", k);
     NodeRanking ranking;
     ranking.node_name = node.node_name();
     ranking.overall_confidence =

@@ -1,0 +1,235 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace conservation::obs {
+
+int ThreadIndex() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      cells_(static_cast<size_t>(kStripes) * (bounds_.size() + 1)) {}
+
+void Histogram::Record(double value) {
+  // First bucket whose upper bound exceeds the value; overflow bucket when
+  // none does. upper_bound implements exactly the documented
+  // inclusive-lower / exclusive-upper split: v == b_i skips bucket i.
+  const size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  const size_t stripe = static_cast<size_t>(ThreadIndex() % kStripes);
+  cells_[stripe * (bounds_.size() + 1) + bucket].value.fetch_add(
+      1, std::memory_order_relaxed);
+  // C++20 atomic<double>::fetch_add; relaxed, single-writer per stripe in
+  // the common case so the internal CAS loop rarely retries.
+  sums_[stripe].value.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  const size_t buckets = bounds_.size() + 1;
+  std::vector<uint64_t> counts(buckets, 0);
+  for (size_t stripe = 0; stripe < static_cast<size_t>(kStripes); ++stripe) {
+    for (size_t b = 0; b < buckets; ++b) {
+      counts[b] +=
+          cells_[stripe * buckets + b].value.load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const uint64_t count : BucketCounts()) total += count;
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& cell : sums_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::ResetForTest() {
+  for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  for (auto& cell : sums_) cell.value.store(0.0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map keeps snapshot iteration name-sorted for free.
+  std::map<std::string, std::unique_ptr<obs::Counter>> counters;
+  std::map<std::string, std::unique_ptr<obs::Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<obs::Histogram>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+  // Leaked: metric handles are held in function-local statics across the
+  // codebase and may be touched by late-running pool tasks.
+  static Impl* instance = new Impl();
+  return *instance;
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::Counter(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto& slot = state.counters[name];
+  if (slot == nullptr) slot = std::make_unique<obs::Counter>(name);
+  return *slot;
+}
+
+Gauge& Registry::Gauge(const std::string& name) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto& slot = state.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<obs::Gauge>(name);
+  return *slot;
+}
+
+Histogram& Registry::Histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto& slot = state.histograms[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<obs::Histogram>(name, std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(state.gauges.size());
+  for (const auto& [name, gauge] : state.gauges) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(state.histograms.size());
+  for (const auto& [name, histogram] : state.histograms) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = histogram->bounds();
+    h.counts = histogram->BucketCounts();
+    for (const uint64_t count : h.counts) h.total_count += count;
+    h.sum = histogram->Sum();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void Registry::ResetForTest() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& [name, counter] : state.counters) counter->ResetForTest();
+  for (const auto& [name, gauge] : state.gauges) gauge->ResetForTest();
+  for (const auto& [name, histogram] : state.histograms) {
+    histogram->ResetForTest();
+  }
+}
+
+namespace {
+
+// Metric names follow the dotted-identifier convention, but escape anyway
+// so a stray name can never corrupt the JSON document.
+void AppendJsonString(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out += ':';
+    AppendJsonDouble(&out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& histogram : histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(&out, histogram.name);
+    out += ":{\"bounds\":[";
+    for (size_t b = 0; b < histogram.bounds.size(); ++b) {
+      if (b > 0) out += ',';
+      AppendJsonDouble(&out, histogram.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (size_t b = 0; b < histogram.counts.size(); ++b) {
+      if (b > 0) out += ',';
+      out += std::to_string(histogram.counts[b]);
+    }
+    out += "],\"count\":";
+    out += std::to_string(histogram.total_count);
+    out += ",\"sum\":";
+    AppendJsonDouble(&out, histogram.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace conservation::obs

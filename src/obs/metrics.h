@@ -1,0 +1,196 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// latency histograms for the whole discovery pipeline.
+//
+// Design goals, in order:
+//   1. Hot-path writes must be wait-free and uncontended. Counters and
+//      histograms are striped: each thread owns one cache-line-padded
+//      64-bit atomic cell per metric (cells are assigned by a small
+//      per-thread index, so two pool workers never share a cell under the
+//      default pool size). An increment is one relaxed fetch_add on the
+//      calling thread's own cell — no locks, no CAS loops, no false
+//      sharing.
+//   2. Snapshots are exact and torn-free. Merging sums the per-thread
+//      cells; every cell is a 64-bit atomic, so a concurrent snapshot can
+//      never observe a half-written value, and increments that complete
+//      before Snapshot() starts are always included (relaxed ordering means
+//      in-flight increments may land in this snapshot or the next — never
+//      lost, never double counted).
+//   3. Registration is rare and may lock. Looking a metric up by name takes
+//      a mutex; call sites hoist the handle (static local or member) so the
+//      steady state never touches the registry map.
+//
+// Layering: obs sits BELOW util (util/thread_pool instruments itself with
+// these metrics), so this header uses only the standard library.
+//
+// Metric naming convention (docs/OBSERVABILITY.md): dotted lowercase paths,
+// "<subsystem>.<quantity>", e.g. "generation.chunks_claimed",
+// "cover.heap_pops", "pool.tasks_executed".
+
+#ifndef CONSERVATION_OBS_METRICS_H_
+#define CONSERVATION_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace conservation::obs {
+
+// Number of independent stripes per metric. Threads map onto stripes by
+// their obs-assigned index modulo kStripes; sums stay exact regardless of
+// how many threads share a stripe (sharing only costs contention).
+inline constexpr int kStripes = 16;
+
+// Small dense index for the calling thread, assigned on first use (main
+// thread gets 0 if it arrives first). Shared with the tracing layer, which
+// uses it as the Perfetto tid.
+int ThreadIndex();
+
+namespace internal {
+
+struct alignas(64) PaddedCell {
+  std::atomic<uint64_t> value{0};
+};
+
+struct alignas(64) PaddedDoubleCell {
+  std::atomic<double> value{0.0};
+};
+
+}  // namespace internal
+
+// Monotone counter. Obtain via Registry::Counter(); handles stay valid for
+// the process lifetime (metrics are never unregistered).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    cells_[ThreadIndex() % kStripes].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+  void ResetForTest() {
+    for (auto& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  internal::PaddedCell cells_[kStripes];
+};
+
+// Last-writer-wins instantaneous value. Not striped: sets are rare (one per
+// snapshot period), so a single atomic is both exact and cheap.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+  void ResetForTest() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. Bucket semantics (asserted by
+// tests/obs_metrics_test.cc): with upper bounds b_0 < b_1 < ... < b_{m-1},
+// a recorded value v lands in the first bucket whose upper bound exceeds
+// it — bucket 0 holds v < b_0, bucket i (0 < i < m) holds b_{i-1} <= v <
+// b_i (inclusive lower, exclusive upper), and the overflow bucket m holds
+// v >= b_{m-1}. There are always m + 1 buckets.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Merged bucket counts (size bounds().size() + 1), total count, and sum
+  // of recorded values.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t TotalCount() const;
+  double Sum() const;
+
+  void ResetForTest();
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  // cells_[stripe * num_buckets + bucket]; one padded sum cell per stripe.
+  std::vector<internal::PaddedCell> cells_;
+  internal::PaddedDoubleCell sums_[kStripes];
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1 entries
+  uint64_t total_count = 0;
+  double sum = 0.0;
+};
+
+// Point-in-time copy of every registered metric, sorted by name within each
+// kind so serialized output is deterministic.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  // Compact JSON object:
+  //   {"counters":{...},"gauges":{...},"histograms":{"name":{"bounds":[...],
+  //    "counts":[...],"count":N,"sum":S}}}
+  std::string ToJson() const;
+};
+
+// Global name-keyed registry. Lookup registers on first use; repeated
+// lookups return the same handle.
+class Registry {
+ public:
+  static Registry& Global();
+
+  obs::Counter& Counter(const std::string& name);
+  obs::Gauge& Gauge(const std::string& name);
+  // `bounds` must be strictly increasing and non-empty; only the first
+  // registration's bounds take effect (subsequent lookups by name return
+  // the existing histogram).
+  obs::Histogram& Histogram(const std::string& name,
+                            std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered metric (handles stay valid). Test-and-CLI-only:
+  // concurrent writers may interleave with the reset.
+  void ResetForTest();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace conservation::obs
+
+#endif  // CONSERVATION_OBS_METRICS_H_

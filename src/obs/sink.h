@@ -1,0 +1,70 @@
+// Serialized sink for human-facing observability output.
+//
+// Motivating bug: crdiscover printed result JSON on stdout and phase stats
+// on stderr as each phase finished. With both streams captured into one
+// file (the usual `cmd > log 2>&1`), the interleaving — and at higher
+// --threads values even the relative order of the stats lines — depended
+// on thread timing, so logs were not diffable across runs. The sink
+// restores a deterministic contract: every observability line is buffered
+// per channel, and Flush() emits each channel as one contiguous write —
+// result output first, then diagnostics — in append order within a
+// channel. Stdout content therefore stays bit-identical across --threads
+// settings (enforced by tools/stdout_regression.sh in ctest).
+//
+// Append is mutex-serialized and safe from any thread; Flush is meant for
+// the end of a command.
+
+#ifndef CONSERVATION_OBS_SINK_H_
+#define CONSERVATION_OBS_SINK_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace conservation::obs {
+
+class Sink {
+ public:
+  // kResult: machine-readable command output (flushed to stdout).
+  // kDiagnostic: stats/progress lines (flushed to stderr, after kResult).
+  enum class Channel { kResult, kDiagnostic };
+
+  Sink() = default;
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  // Appends one line (a trailing newline is added if missing).
+  void Line(Channel channel, const std::string& text) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string& buffer =
+        channel == Channel::kResult ? result_ : diagnostic_;
+    buffer += text;
+    if (text.empty() || text.back() != '\n') buffer += '\n';
+  }
+
+  // Writes the result channel to `out` and the diagnostic channel to `err`
+  // as single fwrite calls, then clears both buffers.
+  void Flush(std::FILE* out = stdout, std::FILE* err = stderr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!result_.empty()) {
+      std::fwrite(result_.data(), 1, result_.size(), out);
+      std::fflush(out);
+      result_.clear();
+    }
+    if (!diagnostic_.empty()) {
+      std::fwrite(diagnostic_.data(), 1, diagnostic_.size(), err);
+      std::fflush(err);
+      diagnostic_.clear();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::string result_;
+  std::string diagnostic_;
+};
+
+}  // namespace conservation::obs
+
+#endif  // CONSERVATION_OBS_SINK_H_

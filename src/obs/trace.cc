@@ -1,0 +1,287 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace conservation::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* arg0_key = nullptr;
+  const char* arg1_key = nullptr;
+  int64_t arg0 = 0;
+  int64_t arg1 = 0;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  char phase = 'X';  // 'X' complete, 'i' instant
+};
+
+// Single-writer ring buffer; the owning thread appends, the exporter reads
+// at quiescence. `head` counts all events ever recorded (monotone), so
+// size = min(head, capacity) and drops = head - size. Event storage is
+// allocated on the thread's first recorded event — naming a thread (or
+// merely touching obs from it) costs no buffer memory.
+struct ThreadBuffer {
+  explicit ThreadBuffer(int tid_in) : tid(tid_in) {}
+
+  const int tid;
+  std::vector<TraceEvent> events;  // empty until the first Record
+  std::atomic<uint64_t> head{0};
+  std::string thread_name;  // written by owner, read at quiescent export
+  std::mutex name_mu;
+
+  void Record(const TraceEvent& event);
+};
+
+struct TraceGlobals {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;  // leaked; indexed registration order
+  TraceOptions options;
+};
+
+TraceGlobals& Globals() {
+  static TraceGlobals* globals = new TraceGlobals();
+  return *globals;
+}
+
+void ThreadBuffer::Record(const TraceEvent& event) {
+  if (events.empty()) {
+    // First event from this thread: size the ring to the active session's
+    // capacity. One registry lock per thread per process.
+    TraceGlobals& globals = Globals();
+    std::lock_guard<std::mutex> lock(globals.mu);
+    events.resize(globals.options.buffer_capacity);
+  }
+  const uint64_t slot = head.load(std::memory_order_relaxed);
+  events[static_cast<size_t>(slot % events.size())] = event;
+  head.store(slot + 1, std::memory_order_release);
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    TraceGlobals& globals = Globals();
+    std::lock_guard<std::mutex> lock(globals.mu);
+    // Leaked so the exporter may read it after the thread exits.
+    auto* created = new ThreadBuffer(ThreadIndex());
+    globals.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+void AppendEscaped(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Microsecond timestamp with nanosecond fraction, as Chrome expects.
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+void StartTracing(const TraceOptions& options) {
+  TraceEpoch();  // pin the epoch before the first event
+  TraceGlobals& globals = Globals();
+  {
+    std::lock_guard<std::mutex> lock(globals.mu);
+    globals.options = options;
+    globals.options.verbosity = options.verbosity < 1 ? 1 : options.verbosity;
+    if (globals.options.buffer_capacity < 16) {
+      globals.options.buffer_capacity = 16;
+    }
+    // Re-size existing rings to the session capacity and drop stale events.
+    // StartTracing is a quiescent-point operation: no thread may be
+    // recording concurrently (recording was either never enabled or all
+    // recording sections have joined).
+    for (ThreadBuffer* buffer : globals.buffers) {
+      if (!buffer->events.empty()) {
+        buffer->events.assign(globals.options.buffer_capacity, TraceEvent{});
+      }
+      buffer->head.store(0, std::memory_order_release);
+    }
+  }
+  TraceState().store(options.verbosity < 1 ? 1 : options.verbosity,
+                     std::memory_order_relaxed);
+}
+
+void StopTracing() { TraceState().store(0, std::memory_order_relaxed); }
+
+void ClearTrace() {
+  TraceGlobals& globals = Globals();
+  std::lock_guard<std::mutex> lock(globals.mu);
+  for (ThreadBuffer* buffer : globals.buffers) {
+    buffer->head.store(0, std::memory_order_release);
+  }
+}
+
+void SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.name_mu);
+  buffer.thread_name = name;
+}
+
+void TraceInstant(const char* name) {
+  if (!TracingEnabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = TraceNowNs();
+  event.phase = 'i';
+  LocalBuffer().Record(event);
+}
+
+void TraceComplete(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                   const char* arg0_key, int64_t arg0, const char* arg1_key,
+                   int64_t arg1) {
+  if (!TracingEnabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.arg0_key = arg0_key;
+  event.arg0 = arg0;
+  event.arg1_key = arg1_key;
+  event.arg1 = arg1;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.phase = 'X';
+  LocalBuffer().Record(event);
+}
+
+std::string TraceToJson() {
+  TraceGlobals& globals = Globals();
+  std::vector<ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(globals.mu);
+    buffers = globals.buffers;
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  uint64_t dropped_total = 0;
+  for (ThreadBuffer* buffer : buffers) {
+    const uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const size_t capacity = buffer->events.size();
+    const uint64_t count = head < capacity ? head : capacity;
+    dropped_total += head - count;
+
+    std::string thread_name;
+    {
+      std::lock_guard<std::mutex> lock(buffer->name_mu);
+      thread_name = buffer->thread_name;
+    }
+    if (thread_name.empty()) {
+      thread_name = "thread-" + std::to_string(buffer->tid);
+    }
+    if (count > 0 || !thread_name.empty()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+      out += std::to_string(buffer->tid);
+      out += ",\"args\":{\"name\":";
+      AppendEscaped(&out, thread_name);
+      out += "}}";
+    }
+
+    // Oldest retained event first.
+    const uint64_t begin = head - count;
+    for (uint64_t k = begin; k < head; ++k) {
+      const TraceEvent& event =
+          buffer->events[static_cast<size_t>(k % capacity)];
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":";
+      AppendEscaped(&out, event.name);
+      out += ",\"ph\":\"";
+      out.push_back(event.phase);
+      out += "\",\"pid\":1,\"tid\":";
+      out += std::to_string(buffer->tid);
+      out += ",\"ts\":";
+      AppendMicros(&out, event.start_ns);
+      if (event.phase == 'X') {
+        out += ",\"dur\":";
+        AppendMicros(&out, event.dur_ns);
+      } else {
+        out += ",\"s\":\"t\"";  // thread-scoped instant
+      }
+      if (event.arg0_key != nullptr || event.arg1_key != nullptr) {
+        out += ",\"args\":{";
+        bool first_arg = true;
+        if (event.arg0_key != nullptr) {
+          AppendEscaped(&out, event.arg0_key);
+          out += ':';
+          out += std::to_string(event.arg0);
+          first_arg = false;
+        }
+        if (event.arg1_key != nullptr) {
+          if (!first_arg) out += ',';
+          AppendEscaped(&out, event.arg1_key);
+          out += ':';
+          out += std::to_string(event.arg1);
+        }
+        out += '}';
+      }
+      out += '}';
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":";
+  out += std::to_string(dropped_total);
+  out += "}}";
+  return out;
+}
+
+bool WriteTrace(const std::string& path) {
+  const std::string json = TraceToJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace file %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  const bool ok = written == json.size() && closed;
+  if (!ok) std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace conservation::obs

@@ -1,0 +1,178 @@
+// RAII scoped spans recorded into per-thread ring buffers, exported as
+// Chrome/Perfetto trace-event JSON (load the file in https://ui.perfetto.dev
+// or chrome://tracing).
+//
+// Three cost regimes, from acceptance-tested guarantees down:
+//   * Compiled out (-DCONSERVATION_TRACING=OFF): the CR_TRACE_* macros
+//     expand to nothing — zero instructions on every instrumented path.
+//   * Compiled in, tracing stopped (the default at runtime): a span costs
+//     one relaxed atomic load and a predictable branch; no clock is read.
+//   * Tracing started: a span reads the steady clock twice and writes one
+//     64-byte event into the calling thread's private ring buffer; no
+//     locks, no allocation (the buffer is allocated on the thread's first
+//     event). The instrumentation-overhead bench (bench_obs_overhead)
+//     guards the <2% end-to-end budget at default verbosity.
+//
+// Ring semantics: each thread keeps the most recent `buffer_capacity`
+// events; older ones are overwritten and counted as dropped (reported in
+// the exported JSON's "otherData"). Buffers are heap-allocated and leaked
+// so export stays safe after a recording thread has exited.
+//
+// Export is designed for quiescent points (after a parallel section
+// joined). Publication of each event is release/acquire on the buffer
+// head, so events recorded before the exporting thread observed the head
+// are fully visible; events recorded concurrently with the export may be
+// missed or, if the ring wraps mid-read, partially garbled — never UB,
+// and never the case in the shipped call sites (crdiscover exports after
+// discovery completes; tests join writers first).
+//
+// Span naming convention (docs/OBSERVABILITY.md): "<subsystem>.<step>",
+// e.g. "tableau.discover", "generate.chunk", "cover.select", "pool.task".
+//
+// Verbosity: level 1 (default) records phase/chunk spans plus scheduler
+// steal instants; level 2 adds per-pop instants in the cover selection
+// loop (high volume — expect ring wrap on large inputs).
+
+#ifndef CONSERVATION_OBS_TRACE_H_
+#define CONSERVATION_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#ifndef CONSERVATION_TRACING
+#define CONSERVATION_TRACING 1
+#endif
+
+namespace conservation::obs {
+
+struct TraceOptions {
+  // 1 = spans + steal instants; 2 = + cover heap-pop instants.
+  int verbosity = 1;
+  // Events retained per thread (most recent win once the ring wraps).
+  size_t buffer_capacity = 1 << 16;
+};
+
+// Starts recording. Clears previously recorded events so one process can
+// record several sessions. Safe to call when already started (resets).
+void StartTracing(const TraceOptions& options = TraceOptions());
+
+// Stops recording; buffered events stay available for export.
+void StopTracing();
+
+// Discards all buffered events (does not change the enabled state).
+void ClearTrace();
+
+inline std::atomic<int>& TraceState() {
+  // 0 = disabled, otherwise the active verbosity. One relaxed load answers
+  // both "enabled?" and "how verbose?" on the hot path.
+  static std::atomic<int> state{0};
+  return state;
+}
+
+inline bool TracingEnabled() {
+  return TraceState().load(std::memory_order_relaxed) != 0;
+}
+inline int TraceVerbosity() {
+  return TraceState().load(std::memory_order_relaxed);
+}
+
+// Names the calling thread's track in the exported trace ("main",
+// "pool-worker-3", ...). Last call wins; unnamed threads export as
+// "thread-<tid>".
+void SetCurrentThreadName(const std::string& name);
+
+// Records an instant event (ph:"i", thread scope). `name` must outlive the
+// trace session — pass a string literal.
+void TraceInstant(const char* name);
+
+// Records a completed span [start_ns, start_ns + dur_ns) on the calling
+// thread. Exposed for ScopedSpan and for code that measures timestamps
+// itself; most call sites should use CR_TRACE_SPAN.
+void TraceComplete(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                   const char* arg0_key, int64_t arg0, const char* arg1_key,
+                   int64_t arg1);
+
+// Nanoseconds on the steady clock since the process's trace epoch.
+uint64_t TraceNowNs();
+
+// Serializes every buffered event as a Chrome trace-event JSON document:
+//   {"traceEvents":[...],"displayTimeUnit":"ms","otherData":{...}}
+// Complete spans use ph:"X" with microsecond ts/dur; instants ph:"i";
+// thread names ph:"M" thread_name metadata. All events share pid 1; tid is
+// the obs thread index.
+std::string TraceToJson();
+
+// Writes TraceToJson() to `path`; returns false (and reports on stderr)
+// when the file cannot be written.
+bool WriteTrace(const std::string& path);
+
+// RAII span: records one complete event covering its lifetime. The name
+// (and arg keys) must be string literals or otherwise outlive the session.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, nullptr, 0) {}
+  ScopedSpan(const char* name, const char* arg0_key, int64_t arg0,
+             const char* arg1_key = nullptr, int64_t arg1 = 0) {
+    if (TracingEnabled()) {
+      name_ = name;
+      arg0_key_ = arg0_key;
+      arg0_ = arg0;
+      arg1_key_ = arg1_key;
+      arg1_ = arg1;
+      start_ns_ = TraceNowNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      TraceComplete(name_, start_ns_, TraceNowNs() - start_ns_, arg0_key_,
+                    arg0_, arg1_key_, arg1_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr: tracing was off at construction
+  const char* arg0_key_ = nullptr;
+  const char* arg1_key_ = nullptr;
+  int64_t arg0_ = 0;
+  int64_t arg1_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace conservation::obs
+
+#define CR_OBS_CONCAT_INNER(a, b) a##b
+#define CR_OBS_CONCAT(a, b) CR_OBS_CONCAT_INNER(a, b)
+
+#if CONSERVATION_TRACING
+// Span covering the rest of the enclosing scope.
+#define CR_TRACE_SPAN(name) \
+  ::conservation::obs::ScopedSpan CR_OBS_CONCAT(cr_trace_span_, __LINE__)(name)
+// Span with one or two integer args shown in the Perfetto detail pane.
+#define CR_TRACE_SPAN_ARGS(name, ...)                                  \
+  ::conservation::obs::ScopedSpan CR_OBS_CONCAT(cr_trace_span_,        \
+                                                __LINE__)(name, __VA_ARGS__)
+#define CR_TRACE_INSTANT(name)                     \
+  do {                                             \
+    if (::conservation::obs::TracingEnabled()) {   \
+      ::conservation::obs::TraceInstant(name);     \
+    }                                              \
+  } while (0)
+// Instant recorded only at verbosity >= 2 (high-volume events).
+#define CR_TRACE_INSTANT_V2(name)                    \
+  do {                                               \
+    if (::conservation::obs::TraceVerbosity() >= 2) {\
+      ::conservation::obs::TraceInstant(name);       \
+    }                                                \
+  } while (0)
+#else
+#define CR_TRACE_SPAN(name) ((void)0)
+#define CR_TRACE_SPAN_ARGS(name, ...) ((void)0)
+#define CR_TRACE_INSTANT(name) ((void)0)
+#define CR_TRACE_INSTANT_V2(name) ((void)0)
+#endif
+
+#endif  // CONSERVATION_OBS_TRACE_H_

@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace conservation::stream {
+
+namespace {
+
+struct StreamMetrics {
+  obs::Counter& ticks;
+  obs::Counter& episodes;
+  obs::Gauge& window_confidence;
+  obs::Gauge& cumulative_confidence;
+
+  static StreamMetrics& Get() {
+    static StreamMetrics* metrics = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      return new StreamMetrics{
+          registry.Counter("stream.ticks"),
+          registry.Counter("stream.episodes"),
+          registry.Gauge("stream.window_confidence"),
+          registry.Gauge("stream.cumulative_confidence")};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 StreamingMonitor::StreamingMonitor(const StreamOptions& options)
     : options_(options) {
@@ -49,6 +75,15 @@ void StreamingMonitor::Observe(double outbound_a, double inbound_b) {
   gap_min_.emplace_back(t_, gap);
 
   UpdateAlerting(WindowConfidence());
+
+  StreamMetrics::Get().ticks.Increment();
+  if (options_.metrics_every > 0 && t_ % options_.metrics_every == 0) {
+    StreamMetrics& metrics = StreamMetrics::Get();
+    metrics.window_confidence.Set(WindowConfidence().value_or(-1.0));
+    metrics.cumulative_confidence.Set(
+        CumulativeConfidence().value_or(-1.0));
+    CR_TRACE_INSTANT("stream.snapshot");
+  }
 }
 
 std::optional<double> StreamingMonitor::ConfidenceFrom(int64_t i) const {
@@ -120,6 +155,8 @@ void StreamingMonitor::UpdateAlerting(std::optional<double> window_conf) {
   }
   // Recovered: close the episode.
   episodes_.push_back(*open_episode_);
+  StreamMetrics::Get().episodes.Increment();
+  CR_TRACE_INSTANT("stream.episode_closed");
   if (callback_) callback_(*open_episode_);
   open_episode_.reset();
 }
@@ -127,6 +164,8 @@ void StreamingMonitor::UpdateAlerting(std::optional<double> window_conf) {
 void StreamingMonitor::Flush() {
   if (open_episode_.has_value()) {
     episodes_.push_back(*open_episode_);
+    StreamMetrics::Get().episodes.Increment();
+    CR_TRACE_INSTANT("stream.episode_closed");
     if (callback_) callback_(*open_episode_);
     open_episode_.reset();
   }

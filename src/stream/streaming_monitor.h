@@ -55,6 +55,12 @@ struct StreamOptions {
   double clear_threshold = 0.6;
   // Ticks to wait before alerting (the window must be full).
   bool require_full_window = true;
+  // Every this many ticks, publish the monitor's window/cumulative
+  // confidence to the obs gauges ("stream.window_confidence",
+  // "stream.cumulative_confidence") and drop a "stream.snapshot" trace
+  // instant. 0 (default) disables periodic snapshots; per-tick counters
+  // ("stream.ticks", "stream.episodes") are always maintained.
+  int64_t metrics_every = 0;
 };
 
 class StreamingMonitor {

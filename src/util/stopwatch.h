@@ -1,9 +1,15 @@
-// Wall-clock stopwatch for the benchmark harness and generator statistics.
+// Monotonic stopwatch for the benchmark harness, generator statistics, and
+// span timing. Uses std::chrono::steady_clock exclusively: bench records
+// and trace timestamps must never skew under NTP adjustment or DST, which
+// a system_clock-based timer would (tests/util_test.cc asserts
+// monotonicity; the static_assert makes picking a non-steady clock a
+// compile error rather than a flaky-bench incident).
 
 #ifndef CONSERVATION_UTIL_STOPWATCH_H_
 #define CONSERVATION_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace conservation::util {
 
@@ -13,15 +19,27 @@ class Stopwatch {
 
   void Restart() { start_ = Clock::now(); }
 
-  // Seconds elapsed since construction or the last Restart().
+  // Seconds elapsed since construction or the last Restart(). Non-negative
+  // and non-decreasing across successive calls.
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  // Integer nanoseconds for callers that must avoid double rounding
+  // (trace timestamps).
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "timing must come from a monotonic clock; wall-clock-based "
+                "timings skew bench records under NTP adjustment");
   Clock::time_point start_;
 };
 

@@ -1,9 +1,24 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace conservation::util {
+
+namespace {
+
+// Registry lookups are mutex-protected; hoist the handle once.
+obs::Counter& TasksExecutedCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().Counter("pool.tasks_executed");
+  return counter;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   int threads = num_threads > 0
@@ -12,7 +27,10 @@ ThreadPool::ThreadPool(int num_threads) {
   threads = std::max(1, threads);
   workers_.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, t] {
+      obs::SetCurrentThreadName("pool-worker-" + std::to_string(t));
+      WorkerLoop();
+    });
   }
 }
 
@@ -41,7 +59,12 @@ bool ThreadPool::RunOneTask() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  {
+    // Help-drained task: runs on a waiting thread, not a pool worker.
+    CR_TRACE_SPAN("pool.task");
+    task();
+  }
+  TasksExecutedCounter().Increment();
   return true;
 }
 
@@ -55,7 +78,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      CR_TRACE_SPAN("pool.task");
+      task();
+    }
+    TasksExecutedCounter().Increment();
   }
 }
 

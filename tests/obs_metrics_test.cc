@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace conservation::obs {
+namespace {
+
+// Tests share the global registry, so every metric name is unique to its
+// test case and counters are reset where totals are asserted.
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter& counter = Registry::Global().Counter("test.counter.basic");
+  counter.ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  EXPECT_EQ(counter.name(), "test.counter.basic");
+}
+
+TEST(CounterTest, LookupReturnsSameHandle) {
+  Counter& a = Registry::Global().Counter("test.counter.same");
+  Counter& b = Registry::Global().Counter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter& counter = Registry::Global().Counter("test.counter.concurrent");
+  counter.ResetForTest();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t k = 0; k < kPerThread; ++k) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Exactness is the contract: striping may share cells between threads but
+  // every increment is an atomic RMW, so none are ever lost.
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, SnapshotDuringUpdatesIsMonotoneAndTornFree) {
+  Counter& counter = Registry::Global().Counter("test.counter.torn");
+  counter.ResetForTest();
+  constexpr uint64_t kTotal = 200000;
+  std::atomic<bool> done{false};
+  std::thread writer([&counter, &done] {
+    for (uint64_t k = 0; k < kTotal; ++k) counter.Increment();
+    done.store(true, std::memory_order_release);
+  });
+  // Each cell is a 64-bit atomic, so no snapshot can see a half-written
+  // value; totals only grow while a single writer runs.
+  uint64_t last = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const uint64_t now = counter.Value();
+    EXPECT_GE(now, last);
+    EXPECT_LE(now, kTotal);
+    last = now;
+  }
+  writer.join();
+  EXPECT_EQ(counter.Value(), kTotal);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge& gauge = Registry::Global().Gauge("test.gauge.basic");
+  gauge.Set(1.5);
+  gauge.Set(-3.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -3.25);
+  gauge.ResetForTest();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundarySemantics) {
+  // Bounds {10, 20, 30}: bucket 0 <- v < 10; bucket 1 <- 10 <= v < 20;
+  // bucket 2 <- 20 <= v < 30; bucket 3 (overflow) <- v >= 30.
+  Histogram& histogram =
+      Registry::Global().Histogram("test.histogram.bounds", {10.0, 20.0, 30.0});
+  histogram.ResetForTest();
+  ASSERT_EQ(histogram.bounds().size(), 3u);
+
+  histogram.Record(0.0);    // bucket 0
+  histogram.Record(9.999);  // bucket 0
+  histogram.Record(10.0);   // bucket 1: lower bound is inclusive
+  histogram.Record(19.0);   // bucket 1
+  histogram.Record(20.0);   // bucket 2
+  histogram.Record(29.0);   // bucket 2
+  histogram.Record(30.0);   // overflow: top bound is exclusive below
+  histogram.Record(1e9);    // overflow
+
+  const std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // m + 1 buckets
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(histogram.TotalCount(), 8u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(),
+                   0.0 + 9.999 + 10.0 + 19.0 + 20.0 + 29.0 + 30.0 + 1e9);
+}
+
+TEST(HistogramTest, ConcurrentRecordsSumExactly) {
+  Histogram& histogram =
+      Registry::Global().Histogram("test.histogram.concurrent", {1.0, 2.0});
+  histogram.ResetForTest();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (uint64_t k = 0; k < kPerThread; ++k) {
+        histogram.Record(static_cast<double>(k % 3));  // buckets 0, 1, 2
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.TotalCount(), kThreads * kPerThread);
+  const std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  uint64_t total = 0;
+  for (const uint64_t count : counts) total += count;
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+TEST(RegistryTest, SnapshotCarriesAllKindsSorted) {
+  Registry& registry = Registry::Global();
+  registry.Counter("test.snap.b").Increment();
+  registry.Counter("test.snap.a").Add(2);
+  registry.Gauge("test.snap.gauge").Set(7.5);
+  registry.Histogram("test.snap.histogram", {5.0}).Record(3.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  // Sorted by name within each kind (deterministic serialization).
+  for (size_t k = 1; k < snapshot.counters.size(); ++k) {
+    EXPECT_LT(snapshot.counters[k - 1].first, snapshot.counters[k].first);
+  }
+  auto counter_value = [&snapshot](const std::string& name) -> uint64_t {
+    for (const auto& [key, value] : snapshot.counters) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_GE(counter_value("test.snap.a"), 2u);
+  EXPECT_GE(counter_value("test.snap.b"), 1u);
+
+  bool found_gauge = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "test.snap.gauge") {
+      EXPECT_DOUBLE_EQ(value, 7.5);
+      found_gauge = true;
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+
+  bool found_histogram = false;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name != "test.snap.histogram") continue;
+    found_histogram = true;
+    ASSERT_EQ(h.bounds.size(), 1u);
+    ASSERT_EQ(h.counts.size(), 2u);
+    EXPECT_GE(h.total_count, 1u);
+  }
+  EXPECT_TRUE(found_histogram);
+}
+
+TEST(RegistryTest, SnapshotToJsonIsWellFormed) {
+  Registry& registry = Registry::Global();
+  registry.Counter("test.json.counter").Increment();
+  registry.Gauge("test.json.gauge").Set(1.0);
+  registry.Histogram("test.json.histogram", {1.0, 2.0}).Record(0.5);
+  const std::string json = registry.Snapshot().ToJson();
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\":"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[1,2]"), std::string::npos);
+
+  // Balanced braces/brackets outside strings => structurally sound (names
+  // are dotted identifiers; no braces inside strings here).
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RegistryTest, ResetForTestZeroesEverything) {
+  Registry& registry = Registry::Global();
+  obs::Counter& counter = registry.Counter("test.reset.counter");
+  obs::Histogram& histogram = registry.Histogram("test.reset.histogram", {1.0});
+  counter.Add(5);
+  histogram.Record(0.5);
+  registry.ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+}
+
+TEST(ThreadIndexTest, StablePerThreadAndDistinctAcrossThreads) {
+  const int main_index = ThreadIndex();
+  EXPECT_EQ(ThreadIndex(), main_index);  // stable within a thread
+  int other_index = -1;
+  std::thread other([&other_index] { other_index = ThreadIndex(); });
+  other.join();
+  EXPECT_NE(other_index, main_index);
+  EXPECT_GE(other_index, 0);
+}
+
+}  // namespace
+}  // namespace conservation::obs

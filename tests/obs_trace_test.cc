@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "obs/trace.h"
+
+namespace conservation::obs {
+namespace {
+
+// Tests share the process-global trace rings; each test starts a fresh
+// session (StartTracing zeroes every ring) and stops recording on exit so
+// later tests never see its events.
+
+#if CONSERVATION_TRACING
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  StopTracing();
+  ClearTrace();
+  {
+    CR_TRACE_SPAN("test.trace.disabled_span");
+  }
+  CR_TRACE_INSTANT("test.trace.disabled_instant");
+  const std::string json = TraceToJson();
+  EXPECT_EQ(json.find("test.trace.disabled_span"), std::string::npos);
+  EXPECT_EQ(json.find("test.trace.disabled_instant"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+}
+
+TEST(TraceTest, SpanWithArgsRecorded) {
+  StartTracing();
+  {
+    CR_TRACE_SPAN_ARGS("test.trace.span_args", "k", 7, "j", 9);
+  }
+  StopTracing();
+  const std::string json = TraceToJson();
+  EXPECT_NE(json.find("\"name\":\"test.trace.span_args\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"k\":7,\"j\":9}"), std::string::npos);
+}
+
+TEST(TraceTest, InstantRecordedWithThreadScope) {
+  StartTracing();
+  CR_TRACE_INSTANT("test.trace.instant");
+  StopTracing();
+  const std::string json = TraceToJson();
+  const size_t at = json.find("\"name\":\"test.trace.instant\"");
+  ASSERT_NE(at, std::string::npos);
+  // The instant's own event object carries ph:"i" and thread scope.
+  const std::string event = json.substr(at, json.find('}', at) - at);
+  EXPECT_NE(event.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(event.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(TraceTest, VerbosityGatesHighVolumeInstants) {
+  TraceOptions options;
+  options.verbosity = 1;
+  StartTracing(options);
+  CR_TRACE_INSTANT_V2("test.trace.v2_suppressed");
+  StopTracing();
+  EXPECT_EQ(TraceToJson().find("test.trace.v2_suppressed"),
+            std::string::npos);
+
+  options.verbosity = 2;
+  StartTracing(options);
+  CR_TRACE_INSTANT_V2("test.trace.v2_recorded");
+  StopTracing();
+  EXPECT_NE(TraceToJson().find("test.trace.v2_recorded"), std::string::npos);
+}
+
+TEST(TraceTest, TwoThreadsGetDistinctNamedTracks) {
+  StartTracing();
+  SetCurrentThreadName("trace-test-main");
+  {
+    CR_TRACE_SPAN("test.trace.main_span");
+  }
+  std::thread worker([] {
+    SetCurrentThreadName("trace-test-worker");
+    CR_TRACE_SPAN("test.trace.worker_span");
+  });
+  worker.join();
+  StopTracing();
+
+  const std::string json = TraceToJson();
+  EXPECT_NE(json.find("\"args\":{\"name\":\"trace-test-main\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"trace-test-worker\"}"),
+            std::string::npos);
+
+  // The two spans sit on different tid tracks.
+  auto tid_of = [&json](const char* name) {
+    const size_t at = json.find(std::string("\"name\":\"") + name + "\"");
+    EXPECT_NE(at, std::string::npos);
+    const size_t tid_at = json.find("\"tid\":", at);
+    return json.substr(tid_at, json.find(',', tid_at) - tid_at);
+  };
+  EXPECT_NE(tid_of("test.trace.main_span"), tid_of("test.trace.worker_span"));
+}
+
+TEST(TraceTest, RingOverflowCountsDroppedEvents) {
+  TraceOptions options;
+  options.buffer_capacity = 16;  // the enforced minimum
+  StartTracing(options);
+  for (int k = 0; k < 50; ++k) {
+    CR_TRACE_INSTANT("test.trace.overflow");
+  }
+  StopTracing();
+  const std::string json = TraceToJson();
+  // head = 50, retained = 16 -> 34 dropped; most recent events win.
+  EXPECT_NE(json.find("\"dropped_events\":34"), std::string::npos);
+}
+
+TEST(TraceTest, WriteTraceProducesLoadableFile) {
+  StartTracing();
+  {
+    CR_TRACE_SPAN("test.trace.file_span");
+  }
+  StopTracing();
+  const std::string path = testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(WriteTrace(path));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents(1 << 16, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), file));
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(contents.find("test.trace.file_span"), std::string::npos);
+}
+
+TEST(TraceTest, RestartClearsPreviousSession) {
+  StartTracing();
+  CR_TRACE_INSTANT("test.trace.first_session");
+  StopTracing();
+  StartTracing();  // new session: old events must be gone
+  CR_TRACE_INSTANT("test.trace.second_session");
+  StopTracing();
+  const std::string json = TraceToJson();
+  EXPECT_EQ(json.find("test.trace.first_session"), std::string::npos);
+  EXPECT_NE(json.find("test.trace.second_session"), std::string::npos);
+}
+
+#else  // !CONSERVATION_TRACING
+
+TEST(TraceTest, MacrosCompileToNothing) {
+  // In a -DCONSERVATION_TRACING=OFF build the macros must still be valid
+  // statements that record nothing.
+  StartTracing();
+  {
+    CR_TRACE_SPAN("test.trace.compiled_out");
+    CR_TRACE_SPAN_ARGS("test.trace.compiled_out_args", "k", 1);
+  }
+  CR_TRACE_INSTANT("test.trace.compiled_out_instant");
+  CR_TRACE_INSTANT_V2("test.trace.compiled_out_v2");
+  StopTracing();
+  EXPECT_EQ(TraceToJson().find("test.trace.compiled_out"), std::string::npos);
+}
+
+#endif  // CONSERVATION_TRACING
+
+}  // namespace
+}  // namespace conservation::obs

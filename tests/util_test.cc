@@ -2,6 +2,7 @@
 
 #include "util/random.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace conservation::util {
@@ -86,6 +87,36 @@ TEST(StringUtilTest, FormatNumber) {
   EXPECT_EQ(FormatNumber(3.14159, 3), "3.142");
   EXPECT_EQ(FormatNumber(2.5000, 4), "2.5");
   EXPECT_EQ(FormatNumber(-7.0), "-7");
+}
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  // The stopwatch reads steady_clock (a static_assert pins it); successive
+  // reads must never go backwards — a wall-clock-based timer would under
+  // NTP adjustment.
+  Stopwatch stopwatch;
+  double last_seconds = 0.0;
+  int64_t last_nanos = 0;
+  for (int k = 0; k < 1000; ++k) {
+    const double seconds = stopwatch.ElapsedSeconds();
+    const int64_t nanos = stopwatch.ElapsedNanos();
+    EXPECT_GE(seconds, last_seconds);
+    EXPECT_GE(nanos, last_nanos);
+    last_seconds = seconds;
+    last_nanos = nanos;
+  }
+  EXPECT_GE(last_seconds, 0.0);
+  EXPECT_GE(last_nanos, 0);
+}
+
+TEST(StopwatchTest, RestartResetsElapsed) {
+  Stopwatch stopwatch;
+  // Burn a little time so the pre-restart reading is strictly positive.
+  volatile double sink = 0.0;
+  for (int k = 0; k < 100000; ++k) sink += static_cast<double>(k);
+  const double before = stopwatch.ElapsedSeconds();
+  EXPECT_GT(before, 0.0);
+  stopwatch.Restart();
+  EXPECT_LT(stopwatch.ElapsedSeconds(), before);
 }
 
 TEST(RngTest, Deterministic) {

@@ -31,6 +31,10 @@ def load_records(path):
         raise SystemExit(f"{path}: expected a JSON array of records")
     records = {}
     for record in data:
+        # The optional obs-registry snapshot (BenchJson::AttachMetrics) is
+        # process-cumulative state, not a per-config quantity — drop it so
+        # it can never leak into keys or comparisons.
+        record.pop("metrics", None)
         key = (
             record.get("bench", ""),
             record.get("n", 0),

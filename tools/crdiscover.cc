@@ -27,6 +27,14 @@
 //   --sweep=a,b,c    threshold sweep instead of a single tableau
 //   --profile=<w>    dump rolling window-w confidence to stdout as CSV
 //   --segments=<len> per-segment confidence summary (CSV)
+// Observability (docs/OBSERVABILITY.md):
+//   --trace=FILE     record scoped spans during the run and write a
+//                    Chrome/Perfetto trace-event JSON file on exit
+//   --trace_verbosity=1|2   1 = phase/chunk spans (default); 2 adds
+//                    per-pop instants in the cover selection loop
+//   --metrics[=FILE] emit the metrics-registry snapshot: bare --metrics
+//                    adds it to the --json document (or a stderr line in
+//                    text mode); =FILE writes the snapshot JSON to FILE
 
 #include <cstdio>
 #include <string>
@@ -37,6 +45,9 @@
 #include "core/conservation_rule.h"
 #include "io/csv.h"
 #include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -66,6 +77,40 @@ util::Result<interval::AlgorithmKind> ParseAlgorithm(
   return util::Status::InvalidArgument("unknown algorithm: " + name);
 }
 
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "crdiscover: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != text.size() || !closed) {
+    std::fprintf(stderr, "crdiscover: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Writes the trace and metrics files on every exit path (the profile /
+// segments / report / sweep modes return early).
+struct ObsGuard {
+  std::string trace_path;
+  std::string metrics_path;
+
+  ~ObsGuard() {
+    if (!trace_path.empty()) {
+      obs::StopTracing();
+      obs::WriteTrace(trace_path);
+    }
+    if (!metrics_path.empty()) {
+      WriteTextFile(metrics_path,
+                    obs::Registry::Global().Snapshot().ToJson() + "\n");
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,6 +120,26 @@ int main(int argc, char** argv) {
   }
   const std::string input = flags.GetStringOr("input", "");
   if (input.empty()) return Fail("required: --input=<csv>");
+
+  // Observability setup, before any work so every phase is recorded.
+  ObsGuard obs_guard;
+  const bool want_metrics = flags.Has("metrics");
+  obs_guard.metrics_path = flags.GetStringOr("metrics", "");
+  if (flags.Has("trace")) {
+    obs_guard.trace_path = flags.GetStringOr("trace", "");
+    if (obs_guard.trace_path.empty()) {
+      return Fail("--trace requires a file path");
+    }
+    auto trace_verbosity = flags.GetIntOr("trace_verbosity", 1);
+    if (!trace_verbosity.ok()) return Fail(trace_verbosity.status().ToString());
+    if (*trace_verbosity < 1 || *trace_verbosity > 2) {
+      return Fail("--trace_verbosity must be 1 or 2");
+    }
+    obs::TraceOptions trace_options;
+    trace_options.verbosity = static_cast<int>(*trace_verbosity);
+    obs::StartTracing(trace_options);
+    obs::SetCurrentThreadName("main");
+  }
 
   io::CsvReadOptions read_options;
   auto col_a = flags.GetIntOr("col_a", 0);
@@ -221,58 +286,88 @@ int main(int argc, char** argv) {
   if (!as_json.ok()) return Fail(as_json.status().ToString());
   auto want_cover_stats = flags.GetBoolOr("cover_stats", false);
   if (!want_cover_stats.ok()) return Fail(want_cover_stats.status().ToString());
+
+  // Everything past discovery goes through one serialized sink and is
+  // flushed as a single write per stream: result output (stdout) first,
+  // then diagnostics (stderr). Direct printf here used to interleave the
+  // two streams timing-dependently under `> log 2>&1`; stdout must also
+  // stay bit-identical at any --threads value, which
+  // tools/stdout_regression.sh enforces.
+  obs::Sink sink;
+  const auto kResult = obs::Sink::Channel::kResult;
+  const auto kDiagnostic = obs::Sink::Channel::kDiagnostic;
+
   if (*as_json) {
-    std::printf("%s\n", io::TableauToJson(*tableau).c_str());
+    if (want_metrics) {
+      const obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+      sink.Line(kResult, io::TableauToJson(*tableau, &snapshot));
+    } else {
+      sink.Line(kResult, io::TableauToJson(*tableau));
+    }
+    sink.Flush();
     return 0;
   }
-  std::printf("%s", tableau->ToString().c_str());
+  sink.Line(kResult, tableau->ToString());
 
-  // Phase stats go to stderr: shard counts and wall times vary with
-  // --threads, while stdout must stay bit-identical at any thread count.
+  // Phase stats are diagnostics: shard counts and wall times vary with
+  // --threads, while the result channel stays bit-identical.
   const cover::CoverStats& cs = tableau->cover_stats;
-  std::fprintf(
-      stderr,
-      "generation: candidates=%llu tested=%llu shards=%d wall=%.4fs\n",
-      static_cast<unsigned long long>(tableau->num_candidates),
-      static_cast<unsigned long long>(
-          tableau->generation_stats.intervals_tested),
-      tableau->generation_stats.shards,
-      tableau->generation_stats.wall_seconds);
-  std::fprintf(
-      stderr,
-      "cover: rounds=%lld heap_pops=%lld stale_reevals=%lld tick_visits=%lld "
-      "peak_heap=%lld seed=%.4fs select=%.4fs total=%.4fs\n",
-      static_cast<long long>(cs.rounds), static_cast<long long>(cs.heap_pops),
-      static_cast<long long>(cs.stale_reevaluations),
-      static_cast<long long>(cs.tick_visits),
-      static_cast<long long>(cs.peak_heap_size), cs.seed_seconds,
-      cs.select_seconds, tableau->cover_seconds);
+  sink.Line(
+      kDiagnostic,
+      util::StrFormat(
+          "generation: candidates=%llu tested=%llu shards=%d wall=%.4fs",
+          static_cast<unsigned long long>(tableau->num_candidates),
+          static_cast<unsigned long long>(
+              tableau->generation_stats.intervals_tested),
+          tableau->generation_stats.shards,
+          tableau->generation_stats.wall_seconds));
+  sink.Line(
+      kDiagnostic,
+      util::StrFormat(
+          "cover: rounds=%lld heap_pops=%lld stale_reevals=%lld "
+          "tick_visits=%lld peak_heap=%lld seed=%.4fs select=%.4fs "
+          "total=%.4fs",
+          static_cast<long long>(cs.rounds),
+          static_cast<long long>(cs.heap_pops),
+          static_cast<long long>(cs.stale_reevaluations),
+          static_cast<long long>(cs.tick_visits),
+          static_cast<long long>(cs.peak_heap_size), cs.seed_seconds,
+          cs.select_seconds, tableau->cover_seconds));
   if (*want_cover_stats) {
-    std::printf(
-        "{\"cover_stats\":{\"rounds\":%lld,\"heap_pops\":%lld,"
-        "\"stale_reevaluations\":%lld,\"tick_visits\":%lld,"
-        "\"peak_heap_size\":%lld,\"seed_seconds\":%s,\"select_seconds\":%s,"
-        "\"seconds\":%s}}\n",
-        static_cast<long long>(cs.rounds),
-        static_cast<long long>(cs.heap_pops),
-        static_cast<long long>(cs.stale_reevaluations),
-        static_cast<long long>(cs.tick_visits),
-        static_cast<long long>(cs.peak_heap_size),
-        util::FormatNumber(cs.seed_seconds, 9).c_str(),
-        util::FormatNumber(cs.select_seconds, 9).c_str(),
-        util::FormatNumber(tableau->cover_seconds, 9).c_str());
+    sink.Line(
+        kResult,
+        util::StrFormat(
+            "{\"cover_stats\":{\"rounds\":%lld,\"heap_pops\":%lld,"
+            "\"stale_reevaluations\":%lld,\"tick_visits\":%lld,"
+            "\"peak_heap_size\":%lld,\"seed_seconds\":%s,"
+            "\"select_seconds\":%s,\"seconds\":%s}}",
+            static_cast<long long>(cs.rounds),
+            static_cast<long long>(cs.heap_pops),
+            static_cast<long long>(cs.stale_reevaluations),
+            static_cast<long long>(cs.tick_visits),
+            static_cast<long long>(cs.peak_heap_size),
+            util::FormatNumber(cs.seed_seconds, 9).c_str(),
+            util::FormatNumber(cs.select_seconds, 9).c_str(),
+            util::FormatNumber(tableau->cover_seconds, 9).c_str()));
+  }
+  if (want_metrics && obs_guard.metrics_path.empty()) {
+    sink.Line(kDiagnostic,
+              "metrics: " + obs::Registry::Global().Snapshot().ToJson());
   }
 
   auto severity = flags.GetBoolOr("severity", false);
   if (!severity.ok()) return Fail(severity.status().ToString());
   if (*severity) {
-    std::printf("\nby severity (misplaced mass):\n");
+    sink.Line(kResult, "\nby severity (misplaced mass):");
     for (const core::SeverityEntry& entry :
          core::RankBySeverity(*rule, *model, *tableau)) {
-      std::printf("  %-14s conf=%.4f misplaced=%s\n",
-                  entry.interval.ToString().c_str(), entry.confidence,
-                  util::FormatNumber(entry.misplaced_mass, 2).c_str());
+      sink.Line(kResult,
+                util::StrFormat(
+                    "  %-14s conf=%.4f misplaced=%s",
+                    entry.interval.ToString().c_str(), entry.confidence,
+                    util::FormatNumber(entry.misplaced_mass, 2).c_str()));
     }
   }
+  sink.Flush();
   return 0;
 }

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Summarize a trace written by obs::WriteTrace (crdiscover --trace=FILE).
+
+For every span name ("phase" in the <subsystem>.<step> naming convention)
+prints:
+
+  * count   — number of complete (ph=X) events;
+  * cpu     — summed duration across all events, i.e. total thread-time
+              spent inside the phase (parallel phases exceed wall);
+  * wall    — length of the union of the phase's [ts, ts+dur) intervals
+              across all threads, i.e. elapsed time during which at least
+              one thread was inside the phase;
+  * mean/max per-span duration.
+
+Then lists the top 10 widest individual spans with their thread and start
+time — the first place to look for a straggler chunk or a lopsided phase.
+
+Usage: tools/trace_summary.py TRACE.json [--top=10]
+Stdlib only. Times are reported in milliseconds.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def union_length(intervals):
+    """Total length covered by a list of (start, end) intervals."""
+    total = 0.0
+    last_end = None
+    for start, end in sorted(intervals):
+        if last_end is None or start > last_end:
+            total += end - start
+            last_end = end
+        elif end > last_end:
+            total += end - last_end
+            last_end = end
+    return total
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Per-phase totals and widest spans of an obs trace.")
+    parser.add_argument("trace", help="trace-event JSON file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many widest spans to list (default 10)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"trace_summary: {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    events = doc.get("traceEvents", [])
+    thread_names = {}
+    spans = []
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            thread_names[event.get("tid")] = event.get("args", {}).get(
+                "name", "")
+        elif event.get("ph") == "X":
+            spans.append(event)
+    if not spans:
+        print("trace_summary: no complete (ph=X) events in trace")
+        return 1
+
+    by_name = defaultdict(list)
+    for span in spans:
+        by_name[span["name"]].append(span)
+
+    print(f"{'phase':<24} {'count':>7} {'cpu ms':>10} {'wall ms':>10} "
+          f"{'mean ms':>9} {'max ms':>9}")
+    # Phases ordered by CPU time: the biggest time sinks first.
+    rows = []
+    for name, group in by_name.items():
+        durs = [s["dur"] for s in group]
+        cpu = sum(durs)
+        wall = union_length([(s["ts"], s["ts"] + s["dur"]) for s in group])
+        rows.append((cpu, name, len(group), wall, max(durs)))
+    for cpu, name, count, wall, max_dur in sorted(rows, reverse=True):
+        print(f"{name:<24} {count:>7} {cpu / 1000.0:>10.3f} "
+              f"{wall / 1000.0:>10.3f} {cpu / count / 1000.0:>9.3f} "
+              f"{max_dur / 1000.0:>9.3f}")
+
+    print(f"\ntop {args.top} widest spans:")
+    widest = sorted(spans, key=lambda s: s["dur"], reverse=True)[:args.top]
+    for span in widest:
+        tid = span["tid"]
+        thread = thread_names.get(tid, f"thread-{tid}")
+        args_text = ""
+        if span.get("args"):
+            pairs = ", ".join(f"{k}={v}" for k, v in span["args"].items())
+            args_text = f"  [{pairs}]"
+        print(f"  {span['dur'] / 1000.0:>9.3f} ms  {span['name']:<20} "
+              f"{thread:<16} @ {span['ts'] / 1000.0:.3f} ms{args_text}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace-event JSON file written by the obs
+subsystem (obs::WriteTrace / crdiscover --trace=FILE).
+
+Checks the schema invariants the exporter promises, so a formatting
+regression fails ctest instead of silently producing a file Perfetto
+rejects:
+
+  * top level is an object with a "traceEvents" list;
+  * every event has name/ph/pid/tid, ph is one of X (complete),
+    i (instant) or M (metadata);
+  * X events carry numeric ts and dur >= 0; i events carry ts and
+    thread scope s == "t"; M events are thread_name metadata with an
+    args.name string;
+  * at least one X event exists (a trace of a real run is never empty);
+  * every tid that records an X or i event also has a thread_name
+    metadata event (named tracks in the Perfetto UI);
+  * "otherData" carries a non-negative integer dropped_events count.
+
+Usage: tools/validate_trace.py TRACE.json
+Stdlib only; exit 0 on a valid trace, 1 with a diagnostic otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_trace.py TRACE.json")
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing "traceEvents" list')
+
+    complete_events = 0
+    event_tids = set()
+    named_tids = set()
+    for k, event in enumerate(events):
+        where = f"traceEvents[{k}]"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(f"{where}: missing {key!r}")
+        ph = event["ph"]
+        if ph not in ("X", "i", "M"):
+            fail(f"{where}: unexpected ph {ph!r}")
+        if ph == "X":
+            complete_events += 1
+            event_tids.add(event["tid"])
+            if not number(event.get("ts")):
+                fail(f"{where}: X event needs numeric ts")
+            if not number(event.get("dur")) or event["dur"] < 0:
+                fail(f"{where}: X event needs dur >= 0")
+        elif ph == "i":
+            event_tids.add(event["tid"])
+            if not number(event.get("ts")):
+                fail(f"{where}: i event needs numeric ts")
+            if event.get("s") != "t":
+                fail(f"{where}: i event needs thread scope s == 't'")
+        else:  # M
+            if event["name"] != "thread_name":
+                fail(f"{where}: only thread_name metadata is emitted")
+            name = event.get("args", {}).get("name")
+            if not isinstance(name, str) or not name:
+                fail(f"{where}: thread_name needs args.name string")
+            named_tids.add(event["tid"])
+
+    if complete_events == 0:
+        fail("no complete (ph=X) events; trace of a real run is never empty")
+    unnamed = event_tids - named_tids
+    if unnamed:
+        fail(f"tids without thread_name metadata: {sorted(unnamed)}")
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail('missing "otherData" object')
+    dropped = other.get("dropped_events")
+    if not isinstance(dropped, int) or isinstance(dropped, bool) or dropped < 0:
+        fail("otherData.dropped_events must be a non-negative integer")
+
+    print(f"validate_trace: OK: {len(events)} events "
+          f"({complete_events} spans, {len(named_tids)} named threads, "
+          f"{dropped} dropped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
