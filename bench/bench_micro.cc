@@ -4,17 +4,33 @@
 //   * candidate generation across algorithms;
 //   * Delta mode (min positive count vs 1) — affects AB's level count;
 //   * largest-first early exit;
-//   * greedy partial set cover.
+//   * greedy partial set cover;
+//   * batch SIMD kernels vs the forced-scalar backend.
+//
+// Kernel-record mode: --kernel_json=PATH skips google-benchmark and writes
+// BenchJson records comparing the dispatched SIMD backend against the
+// forced-scalar backend (identical arithmetic to a CONSERVATION_SIMD=off
+// build) — per batch op and sweep width, plus end-to-end single-thread
+// generator runs. The repo-root BENCH_kernel.json trajectory is generated
+// this way; --quick=1 shrinks the sizes for the ctest smoke.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
 #include "core/confidence.h"
 #include "cover/partial_set_cover.h"
 #include "datagen/job_log.h"
 #include "interval/generator.h"
+#include "interval/kernel.h"
+#include "interval/kernel_simd.h"
 #include "series/cumulative.h"
 #include "stream/streaming_monitor.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -158,6 +174,44 @@ void BM_StreamObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamObserve)->Arg(0)->Arg(1);
 
+// Contiguous batch-confidence sweep, dispatched backend vs forced scalar
+// (range(1): 0 = scalar, 1 = dispatched). The JSON trajectory in
+// BENCH_kernel.json is produced by the --kernel_json record mode below;
+// this registered variant is the interactive view of the same sweep.
+void BM_KernelConfidenceBatch(benchmark::State& state) {
+  namespace ii = conservation::interval::internal;
+  const int64_t width = state.range(0);
+  const ii::SimdBackend backend = state.range(1) == 0
+                                      ? ii::SimdBackend::kScalar
+                                      : ii::ActiveSimdBackend();
+  const int64_t n = 1 << 16;
+  const series::CountSequence& counts = JobCounts(n);
+  const series::CumulativeSeries cumulative(counts);
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kBalance);
+  const ii::SimdBackend saved = ii::ActiveSimdBackend();
+  ii::SetSimdBackendForTest(backend);
+  ii::ConfidenceKernel kernel(eval, core::TableauType::kHold);
+  ii::SetSimdBackendForTest(saved);
+  kernel.BeginAnchor(1);
+  std::vector<double> conf(static_cast<size_t>(width));
+  std::vector<uint8_t> valid(static_cast<size_t>(width));
+  int64_t j0 = 1;
+  for (auto _ : state) {
+    kernel.ConfidenceBatch(j0, j0 + width - 1, conf.data(), valid.data());
+    benchmark::DoNotOptimize(conf[0]);
+    j0 += width;
+    if (j0 + width > n) j0 = 1;
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+  state.SetLabel(ii::SimdBackendName(backend));
+}
+BENCHMARK(BM_KernelConfidenceBatch)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
+
 void BM_GreedyPartialSetCover(benchmark::State& state) {
   const int64_t n = state.range(0);
   util::Rng rng(17);
@@ -176,6 +230,201 @@ void BM_GreedyPartialSetCover(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyPartialSetCover)->Arg(20000)->Arg(100000);
 
+// --- Kernel-record mode (--kernel_json=PATH) ------------------------------
+
+namespace ii = conservation::interval::internal;
+
+// Minimum of `trials` timed runs of body() (after one warmup); min filters
+// scheduler noise on shared machines better than the mean.
+template <typename Body>
+double TimeBest(int trials, Body&& body) {
+  body();  // warmup
+  double best = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    util::Stopwatch timer;
+    body();
+    const double elapsed = timer.ElapsedSeconds();
+    if (t == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+struct KernelBenchEnv {
+  const series::CumulativeSeries& cumulative;
+  const core::ConfidenceEvaluator eval;
+  int64_t n;
+  int64_t lanes_per_run;  // lane budget per timed measurement
+  KernelBenchEnv(const series::CumulativeSeries& cum, int64_t n_,
+                 int64_t lanes)
+      : cumulative(cum),
+        eval(&cumulative, core::ConfidenceModel::kBalance),
+        n(n_),
+        lanes_per_run(lanes) {}
+};
+
+// One micro record: run `op` (a per-batch callable taking the kernel and a
+// batch ordinal) lanes_per_run/width times on the given backend.
+template <typename Op>
+double TimeKernelOp(const KernelBenchEnv& env, ii::SimdBackend backend,
+                    int64_t width, Op&& op) {
+  const ii::SimdBackend saved = ii::ActiveSimdBackend();
+  ii::SetSimdBackendForTest(backend);
+  ii::ConfidenceKernel kernel(env.eval, core::TableauType::kHold);
+  ii::SetSimdBackendForTest(saved);
+  const int64_t reps = std::max<int64_t>(1, env.lanes_per_run / width);
+  return TimeBest(3, [&] {
+    for (int64_t r = 0; r < reps; ++r) op(kernel, r);
+  });
+}
+
+int RunKernelBench(int argc, char** argv, const std::string& json_path) {
+  const bool quick = bench::IntFlag(argc, argv, "quick", 0) != 0;
+  bench::BenchJson json("kernel", json_path);
+  const ii::SimdBackend dispatched = ii::ActiveSimdBackend();
+  std::printf("dispatched backend: %s\n", ii::SimdBackendName(dispatched));
+
+  const int64_t n = 1 << 16;
+  const series::CumulativeSeries cumulative(JobCounts(n));
+  KernelBenchEnv env(cumulative, n, quick ? (1 << 18) : (1 << 22));
+
+  std::vector<double> conf(4096);
+  std::vector<uint8_t> valid(4096);
+  std::vector<int64_t> indices(4096);
+
+  struct Role {
+    const char* name;
+    ii::SimdBackend backend;
+  };
+  const Role roles[] = {{"scalar", ii::SimdBackend::kScalar},
+                        {"dispatched", dispatched}};
+
+  // Per-op, per-width micro sweeps. n(record) = sweep width; model carries
+  // the role; the backend field records what actually ran.
+  for (const int64_t width : {16L, 64L, 256L, 1024L, 4096L}) {
+    double role_seconds[2] = {0.0, 0.0};
+    for (int r = 0; r < 2; ++r) {
+      const Role& role = roles[r];
+      // BenchJson stamps each record's backend field from the active
+      // backend; pin it to this role so the scalar rows don't carry the
+      // dispatched backend's name.
+      ii::SetSimdBackendForTest(role.backend);
+
+      // Exhaustive-shaped contiguous confidence sweep over [i, n].
+      double seconds = TimeKernelOp(
+          env, role.backend, width, [&](ii::ConfidenceKernel& k, int64_t rep) {
+            const int64_t j0 = 1 + (rep * width) % (env.n - width);
+            if (rep == 0) k.BeginAnchor(1);
+            k.ConfidenceBatch(j0, j0 + width - 1, conf.data(), valid.data());
+          });
+      json.Add(width, "confidence_batch", role.name, 1, seconds,
+               static_cast<uint64_t>(width));
+      role_seconds[r] = seconds;
+
+      // AB-opt-shaped index-list probe (strided breakpoints).
+      for (int64_t k = 0; k < width; ++k) {
+        indices[static_cast<size_t>(k)] =
+            1 + (k * 7) % (env.n - 1);
+      }
+      std::sort(indices.begin(), indices.begin() + width);
+      seconds = TimeKernelOp(
+          env, role.backend, width, [&](ii::ConfidenceKernel& k, int64_t rep) {
+            if (rep == 0) k.BeginAnchor(1);
+            k.ConfidenceIndexBatch(indices.data(), width, conf.data(),
+                                   valid.data());
+          });
+      json.Add(width, "confidence_index_batch", role.name, 1, seconds,
+               static_cast<uint64_t>(width));
+
+      // AB-shaped sparsification-area walk window.
+      seconds = TimeKernelOp(
+          env, role.backend, width, [&](ii::ConfidenceKernel& k, int64_t rep) {
+            const int64_t j0 = 1 + (rep * width) % (env.n - width);
+            if (rep == 0) k.BeginAnchor(1);
+            k.SparseAreaBatch(j0, j0 + width - 1, conf.data());
+          });
+      json.Add(width, "sparse_area_batch", role.name, 1, seconds,
+               static_cast<uint64_t>(width));
+
+      // NAB-shaped right-anchored probe.
+      seconds = TimeKernelOp(
+          env, role.backend, width, [&](ii::ConfidenceKernel& k, int64_t rep) {
+            if (rep == 0) k.BeginRightAnchor(env.n);
+            k.ConfidenceFromBatch(indices.data(), width, conf.data(),
+                                  valid.data());
+          });
+      json.Add(width, "confidence_from_batch", role.name, 1, seconds,
+               static_cast<uint64_t>(width));
+    }
+    ii::SetSimdBackendForTest(dispatched);
+    std::printf("confidence_batch width=%5lld: scalar %.4fs dispatched %.4fs"
+                " speedup %.2fx\n",
+                static_cast<long long>(width), role_seconds[0],
+                role_seconds[1], role_seconds[0] / role_seconds[1]);
+  }
+
+  // End-to-end single-thread generator runs, dispatched vs scalar. The
+  // exhaustive and AB-opt rows are the acceptance-tracked endpoint sweeps.
+  struct GenCase {
+    const char* name;
+    interval::AlgorithmKind kind;
+    int64_t n;
+    double epsilon;
+  };
+  const GenCase cases[] = {
+      {"exhaustive", interval::AlgorithmKind::kExhaustive,
+       quick ? 800 : 6000, 0.01},
+      {"ab", interval::AlgorithmKind::kAreaBased, quick ? 20000 : 200000,
+       0.01},
+      {"ab_opt", interval::AlgorithmKind::kAreaBasedOpt,
+       quick ? 20000 : 200000, 0.01},
+      {"nab", interval::AlgorithmKind::kNonAreaBased, quick ? 20000 : 200000,
+       0.01},
+  };
+  for (const GenCase& gen_case : cases) {
+    const series::CumulativeSeries gen_cumulative(JobCounts(gen_case.n));
+    const core::ConfidenceEvaluator gen_eval(&gen_cumulative,
+                                             core::ConfidenceModel::kBalance);
+    interval::GeneratorOptions options;
+    options.type = core::TableauType::kHold;
+    options.c_hat = 0.999;
+    options.epsilon = gen_case.epsilon;
+    options.num_threads = 1;
+    const auto generator = interval::MakeGenerator(gen_case.kind);
+    double role_seconds[2] = {0.0, 0.0};
+    uint64_t tested = 0;
+    for (int r = 0; r < 2; ++r) {
+      ii::SetSimdBackendForTest(roles[r].backend);
+      interval::GeneratorStats stats;
+      const double seconds = TimeBest(quick ? 1 : 5, [&] {
+        stats.Reset();
+        generator->Generate(gen_eval, options, &stats);
+      });
+      role_seconds[r] = seconds;
+      tested = stats.intervals_tested;
+      json.Add(gen_case.n, gen_case.name, roles[r].name, 1, seconds,
+               stats.intervals_tested);
+    }
+    ii::SetSimdBackendForTest(dispatched);
+    std::printf("%-10s n=%7lld tested=%llu: scalar %.4fs dispatched %.4fs "
+                "speedup %.2fx\n",
+                gen_case.name, static_cast<long long>(gen_case.n),
+                static_cast<unsigned long long>(tested), role_seconds[0],
+                role_seconds[1], role_seconds[0] / role_seconds[1]);
+  }
+
+  json.Flush();
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string kernel_json =
+      conservation::bench::StringFlag(argc, argv, "kernel_json", "");
+  if (!kernel_json.empty()) return RunKernelBench(argc, argv, kernel_json);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include "core/confidence.h"
 #include "cover/partial_set_cover.h"
 #include "interval/generator.h"
+#include "interval/kernel_simd.h"
 #include "io/json.h"
 #include "obs/metrics.h"
 #include "series/cumulative.h"
@@ -116,6 +117,10 @@ class BenchJson {
     std::string algorithm;
     std::string model;
     int threads = 1;
+    // SIMD kernel backend the run dispatched to ("scalar" / "avx2" /
+    // "neon"). Machine-dependent provenance, not part of the record key —
+    // bench_diff.py drops it.
+    std::string backend;
     // End-to-end wall-clock of the run (the regression-tracked quantity).
     double seconds = 0.0;
     uint64_t intervals_tested = 0;
@@ -222,6 +227,10 @@ class BenchJson {
       json.String(record.model);
       json.Key("threads");
       json.Int(record.threads);
+      if (!record.backend.empty()) {
+        json.Key("backend");
+        json.String(record.backend);
+      }
       json.Key("seconds");
       json.Double(record.seconds);
       json.Key("intervals_tested");
@@ -301,6 +310,8 @@ class BenchJson {
     record.algorithm = algorithm;
     record.model = model;
     record.threads = threads;
+    record.backend = interval::internal::SimdBackendName(
+        interval::internal::ActiveSimdBackend());
     record.seconds = seconds;
     record.intervals_tested = intervals_tested;
     return record;

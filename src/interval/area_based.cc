@@ -95,10 +95,20 @@ std::vector<Candidate> AreaBasedGenerator::GenerateCandidates(
     // chunk (anchors and breakpoints are always >= 1).
     std::vector<int64_t> pointer(thresholds.size(), 0);
 
+    // Batch-walk scratch. The linear walk usually advances a handful of
+    // steps, so it starts narrow and doubles up to kMaxWalk while every
+    // lane stays within the threshold.
+    constexpr int64_t kMaxWalk = 256;
+    double area_buf[kMaxWalk];
+    std::vector<int64_t> zp_js;
+    std::vector<double> zp_conf;
+    std::vector<uint8_t> zp_valid;
+
     std::vector<Candidate> out;
     out.reserve(static_cast<size_t>(i_end - i_begin + 1));
     uint64_t tested = 0;
     uint64_t steps = 0;
+    uint64_t batches = 0;
 
     for (int64_t i = i_begin; i <= i_end; ++i) {
       kernel.BeginAnchor(i);
@@ -145,9 +155,26 @@ std::vector<Candidate> AreaBasedGenerator::GenerateCandidates(
           }
         } else {
           t = std::max(pointer[level], i);
-          while (t + 1 <= n && kernel.SparseArea(t + 1) <= threshold) {
-            ++t;
-            ++steps;
+          // Batched linear walk: evaluate the next window of areas in one
+          // SparseAreaBatch call and advance through its within-threshold
+          // prefix. Stops at the same breakpoint as the scalar walk (the
+          // area is evaluated for every advanced endpoint plus the first
+          // failing one — extra lanes are speculative and side-effect
+          // free), and `steps` still counts only actual advances.
+          int64_t window = 4;
+          while (t + 1 <= n) {
+            const int64_t j1 = std::min<int64_t>(n, t + window);
+            const int64_t len = j1 - t;
+            kernel.SparseAreaBatch(t + 1, j1, area_buf);
+            ++batches;
+            int64_t advanced = 0;
+            while (advanced < len && area_buf[advanced] <= threshold) {
+              ++advanced;
+            }
+            t += advanced;
+            steps += static_cast<uint64_t>(advanced);
+            if (advanced < len) break;  // hit the first endpoint past T
+            window = std::min<int64_t>(window * 2, kMaxWalk);
           }
         }
         pointer[level] = t;
@@ -168,15 +195,30 @@ std::vector<Candidate> AreaBasedGenerator::GenerateCandidates(
         if (exists && t == n) break;
       }
       if (credit_fail && zero_area_end > i) {
+        // Zero-prefix probes, batched through the index-list kernel.
+        // Duplicate lengths (floor((1+eps)^h) repeats for small eps) are
+        // kept: each counts as a test, exactly as the scalar loop counted
+        // them, and a duplicate j can never displace itself (j > best_j).
+        zp_js.clear();
         for (const int64_t len : zero_prefix_lengths) {
           const int64_t j = i + len - 1;
           if (j >= zero_area_end) break;  // zero_area_end itself was tested
-          double conf;
-          ++tested;
-          if (kernel.Confidence(j, &conf) &&
-              PassesRelaxedThreshold(conf, options) && j > best_j) {
-            best_j = j;
-            best_conf = conf;
+          zp_js.push_back(j);
+        }
+        if (!zp_js.empty()) {
+          zp_conf.resize(zp_js.size());
+          zp_valid.resize(zp_js.size());
+          kernel.ConfidenceIndexBatch(zp_js.data(),
+                                      static_cast<int64_t>(zp_js.size()),
+                                      zp_conf.data(), zp_valid.data());
+          ++batches;
+          tested += zp_js.size();
+          for (size_t k = 0; k < zp_js.size(); ++k) {
+            if (zp_valid[k] && PassesRelaxedThreshold(zp_conf[k], options) &&
+                zp_js[k] > best_j) {
+              best_j = zp_js[k];
+              best_conf = zp_conf[k];
+            }
           }
         }
       }
@@ -188,6 +230,7 @@ std::vector<Candidate> AreaBasedGenerator::GenerateCandidates(
 
     chunk_stats->intervals_tested = tested;
     chunk_stats->endpoint_steps = steps;
+    chunk_stats->batches = batches;
     return out;
   };
 

@@ -65,7 +65,10 @@ std::vector<Candidate> AreaBasedOptGenerator::GenerateCandidates(
     out.reserve(static_cast<size_t>(i_end - i_begin + 1));
     uint64_t tested = 0;
     uint64_t probes = 0;
+    uint64_t batches = 0;
     std::vector<int64_t> breakpoints;
+    std::vector<double> conf_buf;
+    std::vector<uint8_t> valid_buf;
 
     for (int64_t i = i_begin; i <= i_end; ++i) {
       kernel.BeginAnchor(i);
@@ -104,26 +107,45 @@ std::vector<Candidate> AreaBasedOptGenerator::GenerateCandidates(
 
       int64_t best_j = 0;
       double best_conf = 0.0;
+      const int64_t count = static_cast<int64_t>(breakpoints.size());
+      conf_buf.resize(breakpoints.size());
+      valid_buf.resize(breakpoints.size());
       if (options.largest_first_early_exit) {
         // Longest-first: the first qualifying breakpoint subsumes the rest.
-        for (auto it = breakpoints.rbegin(); it != breakpoints.rend(); ++it) {
-          double conf;
-          ++tested;
-          if (kernel.Confidence(*it, &conf) &&
-              PassesRelaxedThreshold(conf, options)) {
-            best_j = *it;
-            best_conf = conf;
-            break;
+        // Probe in reverse blocks; lanes past the first qualifying one are
+        // speculative and uncounted, so `tested` matches the scalar scan
+        // (probes up to and including the winner).
+        constexpr int64_t kProbeBlock = 16;
+        bool found = false;
+        for (int64_t end = count; end > 0 && !found;) {
+          const int64_t begin = std::max<int64_t>(0, end - kProbeBlock);
+          kernel.ConfidenceIndexBatch(breakpoints.data() + begin,
+                                      end - begin, conf_buf.data(),
+                                      valid_buf.data());
+          ++batches;
+          for (int64_t k = end; k-- > begin;) {
+            ++tested;
+            if (valid_buf[k - begin] &&
+                PassesRelaxedThreshold(conf_buf[k - begin], options)) {
+              best_j = breakpoints[static_cast<size_t>(k)];
+              best_conf = conf_buf[k - begin];
+              found = true;
+              break;
+            }
           }
+          end = begin;
         }
       } else {
-        for (const int64_t j : breakpoints) {
-          double conf;
-          ++tested;
-          if (kernel.Confidence(j, &conf) &&
-              PassesRelaxedThreshold(conf, options) && j > best_j) {
+        kernel.ConfidenceIndexBatch(breakpoints.data(), count,
+                                    conf_buf.data(), valid_buf.data());
+        ++batches;
+        tested += static_cast<uint64_t>(count);
+        for (int64_t k = 0; k < count; ++k) {
+          const int64_t j = breakpoints[static_cast<size_t>(k)];
+          if (valid_buf[k] && PassesRelaxedThreshold(conf_buf[k], options) &&
+              j > best_j) {
             best_j = j;
-            best_conf = conf;
+            best_conf = conf_buf[k];
           }
         }
       }
@@ -135,6 +157,7 @@ std::vector<Candidate> AreaBasedOptGenerator::GenerateCandidates(
 
     chunk_stats->intervals_tested = tested;
     chunk_stats->endpoint_steps = probes;
+    chunk_stats->batches = batches;
     return out;
   };
 

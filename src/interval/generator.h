@@ -114,6 +114,10 @@ struct GeneratorStats {
   // O(log n) search per level per chunk), so this can exceed the sequential
   // count slightly.
   uint64_t endpoint_steps = 0;
+  // Batch kernel calls issued (interval/kernel_simd.h). Unlike
+  // intervals_tested this is allowed to vary with batching policy — it
+  // measures how well the sweeps amortize dispatch, not logical work.
+  uint64_t batches = 0;
   // Number of candidate intervals emitted.
   uint64_t candidates = 0;
   // Total work time: summed across workers. Equals wall_seconds for a
@@ -139,6 +143,7 @@ struct GeneratorStats {
   void Merge(const GeneratorStats& shard) {
     intervals_tested += shard.intervals_tested;
     endpoint_steps += shard.endpoint_steps;
+    batches += shard.batches;
     candidates += shard.candidates;
     seconds += shard.seconds;
   }

@@ -14,6 +14,13 @@
 // (see core/confidence.h), so kernel results are bit-identical to evaluator
 // results — the sharded drivers rely on this to keep parallel output equal
 // to the sequential run.
+//
+// Batch APIs: the *Batch methods evaluate a run (or index list) of
+// endpoints in one call through the SIMD backends in kernel_simd.h. The
+// backend is resolved once per kernel from the process-wide selection
+// (runtime CPU detection gated by CONSERVATION_SIMD); every backend honours
+// the same bit-identity contract, so batch outputs equal a loop over the
+// scalar calls byte for byte — including out_conf == 0.0 on invalid lanes.
 
 #ifndef CONSERVATION_INTERVAL_KERNEL_H_
 #define CONSERVATION_INTERVAL_KERNEL_H_
@@ -22,6 +29,7 @@
 
 #include "core/confidence.h"
 #include "core/model.h"
+#include "interval/kernel_simd.h"
 
 namespace conservation::interval::internal {
 
@@ -76,6 +84,80 @@ class ConfidenceKernel {
     return true;
   }
 
+  // SparseArea(j) for every j in [j0, j1]; out[k] holds j0 + k.
+  void SparseAreaBatch(int64_t j0, int64_t j1, double* out) const {
+    const SparseBatchArgs args{sp_, sp_prev_, h_sp_, i_};
+    // Tiny batches (AB's first adaptive-walk windows, where most anchors
+    // stop) don't amortize the vector setup; the scalar reference computes
+    // identical bits, so routing them there is purely a perf decision.
+    if (j1 - j0 + 1 < 8) {
+      SparseAreaBatchScalar(args, j0, j1, out);
+      return;
+    }
+    switch (backend_) {
+#if CONSERVATION_KERNEL_HAVE_AVX2
+      case SimdBackend::kAvx2:
+        avx2::SparseAreaBatch(args, j0, j1, out);
+        return;
+#endif
+#if CONSERVATION_KERNEL_HAVE_NEON
+      case SimdBackend::kNeon:
+        neon::SparseAreaBatch(args, j0, j1, out);
+        return;
+#endif
+      default:
+        SparseAreaBatchScalar(args, j0, j1, out);
+        return;
+    }
+  }
+
+  // Confidence(j) for every j in [j0, j1]; lane k holds j0 + k.
+  // out_valid[k] is 1 iff the denominator is positive; out_conf[k] is the
+  // confidence when valid and exactly 0.0 otherwise (all backends).
+  void ConfidenceBatch(int64_t j0, int64_t j1, double* out_conf,
+                       uint8_t* out_valid) const {
+    const LeftAnchorBatchArgs args{sa_,  sb_,  sa_prev_, sb_prev_,
+                                   h_a_, h_b_, i_};
+    switch (backend_) {
+#if CONSERVATION_KERNEL_HAVE_AVX2
+      case SimdBackend::kAvx2:
+        avx2::ConfidenceBatch(args, j0, j1, out_conf, out_valid);
+        return;
+#endif
+#if CONSERVATION_KERNEL_HAVE_NEON
+      case SimdBackend::kNeon:
+        neon::ConfidenceBatch(args, j0, j1, out_conf, out_valid);
+        return;
+#endif
+      default:
+        ConfidenceBatchScalar(args, j0, j1, out_conf, out_valid);
+        return;
+    }
+  }
+
+  // Confidence(js[k]) for an ascending endpoint list (AB-opt breakpoint
+  // probes); same output contract as ConfidenceBatch.
+  void ConfidenceIndexBatch(const int64_t* js, int64_t count,
+                            double* out_conf, uint8_t* out_valid) const {
+    const LeftAnchorBatchArgs args{sa_,  sb_,  sa_prev_, sb_prev_,
+                                   h_a_, h_b_, i_};
+    switch (backend_) {
+#if CONSERVATION_KERNEL_HAVE_AVX2
+      case SimdBackend::kAvx2:
+        avx2::ConfidenceIndexBatch(args, js, count, out_conf, out_valid);
+        return;
+#endif
+#if CONSERVATION_KERNEL_HAVE_NEON
+      case SimdBackend::kNeon:
+        neon::ConfidenceIndexBatch(args, js, count, out_conf, out_valid);
+        return;
+#endif
+      default:
+        ConfidenceIndexBatchScalar(args, js, count, out_conf, out_valid);
+        return;
+    }
+  }
+
   // --- Right-anchored sweeps (NAB): fix endpoint j, vary anchor i ---
 
   void BeginRightAnchor(int64_t j) {
@@ -102,6 +184,31 @@ class ConfidenceKernel {
     return true;
   }
 
+  // ConfidenceFrom(is[k]) for an anchor list (NAB level probes); same
+  // output contract as ConfidenceBatch.
+  void ConfidenceFromBatch(const int64_t* is, int64_t count,
+                           double* out_conf, uint8_t* out_valid) const {
+    const RightAnchorBatchArgs args{a_,      s_,      sa_, sb_,
+                                    sa_end_, sb_end_, j_,  model_};
+    switch (backend_) {
+#if CONSERVATION_KERNEL_HAVE_AVX2
+      case SimdBackend::kAvx2:
+        avx2::ConfidenceFromBatch(args, is, count, out_conf, out_valid);
+        return;
+#endif
+#if CONSERVATION_KERNEL_HAVE_NEON
+      case SimdBackend::kNeon:
+        neon::ConfidenceFromBatch(args, is, count, out_conf, out_valid);
+        return;
+#endif
+      default:
+        ConfidenceFromBatchScalar(args, is, count, out_conf, out_valid);
+        return;
+    }
+  }
+
+  SimdBackend backend() const { return backend_; }
+
  private:
   const double* __restrict a_;
   const double* __restrict sa_;
@@ -110,6 +217,9 @@ class ConfidenceKernel {
   const core::ConfidenceModel model_;
   const bool hold_;
   const bool sparse_balance_;
+  // Resolved once per kernel so the per-batch dispatch is a predictable
+  // switch on a register, not an atomic load.
+  const SimdBackend backend_ = ActiveSimdBackend();
 
   // Left-anchor state (BeginAnchor).
   int64_t i_ = 0;

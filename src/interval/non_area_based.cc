@@ -65,7 +65,11 @@ std::vector<Candidate> NonAreaBasedGenerator::GenerateCandidates(
     internal::ConfidenceKernel kernel(eval, options.type);
     std::vector<Candidate> out;
     out.reserve(static_cast<size_t>(j_end - j_begin + 1));
+    std::vector<int64_t> level_is(lengths.size());
+    std::vector<double> conf_buf(lengths.size());
+    std::vector<uint8_t> valid_buf(lengths.size());
     uint64_t tested = 0;
+    uint64_t batches = 0;
     size_t first_covering = lengths.size() - 1;  // last entry is >= n >= j
     for (int64_t j = j_end; j >= j_begin; --j) {
       kernel.BeginRightAnchor(j);
@@ -78,27 +82,50 @@ std::vector<Candidate> NonAreaBasedGenerator::GenerateCandidates(
       // the first one >= j (which clamps to i = 1).
       const size_t applicable = first_covering + 1;
 
-      auto test_level = [&](size_t h) -> bool {
-        const int64_t i = std::max<int64_t>(1, j + 1 - lengths[h]);
-        double conf;
-        ++tested;
-        if (kernel.ConfidenceFrom(i, &conf) &&
-            PassesRelaxedThreshold(conf, options)) {
-          if (best_i == 0 || i < best_i) {
-            best_i = i;
-            best_conf = conf;
-          }
-          return true;
-        }
-        return false;
-      };
+      // Left anchors per level, probed through the right-anchored batch
+      // kernel (index-list gather over a, SA, SB).
+      for (size_t h = 0; h < applicable; ++h) {
+        level_is[h] = std::max<int64_t>(1, j + 1 - lengths[h]);
+      }
 
       if (options.largest_first_early_exit) {
-        for (size_t h = applicable; h-- > 0;) {
-          if (test_level(h)) break;  // longer candidates subsume shorter
+        // Longest level first, in reverse blocks; the first qualifying
+        // level wins (best_i is always 0 at that point, so the scalar
+        // `i < best_i` refinement is vacuous). Lanes past the winner are
+        // speculative and uncounted, keeping `tested` scalar-identical.
+        constexpr size_t kProbeBlock = 8;
+        bool found = false;
+        for (size_t end = applicable; end > 0 && !found;) {
+          const size_t begin = end >= kProbeBlock ? end - kProbeBlock : 0;
+          kernel.ConfidenceFromBatch(level_is.data() + begin,
+                                     static_cast<int64_t>(end - begin),
+                                     conf_buf.data(), valid_buf.data());
+          ++batches;
+          for (size_t h = end; h-- > begin;) {
+            ++tested;
+            if (valid_buf[h - begin] &&
+                PassesRelaxedThreshold(conf_buf[h - begin], options)) {
+              best_i = level_is[h];
+              best_conf = conf_buf[h - begin];
+              found = true;
+              break;
+            }
+          }
+          end = begin;
         }
       } else {
-        for (size_t h = 0; h < applicable; ++h) test_level(h);
+        kernel.ConfidenceFromBatch(level_is.data(),
+                                   static_cast<int64_t>(applicable),
+                                   conf_buf.data(), valid_buf.data());
+        ++batches;
+        tested += applicable;
+        for (size_t h = 0; h < applicable; ++h) {
+          if (valid_buf[h] && PassesRelaxedThreshold(conf_buf[h], options) &&
+              (best_i == 0 || level_is[h] < best_i)) {
+            best_i = level_is[h];
+            best_conf = conf_buf[h];
+          }
+        }
       }
 
       if (best_i >= 1) {
@@ -107,6 +134,7 @@ std::vector<Candidate> NonAreaBasedGenerator::GenerateCandidates(
       }
     }
     chunk_stats->intervals_tested = tested;
+    chunk_stats->batches = batches;
     return out;
   };
 

@@ -62,6 +62,7 @@ struct GenerationMetrics {
   obs::Counter& candidates;
   obs::Counter& confidence_evals;
   obs::Counter& endpoint_steps;
+  obs::Counter& batches;
   obs::Histogram& chunk_seconds;
 
   static GenerationMetrics& Get() {
@@ -73,6 +74,7 @@ struct GenerationMetrics {
           registry.Counter("generation.candidates"),
           registry.Counter("kernel.confidence_evals"),
           registry.Counter("kernel.endpoint_steps"),
+          registry.Counter("kernel.batches"),
           registry.Histogram("generation.chunk_seconds",
                              {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0})};
     }();
@@ -241,6 +243,7 @@ auto RunSharded(int64_t n, const GeneratorOptions& options,
   metrics.candidates.Add(merged.candidates);
   metrics.confidence_evals.Add(merged.intervals_tested);
   metrics.endpoint_steps.Add(merged.endpoint_steps);
+  metrics.batches.Add(merged.batches);
   if (stats != nullptr) *stats = std::move(merged);
   return out;
 }

@@ -33,8 +33,10 @@ def load_records(path):
     for record in data:
         # The optional obs-registry snapshot (BenchJson::AttachMetrics) is
         # process-cumulative state, not a per-config quantity — drop it so
-        # it can never leak into keys or comparisons.
+        # it can never leak into keys or comparisons. Likewise the SIMD
+        # backend field: machine provenance, not part of the config.
         record.pop("metrics", None)
+        record.pop("backend", None)
         key = (
             record.get("bench", ""),
             record.get("n", 0),

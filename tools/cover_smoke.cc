@@ -1,5 +1,5 @@
 // Parallel-seeding equivalence smoke for the lazy-greedy partial set cover.
-// Built and run under ThreadSanitizer by tools/tsan_smoke.sh (ctest target
+// Built and run under ThreadSanitizer by tools/sanitizer_smoke.sh (ctest target
 // tsan_cover_seeding_smoke) so a data race in the ParallelFor seeding stage
 // (disjoint-slot writes into the pre-sized heap vector) fails the suite.
 //

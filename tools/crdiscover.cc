@@ -43,6 +43,7 @@
 #include "core/report.h"
 #include "core/segmentation.h"
 #include "core/conservation_rule.h"
+#include "interval/kernel_simd.h"
 #include "io/csv.h"
 #include "io/json.h"
 #include "obs/metrics.h"
@@ -351,6 +352,13 @@ int main(int argc, char** argv) {
             util::FormatNumber(tableau->cover_seconds, 9).c_str()));
   }
   if (want_metrics && obs_guard.metrics_path.empty()) {
+    // Diagnostic channel only: the selected backend is machine provenance
+    // and must not reach the result stream, which stays byte-identical
+    // across CONSERVATION_SIMD builds (tools/stdout_regression.sh).
+    sink.Line(kDiagnostic,
+              std::string("kernel backend: ") +
+                  interval::internal::SimdBackendName(
+                      interval::internal::ActiveSimdBackend()));
     sink.Line(kDiagnostic,
               "metrics: " + obs::Registry::Global().Snapshot().ToJson());
   }

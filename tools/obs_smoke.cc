@@ -9,7 +9,7 @@
 // and a final post-join snapshot equals the expected sums.
 //
 // Registered in ctest twice: obs_metrics_smoke (regular build, checks the
-// invariants) and tsan_obs_metrics_smoke (via tools/tsan_smoke.sh, checks
+// invariants) and tsan_obs_metrics_smoke (via tools/sanitizer_smoke.sh, checks
 // the memory model).
 
 #include <atomic>

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds a binary in a sanitized build tree and runs it. Used by ctest to
+# enforce sanitizer coverage on every full test run, not just when someone
+# remembers check_tsan.sh:
+#   - ThreadSanitizer over the parallel paths (shard_smoke, cover_smoke,
+#     obs_smoke) and the batch-kernel differential suite;
+#   - AddressSanitizer over the batch-kernel differential suite, which is
+#     what catches an out-of-bounds vector lane read at a batch tail.
+#
+# Usage: tools/sanitizer_smoke.sh [build-dir] [target] [sanitizer] [subdir]
+#   build-dir  default: <repo>/build-tsan
+#   target     default: shard_smoke
+#   sanitizer  'thread' (default) or 'address' (CONSERVATION_SANITIZE)
+#   subdir     build-tree subdirectory holding the binary; default: tools
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+target="${2:-shard_smoke}"
+sanitizer="${3:-thread}"
+subdir="${4:-tools}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCONSERVATION_SANITIZE="${sanitizer}"
+cmake --build "${build_dir}" -j --target "${target}"
+
+# halt_on_error: make the first report fail the run instead of scrolling by.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+  "${build_dir}/${subdir}/${target}"

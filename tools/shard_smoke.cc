@@ -1,5 +1,5 @@
 // Small-n parallel-vs-sequential equivalence smoke for the chunked
-// scheduler. Built and run under ThreadSanitizer by tools/tsan_smoke.sh
+// scheduler. Built and run under ThreadSanitizer by tools/sanitizer_smoke.sh
 // (ctest target tsan_shard_scheduler_smoke) so every data race in the
 // claim/cancel/merge paths fails the suite, not just slow manual runs.
 //

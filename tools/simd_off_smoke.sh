@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Cross-backend stdout regression: configures a CONSERVATION_SIMD=off build
+# tree, builds its crdiscover, and runs tools/stdout_regression.sh with both
+# binaries — the vectorized build's result stream must be byte-identical
+# (modulo zeroed timing fields) to the scalar-only build's, on top of the
+# usual thread-count invariance. Registered in ctest as
+# cli_stdout_simd_regression next to the thread-count regression.
+#
+# Usage: tools/simd_off_smoke.sh OFF_BUILD_DIR MAIN_CRDISCOVER INPUT_CSV
+set -euo pipefail
+
+if [[ $# -ne 3 ]]; then
+  echo "usage: simd_off_smoke.sh OFF_BUILD_DIR MAIN_CRDISCOVER INPUT_CSV" >&2
+  exit 2
+fi
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+off_build_dir="$1"
+main_crdiscover="$2"
+input="$3"
+
+cmake -B "${off_build_dir}" -S "${repo_root}" -DCONSERVATION_SIMD=off
+cmake --build "${off_build_dir}" -j --target crdiscover
+
+exec "${repo_root}/tools/stdout_regression.sh" \
+  "${main_crdiscover}" "${input}" "${off_build_dir}/tools/crdiscover"

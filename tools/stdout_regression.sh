@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Stdout bit-identity regression for crdiscover across thread counts.
+# Stdout bit-identity regression for crdiscover across thread counts and,
+# optionally, across SIMD kernel backends.
 #
 # The discovery pipeline guarantees thread-count-independent results
 # (DESIGN.md "Parallel execution"), and the obs::Sink routing guarantees
@@ -10,15 +11,22 @@
 # any two runs (even at the same thread count) and are zeroed before the
 # comparison — every counter field stays under the bit-identity contract.
 #
-# Usage: tools/stdout_regression.sh CRDISCOVER_BINARY INPUT_CSV
+# When a second binary is given (a crdiscover from a CONSERVATION_SIMD=off
+# build tree), its stdout is diffed against the first binary's: the batch
+# kernels' bit-identity contract (interval/kernel_simd.h) makes the result
+# stream independent of the dispatched backend, so a vectorized build and a
+# scalar-only build must agree byte for byte too.
+#
+# Usage: tools/stdout_regression.sh CRDISCOVER_BINARY INPUT_CSV [OFF_BINARY]
 set -euo pipefail
 
-if [[ $# -ne 2 ]]; then
-  echo "usage: stdout_regression.sh CRDISCOVER_BINARY INPUT_CSV" >&2
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+  echo "usage: stdout_regression.sh CRDISCOVER_BINARY INPUT_CSV [OFF_BINARY]" >&2
   exit 2
 fi
 crdiscover="$1"
 input="$2"
+off_binary="${3:-}"
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "${workdir}"' EXIT
@@ -26,10 +34,13 @@ trap 'rm -rf "${workdir}"' EXIT
 common_args=(--input="${input}" --type=fail --c_hat=0.3 --s_hat=0.02
              --cover_stats --severity)
 
+zero_timings() {
+  sed -E 's/"(seed_seconds|select_seconds|seconds)":[0-9.eE+-]+/"\1":0/g'
+}
+
 for threads in 1 2 4; do
   "${crdiscover}" "${common_args[@]}" --threads="${threads}" 2> /dev/null \
-    | sed -E 's/"(seed_seconds|select_seconds|seconds)":[0-9.eE+-]+/"\1":0/g' \
-    > "${workdir}/stdout_t${threads}.txt"
+    | zero_timings > "${workdir}/stdout_t${threads}.txt"
 done
 
 status=0
@@ -41,7 +52,21 @@ for threads in 2 4; do
   fi
 done
 
+if [[ -n "${off_binary}" ]]; then
+  "${off_binary}" "${common_args[@]}" --threads=1 2> /dev/null \
+    | zero_timings > "${workdir}/stdout_simd_off.txt"
+  if ! cmp -s "${workdir}/stdout_t1.txt" "${workdir}/stdout_simd_off.txt"; then
+    echo "FAIL: stdout differs between SIMD and CONSERVATION_SIMD=off builds:" >&2
+    diff "${workdir}/stdout_t1.txt" "${workdir}/stdout_simd_off.txt" >&2 || true
+    status=1
+  fi
+fi
+
 if [[ ${status} -eq 0 ]]; then
-  echo "OK: stdout bit-identical across --threads=1,2,4"
+  if [[ -n "${off_binary}" ]]; then
+    echo "OK: stdout bit-identical across --threads=1,2,4 and SIMD backends"
+  else
+    echo "OK: stdout bit-identical across --threads=1,2,4"
+  fi
 fi
 exit ${status}
