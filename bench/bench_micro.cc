@@ -12,7 +12,16 @@
 // forced-scalar backend (identical arithmetic to a CONSERVATION_SIMD=off
 // build) — per batch op and sweep width, plus end-to-end single-thread
 // generator runs. The repo-root BENCH_kernel.json trajectory is generated
-// this way; --quick=1 shrinks the sizes for the ctest smoke.
+// this way; --quick=1 shrinks the sizes for the ctest smoke, and
+// --repeats=R / --warmups=W override the best-of-R measurement counts
+// (each record carries the counts it was measured with).
+//
+// Lane-occupancy record mode: --walks_json=PATH runs the AB-opt
+// cross-anchor walk scheduler across walk widths (1 = scalar reference,
+// fixed widths, 0 = auto) and records seconds plus the walks / rounds /
+// lane-occupancy counters per width. --check_occupancy=X additionally
+// gates auto-width occupancy > X on a SIMD backend (exit 1 below; the
+// bench_smoke_walks ctest entry runs this at small n).
 
 #include <benchmark/benchmark.h>
 
@@ -234,11 +243,11 @@ BENCHMARK(BM_GreedyPartialSetCover)->Arg(20000)->Arg(100000);
 
 namespace ii = conservation::interval::internal;
 
-// Minimum of `trials` timed runs of body() (after one warmup); min filters
-// scheduler noise on shared machines better than the mean.
+// Minimum of `trials` timed runs of body() after `warmups` untimed ones;
+// min filters scheduler noise on shared machines better than the mean.
 template <typename Body>
-double TimeBest(int trials, Body&& body) {
-  body();  // warmup
+double TimeBest(int trials, int warmups, Body&& body) {
+  for (int w = 0; w < warmups; ++w) body();
   double best = 0.0;
   for (int t = 0; t < trials; ++t) {
     util::Stopwatch timer;
@@ -266,19 +275,27 @@ struct KernelBenchEnv {
 // batch ordinal) lanes_per_run/width times on the given backend.
 template <typename Op>
 double TimeKernelOp(const KernelBenchEnv& env, ii::SimdBackend backend,
-                    int64_t width, Op&& op) {
+                    int64_t width, int trials, int warmups, Op&& op) {
   const ii::SimdBackend saved = ii::ActiveSimdBackend();
   ii::SetSimdBackendForTest(backend);
   ii::ConfidenceKernel kernel(env.eval, core::TableauType::kHold);
   ii::SetSimdBackendForTest(saved);
   const int64_t reps = std::max<int64_t>(1, env.lanes_per_run / width);
-  return TimeBest(3, [&] {
+  return TimeBest(trials, warmups, [&] {
     for (int64_t r = 0; r < reps; ++r) op(kernel, r);
   });
 }
 
 int RunKernelBench(int argc, char** argv, const std::string& json_path) {
   const bool quick = bench::IntFlag(argc, argv, "quick", 0) != 0;
+  // Best-of-R measurement counts; each record carries the counts it was
+  // measured with so trajectories stay comparable across overrides.
+  const int micro_repeats =
+      static_cast<int>(bench::IntFlag(argc, argv, "repeats", 3));
+  const int gen_repeats = static_cast<int>(
+      bench::IntFlag(argc, argv, "repeats", quick ? 1 : 5));
+  const int warmups =
+      static_cast<int>(bench::IntFlag(argc, argv, "warmups", 1));
   bench::BenchJson json("kernel", json_path);
   const ii::SimdBackend dispatched = ii::ActiveSimdBackend();
   std::printf("dispatched backend: %s\n", ii::SimdBackendName(dispatched));
@@ -311,13 +328,15 @@ int RunKernelBench(int argc, char** argv, const std::string& json_path) {
 
       // Exhaustive-shaped contiguous confidence sweep over [i, n].
       double seconds = TimeKernelOp(
-          env, role.backend, width, [&](ii::ConfidenceKernel& k, int64_t rep) {
+          env, role.backend, width, micro_repeats, warmups,
+          [&](ii::ConfidenceKernel& k, int64_t rep) {
             const int64_t j0 = 1 + (rep * width) % (env.n - width);
             if (rep == 0) k.BeginAnchor(1);
             k.ConfidenceBatch(j0, j0 + width - 1, conf.data(), valid.data());
           });
       json.Add(width, "confidence_batch", role.name, 1, seconds,
                static_cast<uint64_t>(width));
+      json.AnnotateTrials(micro_repeats, warmups);
       role_seconds[r] = seconds;
 
       // AB-opt-shaped index-list probe (strided breakpoints).
@@ -327,33 +346,39 @@ int RunKernelBench(int argc, char** argv, const std::string& json_path) {
       }
       std::sort(indices.begin(), indices.begin() + width);
       seconds = TimeKernelOp(
-          env, role.backend, width, [&](ii::ConfidenceKernel& k, int64_t rep) {
+          env, role.backend, width, micro_repeats, warmups,
+          [&](ii::ConfidenceKernel& k, int64_t rep) {
             if (rep == 0) k.BeginAnchor(1);
             k.ConfidenceIndexBatch(indices.data(), width, conf.data(),
                                    valid.data());
           });
       json.Add(width, "confidence_index_batch", role.name, 1, seconds,
                static_cast<uint64_t>(width));
+      json.AnnotateTrials(micro_repeats, warmups);
 
       // AB-shaped sparsification-area walk window.
       seconds = TimeKernelOp(
-          env, role.backend, width, [&](ii::ConfidenceKernel& k, int64_t rep) {
+          env, role.backend, width, micro_repeats, warmups,
+          [&](ii::ConfidenceKernel& k, int64_t rep) {
             const int64_t j0 = 1 + (rep * width) % (env.n - width);
             if (rep == 0) k.BeginAnchor(1);
             k.SparseAreaBatch(j0, j0 + width - 1, conf.data());
           });
       json.Add(width, "sparse_area_batch", role.name, 1, seconds,
                static_cast<uint64_t>(width));
+      json.AnnotateTrials(micro_repeats, warmups);
 
       // NAB-shaped right-anchored probe.
       seconds = TimeKernelOp(
-          env, role.backend, width, [&](ii::ConfidenceKernel& k, int64_t rep) {
+          env, role.backend, width, micro_repeats, warmups,
+          [&](ii::ConfidenceKernel& k, int64_t rep) {
             if (rep == 0) k.BeginRightAnchor(env.n);
             k.ConfidenceFromBatch(indices.data(), width, conf.data(),
                                   valid.data());
           });
       json.Add(width, "confidence_from_batch", role.name, 1, seconds,
                static_cast<uint64_t>(width));
+      json.AnnotateTrials(micro_repeats, warmups);
     }
     ii::SetSimdBackendForTest(dispatched);
     std::printf("confidence_batch width=%5lld: scalar %.4fs dispatched %.4fs"
@@ -390,19 +415,32 @@ int RunKernelBench(int argc, char** argv, const std::string& json_path) {
     options.epsilon = gen_case.epsilon;
     options.num_threads = 1;
     const auto generator = interval::MakeGenerator(gen_case.kind);
+    // Role-interleaved repeats: run scalar and dispatched back to back
+    // inside every repeat instead of as sequential blocks, so the reported
+    // ratio compares runs seconds apart. Shared/virtualized machines drift
+    // by double-digit percentages over a multi-minute blocked schedule,
+    // which is larger than the effect being measured.
     double role_seconds[2] = {0.0, 0.0};
     uint64_t tested = 0;
-    for (int r = 0; r < 2; ++r) {
-      ii::SetSimdBackendForTest(roles[r].backend);
-      interval::GeneratorStats stats;
-      const double seconds = TimeBest(quick ? 1 : 5, [&] {
+    for (int rep = -warmups; rep < gen_repeats; ++rep) {
+      for (int r = 0; r < 2; ++r) {
+        ii::SetSimdBackendForTest(roles[r].backend);
+        interval::GeneratorStats stats;
         stats.Reset();
+        util::Stopwatch timer;
         generator->Generate(gen_eval, options, &stats);
-      });
-      role_seconds[r] = seconds;
-      tested = stats.intervals_tested;
-      json.Add(gen_case.n, gen_case.name, roles[r].name, 1, seconds,
-               stats.intervals_tested);
+        const double seconds = timer.ElapsedSeconds();
+        if (rep < 0) continue;  // warmup
+        if (role_seconds[r] == 0.0 || seconds < role_seconds[r]) {
+          role_seconds[r] = seconds;
+        }
+        tested = stats.intervals_tested;
+      }
+    }
+    for (int r = 0; r < 2; ++r) {
+      json.Add(gen_case.n, gen_case.name, roles[r].name, 1, role_seconds[r],
+               tested);
+      json.AnnotateTrials(gen_repeats, warmups);
     }
     ii::SetSimdBackendForTest(dispatched);
     std::printf("%-10s n=%7lld tested=%llu: scalar %.4fs dispatched %.4fs "
@@ -416,12 +454,84 @@ int RunKernelBench(int argc, char** argv, const std::string& json_path) {
   return 0;
 }
 
+// --- Lane-occupancy record mode (--walks_json=PATH) -----------------------
+//
+// Runs the AB-opt cross-anchor walk scheduler single-threaded across walk
+// widths and records wall clock plus the walks / rounds / lane counters.
+// Width 1 is the scalar-walk reference; the remaining rows show how lane
+// occupancy holds up as the scheduler widens, and the auto row (width 0)
+// is the production configuration. --check_occupancy=X turns the auto row
+// into a gate: occupancy must exceed X when a SIMD backend dispatched
+// (scalar dispatch has no lanes to fill and skips the gate).
+int RunWalksBench(int argc, char** argv, const std::string& json_path) {
+  const bool quick = bench::IntFlag(argc, argv, "quick", 0) != 0;
+  const int repeats = static_cast<int>(
+      bench::IntFlag(argc, argv, "repeats", quick ? 1 : 3));
+  const int warmups = static_cast<int>(
+      bench::IntFlag(argc, argv, "warmups", quick ? 0 : 1));
+  const double check_occupancy =
+      bench::DoubleFlag(argc, argv, "check_occupancy", 0.0);
+  bench::BenchJson json("walks", json_path);
+  const ii::SimdBackend dispatched = ii::ActiveSimdBackend();
+  std::printf("dispatched backend: %s\n", ii::SimdBackendName(dispatched));
+
+  const int64_t n = bench::IntFlag(argc, argv, "n", quick ? 20000 : 200000);
+  const series::CumulativeSeries cumulative(JobCounts(n));
+  const core::ConfidenceEvaluator eval(&cumulative,
+                                       core::ConfidenceModel::kBalance);
+  const auto generator =
+      interval::MakeGenerator(interval::AlgorithmKind::kAreaBasedOpt);
+
+  bool gate_failed = false;
+  for (const int width : {1, 8, 64, 0}) {
+    interval::GeneratorOptions options;
+    options.type = core::TableauType::kHold;
+    options.c_hat = 0.999;
+    options.epsilon = 0.01;
+    options.num_threads = 1;
+    options.walk_width = width;
+    interval::GeneratorStats stats;
+    const double seconds = TimeBest(repeats, warmups, [&] {
+      stats.Reset();
+      generator->Generate(eval, options, &stats);
+    });
+    json.AddWalks(n, "ab_opt", width == 0 ? "auto" : "fixed", 1, seconds,
+                  width, stats);
+    json.AnnotateTrials(repeats, warmups);
+    std::printf("walk_width=%4s: %.4fs walks=%llu rounds=%llu "
+                "occupancy=%.3f\n",
+                width == 0 ? "auto" : std::to_string(width).c_str(), seconds,
+                static_cast<unsigned long long>(stats.walks),
+                static_cast<unsigned long long>(stats.walk_rounds),
+                stats.LaneOccupancy());
+    if (width == 0 && check_occupancy > 0.0) {
+      if (dispatched == ii::SimdBackend::kScalar) {
+        std::printf("occupancy gate skipped: scalar backend dispatched\n");
+      } else if (stats.LaneOccupancy() <= check_occupancy) {
+        std::fprintf(stderr,
+                     "FAIL: auto-width lane occupancy %.3f <= %.3f\n",
+                     stats.LaneOccupancy(), check_occupancy);
+        gate_failed = true;
+      } else {
+        std::printf("occupancy gate passed: %.3f > %.3f\n",
+                    stats.LaneOccupancy(), check_occupancy);
+      }
+    }
+  }
+
+  json.Flush();
+  return gate_failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string kernel_json =
       conservation::bench::StringFlag(argc, argv, "kernel_json", "");
   if (!kernel_json.empty()) return RunKernelBench(argc, argv, kernel_json);
+  const std::string walks_json =
+      conservation::bench::StringFlag(argc, argv, "walks_json", "");
+  if (!walks_json.empty()) return RunWalksBench(argc, argv, walks_json);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

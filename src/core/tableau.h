@@ -43,6 +43,11 @@ struct TableauRequest {
   // interval::GeneratorOptions::chunks_per_thread. Must be >= 1. Output is
   // identical for every setting — this only tunes load balance.
   int chunks_per_thread = 12;
+  // Concurrently resumable anchor walks per chunk in AB-opt's cross-anchor
+  // scheduler; see interval::GeneratorOptions::walk_width. 0 = auto (SIMD
+  // lane count x unroll), 1 = scalar walk. Candidates and counters are
+  // identical for every setting.
+  int walk_width = 0;
 };
 
 struct TableauRow {

@@ -5,6 +5,7 @@
 
 #include "interval/kernel.h"
 #include "interval/shard.h"
+#include "interval/walk.h"
 
 namespace conservation::interval {
 
@@ -92,145 +93,50 @@ std::vector<Candidate> AreaBasedGenerator::GenerateCandidates(
                                            GeneratorStats* chunk_stats) {
     internal::ConfidenceKernel kernel(eval, type);
     // One never-retreating pointer per level; 0 = not yet located in this
-    // chunk (anchors and breakpoints are always >= 1).
+    // chunk (anchors and breakpoints are always >= 1). The pointers are
+    // part of the walks' resumable state: checkpointing an AB walk means
+    // checkpointing this vector with it (interval/walk.h).
     std::vector<int64_t> pointer(thresholds.size(), 0);
 
-    // Batch-walk scratch. The linear walk usually advances a handful of
-    // steps, so it starts narrow and doubles up to kMaxWalk while every
-    // lane stays within the threshold.
-    constexpr int64_t kMaxWalk = 256;
-    double area_buf[kMaxWalk];
-    std::vector<int64_t> zp_js;
-    std::vector<double> zp_conf;
-    std::vector<uint8_t> zp_valid;
+    internal::AbWalkContext ctx;
+    ctx.n = n;
+    ctx.delta = delta;
+    ctx.growth = growth;
+    ctx.thresholds = &thresholds;
+    ctx.pointer = &pointer;
+    ctx.options = &options;
+    ctx.fail_type = type == core::TableauType::kFail;
+    ctx.credit_fail = credit_fail;
+    ctx.zero_prefix_lengths = &zero_prefix_lengths;
+
+    internal::AbWalkScratch scratch;
+    internal::WalkStepCounters counters;
+    internal::AbWalkState walk;
 
     std::vector<Candidate> out;
     out.reserve(static_cast<size_t>(i_end - i_begin + 1));
-    uint64_t tested = 0;
-    uint64_t steps = 0;
-    uint64_t batches = 0;
+    uint64_t walks_started = 0;
+    uint64_t walk_steps = 0;
 
     for (int64_t i = i_begin; i <= i_end; ++i) {
       kernel.BeginAnchor(i);
-      int64_t best_j = 0;
-      double best_conf = 0.0;
-      int64_t zero_area_end = 0;  // largest j with zero sparsification area
-      // Levels whose threshold is below area(i, i) have no breakpoint for
-      // this anchor; skip straight past them (with a safety margin of one
-      // level against floating-point rounding). The zero level for fail
-      // tableaux (index 0, threshold 0) is never skipped. Output-equivalent
-      // to iterating every level, but avoids an O(log(area(i,i)/Delta) / eps)
-      // undefined prefix per anchor.
-      size_t first_level = type == core::TableauType::kFail ? 1 : 0;
-      {
-        const double anchor_area = kernel.SparseArea(i);
-        if (anchor_area > delta) {
-          const double levels_below =
-              std::log(anchor_area / delta) / std::log(growth);
-          first_level +=
-              static_cast<size_t>(std::max(0.0, levels_below - 1.0));
-        }
+      walk.Begin(i, kernel, ctx);
+      ++walks_started;
+      while (!walk.done()) {
+        walk.Step(kernel, ctx, &scratch, &counters);
+        ++walk_steps;
       }
-      for (size_t level = type == core::TableauType::kFail ? 0 : first_level;
-           level < thresholds.size(); ++level) {
-        if (level == 1 && first_level > 1) level = first_level;  // after zero
-        const double threshold = thresholds[level];
-        int64_t t;
-        if (pointer[level] == 0) {
-          // First touch in this chunk: binary-search the largest endpoint
-          // in [i, n] whose area is within the threshold (t = i when even
-          // [i, i] exceeds it, matching the walk's no-advance case).
-          int64_t lo = i;
-          int64_t hi = n;
-          t = i;
-          while (lo <= hi) {
-            const int64_t mid = lo + (hi - lo) / 2;
-            ++steps;
-            if (kernel.SparseArea(mid) <= threshold) {
-              t = mid;
-              lo = mid + 1;
-            } else {
-              hi = mid - 1;
-            }
-          }
-        } else {
-          t = std::max(pointer[level], i);
-          // Batched linear walk: evaluate the next window of areas in one
-          // SparseAreaBatch call and advance through its within-threshold
-          // prefix. Stops at the same breakpoint as the scalar walk (the
-          // area is evaluated for every advanced endpoint plus the first
-          // failing one — extra lanes are speculative and side-effect
-          // free), and `steps` still counts only actual advances.
-          int64_t window = 4;
-          while (t + 1 <= n) {
-            const int64_t j1 = std::min<int64_t>(n, t + window);
-            const int64_t len = j1 - t;
-            kernel.SparseAreaBatch(t + 1, j1, area_buf);
-            ++batches;
-            int64_t advanced = 0;
-            while (advanced < len && area_buf[advanced] <= threshold) {
-              ++advanced;
-            }
-            t += advanced;
-            steps += static_cast<uint64_t>(advanced);
-            if (advanced < len) break;  // hit the first endpoint past T
-            window = std::min<int64_t>(window * 2, kMaxWalk);
-          }
-        }
-        pointer[level] = t;
-        const bool exists = kernel.SparseArea(t) <= threshold;
-        if (exists) {
-          if (threshold == 0.0) zero_area_end = t;
-          double conf;
-          ++tested;
-          if (kernel.Confidence(t, &conf) &&
-              PassesRelaxedThreshold(conf, options) && t > best_j) {
-            best_j = t;
-            best_conf = conf;
-          }
-        }
-        // Once the breakpoint reaches n, higher levels produce the same
-        // interval; the paper's level count L_i = ceil(log(area(i,n)/Delta))
-        // stops here too.
-        if (exists && t == n) break;
-      }
-      if (credit_fail && zero_area_end > i) {
-        // Zero-prefix probes, batched through the index-list kernel.
-        // Duplicate lengths (floor((1+eps)^h) repeats for small eps) are
-        // kept: each counts as a test, exactly as the scalar loop counted
-        // them, and a duplicate j can never displace itself (j > best_j).
-        zp_js.clear();
-        for (const int64_t len : zero_prefix_lengths) {
-          const int64_t j = i + len - 1;
-          if (j >= zero_area_end) break;  // zero_area_end itself was tested
-          zp_js.push_back(j);
-        }
-        if (!zp_js.empty()) {
-          zp_conf.resize(zp_js.size());
-          zp_valid.resize(zp_js.size());
-          kernel.ConfidenceIndexBatch(zp_js.data(),
-                                      static_cast<int64_t>(zp_js.size()),
-                                      zp_conf.data(), zp_valid.data());
-          ++batches;
-          tested += zp_js.size();
-          for (size_t k = 0; k < zp_js.size(); ++k) {
-            if (zp_valid[k] && PassesRelaxedThreshold(zp_conf[k], options) &&
-                zp_js[k] > best_j) {
-              best_j = zp_js[k];
-              best_conf = zp_conf[k];
-            }
-          }
-        }
-      }
-      if (best_j >= i) {
-        out.push_back(Candidate{Interval{i, best_j}, best_conf});
-        if (options.stop_on_full_cover && i == 1 && best_j == n) break;
+      if (walk.best_j() >= i) {
+        out.push_back(Candidate{Interval{i, walk.best_j()}, walk.best_conf()});
+        if (options.stop_on_full_cover && i == 1 && walk.best_j() == n) break;
       }
     }
 
-    chunk_stats->intervals_tested = tested;
-    chunk_stats->endpoint_steps = steps;
-    chunk_stats->batches = batches;
+    chunk_stats->intervals_tested = counters.tested;
+    chunk_stats->endpoint_steps = counters.steps;
+    chunk_stats->batches = counters.batches;
+    chunk_stats->walks = walks_started;
+    chunk_stats->walk_rounds = walk_steps;
     return out;
   };
 

@@ -89,6 +89,15 @@ struct GeneratorOptions {
   // spot: fewer re-exposes the skew, many more just pays per-chunk pointer
   // re-base overhead. Values < 1 are clamped to 1.
   int chunks_per_thread = 12;
+  // Concurrently active resumable walks per chunk in the cross-anchor walk
+  // schedulers (interval/walk.h): the AB/AB-opt sparsification sweeps keep
+  // this many anchor walks in flight and gather one probe per walk into
+  // contiguous lane buffers for the batch kernels. 0 = auto (SIMD backend
+  // lane count x unroll factor: 16 on AVX2, 8 on NEON); 1 (or a scalar /
+  // CONSERVATION_SIMD=off backend) delegates to the per-anchor scalar walk.
+  // Candidate output and the tested/steps counters are identical for every
+  // setting — this only tunes how full the SIMD lanes run.
+  int walk_width = 0;
 };
 
 // Per-worker accounting from one sharded run. Pure observability: none of
@@ -120,6 +129,15 @@ struct GeneratorStats {
   uint64_t batches = 0;
   // Number of candidate intervals emitted.
   uint64_t candidates = 0;
+  // Cross-anchor walk-scheduler accounting (interval/walk.h). Like
+  // `batches`, these describe execution shape, not logical work, and may
+  // vary with walk_width and backend; zero when the scalar walk ran.
+  uint64_t walks = 0;        // resumable walks activated
+  uint64_t walk_rounds = 0;  // gather rounds the schedulers issued
+  uint64_t walk_lanes = 0;   // probe lanes actually occupied across rounds
+  // Lane capacity of those rounds (rounds x walk width); occupancy is
+  // walk_lanes / walk_lane_slots.
+  uint64_t walk_lane_slots = 0;
   // Total work time: summed across workers. Equals wall_seconds for a
   // sequential run; approaches shards * wall_seconds under perfect scaling.
   double seconds = 0.0;
@@ -145,7 +163,21 @@ struct GeneratorStats {
     endpoint_steps += shard.endpoint_steps;
     batches += shard.batches;
     candidates += shard.candidates;
+    walks += shard.walks;
+    walk_rounds += shard.walk_rounds;
+    walk_lanes += shard.walk_lanes;
+    walk_lane_slots += shard.walk_lane_slots;
     seconds += shard.seconds;
+  }
+
+  // Fraction of walk-scheduler lane slots that carried a live probe, in
+  // [0, 1]; 0.0 when no walk scheduler ran. The bench_smoke_walks gate
+  // asserts this stays > 0.9 for the auto width on a vector backend.
+  double LaneOccupancy() const {
+    return walk_lane_slots == 0
+               ? 0.0
+               : static_cast<double>(walk_lanes) /
+                     static_cast<double>(walk_lane_slots);
   }
 
   // Shard-level observability, derived from shard_work. Workers that

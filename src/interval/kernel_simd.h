@@ -37,7 +37,11 @@
 #define CONSERVATION_INTERVAL_KERNEL_SIMD_H_
 
 #include <atomic>
+#include <cctype>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 #include "core/model.h"
 #include "obs/metrics.h"
@@ -81,7 +85,47 @@ inline const char* SimdBackendName(SimdBackend backend) {
   }
 }
 
+// Vector lanes per batch op on a backend (doubles per register). The walk
+// schedulers size their auto width as a multiple of this.
+inline int SimdLaneWidth(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kAvx2:
+      return 4;
+    case SimdBackend::kNeon:
+      return 2;
+    case SimdBackend::kScalar:
+    default:
+      return 1;
+  }
+}
+
 // --- Backend selection -----------------------------------------------------
+
+// What a CONSERVATION_SIMD environment value asks for. kAuto covers the
+// unset/empty/"auto" cases (use the build-time default and CPU detection);
+// kInvalid marks a token that names no backend — SelectBackend treats it as
+// a fatal configuration error rather than silently running scalar.
+enum class SimdRequest { kAuto, kScalar, kAvx2, kNeon, kInvalid };
+
+// Case-insensitive parse of a CONSERVATION_SIMD value. "off" and "scalar"
+// are synonyms, matching the CMake option's spelling and the backend name.
+inline SimdRequest ParseSimdRequest(const char* text) {
+  if (text == nullptr) return SimdRequest::kAuto;
+  char lowered[8];
+  size_t len = 0;
+  for (; text[len] != '\0'; ++len) {
+    if (len >= sizeof(lowered) - 1) return SimdRequest::kInvalid;
+    lowered[len] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[len])));
+  }
+  lowered[len] = '\0';
+  const std::string_view value(lowered, len);
+  if (value.empty() || value == "auto") return SimdRequest::kAuto;
+  if (value == "off" || value == "scalar") return SimdRequest::kScalar;
+  if (value == "avx2") return SimdRequest::kAvx2;
+  if (value == "neon") return SimdRequest::kNeon;
+  return SimdRequest::kInvalid;
+}
 
 namespace simd_detail {
 
@@ -96,7 +140,9 @@ inline void PublishBackendGauge(SimdBackend backend) {
       static_cast<double>(static_cast<int>(backend)));
 }
 
-inline SimdBackend SelectBackend() {
+// Build-time default: what the CMake CONSERVATION_SIMD option narrowed the
+// runtime choice to, subject to CPU support.
+inline SimdBackend SelectBackendDefault() {
 #if defined(CONSERVATION_SIMD_DISABLED)
   return SimdBackend::kScalar;
 #else
@@ -113,6 +159,36 @@ inline SimdBackend SelectBackend() {
   return SimdBackend::kScalar;
 #endif
 #endif
+}
+
+// Runtime backend choice: the CONSERVATION_SIMD environment variable (same
+// vocabulary as the CMake option, case-insensitive) overrides the build
+// default; a backend the build stripped or the CPU lacks falls back to
+// scalar (a hardware fact, not a typo). An unknown token is a fatal error:
+// silently running scalar would make every benchmark on the machine lie.
+inline SimdBackend SelectBackend() {
+  const char* env = std::getenv("CONSERVATION_SIMD");
+  switch (ParseSimdRequest(env)) {
+    case SimdRequest::kScalar:
+      return SimdBackend::kScalar;
+    case SimdRequest::kAvx2:
+      return (CONSERVATION_KERNEL_HAVE_AVX2 && util::CpuInfo().avx2)
+                 ? SimdBackend::kAvx2
+                 : SimdBackend::kScalar;
+    case SimdRequest::kNeon:
+      return (CONSERVATION_KERNEL_HAVE_NEON && util::CpuInfo().neon)
+                 ? SimdBackend::kNeon
+                 : SimdBackend::kScalar;
+    case SimdRequest::kInvalid:
+      std::fprintf(stderr,
+                   "CONSERVATION_SIMD: unknown value '%s' "
+                   "(expected auto, avx2, neon, off, or scalar)\n",
+                   env);
+      std::exit(2);
+    case SimdRequest::kAuto:
+      break;
+  }
+  return SelectBackendDefault();
 }
 
 }  // namespace simd_detail
@@ -182,6 +258,36 @@ struct RightAnchorBatchArgs {
   core::ConfidenceModel model;
 };
 
+// --- Cross-walk round form -------------------------------------------------
+// One lane per concurrently active walk (interval/walk.h): every lane
+// carries its own anchor, so the per-anchor snapshots become per-lane
+// arrays. The shared cumulative arrays stay process-wide pointers.
+
+// One binary-search step for every walk lane at once. Each lane is an
+// in-progress largest-endpoint-within search (area_based_opt.cc): the
+// round computes mid = lo + (hi - lo)/2, probes SparseArea_{i}(mid), and
+// applies the accept/reject register update branchlessly — the outcome is
+// data-random, so per-lane branches would mispredict every other probe.
+// Bit-identical per lane to one iteration of the scalar search loop.
+// Returns a bitmask of lanes whose search just completed (lo > hi), which
+// caps a round at 64 lanes.
+struct WalkRoundArgs {
+  const double* sp;        // shared cumulative array (SB hold / SA fail)
+  const double* sp_prev;   // per lane: sp[i-1] hoisted at walk start
+  const double* h_sp;      // per lane: sparsification baseline
+  const int64_t* i;        // per lane: walk anchor
+  const double* threshold; // per lane: current search threshold
+  int64_t* lo;             // per lane search registers, updated in place
+  int64_t* hi;
+};
+// The round deliberately maintains no `result` or probe-area register: the
+// accept step (lo = mid + 1 on success, result = mid) keeps result == lo - 1
+// at every point of the search, and on completion both the accepted probe's
+// area (at result) and a forced search's final probe area (at result + 1)
+// re-derive bit-exactly from sp and the hoisted lane baselines (walk.h
+// AbOptWalkState). Dropping the registers saves lane loads, blends, and
+// stores on every probe of every search.
+
 // --- Portable scalar backend ----------------------------------------------
 // The reference semantics: expression-for-expression the scalar kernel
 // (and therefore core::ConfidenceEvaluator). Every vector backend must
@@ -231,6 +337,27 @@ inline void ConfidenceIndexBatchScalar(const LeftAnchorBatchArgs& args,
     out_conf[k] = valid ? num / den : 0.0;
     out_valid[k] = valid ? 1 : 0;
   }
+}
+
+inline uint64_t SparseWalkRoundScalar(const WalkRoundArgs& args,
+                                      int64_t count) {
+  const double* __restrict sp = args.sp;
+  uint64_t completed = 0;
+  for (int64_t k = 0; k < count; ++k) {
+    const int64_t lo = args.lo[k];
+    const int64_t hi = args.hi[k];
+    const int64_t mid = lo + (hi - lo) / 2;
+    const double raw = (sp[mid] - args.sp_prev[k]) -
+                       static_cast<double>(mid - args.i[k] + 1) * args.h_sp[k];
+    const double area = raw < 0.0 ? 0.0 : raw;
+    const bool ok = area <= args.threshold[k];
+    const int64_t new_lo = ok ? mid + 1 : lo;
+    const int64_t new_hi = ok ? hi : mid - 1;
+    args.lo[k] = new_lo;
+    args.hi[k] = new_hi;
+    completed |= static_cast<uint64_t>(new_lo > new_hi) << k;
+  }
+  return completed;
 }
 
 inline void ConfidenceFromBatchScalar(const RightAnchorBatchArgs& args,
@@ -291,6 +418,20 @@ __attribute__((target("avx2"))) inline __m256d GatherLanes(
     const double* base, const int64_t* idx, int64_t offset = 0) {
   return _mm256_setr_pd(base[idx[0] + offset], base[idx[1] + offset],
                         base[idx[2] + offset], base[idx[3] + offset]);
+}
+
+// Gather with the indices still in a vector register. Bouncing them
+// through the stack would make every load address depend on a wide store
+// forwarding into narrow reloads, which serializes on in-order store
+// retirement; extracting via ALU keeps independent iterations pipelined.
+__attribute__((target("avx2"))) inline __m256d GatherLanesReg(
+    const double* base, __m256i idx) {
+  const __m128i idx_lo = _mm256_castsi256_si128(idx);
+  const __m128i idx_hi = _mm256_extracti128_si256(idx, 1);
+  return _mm256_setr_pd(base[_mm_cvtsi128_si64(idx_lo)],
+                        base[_mm_extract_epi64(idx_lo, 1)],
+                        base[_mm_cvtsi128_si64(idx_hi)],
+                        base[_mm_extract_epi64(idx_hi, 1)]);
 }
 
 __attribute__((target("avx2"))) inline void StoreValid(uint8_t* out,
@@ -387,6 +528,54 @@ __attribute__((target("avx2"))) inline void ConfidenceIndexBatch(
     ConfidenceIndexBatchScalar(args, js + k, count - k, out_conf + k,
                                out_valid + k);
   }
+}
+
+__attribute__((target("avx2"))) inline uint64_t SparseWalkRound(
+    const WalkRoundArgs& args, int64_t count) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  uint64_t completed = 0;
+  int64_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256i lo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(args.lo + k));
+    const __m256i hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(args.hi + k));
+    // mid = lo + (hi - lo) / 2; hi >= lo for an in-progress search, so the
+    // logical shift is exact integer division.
+    const __m256i mid = _mm256_add_epi64(
+        lo, _mm256_srli_epi64(_mm256_sub_epi64(hi, lo), 1));
+    const __m256d sp = GatherLanesReg(args.sp, mid);
+    const __m256d sp_prev = _mm256_loadu_pd(args.sp_prev + k);
+    const __m256d h_sp = _mm256_loadu_pd(args.h_sp + k);
+    const __m256i iv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(args.i + k));
+    const __m256d len =
+        SmallInt64ToDouble(_mm256_sub_epi64(mid, _mm256_sub_epi64(iv, one)));
+    const __m256d raw = _mm256_sub_pd(_mm256_sub_pd(sp, sp_prev),
+                                      _mm256_mul_pd(len, h_sp));
+    const __m256d area = ClampZero(raw);
+    const __m256d ok_pd = _mm256_cmp_pd(
+        area, _mm256_loadu_pd(args.threshold + k), _CMP_LE_OQ);
+    const __m256i ok = _mm256_castpd_si256(ok_pd);
+    const __m256i new_lo =
+        _mm256_blendv_epi8(lo, _mm256_add_epi64(mid, one), ok);
+    const __m256i new_hi =
+        _mm256_blendv_epi8(_mm256_sub_epi64(mid, one), hi, ok);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(args.lo + k), new_lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(args.hi + k), new_hi);
+    const __m256i done = _mm256_cmpgt_epi64(new_lo, new_hi);
+    completed |= static_cast<uint64_t>(_mm256_movemask_pd(
+                     _mm256_castsi256_pd(done)))
+                 << k;
+  }
+  if (k < count) {
+    const WalkRoundArgs tail{args.sp,           args.sp_prev + k,
+                             args.h_sp + k,      args.i + k,
+                             args.threshold + k, args.lo + k,
+                             args.hi + k};
+    completed |= SparseWalkRoundScalar(tail, count - k) << k;
+  }
+  return completed;
 }
 
 __attribute__((target("avx2"))) inline void ConfidenceFromBatch(
@@ -529,6 +718,48 @@ inline void ConfidenceIndexBatch(const LeftAnchorBatchArgs& args,
     ConfidenceIndexBatchScalar(args, js + k, count - k, out_conf + k,
                                out_valid + k);
   }
+}
+
+inline uint64_t SparseWalkRound(const WalkRoundArgs& args, int64_t count) {
+  const int64x2_t one = vdupq_n_s64(1);
+  uint64_t completed = 0;
+  int64_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    const int64x2_t lo = vld1q_s64(args.lo + k);
+    const int64x2_t hi = vld1q_s64(args.hi + k);
+    // mid = lo + (hi - lo) / 2; hi >= lo in-progress, so the logical shift
+    // is exact integer division.
+    const int64x2_t mid = vaddq_s64(
+        lo, vreinterpretq_s64_u64(
+                vshrq_n_u64(vreinterpretq_u64_s64(vsubq_s64(hi, lo)), 1)));
+    const double sp_lanes[2] = {args.sp[vgetq_lane_s64(mid, 0)],
+                                args.sp[vgetq_lane_s64(mid, 1)]};
+    const float64x2_t sp = vld1q_f64(sp_lanes);
+    const float64x2_t sp_prev = vld1q_f64(args.sp_prev + k);
+    const float64x2_t h_sp = vld1q_f64(args.h_sp + k);
+    const int64x2_t iv = vld1q_s64(args.i + k);
+    const float64x2_t len =
+        vcvtq_f64_s64(vsubq_s64(mid, vsubq_s64(iv, one)));
+    const float64x2_t raw =
+        vsubq_f64(vsubq_f64(sp, sp_prev), vmulq_f64(len, h_sp));
+    const float64x2_t area = ClampZero(raw);
+    const uint64x2_t ok = vcleq_f64(area, vld1q_f64(args.threshold + k));
+    const int64x2_t new_lo = vbslq_s64(ok, vaddq_s64(mid, one), lo);
+    const int64x2_t new_hi = vbslq_s64(ok, hi, vsubq_s64(mid, one));
+    vst1q_s64(args.lo + k, new_lo);
+    vst1q_s64(args.hi + k, new_hi);
+    const uint64x2_t done = vcgtq_s64(new_lo, new_hi);
+    completed |= (vgetq_lane_u64(done, 0) & 1) << k;
+    completed |= (vgetq_lane_u64(done, 1) & 1) << (k + 1);
+  }
+  if (k < count) {
+    const WalkRoundArgs tail{args.sp,           args.sp_prev + k,
+                             args.h_sp + k,      args.i + k,
+                             args.threshold + k, args.lo + k,
+                             args.hi + k};
+    completed |= SparseWalkRoundScalar(tail, count - k) << k;
+  }
+  return completed;
 }
 
 inline void ConfidenceFromBatch(const RightAnchorBatchArgs& args,

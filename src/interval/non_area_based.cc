@@ -5,6 +5,7 @@
 
 #include "interval/kernel.h"
 #include "interval/shard.h"
+#include "interval/walk.h"
 
 namespace conservation::interval {
 
@@ -63,78 +64,37 @@ std::vector<Candidate> NonAreaBasedGenerator::GenerateCandidates(
   auto block = [&, n](int64_t j_begin, int64_t j_end,
                       GeneratorStats* chunk_stats) {
     internal::ConfidenceKernel kernel(eval, options.type);
+    internal::NabWalkContext ctx{&lengths, &options};
+    internal::NabWalkScratch scratch;
+    internal::WalkStepCounters counters;
+    internal::NabWalkState walk;
     std::vector<Candidate> out;
     out.reserve(static_cast<size_t>(j_end - j_begin + 1));
-    std::vector<int64_t> level_is(lengths.size());
-    std::vector<double> conf_buf(lengths.size());
-    std::vector<uint8_t> valid_buf(lengths.size());
-    uint64_t tested = 0;
-    uint64_t batches = 0;
+    uint64_t walks_started = 0;
+    uint64_t walk_steps = 0;
     size_t first_covering = lengths.size() - 1;  // last entry is >= n >= j
     for (int64_t j = j_end; j >= j_begin; --j) {
       kernel.BeginRightAnchor(j);
-      int64_t best_i = 0;
-      double best_conf = 0.0;
       while (first_covering > 0 && lengths[first_covering - 1] >= j) {
         --first_covering;
       }
       // Schedule entries applicable to this anchor: all lengths < j plus
       // the first one >= j (which clamps to i = 1).
-      const size_t applicable = first_covering + 1;
-
-      // Left anchors per level, probed through the right-anchored batch
-      // kernel (index-list gather over a, SA, SB).
-      for (size_t h = 0; h < applicable; ++h) {
-        level_is[h] = std::max<int64_t>(1, j + 1 - lengths[h]);
+      walk.Begin(j, first_covering + 1);
+      ++walks_started;
+      while (!walk.finished) {
+        walk.Step(kernel, ctx, &scratch, &counters);
+        ++walk_steps;
       }
-
-      if (options.largest_first_early_exit) {
-        // Longest level first, in reverse blocks; the first qualifying
-        // level wins (best_i is always 0 at that point, so the scalar
-        // `i < best_i` refinement is vacuous). Lanes past the winner are
-        // speculative and uncounted, keeping `tested` scalar-identical.
-        constexpr size_t kProbeBlock = 8;
-        bool found = false;
-        for (size_t end = applicable; end > 0 && !found;) {
-          const size_t begin = end >= kProbeBlock ? end - kProbeBlock : 0;
-          kernel.ConfidenceFromBatch(level_is.data() + begin,
-                                     static_cast<int64_t>(end - begin),
-                                     conf_buf.data(), valid_buf.data());
-          ++batches;
-          for (size_t h = end; h-- > begin;) {
-            ++tested;
-            if (valid_buf[h - begin] &&
-                PassesRelaxedThreshold(conf_buf[h - begin], options)) {
-              best_i = level_is[h];
-              best_conf = conf_buf[h - begin];
-              found = true;
-              break;
-            }
-          }
-          end = begin;
-        }
-      } else {
-        kernel.ConfidenceFromBatch(level_is.data(),
-                                   static_cast<int64_t>(applicable),
-                                   conf_buf.data(), valid_buf.data());
-        ++batches;
-        tested += applicable;
-        for (size_t h = 0; h < applicable; ++h) {
-          if (valid_buf[h] && PassesRelaxedThreshold(conf_buf[h], options) &&
-              (best_i == 0 || level_is[h] < best_i)) {
-            best_i = level_is[h];
-            best_conf = conf_buf[h];
-          }
-        }
-      }
-
-      if (best_i >= 1) {
-        out.push_back(Candidate{Interval{best_i, j}, best_conf});
-        if (options.stop_on_full_cover && best_i == 1 && j == n) break;
+      if (walk.best_i >= 1) {
+        out.push_back(Candidate{Interval{walk.best_i, j}, walk.best_conf});
+        if (options.stop_on_full_cover && walk.best_i == 1 && j == n) break;
       }
     }
-    chunk_stats->intervals_tested = tested;
-    chunk_stats->batches = batches;
+    chunk_stats->intervals_tested = counters.tested;
+    chunk_stats->batches = counters.batches;
+    chunk_stats->walks = walks_started;
+    chunk_stats->walk_rounds = walk_steps;
     return out;
   };
 

@@ -1,0 +1,415 @@
+// Checkpoint/resume differentials for the resumable walk states
+// (interval/walk.h). The states are plain copyable values, so a checkpoint
+// is a struct copy (plus, for AB, the chunk's shared pointer vector) and a
+// resume is continuing the copy. Every test interrupts a walk at an
+// adversarial boundary — each probe of an in-flight binary search, each
+// level of an AB sweep, each reverse block of a NAB sweep, chunk edges via
+// chunks_per_thread, sub-lane tails via odd walk widths — and asserts the
+// resumed walk reproduces the uninterrupted one bitwise: same candidates,
+// same confidences, same counters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/confidence.h"
+#include "datagen/job_log.h"
+#include "interval/generator.h"
+#include "interval/kernel.h"
+#include "interval/kernel_simd.h"
+#include "interval/non_area_based.h"
+#include "interval/walk.h"
+#include "series/cumulative.h"
+
+namespace conservation {
+namespace {
+
+using core::ConfidenceEvaluator;
+using core::ConfidenceModel;
+using core::TableauType;
+using interval::Candidate;
+using interval::GeneratorOptions;
+namespace ii = interval::internal;
+
+const series::CumulativeSeries& JobSeries(int64_t n) {
+  static auto* cache = new std::vector<
+      std::pair<int64_t, series::CumulativeSeries*>>();
+  for (const auto& [key, value] : *cache) {
+    if (key == n) return *value;
+  }
+  datagen::JobLogParams params;
+  params.num_ticks = n;
+  auto* built =
+      new series::CumulativeSeries(datagen::GenerateJobLog(params).counts);
+  cache->emplace_back(n, built);
+  return *built;
+}
+
+// --- AB-opt walk state ------------------------------------------------------
+
+struct AbOptFixture {
+  const series::CumulativeSeries& cumulative;
+  ConfidenceEvaluator eval;
+  GeneratorOptions options;
+  ii::ConfidenceKernel kernel;
+  double delta;
+  ii::AbOptWalkContext ctx;
+
+  explicit AbOptFixture(int64_t n,
+                        ConfidenceModel model = ConfidenceModel::kBalance,
+                        TableauType type = TableauType::kHold)
+      : cumulative(JobSeries(n)),
+        eval(&cumulative, model),
+        options(),
+        kernel(eval, type),
+        delta(0.0) {
+    options.type = type;
+    options.c_hat = 0.999;
+    options.epsilon = 0.01;
+    delta = interval::ResolveDelta(eval.series(), options);
+    ctx.n = n;
+    ctx.delta = delta;
+    ctx.growth = 1.0 + options.epsilon;
+    ctx.credit_fail =
+        type == TableauType::kFail && model == ConfidenceModel::kCredit;
+    ctx.zero_prefix_lengths = &zero_prefix_lengths;
+    if (ctx.credit_fail) {
+      double power = 1.0;
+      while (static_cast<int64_t>(power) < n) {
+        zero_prefix_lengths.push_back(static_cast<int64_t>(power));
+        power *= ctx.growth;
+      }
+      zero_prefix_lengths.push_back(n);
+    }
+    ctx.sp = kernel.sp();
+  }
+
+  std::vector<int64_t> zero_prefix_lengths;
+};
+
+// Runs anchor i's walk to completion with scalar Advance stepping.
+std::vector<int64_t> ReferenceBreakpoints(AbOptFixture& fix, int64_t i,
+                                          uint64_t* probes = nullptr) {
+  fix.kernel.BeginAnchor(i);
+  ii::AbOptWalkState walk;
+  walk.Begin(i, fix.ctx);
+  while (!walk.done()) {
+    walk.Advance(fix.kernel.SparseArea(walk.probe_j()), fix.ctx);
+  }
+  if (probes != nullptr) *probes = walk.probes();
+  return walk.breakpoints();
+}
+
+// Checkpointing the Advance-stepped walk after every probe ordinal and
+// resuming the copy must reproduce the uninterrupted breakpoint list and
+// probe count exactly.
+TEST(AbOptWalkResume, EveryProbeOrdinal) {
+  AbOptFixture fix(700);
+  for (const int64_t anchor : {1L, 2L, 137L, 350L, 699L, 700L}) {
+    uint64_t ref_probes = 0;
+    const std::vector<int64_t> reference =
+        ReferenceBreakpoints(fix, anchor, &ref_probes);
+    ASSERT_GT(ref_probes, 0u);
+    for (uint64_t cut = 0; cut <= ref_probes; ++cut) {
+      fix.kernel.BeginAnchor(anchor);
+      ii::AbOptWalkState walk;
+      walk.Begin(anchor, fix.ctx);
+      for (uint64_t p = 0; p < cut && !walk.done(); ++p) {
+        walk.Advance(fix.kernel.SparseArea(walk.probe_j()), fix.ctx);
+      }
+      ii::AbOptWalkState resumed = walk;  // checkpoint: plain value copy
+      while (!resumed.done()) {
+        resumed.Advance(fix.kernel.SparseArea(resumed.probe_j()), fix.ctx);
+      }
+      ASSERT_EQ(resumed.breakpoints(), reference)
+          << "anchor " << anchor << " cut " << cut;
+      ASSERT_EQ(resumed.probes(), ref_probes);
+    }
+  }
+}
+
+// The lane-stepped form (StoreRegs / SparseWalkRound / CompleteSearch) must
+// visit the identical probe sequence as the Advance form — including with a
+// mid-walk checkpoint of state + lane registers at every round boundary.
+TEST(AbOptWalkResume, LaneFormMatchesAdvanceForm) {
+  AbOptFixture fix(700);
+  for (const int64_t anchor : {1L, 42L, 350L, 700L}) {
+    const std::vector<int64_t> reference = ReferenceBreakpoints(fix, anchor);
+
+    fix.kernel.BeginAnchor(anchor);
+    ii::WalkLaneBuffers lanes(1);
+    ii::AbOptWalkState walk;
+    walk.Begin(anchor, fix.ctx);
+    lanes.i[0] = anchor;
+    lanes.sp_prev[0] = fix.kernel.sp_prev();
+    lanes.h_sp[0] = fix.kernel.h_sp();
+    walk.StoreRegs(&lanes, 0);
+
+    int round = 0;
+    bool retired = false;
+    while (!retired) {
+      ++round;
+      const uint64_t mask = fix.kernel.SparseWalkRound(lanes.RoundArgs(), 1);
+      if ((mask & 1) == 0) continue;
+      // Checkpoint at this search-completion boundary: copy the state and
+      // the lane registers, resume the copy to completion, and require the
+      // reference breakpoints.
+      ii::AbOptWalkState checkpoint = walk;
+      ii::WalkLaneBuffers lane_copy = lanes;
+      bool copy_retired = checkpoint.CompleteSearch(&lane_copy, 0, fix.ctx);
+      while (!copy_retired) {
+        const uint64_t m =
+            fix.kernel.SparseWalkRound(lane_copy.RoundArgs(), 1);
+        if ((m & 1) != 0) {
+          copy_retired = checkpoint.CompleteSearch(&lane_copy, 0, fix.ctx);
+        }
+      }
+      ASSERT_EQ(checkpoint.breakpoints(), reference)
+          << "anchor " << anchor << " checkpoint round " << round;
+      retired = walk.CompleteSearch(&lanes, 0, fix.ctx);
+    }
+    ASSERT_EQ(walk.breakpoints(), reference) << "anchor " << anchor;
+  }
+}
+
+// Full-generator differential: AB-opt candidates and counters are
+// bit-identical across walk widths (odd widths exercise the SIMD round's
+// sub-lane scalar tail, widths > 64 the bank split), thread counts, and
+// chunk granularities (chunk edges move walk retirement boundaries).
+TEST(AbOptWalkResume, WidthThreadChunkDifferential) {
+  const int64_t n = 3000;
+  const series::CumulativeSeries& cumulative = JobSeries(n);
+  const ConfidenceEvaluator eval(&cumulative, ConfidenceModel::kBalance);
+  const auto generator =
+      interval::MakeGenerator(interval::AlgorithmKind::kAreaBasedOpt);
+
+  GeneratorOptions options;
+  options.type = TableauType::kHold;
+  options.c_hat = 0.999;
+  options.epsilon = 0.01;
+  options.walk_width = 1;  // scalar reference walk
+  interval::GeneratorStats ref_stats;
+  const std::vector<Candidate> reference =
+      generator->GenerateCandidates(eval, options, &ref_stats);
+  ASSERT_GT(ref_stats.intervals_tested, 0u);
+
+  for (const int width : {2, 3, 5, 16, 64, 128, 256}) {
+    for (const int threads : {1, 3}) {
+      for (const int chunks_per_thread : {1, 7}) {
+        GeneratorOptions run = options;
+        run.walk_width = width;
+        run.num_threads = threads;
+        run.chunks_per_thread = chunks_per_thread;
+        interval::GeneratorStats stats;
+        const std::vector<Candidate> got =
+            generator->GenerateCandidates(eval, run, &stats);
+        ASSERT_EQ(got.size(), reference.size())
+            << "width " << width << " threads " << threads;
+        for (size_t k = 0; k < got.size(); ++k) {
+          ASSERT_EQ(got[k].interval.begin, reference[k].interval.begin);
+          ASSERT_EQ(got[k].interval.end, reference[k].interval.end);
+          // Bitwise: the walk must reproduce the scalar arithmetic exactly.
+          ASSERT_EQ(got[k].confidence, reference[k].confidence)
+              << "width " << width << " threads " << threads << " row " << k;
+        }
+        ASSERT_EQ(stats.intervals_tested, ref_stats.intervals_tested)
+            << "width " << width;
+        ASSERT_EQ(stats.endpoint_steps, ref_stats.endpoint_steps)
+            << "width " << width;
+        if (width > 1 &&
+            ii::ActiveSimdBackend() != ii::SimdBackend::kScalar) {
+          EXPECT_GT(stats.walks, 0u) << "width " << width;
+        }
+      }
+    }
+  }
+}
+
+// --- AB walk state ----------------------------------------------------------
+
+// Uninterrupted vs checkpoint-at-every-level: the AB state plus the chunk's
+// shared pointer vector is the full checkpoint; restoring both and resuming
+// must reproduce best_j/best_conf and the counters.
+TEST(AbWalkResume, EveryLevelBoundary) {
+  const int64_t n = 600;
+  const series::CumulativeSeries& cumulative = JobSeries(n);
+  const ConfidenceEvaluator eval(&cumulative, ConfidenceModel::kBalance);
+  GeneratorOptions options;
+  options.type = TableauType::kHold;
+  options.c_hat = 0.999;
+  options.epsilon = 0.01;
+  const double delta = interval::ResolveDelta(eval.series(), options);
+  const double growth = 1.0 + options.epsilon;
+  const double max_area = eval.series().SumB(1, n);
+  std::vector<double> thresholds;
+  double t_value = delta;
+  int64_t num_levels =
+      max_area > delta
+          ? static_cast<int64_t>(
+                std::ceil(std::log(max_area / delta) / std::log(growth))) + 1
+          : 0;
+  for (int64_t l = 0; l <= num_levels; ++l) {
+    thresholds.push_back(t_value);
+    t_value *= growth;
+  }
+  ii::ConfidenceKernel kernel(eval, options.type);
+  const std::vector<int64_t> no_zero_prefix;
+
+  ii::AbWalkContext ctx;
+  ctx.n = n;
+  ctx.delta = delta;
+  ctx.growth = growth;
+  ctx.thresholds = &thresholds;
+  ctx.options = &options;
+  ctx.zero_prefix_lengths = &no_zero_prefix;
+
+  for (const int64_t anchor : {1L, 57L, 300L, 600L}) {
+    // Uninterrupted run, with its own pointer vector (fresh chunk).
+    std::vector<int64_t> ref_pointer(thresholds.size(), 0);
+    ctx.pointer = &ref_pointer;
+    ii::AbWalkScratch scratch;
+    ii::WalkStepCounters ref_counters;
+    ii::AbWalkState reference;
+    kernel.BeginAnchor(anchor);
+    reference.Begin(anchor, kernel, ctx);
+    int total_steps = 0;
+    while (!reference.done()) {
+      reference.Step(kernel, ctx, &scratch, &ref_counters);
+      ++total_steps;
+    }
+    ASSERT_GT(total_steps, 0);
+
+    for (int cut = 0; cut <= total_steps; ++cut) {
+      std::vector<int64_t> pointer(thresholds.size(), 0);
+      ctx.pointer = &pointer;
+      ii::WalkStepCounters counters;
+      ii::AbWalkState walk;
+      kernel.BeginAnchor(anchor);
+      walk.Begin(anchor, kernel, ctx);
+      for (int s = 0; s < cut && !walk.done(); ++s) {
+        walk.Step(kernel, ctx, &scratch, &counters);
+      }
+      // Checkpoint: the state, the shared pointer vector, the counters.
+      ii::AbWalkState resumed = walk;
+      std::vector<int64_t> pointer_copy = pointer;
+      ctx.pointer = &pointer_copy;
+      ii::WalkStepCounters resumed_counters = counters;
+      ii::AbWalkScratch fresh_scratch;  // scratch carries no walk state
+      while (!resumed.done()) {
+        resumed.Step(kernel, ctx, &fresh_scratch, &resumed_counters);
+      }
+      ASSERT_EQ(resumed.best_j(), reference.best_j())
+          << "anchor " << anchor << " cut " << cut;
+      ASSERT_EQ(resumed.best_conf(), reference.best_conf());
+      ASSERT_EQ(resumed_counters.tested, ref_counters.tested);
+      ASSERT_EQ(resumed_counters.steps, ref_counters.steps);
+      ASSERT_EQ(resumed_counters.batches, ref_counters.batches);
+    }
+  }
+}
+
+// --- NAB walk state ---------------------------------------------------------
+
+// Uninterrupted vs checkpoint-at-every-reverse-block (largest-first early
+// exit splits the sweep into resumable blocks; the plain sweep is a single
+// step and checkpoints trivially before/after).
+TEST(NabWalkResume, EveryBlockBoundary) {
+  const int64_t n = 600;
+  const series::CumulativeSeries& cumulative = JobSeries(n);
+  const ConfidenceEvaluator eval(&cumulative, ConfidenceModel::kBalance);
+  GeneratorOptions options;
+  options.type = TableauType::kHold;
+  options.c_hat = 0.9;
+  options.epsilon = 0.01;
+  const std::vector<int64_t> lengths =
+      interval::NonAreaBasedGenerator::MakeLengthSchedule(
+          interval::NonAreaBasedGenerator::LengthSchedule::kGeometric,
+          options.epsilon, n);
+  ii::ConfidenceKernel kernel(eval, options.type);
+
+  for (const bool early_exit : {false, true}) {
+    options.largest_first_early_exit = early_exit;
+    ii::NabWalkContext ctx{&lengths, &options};
+    for (const int64_t j : {1L, 64L, 300L, 600L}) {
+      size_t first_covering = lengths.size() - 1;
+      while (first_covering > 0 && lengths[first_covering - 1] >= j) {
+        --first_covering;
+      }
+      const size_t applicable = first_covering + 1;
+
+      ii::NabWalkScratch scratch;
+      ii::WalkStepCounters ref_counters;
+      ii::NabWalkState reference;
+      kernel.BeginRightAnchor(j);
+      reference.Begin(j, applicable);
+      int total_steps = 0;
+      while (!reference.finished) {
+        reference.Step(kernel, ctx, &scratch, &ref_counters);
+        ++total_steps;
+      }
+
+      for (int cut = 0; cut <= total_steps; ++cut) {
+        ii::WalkStepCounters counters;
+        ii::NabWalkState walk;
+        kernel.BeginRightAnchor(j);
+        walk.Begin(j, applicable);
+        for (int s = 0; s < cut && !walk.finished; ++s) {
+          walk.Step(kernel, ctx, &scratch, &counters);
+        }
+        ii::NabWalkState resumed = walk;  // checkpoint: plain value copy
+        ii::WalkStepCounters resumed_counters = counters;
+        ii::NabWalkScratch fresh_scratch;
+        while (!resumed.finished) {
+          resumed.Step(kernel, ctx, &fresh_scratch, &resumed_counters);
+        }
+        ASSERT_EQ(resumed.best_i, reference.best_i)
+            << "early_exit " << early_exit << " j " << j << " cut " << cut;
+        ASSERT_EQ(resumed.best_conf, reference.best_conf);
+        ASSERT_EQ(resumed_counters.tested, ref_counters.tested);
+        ASSERT_EQ(resumed_counters.batches, ref_counters.batches);
+      }
+    }
+  }
+}
+
+// --- Width resolution and CONSERVATION_SIMD parsing -------------------------
+
+TEST(WalkWidth, ResolveRules) {
+  GeneratorOptions options;
+  // Scalar backend always walks one anchor at a time, whatever the knob.
+  options.walk_width = 64;
+  EXPECT_EQ(ii::ResolveWalkWidth(options, ii::SimdBackend::kScalar), 1);
+  // Explicit width is clamped to the scheduler cap.
+  options.walk_width = 100000;
+  EXPECT_EQ(ii::ResolveWalkWidth(options, ii::SimdBackend::kAvx2),
+            ii::kMaxWalkWidth);
+  options.walk_width = 7;
+  EXPECT_EQ(ii::ResolveWalkWidth(options, ii::SimdBackend::kAvx2), 7);
+  // Auto: lane count x unroll, capped.
+  options.walk_width = 0;
+  EXPECT_EQ(ii::ResolveWalkWidth(options, ii::SimdBackend::kAvx2),
+            std::min(ii::SimdLaneWidth(ii::SimdBackend::kAvx2) * 32,
+                     ii::kMaxWalkWidth));
+}
+
+TEST(SimdRequestParse, CaseInsensitiveAndStrict) {
+  using ii::ParseSimdRequest;
+  using ii::SimdRequest;
+  EXPECT_EQ(ParseSimdRequest(nullptr), SimdRequest::kAuto);
+  EXPECT_EQ(ParseSimdRequest(""), SimdRequest::kAuto);
+  EXPECT_EQ(ParseSimdRequest("auto"), SimdRequest::kAuto);
+  EXPECT_EQ(ParseSimdRequest("AUTO"), SimdRequest::kAuto);
+  EXPECT_EQ(ParseSimdRequest("off"), SimdRequest::kScalar);
+  EXPECT_EQ(ParseSimdRequest("OFF"), SimdRequest::kScalar);
+  EXPECT_EQ(ParseSimdRequest("Scalar"), SimdRequest::kScalar);
+  EXPECT_EQ(ParseSimdRequest("AVX2"), SimdRequest::kAvx2);
+  EXPECT_EQ(ParseSimdRequest("Neon"), SimdRequest::kNeon);
+  EXPECT_EQ(ParseSimdRequest("sse9"), SimdRequest::kInvalid);
+  EXPECT_EQ(ParseSimdRequest("avx512"), SimdRequest::kInvalid);
+  EXPECT_EQ(ParseSimdRequest("a-very-long-token"), SimdRequest::kInvalid);
+}
+
+}  // namespace
+}  // namespace conservation

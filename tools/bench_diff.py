@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Compare two bench --json files and print per-config deltas.
 
-Records are keyed by (bench, n, algorithm, model, threads, k); k is 0 for
-records without a candidate-count dimension (everything except the cover
-bench, which sweeps k at fixed n). The compared quantity is `seconds`
+Records are keyed by (bench, n, algorithm, model, threads, k, walk_width);
+k is 0 for records without a candidate-count dimension (everything except
+the cover bench, which sweeps k at fixed n) and walk_width is 0 for
+records without a walk-width dimension (everything except the walks
+bench, which sweeps it at fixed n). The compared quantity is `seconds`
 (end-to-end wall clock). Configs present in only one file are listed
 separately. When both records carry the parallel observability block,
 speedup and imbalance deltas are shown too; when both carry the cover
-block, cover_speedup and stale-re-evaluation deltas are shown.
+block, cover_speedup and stale-re-evaluation deltas are shown; when both
+carry the walk block, lane-occupancy deltas are shown. Measurement
+provenance (repeats / warmups, like the SIMD backend) is dropped from
+keys and comparisons.
 
 Usage:
   tools/bench_diff.py OLD.json NEW.json [--threshold=5] [--fail-on-regress]
@@ -37,6 +42,8 @@ def load_records(path):
         # backend field: machine provenance, not part of the config.
         record.pop("metrics", None)
         record.pop("backend", None)
+        record.pop("repeats", None)
+        record.pop("warmups", None)
         key = (
             record.get("bench", ""),
             record.get("n", 0),
@@ -44,6 +51,7 @@ def load_records(path):
             record.get("model", ""),
             record.get("threads", 1),
             record.get("k", 0),
+            record.get("walk_width", 0),
         )
         if key in records:
             print(f"warning: {path}: duplicate record for {key}; "
@@ -53,10 +61,12 @@ def load_records(path):
 
 
 def fmt_key(key):
-    bench, n, algorithm, model, threads, k = key
+    bench, n, algorithm, model, threads, k, walk_width = key
     text = f"{bench} n={n} {algorithm} {model} threads={threads}"
     if k:
         text += f" k={k}"
+    if walk_width:
+        text += f" walk_width={walk_width}"
     return text
 
 
@@ -112,6 +122,9 @@ def main():
         if "stale_reevaluations" in o and "stale_reevaluations" in n:
             extras.append(f"stale {o['stale_reevaluations']} -> "
                           f"{n['stale_reevaluations']}")
+        if "lane_occupancy" in o and "lane_occupancy" in n:
+            extras.append(f"occupancy {o['lane_occupancy']:.3f} -> "
+                          f"{n['lane_occupancy']:.3f}")
         if extras:
             line += "\n      " + ", ".join(extras)
         print(line)

@@ -18,6 +18,10 @@
 //                  (default 1; results are identical for every setting)
 //   --chunks_per_thread=<k>  scheduler chunks per worker (default 12);
 //                  load-balance knob only, results identical for every value
+//   --walk_width=<w>  concurrent resumable anchor walks per chunk in the
+//                  AB-opt cross-anchor scheduler (default 0 = auto: SIMD
+//                  lane count x unroll; 1 = scalar walk); results identical
+//                  for every value
 // Extras:
 //   --report         full quality report (tableau + diagnosis + segments)
 //   --json           emit the tableau as JSON (includes a "cover" stats
@@ -249,6 +253,10 @@ int main(int argc, char** argv) {
   }
   if (*chunks_per_thread < 1) return Fail("--chunks_per_thread must be >= 1");
   request.chunks_per_thread = static_cast<int>(*chunks_per_thread);
+  auto walk_width = flags.GetIntOr("walk_width", 0);
+  if (!walk_width.ok()) return Fail(walk_width.status().ToString());
+  if (*walk_width < 0) return Fail("--walk_width must be >= 0 (0 = auto)");
+  request.walk_width = static_cast<int>(*walk_width);
 
   std::printf("n = %lld ticks; overall %s confidence = %s\n",
               static_cast<long long>(rule->n()),

@@ -13,16 +13,15 @@
 #   sanitizer  'thread' (default) or 'address' (CONSERVATION_SANITIZE)
 #   subdir     build-tree subdirectory holding the binary; default: tools
 set -euo pipefail
+source "$(dirname "$0")/smoke_lib.sh"
 
-repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${repo_root}/build-tsan}"
+build_dir="${1:-$(smoke_repo_root)/build-tsan}"
 target="${2:-shard_smoke}"
 sanitizer="${3:-thread}"
 subdir="${4:-tools}"
 
-cmake -B "${build_dir}" -S "${repo_root}" \
+smoke_build_variant "${build_dir}" "${target}" \
   -DCONSERVATION_SANITIZE="${sanitizer}"
-cmake --build "${build_dir}" -j --target "${target}"
 
 # halt_on_error: make the first report fail the run instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \

@@ -8,18 +8,17 @@
 #
 # Usage: tools/simd_off_smoke.sh OFF_BUILD_DIR MAIN_CRDISCOVER INPUT_CSV
 set -euo pipefail
+source "$(dirname "$0")/smoke_lib.sh"
 
 if [[ $# -ne 3 ]]; then
   echo "usage: simd_off_smoke.sh OFF_BUILD_DIR MAIN_CRDISCOVER INPUT_CSV" >&2
   exit 2
 fi
-repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 off_build_dir="$1"
 main_crdiscover="$2"
 input="$3"
 
-cmake -B "${off_build_dir}" -S "${repo_root}" -DCONSERVATION_SIMD=off
-cmake --build "${off_build_dir}" -j --target crdiscover
+smoke_build_variant "${off_build_dir}" crdiscover -DCONSERVATION_SIMD=off
 
-exec "${repo_root}/tools/stdout_regression.sh" \
+exec "$(smoke_repo_root)/tools/stdout_regression.sh" \
   "${main_crdiscover}" "${input}" "${off_build_dir}/tools/crdiscover"

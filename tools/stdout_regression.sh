@@ -19,6 +19,7 @@
 #
 # Usage: tools/stdout_regression.sh CRDISCOVER_BINARY INPUT_CSV [OFF_BINARY]
 set -euo pipefail
+source "$(dirname "$0")/smoke_lib.sh"
 
 if [[ $# -lt 2 || $# -gt 3 ]]; then
   echo "usage: stdout_regression.sh CRDISCOVER_BINARY INPUT_CSV [OFF_BINARY]" >&2
@@ -28,8 +29,8 @@ crdiscover="$1"
 input="$2"
 off_binary="${3:-}"
 
-workdir="$(mktemp -d)"
-trap 'rm -rf "${workdir}"' EXIT
+smoke_tmp_workdir
+workdir="${SMOKE_WORKDIR}"
 
 common_args=(--input="${input}" --type=fail --c_hat=0.3 --s_hat=0.02
              --cover_stats --severity)
