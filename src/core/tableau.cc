@@ -42,6 +42,11 @@ util::Status ValidateRequest(const TableauRequest& request) {
     return util::Status::InvalidArgument(util::StrFormat(
         "walk_width must be >= 0 (0 = auto), got %d", request.walk_width));
   }
+  if (request.sketch_block < 8 || request.sketch_block > (int64_t{1} << 20)) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "sketch_block must be in [8, 1048576], got %lld",
+        static_cast<long long>(request.sketch_block)));
+  }
   const bool non_area_based =
       request.algorithm == interval::AlgorithmKind::kNonAreaBased ||
       request.algorithm == interval::AlgorithmKind::kNonAreaBasedOpt;
@@ -94,6 +99,8 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
   gen_options.num_threads = request.num_threads;
   gen_options.chunks_per_thread = request.chunks_per_thread;
   gen_options.walk_width = request.walk_width;
+  gen_options.sketch = request.sketch;
+  gen_options.sketch_block = request.sketch_block;
 
   Tableau tableau;
   tableau.type = request.type;

@@ -48,6 +48,12 @@ struct TableauRequest {
   // lane count x unroll), 1 = scalar walk. Candidates and counters are
   // identical for every setting.
   int walk_width = 0;
+  // Quantized-sketch anchor screen; see interval::GeneratorOptions::sketch.
+  // kAuto enables the conservative pre-pass on large series (candidates are
+  // bit-identical either way), kOff disables it. sketch_block is the ticks
+  // per sketch block; must be in [8, 1 << 20].
+  interval::SketchMode sketch = interval::SketchMode::kAuto;
+  int64_t sketch_block = 256;
 };
 
 struct TableauRow {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "interval/kernel.h"
+#include "interval/prune.h"
 #include "interval/shard.h"
 #include "interval/walk.h"
 
@@ -76,6 +77,16 @@ std::vector<Candidate> AreaBasedGenerator::GenerateCandidates(
     zero_prefix_lengths.push_back(n);
   }
 
+  // Sketch anchor screen (relaxed threshold), shared read-only by every
+  // chunk. Skipping a pruned anchor is safe here because the level pointers
+  // are pure amortization state: the breakpoint for (i, level) is a
+  // function of the series alone, and the pointers never retreat, so later
+  // anchors simply walk them forward from wherever the last unpruned
+  // anchor left them.
+  const internal::ScopedSketchScreen scoped(
+      eval, options, internal::SketchScreen::Anchor::kLeft, /*relaxed=*/true);
+  const internal::SketchScreen* screen = scoped.get();
+
   // Per-chunk anchor sweep. The level pointers are never-retreating within
   // a chunk (Lemma 3) and the breakpoint t is a function of (i, level)
   // alone — the pointer only amortizes the search for it — so re-basing the
@@ -117,8 +128,14 @@ std::vector<Candidate> AreaBasedGenerator::GenerateCandidates(
     out.reserve(static_cast<size_t>(i_end - i_begin + 1));
     uint64_t walks_started = 0;
     uint64_t walk_steps = 0;
+    uint64_t pruned = 0;
+    uint64_t sketch_blocks = 0;
 
     for (int64_t i = i_begin; i <= i_end; ++i) {
+      if (screen != nullptr && !screen->MayEmit(i, &sketch_blocks)) {
+        ++pruned;
+        continue;
+      }
       kernel.BeginAnchor(i);
       walk.Begin(i, kernel, ctx);
       ++walks_started;
@@ -137,10 +154,14 @@ std::vector<Candidate> AreaBasedGenerator::GenerateCandidates(
     chunk_stats->batches = counters.batches;
     chunk_stats->walks = walks_started;
     chunk_stats->walk_rounds = walk_steps;
+    chunk_stats->anchors_pruned = pruned;
+    chunk_stats->sketch_blocks = sketch_blocks;
     return out;
   };
 
-  return internal::RunSharded(n, options, stats, block);
+  auto result = internal::RunSharded(n, options, stats, block);
+  if (stats != nullptr) stats->sketch_blocks += scoped.construction_blocks();
+  return result;
 }
 
 }  // namespace conservation::interval

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "interval/kernel.h"
+#include "interval/prune.h"
 #include "interval/shard.h"
 #include "interval/walk.h"
 
@@ -125,6 +126,13 @@ std::vector<Candidate> AreaBasedOptGenerator::GenerateCandidates(
       internal::ResolveWalkWidth(options, internal::ActiveSimdBackend());
   const bool use_walks = walk_width > 1 && !options.stop_on_full_cover;
 
+  // Sketch anchor screen (relaxed threshold), shared read-only by every
+  // chunk. AB-opt anchors are stateless, so both execution paths below
+  // simply never start work for a pruned anchor.
+  const internal::ScopedSketchScreen scoped(
+      eval, options, internal::SketchScreen::Anchor::kLeft, /*relaxed=*/true);
+  const internal::SketchScreen* screen = scoped.get();
+
   // AB-opt carries no cross-anchor state (each anchor's breakpoints come
   // from fresh binary searches), so anchor chunks parallelize directly.
   // Inner sweeps run on the flat-array kernel (interval/kernel.h).
@@ -136,6 +144,8 @@ std::vector<Candidate> AreaBasedOptGenerator::GenerateCandidates(
     uint64_t tested = 0;
     uint64_t probes = 0;
     uint64_t batches = 0;
+    uint64_t pruned = 0;
+    uint64_t sketch_blocks = 0;
     EvalBuffers buf;
 
     if (use_walks) {
@@ -179,6 +189,12 @@ std::vector<Candidate> AreaBasedOptGenerator::GenerateCandidates(
         // walk is always mid-search ([i, n] is never empty), so every
         // active lane participates in the round below.
         while (active < width && frontier <= i_end) {
+          if (screen != nullptr &&
+              !screen->MayEmit(frontier, &sketch_blocks)) {
+            ++pruned;
+            ++frontier;
+            continue;  // pruned anchor: no walk, no slot write (stays 0)
+          }
           internal::AbOptWalkState& walk =
               walks[static_cast<size_t>(active)];
           walk.Begin(frontier, ctx);
@@ -245,6 +261,10 @@ std::vector<Candidate> AreaBasedOptGenerator::GenerateCandidates(
     } else {
       std::vector<int64_t> breakpoints;
       for (int64_t i = i_begin; i <= i_end; ++i) {
+        if (screen != nullptr && !screen->MayEmit(i, &sketch_blocks)) {
+          ++pruned;
+          continue;
+        }
         kernel.BeginAnchor(i);
         breakpoints.clear();
 
@@ -291,10 +311,14 @@ std::vector<Candidate> AreaBasedOptGenerator::GenerateCandidates(
     chunk_stats->intervals_tested = tested;
     chunk_stats->endpoint_steps = probes;
     chunk_stats->batches = batches;
+    chunk_stats->anchors_pruned = pruned;
+    chunk_stats->sketch_blocks = sketch_blocks;
     return out;
   };
 
-  return internal::RunSharded(n, options, stats, block);
+  auto result = internal::RunSharded(n, options, stats, block);
+  if (stats != nullptr) stats->sketch_blocks += scoped.construction_blocks();
+  return result;
 }
 
 }  // namespace conservation::interval

@@ -24,6 +24,10 @@
 #include "core/model.h"
 #include "interval/interval.h"
 
+namespace conservation::series {
+class SeriesSketch;
+}  // namespace conservation::series
+
 namespace conservation::interval {
 
 enum class AlgorithmKind {
@@ -54,6 +58,19 @@ const char* AlgorithmKindName(AlgorithmKind kind);
 enum class DeltaMode {
   kMinPositiveCount,
   kOne,
+};
+
+// Quantized-sketch anchor pruning (interval/prune.h). kAuto enables the
+// pre-pass whenever the series is long enough to amortize sketch
+// construction (n >= 2 * sketch_block); kOff disables it unconditionally.
+// The emitted candidate set is bit-identical either way — the screen only
+// skips anchors whose per-anchor optimum is provably empty — so this is a
+// pure performance knob (intervals_tested / endpoint_steps may shrink).
+// Also overridable per process via the CONSERVATION_SKETCH env var and per
+// build via -DCONSERVATION_SKETCH=off.
+enum class SketchMode {
+  kAuto,
+  kOff,
 };
 
 struct GeneratorOptions {
@@ -98,6 +115,15 @@ struct GeneratorOptions {
   // Candidate output and the tested/steps counters are identical for every
   // setting — this only tunes how full the SIMD lanes run.
   int walk_width = 0;
+  // Sketch anchor-pruning policy and block span (ticks per sketch block).
+  // See SketchMode above; the block span trades screen resolution (smaller
+  // blocks prune more precisely) against sketch footprint and scan length.
+  SketchMode sketch = SketchMode::kAuto;
+  int64_t sketch_block = 256;
+  // Optional prebuilt sketch over the same series (series/store.h tier).
+  // When null and the screen is enabled, generators build a transient
+  // sketch per GenerateCandidates call. Must outlive the call.
+  const series::SeriesSketch* sketch_ptr = nullptr;
 };
 
 // Per-worker accounting from one sharded run. Pure observability: none of
@@ -138,6 +164,13 @@ struct GeneratorStats {
   // Lane capacity of those rounds (rounds x walk width); occupancy is
   // walk_lanes / walk_lane_slots.
   uint64_t walk_lane_slots = 0;
+  // Sketch screen accounting (interval/prune.h): anchors skipped because
+  // the screen proved their per-anchor optimum empty, and sketch blocks
+  // scanned doing so (both screen construction and per-anchor rescans).
+  // Deterministic for a given series + options — the screen's decisions and
+  // scan order do not depend on threading, walk width, or SIMD backend.
+  uint64_t anchors_pruned = 0;
+  uint64_t sketch_blocks = 0;
   // Total work time: summed across workers. Equals wall_seconds for a
   // sequential run; approaches shards * wall_seconds under perfect scaling.
   double seconds = 0.0;
@@ -167,6 +200,8 @@ struct GeneratorStats {
     walk_rounds += shard.walk_rounds;
     walk_lanes += shard.walk_lanes;
     walk_lane_slots += shard.walk_lane_slots;
+    anchors_pruned += shard.anchors_pruned;
+    sketch_blocks += shard.sketch_blocks;
     seconds += shard.seconds;
   }
 

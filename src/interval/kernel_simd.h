@@ -288,6 +288,60 @@ struct WalkRoundArgs {
 // AbOptWalkState). Dropping the registers saves lane loads, blends, and
 // stores on every probe of every search.
 
+// --- Sketch screen block forms ---------------------------------------------
+// Conservative "could any (anchor, endpoint) pair touching this sketch
+// block pass the threshold?" tests over the block quantization maps
+// (series/sketch.h), used by the anchor screen (interval/prune.h). Lane m
+// evaluates sketch block b0 + m; its bit is 1 when the block MAY contain a
+// passing pair — never 0 for a block that does, which is the screen's
+// no-false-negative guarantee (DESIGN.md §4f derives the bounds). All
+// backends use lanewise-identical IEEE arithmetic, so the mask — and with
+// it every prune decision and pruned-aware counter — is the same for every
+// CONSERVATION_SIMD setting.
+
+// Left-anchored form (exhaustive / AB / AB-opt): anchors i in [i_lo, i_hi]
+// (a single anchor when i_lo == i_hi, with the sa_prev/sb_prev/h ranges
+// collapsed to the exact hoisted scalars of BeginAnchor), endpoints j
+// grouped by sketch block.
+struct SketchScanArgs {
+  // Per-endpoint-block bounds on SA and SB (sketch block maps).
+  const double* sa_blk_lo;
+  const double* sa_blk_hi;
+  const double* sb_blk_lo;
+  const double* sb_blk_hi;
+  // Anchor-side ranges: exact scalars for a single-anchor test (lo == hi)
+  // or sketch-derived bounds for a whole anchor group.
+  double sa_prev_lo, sa_prev_hi;
+  double sb_prev_lo, sb_prev_hi;
+  double h_a_lo, h_a_hi;
+  double h_b_lo, h_b_hi;
+  int64_t i_lo, i_hi;  // anchor index range
+  int64_t block;       // ticks per sketch block
+  int64_t n;           // endpoint ceiling (j <= n)
+  double threshold;    // acceptance constant t (interval/prune.h)
+  bool hold;           // hold: pass is conf >= t; fail: conf <= t
+};
+
+// Right-anchored form (NAB, balance model: H_i^A == H_i^B == A_{i-1}):
+// endpoints j in [j_lo, j_hi] (a single endpoint when equal, with exact
+// sa_end/sb_end scalars), anchors i grouped by sketch block, with the
+// anchor-side bounds precomputed per block by the screen.
+struct SketchScanRightArgs {
+  // Per-anchor-block bounds on the baseline A[i-1] and on SA/SB[i-1].
+  const double* h_blk_lo;
+  const double* h_blk_hi;
+  const double* sap_blk_lo;
+  const double* sap_blk_hi;
+  const double* sbp_blk_lo;
+  const double* sbp_blk_hi;
+  double sa_end_lo, sa_end_hi;
+  double sb_end_lo, sb_end_hi;
+  int64_t j_lo, j_hi;
+  int64_t block;
+  double threshold;
+  bool hold;
+};
+
 // --- Portable scalar backend ----------------------------------------------
 // The reference semantics: expression-for-expression the scalar kernel
 // (and therefore core::ConfidenceEvaluator). Every vector backend must
@@ -384,6 +438,107 @@ inline void ConfidenceFromBatchScalar(const RightAnchorBatchArgs& args,
     out_conf[k] = valid ? num / den : 0.0;
     out_valid[k] = valid ? 1 : 0;
   }
+}
+
+// Left-anchored sketch screen: bit m of the result is 1 when endpoint block
+// b0 + m may hold a passing (i, j) pair for the anchor range in `args`.
+// `count` <= 64. The bound construction: den <= den_ub because
+// SB[j] <= sb_blk_hi, SB[i-1] >= sb_prev_lo, and len * h_b >= hb_min_term
+// (the sign-aware min product over [len_min, len_max] x [h_b_lo, h_b_hi]);
+// mirrored for den_lb / num_ub / num_lb. Each bound is the same single
+// rounding shape as the exact kernel expression it brackets, so per-op
+// round-to-nearest monotonicity keeps the bracketing bitwise sound.
+inline uint64_t SketchMaybeMaskScalar(const SketchScanArgs& args, int64_t b0,
+                                      int64_t count) {
+  const double block = static_cast<double>(args.block);
+  const double n = static_cast<double>(args.n);
+  const double i_lo = static_cast<double>(args.i_lo);
+  const double i_hi = static_cast<double>(args.i_hi);
+  const double t = args.threshold;
+  uint64_t maybe = 0;
+  for (int64_t m = 0; m < count; ++m) {
+    const int64_t b = b0 + m;
+    const double j_lo = static_cast<double>(b) * block;
+    const double j_hi = std::min(n, j_lo + (block - 1.0));
+    // Interval length range over the covered (i, j) pairs, clamped to >= 1
+    // so products with infinite h bounds stay +/-inf rather than NaN.
+    const double len_min = std::max(1.0, (j_lo - i_hi) + 1.0);
+    const double len_max = std::max(len_min, (j_hi - i_lo) + 1.0);
+    const double hb_min_term =
+        args.h_b_lo >= 0.0 ? len_min * args.h_b_lo : len_max * args.h_b_lo;
+    const double den_ub = (args.sb_blk_hi[b] - args.sb_prev_lo) - hb_min_term;
+    bool lane;
+    if (args.hold) {
+      const double hb_max_term =
+          args.h_b_hi >= 0.0 ? len_max * args.h_b_hi : len_min * args.h_b_hi;
+      const double ha_min_term =
+          args.h_a_lo >= 0.0 ? len_min * args.h_a_lo : len_max * args.h_a_lo;
+      const double den_lb_raw =
+          (args.sb_blk_lo[b] - args.sb_prev_hi) - hb_max_term;
+      const double den_lb = den_lb_raw < 0.0 ? 0.0 : den_lb_raw;
+      const double num_ub_raw =
+          (args.sa_blk_hi[b] - args.sa_prev_lo) - ha_min_term;
+      const double num_ub = num_ub_raw < 0.0 ? 0.0 : num_ub_raw;
+      // conf <= num_ub / den_lb when den_lb > 0; when den could be 0 the
+      // pair is only a candidate if it can be valid (den_ub > 0) and either
+      // the numerator can be positive or the threshold accepts conf == 0.
+      lane = den_ub > 0.0 && (den_lb > 0.0 ? num_ub / den_lb >= t
+                                           : (num_ub > 0.0 || t <= 0.0));
+    } else {
+      const double ha_max_term =
+          args.h_a_hi >= 0.0 ? len_max * args.h_a_hi : len_min * args.h_a_hi;
+      const double num_lb_raw =
+          (args.sa_blk_lo[b] - args.sa_prev_hi) - ha_max_term;
+      const double num_lb = num_lb_raw < 0.0 ? 0.0 : num_lb_raw;
+      lane = den_ub > 0.0 && num_lb / den_ub <= t;
+    }
+    maybe |= static_cast<uint64_t>(lane) << m;
+  }
+  return maybe;
+}
+
+// Right-anchored sketch screen (balance model only, so h_a == h_b and the
+// per-anchor-block h bounds serve both the numerator and denominator
+// products). Bit m covers anchor block u0 + m.
+inline uint64_t SketchMaybeMaskRightScalar(const SketchScanRightArgs& args,
+                                           int64_t u0, int64_t count) {
+  const double block = static_cast<double>(args.block);
+  const double j_lo = static_cast<double>(args.j_lo);
+  const double j_hi = static_cast<double>(args.j_hi);
+  const double t = args.threshold;
+  uint64_t maybe = 0;
+  for (int64_t m = 0; m < count; ++m) {
+    const int64_t u = u0 + m;
+    const double u_base = static_cast<double>(u) * block;
+    const double i_min = std::max(1.0, u_base);
+    const double i_max = std::min(j_hi, u_base + (block - 1.0));
+    const double len_min = std::max(1.0, (j_lo - i_max) + 1.0);
+    const double len_max = std::max(len_min, (j_hi - i_min) + 1.0);
+    const double h_lo = args.h_blk_lo[u];
+    const double h_hi = args.h_blk_hi[u];
+    const double min_term = h_lo >= 0.0 ? len_min * h_lo : len_max * h_lo;
+    const double den_ub = (args.sb_end_hi - args.sbp_blk_lo[u]) - min_term;
+    bool lane;
+    if (args.hold) {
+      const double max_term = h_hi >= 0.0 ? len_max * h_hi : len_min * h_hi;
+      const double den_lb_raw =
+          (args.sb_end_lo - args.sbp_blk_hi[u]) - max_term;
+      const double den_lb = den_lb_raw < 0.0 ? 0.0 : den_lb_raw;
+      const double num_ub_raw =
+          (args.sa_end_hi - args.sap_blk_lo[u]) - min_term;
+      const double num_ub = num_ub_raw < 0.0 ? 0.0 : num_ub_raw;
+      lane = den_ub > 0.0 && (den_lb > 0.0 ? num_ub / den_lb >= t
+                                           : (num_ub > 0.0 || t <= 0.0));
+    } else {
+      const double max_term = h_hi >= 0.0 ? len_max * h_hi : len_min * h_hi;
+      const double num_lb_raw =
+          (args.sa_end_lo - args.sap_blk_hi[u]) - max_term;
+      const double num_lb = num_lb_raw < 0.0 ? 0.0 : num_lb_raw;
+      lane = den_ub > 0.0 && num_lb / den_ub <= t;
+    }
+    maybe |= static_cast<uint64_t>(lane) << m;
+  }
+  return maybe;
 }
 
 // --- AVX2 backend ----------------------------------------------------------
@@ -616,6 +771,168 @@ __attribute__((target("avx2"))) inline void ConfidenceFromBatch(
   }
 }
 
+// Vector mirror of SketchMaybeMaskScalar. The anchor-side h bounds are
+// per-call scalars, so the sign-aware len selection is a C++ ternary
+// choosing between the len_min and len_max vectors; divisions run unmasked
+// and any junk lane (0/0 -> NaN) is neutralized by ordered compares exactly
+// as the scalar short-circuit would neutralize it.
+__attribute__((target("avx2"))) inline uint64_t SketchMaybeMask(
+    const SketchScanArgs& args, int64_t b0, int64_t count) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d all_true = _mm256_cmp_pd(zero, zero, _CMP_EQ_OQ);
+  const __m256d vt = _mm256_set1_pd(args.threshold);
+  const double block = static_cast<double>(args.block);
+  const __m256d vblock = _mm256_set1_pd(block);
+  const __m256d vblock_m1 = _mm256_set1_pd(block - 1.0);
+  const __m256d vn = _mm256_set1_pd(static_cast<double>(args.n));
+  const __m256d vi_lo = _mm256_set1_pd(static_cast<double>(args.i_lo));
+  const __m256d vi_hi = _mm256_set1_pd(static_cast<double>(args.i_hi));
+  const __m256d sb_prev_lo = _mm256_set1_pd(args.sb_prev_lo);
+  const __m256d sb_prev_hi = _mm256_set1_pd(args.sb_prev_hi);
+  const __m256d sa_prev_lo = _mm256_set1_pd(args.sa_prev_lo);
+  const __m256d sa_prev_hi = _mm256_set1_pd(args.sa_prev_hi);
+  const __m256d vh_b_lo = _mm256_set1_pd(args.h_b_lo);
+  const __m256d vh_b_hi = _mm256_set1_pd(args.h_b_hi);
+  const __m256d vh_a_lo = _mm256_set1_pd(args.h_a_lo);
+  const __m256d vh_a_hi = _mm256_set1_pd(args.h_a_hi);
+  const double b0d = static_cast<double>(b0);
+  __m256d vb = _mm256_setr_pd(b0d, b0d + 1.0, b0d + 2.0, b0d + 3.0);
+  const __m256d four = _mm256_set1_pd(4.0);
+  uint64_t maybe = 0;
+  int64_t m = 0;
+  for (; m + 4 <= count; m += 4, vb = _mm256_add_pd(vb, four)) {
+    const __m256d j_lo = _mm256_mul_pd(vb, vblock);
+    const __m256d j_hi = _mm256_min_pd(vn, _mm256_add_pd(j_lo, vblock_m1));
+    const __m256d len_min = _mm256_max_pd(
+        one, _mm256_add_pd(_mm256_sub_pd(j_lo, vi_hi), one));
+    const __m256d len_max = _mm256_max_pd(
+        len_min, _mm256_add_pd(_mm256_sub_pd(j_hi, vi_lo), one));
+    const __m256d hb_min_term =
+        _mm256_mul_pd(args.h_b_lo >= 0.0 ? len_min : len_max, vh_b_lo);
+    const __m256d sb_hi_v = _mm256_loadu_pd(args.sb_blk_hi + b0 + m);
+    const __m256d den_ub = _mm256_sub_pd(_mm256_sub_pd(sb_hi_v, sb_prev_lo),
+                                         hb_min_term);
+    const __m256d den_ub_pos = _mm256_cmp_pd(den_ub, zero, _CMP_GT_OQ);
+    __m256d lane;
+    if (args.hold) {
+      const __m256d hb_max_term =
+          _mm256_mul_pd(args.h_b_hi >= 0.0 ? len_max : len_min, vh_b_hi);
+      const __m256d ha_min_term =
+          _mm256_mul_pd(args.h_a_lo >= 0.0 ? len_min : len_max, vh_a_lo);
+      const __m256d sb_lo_v = _mm256_loadu_pd(args.sb_blk_lo + b0 + m);
+      const __m256d den_lb = ClampZero(_mm256_sub_pd(
+          _mm256_sub_pd(sb_lo_v, sb_prev_hi), hb_max_term));
+      const __m256d sa_hi_v = _mm256_loadu_pd(args.sa_blk_hi + b0 + m);
+      const __m256d num_ub = ClampZero(_mm256_sub_pd(
+          _mm256_sub_pd(sa_hi_v, sa_prev_lo), ha_min_term));
+      const __m256d den_lb_pos = _mm256_cmp_pd(den_lb, zero, _CMP_GT_OQ);
+      const __m256d div_ok = _mm256_cmp_pd(_mm256_div_pd(num_ub, den_lb), vt,
+                                           _CMP_GE_OQ);
+      const __m256d zero_den_ok =
+          args.threshold <= 0.0 ? all_true
+                                : _mm256_cmp_pd(num_ub, zero, _CMP_GT_OQ);
+      const __m256d cond = _mm256_or_pd(_mm256_and_pd(den_lb_pos, div_ok),
+                                        _mm256_andnot_pd(den_lb_pos,
+                                                         zero_den_ok));
+      lane = _mm256_and_pd(den_ub_pos, cond);
+    } else {
+      const __m256d ha_max_term =
+          _mm256_mul_pd(args.h_a_hi >= 0.0 ? len_max : len_min, vh_a_hi);
+      const __m256d sa_lo_v = _mm256_loadu_pd(args.sa_blk_lo + b0 + m);
+      const __m256d num_lb = ClampZero(_mm256_sub_pd(
+          _mm256_sub_pd(sa_lo_v, sa_prev_hi), ha_max_term));
+      const __m256d div_ok = _mm256_cmp_pd(_mm256_div_pd(num_lb, den_ub), vt,
+                                           _CMP_LE_OQ);
+      lane = _mm256_and_pd(den_ub_pos, div_ok);
+    }
+    maybe |= static_cast<uint64_t>(_mm256_movemask_pd(lane)) << m;
+  }
+  if (m < count) {
+    maybe |= SketchMaybeMaskScalar(args, b0 + m, count - m) << m;
+  }
+  return maybe;
+}
+
+// Vector mirror of SketchMaybeMaskRightScalar. Here the h bounds vary per
+// lane (one anchor block each), so the len selection is a lanewise blend on
+// the sign compare — identical to the scalar's `h >= 0 ? len_min : len_max`
+// because the h bounds are finite (A is finite everywhere).
+__attribute__((target("avx2"))) inline uint64_t SketchMaybeMaskRight(
+    const SketchScanRightArgs& args, int64_t u0, int64_t count) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d all_true = _mm256_cmp_pd(zero, zero, _CMP_EQ_OQ);
+  const __m256d vt = _mm256_set1_pd(args.threshold);
+  const double block = static_cast<double>(args.block);
+  const __m256d vblock = _mm256_set1_pd(block);
+  const __m256d vblock_m1 = _mm256_set1_pd(block - 1.0);
+  const __m256d vj_lo = _mm256_set1_pd(static_cast<double>(args.j_lo));
+  const __m256d vj_hi = _mm256_set1_pd(static_cast<double>(args.j_hi));
+  const __m256d sb_end_lo = _mm256_set1_pd(args.sb_end_lo);
+  const __m256d sb_end_hi = _mm256_set1_pd(args.sb_end_hi);
+  const __m256d sa_end_lo = _mm256_set1_pd(args.sa_end_lo);
+  const __m256d sa_end_hi = _mm256_set1_pd(args.sa_end_hi);
+  const double u0d = static_cast<double>(u0);
+  __m256d vu = _mm256_setr_pd(u0d, u0d + 1.0, u0d + 2.0, u0d + 3.0);
+  const __m256d four = _mm256_set1_pd(4.0);
+  uint64_t maybe = 0;
+  int64_t m = 0;
+  for (; m + 4 <= count; m += 4, vu = _mm256_add_pd(vu, four)) {
+    const __m256d u_base = _mm256_mul_pd(vu, vblock);
+    const __m256d i_min = _mm256_max_pd(one, u_base);
+    const __m256d i_max = _mm256_min_pd(vj_hi, _mm256_add_pd(u_base,
+                                                             vblock_m1));
+    const __m256d len_min = _mm256_max_pd(
+        one, _mm256_add_pd(_mm256_sub_pd(vj_lo, i_max), one));
+    const __m256d len_max = _mm256_max_pd(
+        len_min, _mm256_add_pd(_mm256_sub_pd(vj_hi, i_min), one));
+    const __m256d h_lo = _mm256_loadu_pd(args.h_blk_lo + u0 + m);
+    const __m256d h_hi = _mm256_loadu_pd(args.h_blk_hi + u0 + m);
+    const __m256d lo_nonneg = _mm256_cmp_pd(h_lo, zero, _CMP_GE_OQ);
+    const __m256d hi_nonneg = _mm256_cmp_pd(h_hi, zero, _CMP_GE_OQ);
+    const __m256d min_term = _mm256_mul_pd(
+        _mm256_blendv_pd(len_max, len_min, lo_nonneg), h_lo);
+    const __m256d max_term = _mm256_mul_pd(
+        _mm256_blendv_pd(len_min, len_max, hi_nonneg), h_hi);
+    const __m256d sbp_lo = _mm256_loadu_pd(args.sbp_blk_lo + u0 + m);
+    const __m256d den_ub = _mm256_sub_pd(_mm256_sub_pd(sb_end_hi, sbp_lo),
+                                         min_term);
+    const __m256d den_ub_pos = _mm256_cmp_pd(den_ub, zero, _CMP_GT_OQ);
+    __m256d lane;
+    if (args.hold) {
+      const __m256d sbp_hi = _mm256_loadu_pd(args.sbp_blk_hi + u0 + m);
+      const __m256d den_lb = ClampZero(_mm256_sub_pd(
+          _mm256_sub_pd(sb_end_lo, sbp_hi), max_term));
+      const __m256d sap_lo = _mm256_loadu_pd(args.sap_blk_lo + u0 + m);
+      const __m256d num_ub = ClampZero(_mm256_sub_pd(
+          _mm256_sub_pd(sa_end_hi, sap_lo), min_term));
+      const __m256d den_lb_pos = _mm256_cmp_pd(den_lb, zero, _CMP_GT_OQ);
+      const __m256d div_ok = _mm256_cmp_pd(_mm256_div_pd(num_ub, den_lb), vt,
+                                           _CMP_GE_OQ);
+      const __m256d zero_den_ok =
+          args.threshold <= 0.0 ? all_true
+                                : _mm256_cmp_pd(num_ub, zero, _CMP_GT_OQ);
+      const __m256d cond = _mm256_or_pd(_mm256_and_pd(den_lb_pos, div_ok),
+                                        _mm256_andnot_pd(den_lb_pos,
+                                                         zero_den_ok));
+      lane = _mm256_and_pd(den_ub_pos, cond);
+    } else {
+      const __m256d sap_hi = _mm256_loadu_pd(args.sap_blk_hi + u0 + m);
+      const __m256d num_lb = ClampZero(_mm256_sub_pd(
+          _mm256_sub_pd(sa_end_lo, sap_hi), max_term));
+      const __m256d div_ok = _mm256_cmp_pd(_mm256_div_pd(num_lb, den_ub), vt,
+                                           _CMP_LE_OQ);
+      lane = _mm256_and_pd(den_ub_pos, div_ok);
+    }
+    maybe |= static_cast<uint64_t>(_mm256_movemask_pd(lane)) << m;
+  }
+  if (m < count) {
+    maybe |= SketchMaybeMaskRightScalar(args, u0 + m, count - m) << m;
+  }
+  return maybe;
+}
+
 }  // namespace avx2
 
 #endif  // CONSERVATION_KERNEL_HAVE_AVX2
@@ -800,6 +1117,159 @@ inline void ConfidenceFromBatch(const RightAnchorBatchArgs& args,
     ConfidenceFromBatchScalar(args, is + k, count - k, out_conf + k,
                               out_valid + k);
   }
+}
+
+// NEON mirror of avx2::SketchMaybeMask; see the scalar form for the bound
+// derivation. Two lanes per step, block counter kept as exact-integer
+// doubles, unmasked divisions neutralized by the ordered compares.
+inline uint64_t SketchMaybeMask(const SketchScanArgs& args, int64_t b0,
+                                int64_t count) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t vt = vdupq_n_f64(args.threshold);
+  const double block = static_cast<double>(args.block);
+  const float64x2_t vblock = vdupq_n_f64(block);
+  const float64x2_t vblock_m1 = vdupq_n_f64(block - 1.0);
+  const float64x2_t vn = vdupq_n_f64(static_cast<double>(args.n));
+  const float64x2_t vi_lo = vdupq_n_f64(static_cast<double>(args.i_lo));
+  const float64x2_t vi_hi = vdupq_n_f64(static_cast<double>(args.i_hi));
+  const float64x2_t sb_prev_lo = vdupq_n_f64(args.sb_prev_lo);
+  const float64x2_t sb_prev_hi = vdupq_n_f64(args.sb_prev_hi);
+  const float64x2_t sa_prev_lo = vdupq_n_f64(args.sa_prev_lo);
+  const float64x2_t sa_prev_hi = vdupq_n_f64(args.sa_prev_hi);
+  const float64x2_t vh_b_lo = vdupq_n_f64(args.h_b_lo);
+  const float64x2_t vh_b_hi = vdupq_n_f64(args.h_b_hi);
+  const float64x2_t vh_a_lo = vdupq_n_f64(args.h_a_lo);
+  const float64x2_t vh_a_hi = vdupq_n_f64(args.h_a_hi);
+  const double b0d = static_cast<double>(b0);
+  const double b_init[2] = {b0d, b0d + 1.0};
+  float64x2_t vb = vld1q_f64(b_init);
+  const float64x2_t two = vdupq_n_f64(2.0);
+  uint64_t maybe = 0;
+  int64_t m = 0;
+  for (; m + 2 <= count; m += 2, vb = vaddq_f64(vb, two)) {
+    const float64x2_t j_lo = vmulq_f64(vb, vblock);
+    const float64x2_t j_hi = vminq_f64(vn, vaddq_f64(j_lo, vblock_m1));
+    const float64x2_t len_min =
+        vmaxq_f64(one, vaddq_f64(vsubq_f64(j_lo, vi_hi), one));
+    const float64x2_t len_max =
+        vmaxq_f64(len_min, vaddq_f64(vsubq_f64(j_hi, vi_lo), one));
+    const float64x2_t hb_min_term =
+        vmulq_f64(args.h_b_lo >= 0.0 ? len_min : len_max, vh_b_lo);
+    const float64x2_t sb_hi_v = vld1q_f64(args.sb_blk_hi + b0 + m);
+    const float64x2_t den_ub =
+        vsubq_f64(vsubq_f64(sb_hi_v, sb_prev_lo), hb_min_term);
+    const uint64x2_t den_ub_pos = vcgtq_f64(den_ub, zero);
+    uint64x2_t lane;
+    if (args.hold) {
+      const float64x2_t hb_max_term =
+          vmulq_f64(args.h_b_hi >= 0.0 ? len_max : len_min, vh_b_hi);
+      const float64x2_t ha_min_term =
+          vmulq_f64(args.h_a_lo >= 0.0 ? len_min : len_max, vh_a_lo);
+      const float64x2_t sb_lo_v = vld1q_f64(args.sb_blk_lo + b0 + m);
+      const float64x2_t den_lb =
+          ClampZero(vsubq_f64(vsubq_f64(sb_lo_v, sb_prev_hi), hb_max_term));
+      const float64x2_t sa_hi_v = vld1q_f64(args.sa_blk_hi + b0 + m);
+      const float64x2_t num_ub =
+          ClampZero(vsubq_f64(vsubq_f64(sa_hi_v, sa_prev_lo), ha_min_term));
+      const uint64x2_t den_lb_pos = vcgtq_f64(den_lb, zero);
+      const uint64x2_t div_ok = vcgeq_f64(vdivq_f64(num_ub, den_lb), vt);
+      const uint64x2_t zero_den_ok = args.threshold <= 0.0
+                                         ? vdupq_n_u64(~uint64_t{0})
+                                         : vcgtq_f64(num_ub, zero);
+      const uint64x2_t cond = vorrq_u64(
+          vandq_u64(den_lb_pos, div_ok),
+          vbicq_u64(zero_den_ok, den_lb_pos));
+      lane = vandq_u64(den_ub_pos, cond);
+    } else {
+      const float64x2_t ha_max_term =
+          vmulq_f64(args.h_a_hi >= 0.0 ? len_max : len_min, vh_a_hi);
+      const float64x2_t sa_lo_v = vld1q_f64(args.sa_blk_lo + b0 + m);
+      const float64x2_t num_lb =
+          ClampZero(vsubq_f64(vsubq_f64(sa_lo_v, sa_prev_hi), ha_max_term));
+      const uint64x2_t div_ok = vcleq_f64(vdivq_f64(num_lb, den_ub), vt);
+      lane = vandq_u64(den_ub_pos, div_ok);
+    }
+    maybe |= (vgetq_lane_u64(lane, 0) & 1) << m;
+    maybe |= (vgetq_lane_u64(lane, 1) & 1) << (m + 1);
+  }
+  if (m < count) {
+    maybe |= SketchMaybeMaskScalar(args, b0 + m, count - m) << m;
+  }
+  return maybe;
+}
+
+// NEON mirror of avx2::SketchMaybeMaskRight: per-lane h bounds, sign-blend
+// len selection via vbslq on the >= 0 compare.
+inline uint64_t SketchMaybeMaskRight(const SketchScanRightArgs& args,
+                                     int64_t u0, int64_t count) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const float64x2_t one = vdupq_n_f64(1.0);
+  const float64x2_t vt = vdupq_n_f64(args.threshold);
+  const double block = static_cast<double>(args.block);
+  const float64x2_t vblock = vdupq_n_f64(block);
+  const float64x2_t vblock_m1 = vdupq_n_f64(block - 1.0);
+  const float64x2_t vj_lo = vdupq_n_f64(static_cast<double>(args.j_lo));
+  const float64x2_t vj_hi = vdupq_n_f64(static_cast<double>(args.j_hi));
+  const float64x2_t sb_end_lo = vdupq_n_f64(args.sb_end_lo);
+  const float64x2_t sb_end_hi = vdupq_n_f64(args.sb_end_hi);
+  const float64x2_t sa_end_lo = vdupq_n_f64(args.sa_end_lo);
+  const float64x2_t sa_end_hi = vdupq_n_f64(args.sa_end_hi);
+  const double u0d = static_cast<double>(u0);
+  const double u_init[2] = {u0d, u0d + 1.0};
+  float64x2_t vu = vld1q_f64(u_init);
+  const float64x2_t two = vdupq_n_f64(2.0);
+  uint64_t maybe = 0;
+  int64_t m = 0;
+  for (; m + 2 <= count; m += 2, vu = vaddq_f64(vu, two)) {
+    const float64x2_t u_base = vmulq_f64(vu, vblock);
+    const float64x2_t i_min = vmaxq_f64(one, u_base);
+    const float64x2_t i_max = vminq_f64(vj_hi, vaddq_f64(u_base, vblock_m1));
+    const float64x2_t len_min =
+        vmaxq_f64(one, vaddq_f64(vsubq_f64(vj_lo, i_max), one));
+    const float64x2_t len_max =
+        vmaxq_f64(len_min, vaddq_f64(vsubq_f64(vj_hi, i_min), one));
+    const float64x2_t h_lo = vld1q_f64(args.h_blk_lo + u0 + m);
+    const float64x2_t h_hi = vld1q_f64(args.h_blk_hi + u0 + m);
+    const float64x2_t min_term =
+        vmulq_f64(vbslq_f64(vcgeq_f64(h_lo, zero), len_min, len_max), h_lo);
+    const float64x2_t max_term =
+        vmulq_f64(vbslq_f64(vcgeq_f64(h_hi, zero), len_max, len_min), h_hi);
+    const float64x2_t sbp_lo = vld1q_f64(args.sbp_blk_lo + u0 + m);
+    const float64x2_t den_ub =
+        vsubq_f64(vsubq_f64(sb_end_hi, sbp_lo), min_term);
+    const uint64x2_t den_ub_pos = vcgtq_f64(den_ub, zero);
+    uint64x2_t lane;
+    if (args.hold) {
+      const float64x2_t sbp_hi = vld1q_f64(args.sbp_blk_hi + u0 + m);
+      const float64x2_t den_lb =
+          ClampZero(vsubq_f64(vsubq_f64(sb_end_lo, sbp_hi), max_term));
+      const float64x2_t sap_lo = vld1q_f64(args.sap_blk_lo + u0 + m);
+      const float64x2_t num_ub =
+          ClampZero(vsubq_f64(vsubq_f64(sa_end_hi, sap_lo), min_term));
+      const uint64x2_t den_lb_pos = vcgtq_f64(den_lb, zero);
+      const uint64x2_t div_ok = vcgeq_f64(vdivq_f64(num_ub, den_lb), vt);
+      const uint64x2_t zero_den_ok = args.threshold <= 0.0
+                                         ? vdupq_n_u64(~uint64_t{0})
+                                         : vcgtq_f64(num_ub, zero);
+      const uint64x2_t cond = vorrq_u64(
+          vandq_u64(den_lb_pos, div_ok),
+          vbicq_u64(zero_den_ok, den_lb_pos));
+      lane = vandq_u64(den_ub_pos, cond);
+    } else {
+      const float64x2_t sap_hi = vld1q_f64(args.sap_blk_hi + u0 + m);
+      const float64x2_t num_lb =
+          ClampZero(vsubq_f64(vsubq_f64(sa_end_lo, sap_hi), max_term));
+      const uint64x2_t div_ok = vcleq_f64(vdivq_f64(num_lb, den_ub), vt);
+      lane = vandq_u64(den_ub_pos, div_ok);
+    }
+    maybe |= (vgetq_lane_u64(lane, 0) & 1) << m;
+    maybe |= (vgetq_lane_u64(lane, 1) & 1) << (m + 1);
+  }
+  if (m < count) {
+    maybe |= SketchMaybeMaskRightScalar(args, u0 + m, count - m) << m;
+  }
+  return maybe;
 }
 
 }  // namespace neon

@@ -1,0 +1,154 @@
+// Quantized-sketch anchor screen: the generators' conservative pre-pass.
+//
+// Before a generator sweeps an anchor, the screen answers "can ANY interval
+// anchored here pass the (relaxed) threshold?" from the SeriesSketch block
+// maps alone (series/sketch.h) — an O(n / block) scan with a guaranteed
+// no-false-negative verdict. Anchors whose per-anchor optimum is provably
+// empty are skipped before BeginAnchor, so a high-prune-rate run touches a
+// fraction of the full-precision columns; the emitted candidate set stays
+// bit-identical because a pruned anchor would have emitted nothing.
+//
+// Soundness (DESIGN.md §4f): for each endpoint block the screen evaluates
+// the same expression shapes as the exact kernel (interval/kernel.h) with
+// every operand replaced by the bracketing end of its sketch range, and
+// sign-aware min/max products for the len * H terms. Per-operation
+// round-to-nearest monotonicity then gives conf_ub >= conf (hold) and
+// conf_lb <= conf (fail) for every exact (i, j) pair the block covers, so a
+// "no" verdict can never hide a passing pair. The screen over-covers
+// invalid pairs (i > j, zero denominators) — that only weakens pruning,
+// never correctness.
+//
+// Determinism: every verdict is a pure function of (series, sketch,
+// options, anchor). The SIMD backends in kernel_simd.h compute lanewise
+// bit-identical maybe-masks, and block accounting is chunk-granular, so
+// decisions AND counters are invariant across thread counts, chunkings,
+// walk widths, and CONSERVATION_SIMD settings — the cross-backend equality
+// assertions in tests/kernel_batch_test.cc and tests/walk_resume_test.cc
+// keep holding with the screen enabled.
+
+#ifndef CONSERVATION_INTERVAL_PRUNE_H_
+#define CONSERVATION_INTERVAL_PRUNE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/confidence.h"
+#include "interval/generator.h"
+#include "interval/kernel_simd.h"
+#include "series/sketch.h"
+
+namespace conservation::interval::internal {
+
+// Whether the sketch screen should run for this call. Resolution order:
+// build-time -DCONSERVATION_SKETCH=off, then the CONSERVATION_SKETCH
+// environment variable (auto | off, case-insensitive; an unknown token is a
+// fatal configuration error, mirroring CONSERVATION_SIMD), then
+// options.sketch, then the auto gate n >= 2 * sketch_block (short series
+// cannot amortize sketch construction, and the gate keeps tiny unit-test
+// fixtures on the unscreened path).
+bool SketchScreenEnabled(const GeneratorOptions& options, int64_t n);
+
+// The block span the screen (and any transient sketch) should use:
+// options.sketch_block when positive, else SeriesSketch::kDefaultBlock.
+int64_t ResolveSketchBlock(const GeneratorOptions& options);
+
+class SketchScreen {
+ public:
+  enum class Anchor {
+    kLeft,   // exhaustive / AB / AB-opt: MayEmit(i) over endpoints j >= i
+    kRight,  // NAB (balance model only): MayEmitRight(j) over anchors i <= j
+  };
+
+  // Precomputes, for every block of `sketch.block()` consecutive anchors, a
+  // group verdict: kPruned (no anchor in the block can emit — each is
+  // skipped with no further work) or kMixed (anchors get an individual
+  // sketch scan on first visit). `relaxed` selects the approximate
+  // generators' relaxed threshold over the exhaustive generator's exact
+  // one. The screen is immutable after construction and safe to share
+  // across worker threads; `eval` and `sketch` must outlive it.
+  SketchScreen(const core::ConfidenceEvaluator& eval,
+               const series::SeriesSketch& sketch,
+               const GeneratorOptions& options, Anchor anchor, bool relaxed);
+
+  // True when some interval anchored at i may pass the threshold.
+  // `scan_blocks` (required) accumulates sketch blocks scanned.
+  bool MayEmit(int64_t i, uint64_t* scan_blocks) const;
+
+  // Right-anchored form: true when some interval ending at j may pass.
+  bool MayEmitRight(int64_t j, uint64_t* scan_blocks) const;
+
+  // Sketch blocks scanned while precomputing the group verdicts; callers
+  // fold this into GeneratorStats::sketch_blocks once per run.
+  uint64_t construction_blocks() const { return construction_blocks_; }
+
+ private:
+  // Per-anchor sketch scans in mixed groups give up after this many blocks
+  // and conservatively report "may emit". A deterministic cap: the scan
+  // order and the first maybe-block are backend-invariant, so the cap
+  // triggers identically everywhere.
+  static constexpr int64_t kAnchorScanCap = 512;
+  // Per-tick code refinements allowed per anchor (left screens only): on a
+  // map-level maybe block, decode the 1-byte codes and retest per tick;
+  // a killed block lets the scan continue past it.
+  static constexpr int kRefineBudget = 2;
+
+  uint64_t ScanLeftChunk(const SketchScanArgs& args, int64_t b0,
+                         int64_t count) const;
+  uint64_t ScanRightChunk(const SketchScanRightArgs& args, int64_t u0,
+                          int64_t count) const;
+  // True when, after decoding the per-tick codes of endpoint block b, some
+  // endpoint j in it still may pass for the exact anchor scalars in `args`.
+  bool RefineLeftBlock(const SketchScanArgs& args, int64_t b) const;
+
+  const series::SeriesSketch& sketch_;
+  Anchor anchor_;
+  const double* a_ = nullptr;
+  const double* s_ = nullptr;
+  const double* sa_ = nullptr;
+  const double* sb_ = nullptr;
+  core::ConfidenceModel model_;
+  bool hold_ = false;
+  double threshold_ = 0.0;
+  int64_t n_ = 0;
+  int64_t block_ = 0;
+  SimdBackend backend_ = SimdBackend::kScalar;
+  // 1 = mixed (anchors need individual scans), 0 = whole group pruned.
+  std::vector<uint8_t> group_mixed_;
+  // Right screens: per-anchor-block bounds derived once from the sketch
+  // maps — the balance baseline A[i-1] and the SA/SB[i-1] prefixes for
+  // anchors i in block u (kernel_simd.h SketchScanRightArgs layout).
+  std::vector<double> right_h_lo_, right_h_hi_;
+  std::vector<double> right_sap_lo_, right_sap_hi_;
+  std::vector<double> right_sbp_lo_, right_sbp_hi_;
+  uint64_t construction_blocks_ = 0;
+};
+
+// Owns the (possibly transient) sketch and screen for one
+// GenerateCandidates call. Generators construct one before dispatching
+// chunks; get() is null when the screen is disabled for this call.
+// Reuses options.sketch_ptr when it matches the series and block span
+// (the series/store.h tier), otherwise builds a transient sketch.
+class ScopedSketchScreen {
+ public:
+  ScopedSketchScreen(const core::ConfidenceEvaluator& eval,
+                     const GeneratorOptions& options,
+                     SketchScreen::Anchor anchor, bool relaxed);
+  ScopedSketchScreen(const ScopedSketchScreen&) = delete;
+  ScopedSketchScreen& operator=(const ScopedSketchScreen&) = delete;
+
+  const SketchScreen* get() const {
+    return screen_.has_value() ? &*screen_ : nullptr;
+  }
+  uint64_t construction_blocks() const {
+    return screen_.has_value() ? screen_->construction_blocks() : 0;
+  }
+
+ private:
+  series::SeriesSketch sketch_;
+  std::optional<SketchScreen> screen_;
+};
+
+}  // namespace conservation::interval::internal
+
+#endif  // CONSERVATION_INTERVAL_PRUNE_H_

@@ -1,0 +1,53 @@
+#include "io/store_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace conservation::io {
+
+util::Status SaveSeriesStore(const series::SeriesStore& store,
+                             const std::string& path) {
+  if (store.empty()) {
+    return util::Status::FailedPrecondition(
+        "SaveSeriesStore: empty store");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::NotFound("SaveSeriesStore: cannot open " + path);
+  }
+  const size_t written = std::fwrite(store.data(), 1, store.size(), f);
+  const bool closed_ok = std::fclose(f) == 0;
+  if (written != store.size() || !closed_ok) {
+    return util::Status::Internal("SaveSeriesStore: short write to " + path);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<series::SeriesStore> LoadSeriesStore(const std::string& path) {
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::Status::NotFound("LoadSeriesStore: cannot open " + path);
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0 || st.st_size <= 0) {
+    close(fd);
+    return util::Status::InvalidArgument("LoadSeriesStore: cannot stat " +
+                                         path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* data = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  close(fd);  // The mapping keeps its own reference to the file.
+  if (data == MAP_FAILED) {
+    return util::Status::Internal("LoadSeriesStore: mmap failed for " + path);
+  }
+  util::Result<series::SeriesStore> store =
+      series::SeriesStore::Adopt(data, size, /*file_backed=*/true);
+  if (!store.ok()) munmap(data, size);
+  return store;
+}
+
+}  // namespace conservation::io

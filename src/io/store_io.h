@@ -1,0 +1,29 @@
+// Serialization for the tiered series store (series/store.h).
+//
+// The arena is written to disk verbatim, so loading is a single read-only
+// file mmap: no parsing, no copies, and nothing resident until the
+// generators touch a page. A loaded store is file-backed, which is what
+// lets SeriesStore::Evict return dropped tiers to the page cache instead
+// of losing them.
+
+#ifndef CONSERVATION_IO_STORE_IO_H_
+#define CONSERVATION_IO_STORE_IO_H_
+
+#include <string>
+
+#include "series/store.h"
+#include "util/status.h"
+
+namespace conservation::io {
+
+// Writes the store's arena bytes to `path` (overwriting).
+util::Status SaveSeriesStore(const series::SeriesStore& store,
+                             const std::string& path);
+
+// Maps `path` read-only and adopts it as a file-backed store after header
+// validation. The mapping is released when the returned store is destroyed.
+util::Result<series::SeriesStore> LoadSeriesStore(const std::string& path);
+
+}  // namespace conservation::io
+
+#endif  // CONSERVATION_IO_STORE_IO_H_

@@ -40,6 +40,21 @@ CumulativeSeries::CumulativeSeries(const CountSequence& counts)
   }
 }
 
+CumulativeSeries CumulativeSeries::View(int64_t n, const double* a,
+                                        const double* b, const double* sa,
+                                        const double* sb, const double* s,
+                                        double delta) {
+  CumulativeSeries view;
+  view.n_ = n;
+  view.delta_ = delta;
+  view.view_a_ = a;
+  view.view_b_ = b;
+  view.view_sa_ = sa;
+  view.view_sb_ = sb;
+  view.view_s_ = s;
+  return view;
+}
+
 bool CumulativeSeries::Dominates(double tolerance) const {
   for (int64_t l = 1; l <= n_; ++l) {
     if (B(l) - A(l) < -tolerance) return false;

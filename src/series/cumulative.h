@@ -29,29 +29,36 @@ class CumulativeSeries {
   // Builds all derived arrays in O(n).
   explicit CumulativeSeries(const CountSequence& counts);
 
+  // Zero-copy view over externally owned arrays laid out exactly like the
+  // owned vectors (a/b/sa/sb of length n+1, s of length n+2 with the
+  // +infinity sentinel at [n+1]); series/store.h uses this to run the
+  // generators straight off an mmap-ed arena. The arrays must outlive the
+  // view; `delta` is the stored minimum positive count.
+  static CumulativeSeries View(int64_t n, const double* a, const double* b,
+                               const double* sa, const double* sb,
+                               const double* s, double delta);
+
   int64_t n() const { return n_; }
 
   // Cumulative counts; valid for 0 <= l <= n. A(0) == B(0) == 0.
-  double A(int64_t l) const { return A_[static_cast<size_t>(l)]; }
-  double B(int64_t l) const { return B_[static_cast<size_t>(l)]; }
+  double A(int64_t l) const { return a_data()[l]; }
+  double B(int64_t l) const { return b_data()[l]; }
 
   // sum_{l=i..j} A_l for 1 <= i <= j <= n (and 0 when i > j).
   double SumA(int64_t i, int64_t j) const {
     if (i > j) return 0.0;
-    return SA_[static_cast<size_t>(j)] - SA_[static_cast<size_t>(i - 1)];
+    return sa_data()[j] - sa_data()[i - 1];
   }
   double SumB(int64_t i, int64_t j) const {
     if (i > j) return 0.0;
-    return SB_[static_cast<size_t>(j)] - SB_[static_cast<size_t>(i - 1)];
+    return sb_data()[j] - sb_data()[i - 1];
   }
 
   // S_i = min_{i<=k<=n} (B_k - A_k), for 1 <= i <= n. This is the "credit"
   // applied when discounting unmatched history (paper Definitions 3-4);
   // using the suffix minimum rather than B_{i-1}-A_{i-1} guarantees that the
   // shifted B still dominates the shifted A.
-  double SuffixMinGap(int64_t i) const {
-    return suffix_min_gap_[static_cast<size_t>(i)];
-  }
+  double SuffixMinGap(int64_t i) const { return suffix_min_gap_data()[i]; }
 
   // The minimum positive a_i or b_i. The approximation algorithms use it as
   // the base area unit: the smallest non-zero area of any interval is >= Delta.
@@ -61,11 +68,13 @@ class CumulativeSeries {
   // (interval/kernel.h): contiguous arrays indexed exactly like the
   // accessors above (a_data()[l] == A(l), valid for 0 <= l <= n;
   // suffix_min_gap_data()[i] == SuffixMinGap(i), valid for 1 <= i <= n+1).
-  const double* a_data() const { return A_.data(); }
-  const double* b_data() const { return B_.data(); }
-  const double* sa_data() const { return SA_.data(); }
-  const double* sb_data() const { return SB_.data(); }
-  const double* suffix_min_gap_data() const { return suffix_min_gap_.data(); }
+  const double* a_data() const { return view_a_ ? view_a_ : A_.data(); }
+  const double* b_data() const { return view_b_ ? view_b_ : B_.data(); }
+  const double* sa_data() const { return view_sa_ ? view_sa_ : SA_.data(); }
+  const double* sb_data() const { return view_sb_ ? view_sb_ : SB_.data(); }
+  const double* suffix_min_gap_data() const {
+    return view_s_ ? view_s_ : suffix_min_gap_.data();
+  }
 
   // True when B dominates A (B_l >= A_l for all l), the standing assumption
   // of the paper. A small negative tolerance absorbs floating-point noise.
@@ -73,16 +82,25 @@ class CumulativeSeries {
 
   // Total conservation delay sum_{l=1..n} (B_l - A_l): by Lemma 2 this is
   // the delay of every rightward perfect matching (after topping A up to B).
-  double TotalDelay() const { return SB_.back() - SA_.back(); }
+  double TotalDelay() const { return sb_data()[n_] - sa_data()[n_]; }
 
  private:
-  int64_t n_;
+  CumulativeSeries() = default;
+
+  int64_t n_ = 0;
   std::vector<double> A_;               // size n+1
   std::vector<double> B_;               // size n+1
   std::vector<double> SA_;              // size n+1, SA_[l] = sum_{k<=l} A_k
   std::vector<double> SB_;              // size n+1
   std::vector<double> suffix_min_gap_;  // size n+2; [n+1] = +infinity sentinel
-  double delta_;
+  double delta_ = 0.0;
+  // External arrays for View instances; owners leave these null and resolve
+  // through the vectors, so copies and moves never dangle.
+  const double* view_a_ = nullptr;
+  const double* view_b_ = nullptr;
+  const double* view_sa_ = nullptr;
+  const double* view_sb_ = nullptr;
+  const double* view_s_ = nullptr;
 };
 
 }  // namespace conservation::series

@@ -1,0 +1,159 @@
+#include "series/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace conservation::series {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double DecodeLower(double lo, double w, uint8_t code) {
+  if (w == 0.0 || code == 0) return lo;
+  return lo + static_cast<double>(code) * w;
+}
+
+inline double DecodeUpper(double lo, double hi, double w, uint8_t code) {
+  if (w == 0.0 || code == 255) return hi;
+  return lo + static_cast<double>(code + 1) * w;
+}
+
+// Encodes one block of `count` values starting at `values` into `codes`,
+// writing the (lo, hi, w) map entries. The code bounds are verified (and
+// nudged) per value so that DecodeLower <= v <= DecodeUpper holds bitwise;
+// uniform-grid rounding alone cannot guarantee that under round-to-nearest.
+void EncodeBlock(const double* values, int64_t count, double* lo_out,
+                 double* hi_out, double* w_out, uint8_t* codes) {
+  if (count <= 0) {
+    *lo_out = kInf;
+    *hi_out = -kInf;
+    *w_out = 0.0;
+    return;
+  }
+  double lo = values[0];
+  double hi = values[0];
+  for (int64_t k = 1; k < count; ++k) {
+    lo = std::min(lo, values[k]);
+    hi = std::max(hi, values[k]);
+  }
+  *lo_out = lo;
+  *hi_out = hi;
+  double w = 0.0;
+  // Constant blocks (hi == lo), infinite endpoints (the suffix sentinel) and
+  // span overflow all land in the w == 0 degenerate path: codes stay 0 and
+  // decoding returns the exact block bounds. No NaN can form because w is
+  // only used when it is a positive finite double.
+  if (std::isfinite(lo) && std::isfinite(hi) && hi > lo) {
+    const double span = hi - lo;
+    if (std::isfinite(span)) {
+      w = span / 255.0;
+      if (!(w > 0.0) || !std::isfinite(w)) w = 0.0;
+    }
+  }
+  *w_out = w;
+  if (w == 0.0) return;  // codes are pre-zeroed by the caller
+  for (int64_t k = 0; k < count; ++k) {
+    const double v = values[k];
+    double idx = std::floor((v - lo) / w);
+    if (!(idx >= 0.0)) idx = 0.0;
+    if (idx > 255.0) idx = 255.0;
+    uint8_t code = static_cast<uint8_t>(idx);
+    // Fix-up: rounding in (v - lo) / w can land one cell off in either
+    // direction. Each loop terminates because DecodeLower(0) == lo <= v and
+    // DecodeUpper(255) == hi >= v, and the two cannot fight: when the first
+    // loop stops at code c, DecodeUpper(c) == DecodeLower(c + 1) > v.
+    while (code > 0 && DecodeLower(lo, w, code) > v) --code;
+    while (code < 255 && DecodeUpper(lo, hi, w, code) < v) ++code;
+    codes[k] = code;
+  }
+}
+
+void EncodeColumn(const double* column, int64_t length, int64_t block,
+                  int64_t nb, double* maps, uint8_t* codes) {
+  double* lo = maps + 0 * nb;
+  double* hi = maps + 1 * nb;
+  double* w = maps + 2 * nb;
+  for (int64_t b = 0; b < nb; ++b) {
+    const int64_t begin = b * block;
+    const int64_t count = std::min<int64_t>(block, length - begin);
+    EncodeBlock(column + begin, count, lo + b, hi + b, w + b,
+                codes + begin);
+  }
+}
+
+}  // namespace
+
+void BuildSketchBuffers(const CumulativeSeries& series, int64_t block,
+                        double* maps, uint8_t* codes) {
+  CR_CHECK(block > 0);
+  const int64_t n = series.n();
+  const int64_t nb = SeriesSketch::NumBlocksFor(n, block);
+  const int64_t padded = nb * block;
+  std::fill(codes, codes + SeriesSketch::kNumColumns * padded, uint8_t{0});
+  const double* columns[SeriesSketch::kNumColumns] = {
+      series.a_data(), series.b_data(), series.sa_data(), series.sb_data(),
+      series.suffix_min_gap_data()};
+  for (int c = 0; c < SeriesSketch::kNumColumns; ++c) {
+    const int64_t length = c == SeriesSketch::kS ? n + 2 : n + 1;
+    EncodeColumn(columns[c], length, block, nb, maps + c * 3 * nb,
+                 codes + c * padded);
+  }
+}
+
+SeriesSketch SeriesSketch::Build(const CumulativeSeries& series,
+                                 int64_t block) {
+  SeriesSketch sketch;
+  sketch.n_ = series.n();
+  sketch.block_ = block;
+  sketch.nb_ = NumBlocksFor(series.n(), block);
+  sketch.owned_maps_.resize(sketch.MapDoubles());
+  sketch.owned_codes_.resize(sketch.CodeBytes());
+  BuildSketchBuffers(series, block, sketch.owned_maps_.data(),
+                     sketch.owned_codes_.data());
+  return sketch;
+}
+
+SeriesSketch SeriesSketch::View(int64_t n, int64_t block, const double* maps,
+                                const uint8_t* codes) {
+  SeriesSketch sketch;
+  sketch.n_ = n;
+  sketch.block_ = block;
+  sketch.nb_ = NumBlocksFor(n, block);
+  sketch.view_maps_ = maps;
+  sketch.view_codes_ = codes;
+  return sketch;
+}
+
+double SeriesSketch::CodeLower(Column c, int64_t idx) const {
+  const int64_t b = idx / block_;
+  return DecodeLower(BlockLo(c, b), BlockWidth(c, b),
+                     ColumnCodes(c)[idx]);
+}
+
+double SeriesSketch::CodeUpper(Column c, int64_t idx) const {
+  const int64_t b = idx / block_;
+  return DecodeUpper(BlockLo(c, b), BlockHi(c, b), BlockWidth(c, b),
+                     ColumnCodes(c)[idx]);
+}
+
+void SeriesSketch::RangeBounds(Column c, int64_t lo_idx, int64_t hi_idx,
+                               double* out_lo, double* out_hi) const {
+  lo_idx = std::max<int64_t>(lo_idx, 0);
+  hi_idx = std::min<int64_t>(hi_idx, column_length(c) - 1);
+  double lo = kInf;
+  double hi = -kInf;
+  if (lo_idx <= hi_idx) {
+    for (int64_t b = lo_idx / block_; b <= hi_idx / block_; ++b) {
+      lo = std::min(lo, BlockLo(c, b));
+      hi = std::max(hi, BlockHi(c, b));
+    }
+  }
+  *out_lo = lo;
+  *out_hi = hi;
+}
+
+}  // namespace conservation::series

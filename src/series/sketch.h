@@ -1,0 +1,147 @@
+// SeriesSketch: per-block quantized 1-byte code columns over the derived
+// cumulative arrays, with per-block min/max quantization maps.
+//
+// The generators' anchor pre-pass (interval/prune.h) needs *conservative*
+// lower/upper bounds on A, B, SA, SB and SuffixMinGap over index ranges:
+// every bound must bracket the exact double in the full-precision column, so
+// the screen's "no interval anchored here can pass the threshold" verdict
+// has no false negatives. The sketch provides two granularities:
+//
+//   block maps  - per block of `block()` consecutive indices, the exact
+//                 min/max of the column over that block (plain doubles, no
+//                 quantization error). RangeBounds unions the maps of the
+//                 covering blocks, so a range bound is block-granular but
+//                 still exact-inclusive.
+//   byte codes  - per index, a 1-byte code c into the block's uniform
+//                 quantization grid [lo, lo + 256 * w). Decoding yields
+//                 CodeLower(idx) <= column[idx] <= CodeUpper(idx), verified
+//                 bitwise at encode time (the encoder nudges codes until the
+//                 inequality holds under round-to-nearest arithmetic).
+//
+// Degenerate blocks are handled without NaN/overflow codes: a block whose
+// values are all equal, or whose span (hi - lo) is not a positive finite
+// double (e.g. the suffix_min_gap +infinity sentinel at index n+1), stores
+// quantization width w = 0 and all-zero codes, and decoding falls back to
+// the exact block map bounds.
+//
+// Memory: maps cost 3 doubles per block per column (~0.47 B/tick at the
+// default 256-tick block); codes cost 1 B/tick per column. series/store.h
+// lays both out in an mmap-able arena for the tiered resident-set story.
+
+#ifndef CONSERVATION_SERIES_SKETCH_H_
+#define CONSERVATION_SERIES_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "series/cumulative.h"
+
+namespace conservation::series {
+
+class SeriesSketch {
+ public:
+  enum Column { kA = 0, kB, kSA, kSB, kS, kNumColumns };
+
+  // Default block span; small unit-test series (n < 2 * kDefaultBlock) keep
+  // the screen off under the `auto` policy (interval/prune.h).
+  static constexpr int64_t kDefaultBlock = 256;
+
+  SeriesSketch() = default;
+
+  // Builds maps and codes for all five columns in O(n).
+  static SeriesSketch Build(const CumulativeSeries& series, int64_t block);
+
+  // Zero-copy view over externally owned map/code arrays laid out exactly
+  // like Build's (series/store.h arena). The arrays must outlive the view.
+  static SeriesSketch View(int64_t n, int64_t block, const double* maps,
+                           const uint8_t* codes);
+
+  bool empty() const { return nb_ == 0; }
+  int64_t n() const { return n_; }
+  int64_t block() const { return block_; }
+  // Number of blocks per column (columns are padded to a common length).
+  int64_t num_blocks() const { return nb_; }
+  // Logical length of a column: n+1 for the cumulative columns, n+2 for
+  // suffix_min_gap (whose final entry is the +infinity sentinel).
+  int64_t column_length(Column c) const {
+    return c == kS ? n_ + 2 : n_ + 1;
+  }
+
+  // Per-block quantization maps; valid for 0 <= b < num_blocks(). Blocks
+  // past a column's logical length hold (+inf, -inf, 0) and are never
+  // consulted by bounded callers.
+  double BlockLo(Column c, int64_t b) const {
+    return maps()[(static_cast<int64_t>(c) * 3 + 0) * nb_ + b];
+  }
+  double BlockHi(Column c, int64_t b) const {
+    return maps()[(static_cast<int64_t>(c) * 3 + 1) * nb_ + b];
+  }
+  double BlockWidth(Column c, int64_t b) const {
+    return maps()[(static_cast<int64_t>(c) * 3 + 2) * nb_ + b];
+  }
+  // Flat per-block arrays (length num_blocks()) for the SIMD block scans.
+  const double* BlockLoData(Column c) const {
+    return maps() + (static_cast<int64_t>(c) * 3 + 0) * nb_;
+  }
+  const double* BlockHiData(Column c) const {
+    return maps() + (static_cast<int64_t>(c) * 3 + 1) * nb_;
+  }
+
+  // Per-index decoded bounds: CodeLower(c, i) <= column[i] <= CodeUpper(c, i)
+  // bitwise, for 0 <= i < column_length(c).
+  double CodeLower(Column c, int64_t idx) const;
+  double CodeUpper(Column c, int64_t idx) const;
+
+  // Conservative bounds on column[i] over all i in [lo_idx, hi_idx]
+  // (intersected with the column's valid range), from the union of the
+  // covering block maps. An empty intersection yields (+inf, -inf).
+  void RangeBounds(Column c, int64_t lo_idx, int64_t hi_idx, double* out_lo,
+                   double* out_hi) const;
+
+  // Arena accessors (series/store.h serializes these verbatim).
+  const double* maps() const {
+    return owned_maps_.empty() ? view_maps_ : owned_maps_.data();
+  }
+  const uint8_t* codes() const {
+    return owned_codes_.empty() ? view_codes_ : owned_codes_.data();
+  }
+  // Buffer sizes shared with the store layout: 5 columns x (lo, hi, w) maps
+  // and 5 columns x (nb * block) padded codes.
+  static int64_t NumBlocksFor(int64_t n, int64_t block) {
+    return block <= 0 ? 0 : (n + 2 + block - 1) / block;
+  }
+  size_t MapDoubles() const {
+    return static_cast<size_t>(kNumColumns) * 3 * static_cast<size_t>(nb_);
+  }
+  size_t CodeBytes() const {
+    return static_cast<size_t>(kNumColumns) *
+           static_cast<size_t>(nb_ * block_);
+  }
+  size_t MapBytes() const { return MapDoubles() * sizeof(double); }
+  // Codes for one column (padded to nb * block entries).
+  const uint8_t* ColumnCodes(Column c) const {
+    return codes() + static_cast<int64_t>(c) * nb_ * block_;
+  }
+
+ private:
+  int64_t n_ = 0;
+  int64_t block_ = 0;
+  int64_t nb_ = 0;
+  std::vector<double> owned_maps_;
+  std::vector<uint8_t> owned_codes_;
+  // Set only for views; owners resolve through the vectors so that copies
+  // and moves never dangle.
+  const double* view_maps_ = nullptr;
+  const uint8_t* view_codes_ = nullptr;
+};
+
+// Fills `maps` (SeriesSketch::MapDoubles layout) and `codes`
+// (SeriesSketch::CodeBytes layout) for the given series; shared by Build
+// and the store arena builder.
+void BuildSketchBuffers(const CumulativeSeries& series, int64_t block,
+                        double* maps, uint8_t* codes);
+
+}  // namespace conservation::series
+
+#endif  // CONSERVATION_SERIES_SKETCH_H_

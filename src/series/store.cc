@@ -1,0 +1,243 @@
+#include "series/store.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace conservation::series {
+namespace {
+
+// "CRSSTORE" little-endian; bumped with any layout change.
+constexpr uint64_t kMagic = 0x45524f5453535243ull;
+constexpr uint32_t kVersion = 1;
+
+// Fixed-width POD at arena offset 0. The remainder of the first kAlign
+// bytes is zero padding, so the full-precision region starts page-aligned.
+struct StoreHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t reserved;
+  int64_t n;
+  int64_t block;
+  double delta;
+  uint64_t total_bytes;
+  uint64_t full_offset;
+  uint64_t maps_offset;
+  uint64_t codes_offset;
+};
+static_assert(sizeof(StoreHeader) <= SeriesStore::kAlign,
+              "store header must fit in the alignment pad");
+
+size_t AlignUp(size_t v) {
+  return (v + SeriesStore::kAlign - 1) & ~(SeriesStore::kAlign - 1);
+}
+
+// Drops the file-backed pages fully inside [begin, end) (arena offsets),
+// rounding inward to the runtime page size: madvise demands page-aligned
+// addresses, and partial edge pages are shared with neighbouring regions.
+void DropInward(uint8_t* base, size_t begin, size_t end) {
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  const size_t lo = (begin + page - 1) & ~(page - 1);
+  const size_t hi = end & ~(page - 1);
+  if (hi > lo) madvise(base + lo, hi - lo, MADV_DONTNEED);
+}
+
+}  // namespace
+
+SeriesStore::Layout SeriesStore::Layout::For(int64_t n, int64_t block) {
+  CR_CHECK(n >= 1);
+  CR_CHECK(block > 0);
+  Layout l;
+  l.n = n;
+  l.block = block;
+  l.nb = SeriesSketch::NumBlocksFor(n, block);
+  l.full_offset = kAlign;
+  l.full_bytes =
+      static_cast<size_t>(4 * (n + 1) + (n + 2)) * sizeof(double);
+  l.maps_offset = AlignUp(l.full_offset + l.full_bytes);
+  l.maps_bytes = static_cast<size_t>(SeriesSketch::kNumColumns) * 3 *
+                 static_cast<size_t>(l.nb) * sizeof(double);
+  l.codes_offset = l.maps_offset + l.maps_bytes;
+  l.codes_bytes = static_cast<size_t>(SeriesSketch::kNumColumns) *
+                  static_cast<size_t>(l.nb * block);
+  l.total_bytes = AlignUp(l.codes_offset + l.codes_bytes);
+  return l;
+}
+
+SeriesStore::SeriesStore(SeriesStore&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      file_backed_(std::exchange(other.file_backed_, false)),
+      tier_(other.tier_),
+      layout_(other.layout_),
+      delta_(other.delta_) {}
+
+SeriesStore& SeriesStore::operator=(SeriesStore&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    file_backed_ = std::exchange(other.file_backed_, false);
+    tier_ = other.tier_;
+    layout_ = other.layout_;
+    delta_ = other.delta_;
+  }
+  return *this;
+}
+
+SeriesStore::~SeriesStore() {
+  if (data_ != nullptr) munmap(data_, size_);
+}
+
+SeriesStore SeriesStore::Build(const CumulativeSeries& series, int64_t block) {
+  const Layout layout = Layout::For(series.n(), block);
+  void* data = mmap(nullptr, layout.total_bytes, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  CR_CHECK(data != MAP_FAILED);
+
+  auto* bytes = static_cast<uint8_t*>(data);
+  StoreHeader header{};
+  header.magic = kMagic;
+  header.version = kVersion;
+  header.n = layout.n;
+  header.block = layout.block;
+  header.delta = series.delta();
+  header.total_bytes = layout.total_bytes;
+  header.full_offset = layout.full_offset;
+  header.maps_offset = layout.maps_offset;
+  header.codes_offset = layout.codes_offset;
+  std::memcpy(bytes, &header, sizeof(header));
+
+  const int64_t n = layout.n;
+  auto* full = reinterpret_cast<double*>(bytes + layout.full_offset);
+  std::memcpy(full + 0 * (n + 1), series.a_data(), (n + 1) * sizeof(double));
+  std::memcpy(full + 1 * (n + 1), series.b_data(), (n + 1) * sizeof(double));
+  std::memcpy(full + 2 * (n + 1), series.sa_data(), (n + 1) * sizeof(double));
+  std::memcpy(full + 3 * (n + 1), series.sb_data(), (n + 1) * sizeof(double));
+  std::memcpy(full + 4 * (n + 1), series.suffix_min_gap_data(),
+              (n + 2) * sizeof(double));
+
+  BuildSketchBuffers(series, block,
+                     reinterpret_cast<double*>(bytes + layout.maps_offset),
+                     bytes + layout.codes_offset);
+
+  SeriesStore store;
+  store.data_ = data;
+  store.size_ = layout.total_bytes;
+  store.file_backed_ = false;
+  store.tier_ = Tier::kFull;
+  store.layout_ = layout;
+  store.delta_ = series.delta();
+  store.PublishGauges();
+  return store;
+}
+
+util::Result<SeriesStore> SeriesStore::Adopt(void* data, size_t size,
+                                             bool file_backed) {
+  if (data == nullptr || size < sizeof(StoreHeader)) {
+    return util::Status::InvalidArgument("series store: arena too small");
+  }
+  StoreHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  if (header.magic != kMagic) {
+    return util::Status::InvalidArgument("series store: bad magic");
+  }
+  if (header.version != kVersion) {
+    return util::Status::InvalidArgument("series store: unsupported version");
+  }
+  if (header.n < 1 || header.block < 1 ||
+      header.block > (int64_t{1} << 30)) {
+    return util::Status::InvalidArgument("series store: corrupt header");
+  }
+  const Layout layout = Layout::For(header.n, header.block);
+  if (header.total_bytes != layout.total_bytes ||
+      header.full_offset != layout.full_offset ||
+      header.maps_offset != layout.maps_offset ||
+      header.codes_offset != layout.codes_offset || size != layout.total_bytes) {
+    return util::Status::InvalidArgument(
+        "series store: layout mismatch (truncated or corrupt arena)");
+  }
+  SeriesStore store;
+  store.data_ = data;
+  store.size_ = size;
+  store.file_backed_ = file_backed;
+  store.tier_ = Tier::kFull;
+  store.layout_ = layout;
+  store.delta_ = header.delta;
+  store.PublishGauges();
+  return store;
+}
+
+CumulativeSeries SeriesStore::MakeSeriesView() const {
+  CR_CHECK(data_ != nullptr);
+  const int64_t n = layout_.n;
+  const auto* full =
+      reinterpret_cast<const double*>(base() + layout_.full_offset);
+  return CumulativeSeries::View(n, full + 0 * (n + 1), full + 1 * (n + 1),
+                                full + 2 * (n + 1), full + 3 * (n + 1),
+                                full + 4 * (n + 1), delta_);
+}
+
+SeriesSketch SeriesStore::MakeSketchView() const {
+  CR_CHECK(data_ != nullptr);
+  return SeriesSketch::View(
+      layout_.n, layout_.block,
+      reinterpret_cast<const double*>(base() + layout_.maps_offset),
+      base() + layout_.codes_offset);
+}
+
+void SeriesStore::Evict(Tier tier) {
+  CR_CHECK(data_ != nullptr);
+  // Real page drops only for file-backed mappings: the pages refault from
+  // the backing file on the next access. On an anonymous (Build-ed) arena
+  // MADV_DONTNEED would replace the pages with zeros and destroy the data,
+  // so eviction there is bookkeeping only.
+  if (file_backed_) {
+    auto* bytes = static_cast<uint8_t*>(data_);
+    if (tier == Tier::kSketch || tier == Tier::kCold) {
+      DropInward(bytes, layout_.full_offset, layout_.maps_offset);
+    }
+    if (tier == Tier::kCold) {
+      // Keep the block maps and the SA code column (the screen's dominant
+      // term); drop codes for A, B (columns 0-1) and SB, S (columns 3-4).
+      const size_t cb = static_cast<size_t>(layout_.nb * layout_.block);
+      const size_t codes = layout_.codes_offset;
+      DropInward(bytes, codes, codes + 2 * cb);
+      DropInward(bytes, codes + 3 * cb, codes + 5 * cb);
+    }
+  }
+  tier_ = tier;
+  PublishGauges();
+}
+
+size_t SeriesStore::ResidentBytesEstimate() const {
+  if (data_ == nullptr) return 0;
+  const size_t full_region = layout_.maps_offset - layout_.full_offset;
+  const size_t cb = static_cast<size_t>(layout_.nb * layout_.block);
+  switch (tier_) {
+    case Tier::kFull:
+      return layout_.total_bytes;
+    case Tier::kSketch:
+      return layout_.total_bytes - full_region;
+    case Tier::kCold:
+      return layout_.total_bytes - full_region - 4 * cb;
+  }
+  CR_UNREACHABLE();
+}
+
+void SeriesStore::PublishGauges() const {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.Gauge("store.bytes_full").Set(static_cast<double>(size_));
+  registry.Gauge("store.bytes_sketch")
+      .Set(static_cast<double>(layout_.maps_bytes + layout_.codes_bytes));
+  registry.Gauge("store.bytes_resident")
+      .Set(static_cast<double>(ResidentBytesEstimate()));
+}
+
+}  // namespace conservation::series

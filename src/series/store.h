@@ -1,0 +1,134 @@
+// SeriesStore: a tiered columnar arena for one tenant's series.
+//
+// All derived state the generators touch — the five full-precision columns
+// (A, B, SA, SB, suffix_min_gap) plus the quantized sketch tier (block
+// maps + 1-byte codes, series/sketch.h) — lives in ONE contiguous,
+// mmap-able arena:
+//
+//   [ header | full-precision region | sketch maps + code columns ]
+//              ^ page-aligned          ^ page-aligned
+//
+// io/store_io.h serializes the arena verbatim and loads it back with a
+// single file mmap, so a loaded store starts with nothing resident and
+// faults pages in on first touch. Residency is then tiered per tenant:
+//
+//   kFull    everything may be resident (~41 B/tick).
+//   kSketch  the full-precision region is dropped; the sketch tier
+//            (~5.5 B/tick) answers screen queries (interval/prune.h).
+//   kCold    additionally drops every code column except SA, keeping the
+//            block maps + one code column (~1.5 B/tick).
+//
+// Evict is an madvise(MADV_DONTNEED) on file-backed stores — dropped pages
+// refault from the file on demand, which is what makes "cold tenants hold
+// the sketch tier and fault in full precision when queried" work. On a
+// Build-ed (anonymous) arena Evict only retiers the bookkeeping: DONTNEED
+// would zero anonymous pages and destroy the data.
+//
+// MakeSeriesView / MakeSketchView return zero-copy views over the arena;
+// generators run on them unchanged (CumulativeSeries::View resolves the
+// same pointers the owning constructor would).
+//
+// Gauges (docs/OBSERVABILITY.md): store.bytes_full, store.bytes_sketch and
+// store.bytes_resident track the arena and the current tier's estimated
+// resident footprint.
+
+#ifndef CONSERVATION_SERIES_STORE_H_
+#define CONSERVATION_SERIES_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "series/cumulative.h"
+#include "series/sketch.h"
+#include "util/status.h"
+
+namespace conservation::series {
+
+class SeriesStore {
+ public:
+  enum class Tier { kFull, kSketch, kCold };
+
+  // Arena layout derived purely from (n, block); stored and recomputed on
+  // load for validation. All offsets are from the arena base; the full and
+  // sketch regions start on kAlign boundaries so they can be madvised
+  // independently.
+  struct Layout {
+    int64_t n = 0;
+    int64_t block = 0;
+    int64_t nb = 0;            // sketch blocks per column
+    size_t full_offset = 0;    // A,B,SA,SB (n+1 doubles each), S (n+2)
+    size_t full_bytes = 0;
+    size_t maps_offset = 0;    // 5 x (lo,hi,w) x nb doubles
+    size_t maps_bytes = 0;
+    size_t codes_offset = 0;   // 5 contiguous columns of nb*block bytes
+    size_t codes_bytes = 0;
+    size_t total_bytes = 0;    // padded to kAlign
+    static Layout For(int64_t n, int64_t block);
+  };
+
+  // Region alignment inside the arena. A constant (not the runtime page
+  // size) so the on-disk layout is stable; Evict rounds madvise spans
+  // inward to the runtime page size.
+  static constexpr size_t kAlign = 4096;
+
+  SeriesStore() = default;
+  SeriesStore(SeriesStore&& other) noexcept;
+  SeriesStore& operator=(SeriesStore&& other) noexcept;
+  SeriesStore(const SeriesStore&) = delete;
+  SeriesStore& operator=(const SeriesStore&) = delete;
+  ~SeriesStore();
+
+  // Builds the arena (anonymous mmap) from an owning series: copies the
+  // five columns and encodes the sketch tier in place.
+  static SeriesStore Build(const CumulativeSeries& series,
+                           int64_t block = SeriesSketch::kDefaultBlock);
+
+  // Adopts an externally mmap-ed arena (io/store_io.h): validates the
+  // header against the recomputed layout and takes ownership of the
+  // mapping (munmap on destruction). `file_backed` marks mappings whose
+  // pages refault from a file, enabling real eviction.
+  static util::Result<SeriesStore> Adopt(void* data, size_t size,
+                                         bool file_backed);
+
+  bool empty() const { return data_ == nullptr; }
+  int64_t n() const { return layout_.n; }
+  int64_t block() const { return layout_.block; }
+  double delta() const { return delta_; }
+  Tier tier() const { return tier_; }
+  bool file_backed() const { return file_backed_; }
+
+  // Zero-copy views over the arena; valid while the store lives. The
+  // sketch view remains usable in every tier (its pages are never
+  // evicted below kCold's kept subset only for non-SA code columns).
+  CumulativeSeries MakeSeriesView() const;
+  SeriesSketch MakeSketchView() const;
+
+  // Drops (file-backed) or retiers (anonymous) residency; see header
+  // comment. Moving to a warmer tier never prefaults — pages return on
+  // first touch. Updates the store.* gauges.
+  void Evict(Tier tier);
+
+  size_t total_bytes() const { return layout_.total_bytes; }
+  // Estimated resident bytes for the current tier (layout arithmetic, not
+  // an RSS probe — deterministic for tests and gauges).
+  size_t ResidentBytesEstimate() const;
+
+  // Raw arena for serialization.
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  void PublishGauges() const;
+  const uint8_t* base() const { return static_cast<const uint8_t*>(data_); }
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  bool file_backed_ = false;
+  Tier tier_ = Tier::kFull;
+  Layout layout_;
+  double delta_ = 0.0;
+};
+
+}  // namespace conservation::series
+
+#endif  // CONSERVATION_SERIES_STORE_H_

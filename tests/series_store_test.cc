@@ -1,0 +1,225 @@
+// Tests for the tiered columnar series store (series/store.h) and its
+// serialization (io/store_io.h): the arena round-trips bitwise through
+// disk, generators produce identical output running off store views as off
+// owning arrays, eviction on a file-backed store drops and refaults pages
+// without changing any value, and the cold tier's resident footprint meets
+// the <= 2 bytes/tick budget.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/confidence.h"
+#include "core/model.h"
+#include "interval/generator.h"
+#include "io/store_io.h"
+#include "series/cumulative.h"
+#include "series/sketch.h"
+#include "series/store.h"
+#include "test_data.h"
+
+namespace conservation {
+namespace {
+
+using core::ConfidenceEvaluator;
+using core::ConfidenceModel;
+using interval::Candidate;
+using interval::GeneratorOptions;
+using series::CumulativeSeries;
+using series::SeriesSketch;
+using series::SeriesStore;
+
+uint64_t Bits(double value) { return std::bit_cast<uint64_t>(value); }
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+CumulativeSeries MakeSeries(int64_t n) {
+  return CumulativeSeries(testing_util::RandomDominatedCounts(17, n));
+}
+
+void ExpectViewMatches(const SeriesStore& store,
+                       const CumulativeSeries& series) {
+  const CumulativeSeries view = store.MakeSeriesView();
+  ASSERT_EQ(view.n(), series.n());
+  EXPECT_EQ(Bits(view.delta()), Bits(series.delta()));
+  for (int64_t l = 0; l <= series.n(); ++l) {
+    ASSERT_EQ(Bits(view.A(l)), Bits(series.A(l))) << l;
+    ASSERT_EQ(Bits(view.B(l)), Bits(series.B(l))) << l;
+    ASSERT_EQ(Bits(view.sa_data()[l]), Bits(series.sa_data()[l])) << l;
+    ASSERT_EQ(Bits(view.sb_data()[l]), Bits(series.sb_data()[l])) << l;
+  }
+  for (int64_t i = 1; i <= series.n() + 1; ++i) {
+    ASSERT_EQ(Bits(view.suffix_min_gap_data()[i]),
+              Bits(series.suffix_min_gap_data()[i]))
+        << i;
+  }
+}
+
+TEST(SeriesStore, BuildViewsMatchOwningArrays) {
+  const CumulativeSeries series = MakeSeries(1000);
+  const SeriesStore store = SeriesStore::Build(series, 64);
+  ASSERT_FALSE(store.empty());
+  EXPECT_FALSE(store.file_backed());
+  EXPECT_EQ(store.n(), 1000);
+  EXPECT_EQ(store.block(), 64);
+  ExpectViewMatches(store, series);
+
+  // The arena's sketch tier equals a freshly built sketch byte for byte.
+  const SeriesSketch direct = SeriesSketch::Build(series, 64);
+  const SeriesSketch view = store.MakeSketchView();
+  ASSERT_EQ(view.num_blocks(), direct.num_blocks());
+  EXPECT_EQ(std::memcmp(view.maps(), direct.maps(), direct.MapBytes()), 0);
+  EXPECT_EQ(std::memcmp(view.codes(), direct.codes(), direct.CodeBytes()), 0);
+}
+
+TEST(SeriesStore, GenerationFromStoreViewIsIdentical) {
+  const CumulativeSeries series = MakeSeries(900);
+  const SeriesStore store = SeriesStore::Build(series, 32);
+  const CumulativeSeries view = store.MakeSeriesView();
+  const SeriesSketch sketch_view = store.MakeSketchView();
+
+  GeneratorOptions options;
+  options.c_hat = 0.6;
+  options.epsilon = 0.1;
+  options.sketch_block = 32;
+  const auto generator =
+      interval::MakeGenerator(interval::AlgorithmKind::kAreaBased);
+
+  const ConfidenceEvaluator owned_eval(&series, ConfidenceModel::kBalance);
+  const std::vector<Candidate> owned_out =
+      generator->GenerateCandidates(owned_eval, options, nullptr);
+
+  const ConfidenceEvaluator view_eval(&view, ConfidenceModel::kBalance);
+  // The store's prebuilt sketch tier feeds the screen directly; the
+  // generator reuses it instead of building a transient sketch.
+  options.sketch_ptr = &sketch_view;
+  const std::vector<Candidate> view_out =
+      generator->GenerateCandidates(view_eval, options, nullptr);
+
+  ASSERT_EQ(view_out.size(), owned_out.size());
+  for (size_t k = 0; k < view_out.size(); ++k) {
+    EXPECT_EQ(view_out[k].interval, owned_out[k].interval);
+    EXPECT_EQ(Bits(view_out[k].confidence), Bits(owned_out[k].confidence));
+  }
+}
+
+TEST(SeriesStore, SaveLoadRoundTripsBitwise) {
+  const CumulativeSeries series = MakeSeries(2000);
+  const SeriesStore built = SeriesStore::Build(series, 256);
+  const std::string path = TempPath("store_roundtrip.crs");
+  ASSERT_TRUE(io::SaveSeriesStore(built, path).ok());
+
+  auto loaded = io::LoadSeriesStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->file_backed());
+  ASSERT_EQ(loaded->size(), built.size());
+  EXPECT_EQ(std::memcmp(loaded->data(), built.data(), built.size()), 0);
+  ExpectViewMatches(*loaded, series);
+  std::remove(path.c_str());
+}
+
+TEST(SeriesStore, LoadRejectsCorruptHeader) {
+  const CumulativeSeries series = MakeSeries(600);
+  const SeriesStore built = SeriesStore::Build(series, 64);
+  const std::string path = TempPath("store_corrupt.crs");
+  ASSERT_TRUE(io::SaveSeriesStore(built, path).ok());
+
+  // Flip a magic byte.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fputc('X', f);
+  std::fclose(f);
+  EXPECT_FALSE(io::LoadSeriesStore(path).ok());
+
+  // Truncated arena.
+  ASSERT_TRUE(io::SaveSeriesStore(built, path).ok());
+  ASSERT_EQ(truncate(path.c_str(),
+                     static_cast<off_t>(built.size() - SeriesStore::kAlign)),
+            0);
+  EXPECT_FALSE(io::LoadSeriesStore(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SeriesStore, EvictOnFileBackedStoreRefaultsIdentically) {
+  const CumulativeSeries series = MakeSeries(3000);
+  const SeriesStore built = SeriesStore::Build(series, 128);
+  const std::string path = TempPath("store_evict.crs");
+  ASSERT_TRUE(io::SaveSeriesStore(built, path).ok());
+  auto loaded = io::LoadSeriesStore(path);
+  ASSERT_TRUE(loaded.ok());
+
+  // Touch everything, evict to the sketch tier, then read the full
+  // precision columns again: pages refault from the file with identical
+  // bits.
+  ExpectViewMatches(*loaded, series);
+  loaded->Evict(SeriesStore::Tier::kSketch);
+  EXPECT_EQ(loaded->tier(), SeriesStore::Tier::kSketch);
+  ExpectViewMatches(*loaded, series);
+
+  // Cold tier drops most code columns too; the sketch view still decodes
+  // (refaulted) and the store can be warmed back up.
+  loaded->Evict(SeriesStore::Tier::kCold);
+  const SeriesSketch sketch = loaded->MakeSketchView();
+  const SeriesSketch direct = SeriesSketch::Build(series, 128);
+  EXPECT_EQ(std::memcmp(sketch.codes(), direct.codes(), direct.CodeBytes()),
+            0);
+  loaded->Evict(SeriesStore::Tier::kFull);
+  ExpectViewMatches(*loaded, series);
+  std::remove(path.c_str());
+}
+
+TEST(SeriesStore, EvictOnAnonymousStoreIsBookkeepingOnly) {
+  const CumulativeSeries series = MakeSeries(1200);
+  SeriesStore store = SeriesStore::Build(series, 64);
+  // MADV_DONTNEED would zero anonymous pages; Evict must retier without
+  // touching the data.
+  store.Evict(SeriesStore::Tier::kCold);
+  EXPECT_EQ(store.tier(), SeriesStore::Tier::kCold);
+  ExpectViewMatches(store, series);
+  store.Evict(SeriesStore::Tier::kFull);
+  ExpectViewMatches(store, series);
+}
+
+TEST(SeriesStore, ColdTierMeetsTwoBytesPerTickBudget) {
+  // Large enough that the fixed header/padding overhead amortizes away.
+  const int64_t n = 200000;
+  const CumulativeSeries series = MakeSeries(n);
+  const SeriesStore store = SeriesStore::Build(series, 256);
+
+  const size_t full = store.ResidentBytesEstimate();
+  EXPECT_EQ(full, store.total_bytes());
+
+  SeriesStore mutable_store = SeriesStore::Build(series, 256);
+  mutable_store.Evict(SeriesStore::Tier::kSketch);
+  const size_t sketch_resident = mutable_store.ResidentBytesEstimate();
+  // Sketch tier: 5 code columns (~5 B/tick) + maps (~0.47 B/tick).
+  EXPECT_LT(sketch_resident, static_cast<size_t>(6 * n));
+  EXPECT_LT(sketch_resident, full / 6);
+
+  mutable_store.Evict(SeriesStore::Tier::kCold);
+  const size_t cold_resident = mutable_store.ResidentBytesEstimate();
+  // Acceptance budget: the cold tier (maps + SA codes) holds <= 2 B/tick.
+  EXPECT_LE(cold_resident, static_cast<size_t>(2 * n));
+}
+
+TEST(SeriesStore, MoveTransfersOwnership) {
+  const CumulativeSeries series = MakeSeries(500);
+  SeriesStore store = SeriesStore::Build(series, 64);
+  const uint8_t* arena = store.data();
+  SeriesStore moved = std::move(store);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(moved.data(), arena);
+  ExpectViewMatches(moved, series);
+}
+
+}  // namespace
+}  // namespace conservation

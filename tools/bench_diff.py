@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
 """Compare two bench --json files and print per-config deltas.
 
-Records are keyed by (bench, n, algorithm, model, threads, k, walk_width);
-k is 0 for records without a candidate-count dimension (everything except
-the cover bench, which sweeps k at fixed n) and walk_width is 0 for
-records without a walk-width dimension (everything except the walks
-bench, which sweeps it at fixed n). The compared quantity is `seconds`
+Records are keyed by (bench, n, algorithm, model, threads, k, walk_width,
+sketch, sketch_block); k is 0 for records without a candidate-count
+dimension (everything except the cover bench, which sweeps k at fixed n),
+walk_width is 0 for records without a walk-width dimension (everything
+except the walks bench, which sweeps it at fixed n), and sketch /
+sketch_block are "" / 0 outside the sketch bench (which sweeps screen
+off-vs-auto at a fixed block span). The compared quantity is `seconds`
 (end-to-end wall clock). Configs present in only one file are listed
 separately. When both records carry the parallel observability block,
 speedup and imbalance deltas are shown too; when both carry the cover
 block, cover_speedup and stale-re-evaluation deltas are shown; when both
-carry the walk block, lane-occupancy deltas are shown. Measurement
-provenance (repeats / warmups, like the SIMD backend) is dropped from
-keys and comparisons.
+carry the walk block, lane-occupancy deltas are shown; when both carry
+the sketch block, prune-rate deltas (or bytes-per-tick deltas for the
+store-footprint rows) are shown. Measurement provenance (repeats /
+warmups, like the SIMD backend and the raw pruned/scanned counters) is
+dropped from keys and comparisons.
 
 Usage:
   tools/bench_diff.py OLD.json NEW.json [--threshold=5] [--fail-on-regress]
@@ -44,6 +48,8 @@ def load_records(path):
         record.pop("backend", None)
         record.pop("repeats", None)
         record.pop("warmups", None)
+        record.pop("anchors_pruned", None)
+        record.pop("sketch_scan_blocks", None)
         key = (
             record.get("bench", ""),
             record.get("n", 0),
@@ -52,6 +58,8 @@ def load_records(path):
             record.get("threads", 1),
             record.get("k", 0),
             record.get("walk_width", 0),
+            record.get("sketch", ""),
+            record.get("sketch_block", 0),
         )
         if key in records:
             print(f"warning: {path}: duplicate record for {key}; "
@@ -61,12 +69,17 @@ def load_records(path):
 
 
 def fmt_key(key):
-    bench, n, algorithm, model, threads, k, walk_width = key
+    bench, n, algorithm, model, threads, k, walk_width, sketch, \
+        sketch_block = key
     text = f"{bench} n={n} {algorithm} {model} threads={threads}"
     if k:
         text += f" k={k}"
     if walk_width:
         text += f" walk_width={walk_width}"
+    if sketch:
+        text += f" sketch={sketch}"
+    if sketch_block:
+        text += f" sketch_block={sketch_block}"
     return text
 
 
@@ -125,6 +138,12 @@ def main():
         if "lane_occupancy" in o and "lane_occupancy" in n:
             extras.append(f"occupancy {o['lane_occupancy']:.3f} -> "
                           f"{n['lane_occupancy']:.3f}")
+        if "prune_rate" in o and "prune_rate" in n:
+            extras.append(f"prune_rate {o['prune_rate']:.3f} -> "
+                          f"{n['prune_rate']:.3f}")
+        if "bytes_per_tick" in o and "bytes_per_tick" in n:
+            extras.append(f"bytes_per_tick {o['bytes_per_tick']:.2f} -> "
+                          f"{n['bytes_per_tick']:.2f}")
         if extras:
             line += "\n      " + ", ".join(extras)
         print(line)

@@ -22,6 +22,10 @@
 //                  AB-opt cross-anchor scheduler (default 0 = auto: SIMD
 //                  lane count x unroll; 1 = scalar walk); results identical
 //                  for every value
+//   --sketch=auto|off  quantized-sketch anchor screen (default auto);
+//                  conservative pre-pass only, candidates are bit-identical
+//                  for both settings (env CONSERVATION_SKETCH overrides)
+//   --sketch_block=<t> ticks per sketch block (default 256)
 // Extras:
 //   --report         full quality report (tableau + diagnosis + segments)
 //   --json           emit the tableau as JSON (includes a "cover" stats
@@ -257,6 +261,16 @@ int main(int argc, char** argv) {
   if (!walk_width.ok()) return Fail(walk_width.status().ToString());
   if (*walk_width < 0) return Fail("--walk_width must be >= 0 (0 = auto)");
   request.walk_width = static_cast<int>(*walk_width);
+
+  const std::string sketch = flags.GetStringOr("sketch", "auto");
+  if (sketch == "off") {
+    request.sketch = conservation::interval::SketchMode::kOff;
+  } else if (sketch != "auto") {
+    return Fail("--sketch must be auto or off, got " + sketch);
+  }
+  auto sketch_block = flags.GetIntOr("sketch_block", 256);
+  if (!sketch_block.ok()) return Fail(sketch_block.status().ToString());
+  request.sketch_block = *sketch_block;  // range-checked by ValidateRequest
 
   std::printf("n = %lld ticks; overall %s confidence = %s\n",
               static_cast<long long>(rule->n()),

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Sketch-screen stdout regression: configures a CONSERVATION_SKETCH=off
+# build tree, builds its crdiscover, and runs tools/stdout_regression.sh
+# with both binaries — the screened build's result stream must be
+# byte-identical (modulo zeroed timing fields) to the unscreened build's,
+# on top of the usual thread-count invariance. This is the end-to-end form
+# of the candidate bit-identity contract in tests/sketch_prune_test.cc.
+# Registered in ctest as cli_stdout_sketch_regression.
+#
+# Usage: tools/sketch_off_smoke.sh OFF_BUILD_DIR MAIN_CRDISCOVER INPUT_CSV
+set -euo pipefail
+source "$(dirname "$0")/smoke_lib.sh"
+
+if [[ $# -ne 3 ]]; then
+  echo "usage: sketch_off_smoke.sh OFF_BUILD_DIR MAIN_CRDISCOVER INPUT_CSV" >&2
+  exit 2
+fi
+off_build_dir="$1"
+main_crdiscover="$2"
+input="$3"
+
+smoke_build_variant "${off_build_dir}" crdiscover -DCONSERVATION_SKETCH=off
+
+exec "$(smoke_repo_root)/tools/stdout_regression.sh" \
+  "${main_crdiscover}" "${input}" "${off_build_dir}/tools/crdiscover"
