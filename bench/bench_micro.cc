@@ -36,16 +36,20 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "core/confidence.h"
+#include "core/tableau.h"
 #include "cover/partial_set_cover.h"
 #include "datagen/job_log.h"
+#include "incr/incremental.h"
 #include "interval/generator.h"
 #include "interval/kernel.h"
 #include "interval/kernel_simd.h"
+#include "interval/prune.h"
 #include "series/cumulative.h"
 #include "series/store.h"
 #include "stream/streaming_monitor.h"
@@ -687,6 +691,64 @@ int RunSketchBench(int argc, char** argv, const std::string& json_path) {
     }
   }
 
+  // Auto-gate boundary assertion (--check_gate_overhead=F): at the smallest
+  // series the auto gate admits (n = kSketchAutoGateBlocks * sketch_block,
+  // see interval/prune.h for the sweep that fixed the constant), the screen
+  // must not slow generation down by more than fraction F on either the
+  // unprunable overhead-ceiling family (uniform_pass) or the prunable one
+  // (low_conf_hold, where it is expected to win outright). Guards the gate
+  // constant against overhead regressions in the screen's setup path.
+  const double check_gate_overhead =
+      bench::DoubleFlag(argc, argv, "check_gate_overhead", 0.0);
+  if (check_gate_overhead > 0.0) {
+    const int64_t n_gate = ii::kSketchAutoGateBlocks * sketch_block;
+    const int gate_repeats = std::max(repeats, 5);
+    for (const std::string family : {"low_conf_hold", "uniform_pass"}) {
+      const series::CumulativeSeries cumulative(SketchFamily(family, n_gate));
+      const core::ConfidenceEvaluator eval(&cumulative,
+                                           core::ConfidenceModel::kBalance);
+      const auto generator =
+          interval::MakeGenerator(interval::AlgorithmKind::kAreaBasedOpt);
+      interval::GeneratorOptions options;
+      options.type = core::TableauType::kHold;
+      options.c_hat = 0.9;
+      options.epsilon = 0.01;
+      options.num_threads = 1;
+      options.sketch_block = sketch_block;
+      double mode_seconds[2] = {0.0, 0.0};  // [0] = off, [1] = auto
+      for (int rep = -warmups; rep < gate_repeats; ++rep) {
+        for (int m = 0; m < 2; ++m) {
+          options.sketch = m == 0 ? interval::SketchMode::kOff
+                                  : interval::SketchMode::kAuto;
+          interval::GeneratorStats stats;
+          util::Stopwatch timer;
+          auto out = generator->GenerateCandidates(eval, options, &stats);
+          const double seconds = timer.ElapsedSeconds();
+          benchmark::DoNotOptimize(out);
+          if (rep >= 0 &&
+              (mode_seconds[m] == 0.0 || seconds < mode_seconds[m])) {
+            mode_seconds[m] = seconds;
+          }
+        }
+      }
+      const double overhead = mode_seconds[0] > 0.0
+                                  ? mode_seconds[1] / mode_seconds[0] - 1.0
+                                  : 0.0;
+      std::printf("gate boundary n=%lld %-14s off %.5fs auto %.5fs "
+                  "overhead %+.1f%%\n",
+                  static_cast<long long>(n_gate), family.c_str(),
+                  mode_seconds[0], mode_seconds[1], overhead * 100.0);
+      if (overhead > check_gate_overhead) {
+        std::fprintf(stderr,
+                     "FAIL: auto-gate boundary overhead %.1f%% > %.1f%% "
+                     "budget on %s\n",
+                     overhead * 100.0, check_gate_overhead * 100.0,
+                     family.c_str());
+        gate_failed = true;
+      }
+    }
+  }
+
   if (check_speedup > 0.0) {
     if (best_high_prune_speedup >= check_speedup) {
       std::printf("speedup gate passed: %.2fx >= %.2fx on low_conf_hold\n",
@@ -695,6 +757,146 @@ int RunSketchBench(int argc, char** argv, const std::string& json_path) {
       std::fprintf(stderr,
                    "FAIL: best low_conf_hold speedup %.2fx < %.2fx\n",
                    best_high_prune_speedup, check_speedup);
+      gate_failed = true;
+    }
+  }
+
+  json.Flush();
+  return gate_failed ? 1 : 0;
+}
+
+// --- Incremental-maintenance record mode (--incr_json=PATH) ---------------
+//
+// Amortized per-batch maintenance latency of incr::IncrementalDiscoverer
+// against the from-scratch strategy (one full DiscoverTableau per arriving
+// batch) on the job-log workload, at batch sizes {1, 64, 4096}. Only the
+// steady-state tail of the stream is timed: the engine is warmed with a
+// prefix of n - batches*batch ticks, then each of the remaining AppendBatch
+// calls is timed individually and averaged. After the replay the maintained
+// tableau is CR_CHECKed bit-identical to a fresh DiscoverTableau at n —
+// the speedup rows are only meaningful under the exactness contract.
+// --check_speedup=S fails the run when any (algorithm, batch) configuration
+// amortizes worse than S x the from-scratch latency.
+void CheckTableauIdentity(const core::Tableau& incremental,
+                          const core::Tableau& fresh) {
+  CR_CHECK(incremental.rows.size() == fresh.rows.size());
+  for (size_t r = 0; r < fresh.rows.size(); ++r) {
+    CR_CHECK(incremental.rows[r].interval == fresh.rows[r].interval);
+    CR_CHECK(std::memcmp(&incremental.rows[r].confidence,
+                         &fresh.rows[r].confidence, sizeof(double)) == 0);
+  }
+  CR_CHECK(incremental.covered == fresh.covered);
+  CR_CHECK(incremental.required == fresh.required);
+  CR_CHECK(incremental.support_satisfied == fresh.support_satisfied);
+  CR_CHECK(incremental.num_candidates == fresh.num_candidates);
+}
+
+int RunIncrBench(int argc, char** argv, const std::string& json_path) {
+  const bool quick = bench::IntFlag(argc, argv, "quick", 0) != 0;
+  // The fresh baseline at full size runs for tens of seconds — long enough
+  // to be stable without best-of-repeats, so the default is a single timed
+  // run; the incremental side is already a mean over `measured` batches.
+  const int repeats =
+      static_cast<int>(bench::IntFlag(argc, argv, "repeats", 1));
+  const int warmups =
+      static_cast<int>(bench::IntFlag(argc, argv, "warmups", 0));
+  const double check_speedup =
+      bench::DoubleFlag(argc, argv, "check_speedup", 0.0);
+  const int64_t n = bench::IntFlag(argc, argv, "n", quick ? 20000 : 1000000);
+  const int64_t measured =
+      bench::IntFlag(argc, argv, "measured_batches", quick ? 4 : 32);
+  bench::BenchJson json("incr", json_path);
+  std::printf("dispatched backend: %s\n",
+              ii::SimdBackendName(ii::ActiveSimdBackend()));
+
+  struct Algo {
+    const char* name;
+    interval::AlgorithmKind kind;
+  };
+  // Exhaustive is quadratic and excluded at these sizes; plain AB matches
+  // AB-opt's incremental path closely enough that tracking both would
+  // double the fresh-baseline cost for no extra signal.
+  const Algo algos[] = {
+      {"ab_opt", interval::AlgorithmKind::kAreaBasedOpt},
+      {"nab", interval::AlgorithmKind::kNonAreaBased},
+  };
+  const int64_t batch_sizes[] = {1, 64, 4096};
+  const series::CountSequence& counts = JobCounts(n);
+  double worst_speedup = 0.0;
+  bool have_speedup = false;
+  bool gate_failed = false;
+  for (const Algo& algo : algos) {
+    core::TableauRequest request;
+    request.type = core::TableauType::kHold;
+    request.model = core::ConfidenceModel::kBalance;
+    request.c_hat = 0.9;
+    request.s_hat = 0.5;
+    request.algorithm = algo.kind;
+    request.epsilon = 0.01;
+    request.num_threads = 1;
+
+    // From-scratch baseline: what each arriving batch costs when the
+    // strategy is "recompute the tableau over the full prefix".
+    const series::CumulativeSeries cumulative(counts);
+    const core::ConfidenceEvaluator eval(&cumulative, request.model);
+    core::Tableau fresh_tableau;
+    const double fresh_seconds = TimeBest(repeats, warmups, [&] {
+      auto fresh = core::DiscoverTableau(eval, request);
+      CR_CHECK(fresh.ok());
+      fresh_tableau = std::move(fresh).value();
+    });
+    std::printf("%-7s n=%lld fresh full run %.4fs (%zu rows)\n", algo.name,
+                static_cast<long long>(n), fresh_seconds,
+                fresh_tableau.rows.size());
+    json.AddIncr(n, algo.name, "joblog", "fresh", /*batch=*/0, /*batches=*/1,
+                 fresh_seconds, /*speedup=*/0.0, 0, 0, 0, 0);
+    json.AnnotateTrials(repeats, warmups);
+
+    for (const int64_t batch : batch_sizes) {
+      const int64_t initial_n = std::max<int64_t>(1, n - measured * batch);
+      auto discoverer = incr::IncrementalDiscoverer::Create(
+          counts.Prefix(initial_n), request);
+      CR_CHECK(discoverer.ok());
+      const std::vector<double>& a = counts.outbound();
+      const std::vector<double>& b = counts.inbound();
+      double total_seconds = 0.0;
+      int64_t timed_batches = 0;
+      int64_t at = initial_n;
+      while (at < n) {
+        const int64_t m = std::min<int64_t>(batch, n - at);
+        util::Stopwatch timer;
+        discoverer->AppendBatch(a.data() + at, b.data() + at, m);
+        total_seconds += timer.ElapsedSeconds();
+        at += m;
+        ++timed_batches;
+      }
+      CheckTableauIdentity(discoverer->tableau(), fresh_tableau);
+      const double mean_seconds = total_seconds /
+                                  static_cast<double>(timed_batches);
+      const double speedup =
+          mean_seconds > 0.0 ? fresh_seconds / mean_seconds : 0.0;
+      const incr::IncrStats& stats = discoverer->stats();
+      std::printf("%-7s n=%lld batch=%5lld incr %.6fs/batch over %lld "
+                  "batches speedup %8.1fx (identical)\n",
+                  algo.name, static_cast<long long>(n),
+                  static_cast<long long>(batch), mean_seconds,
+                  static_cast<long long>(timed_batches), speedup);
+      json.AddIncr(n, algo.name, "joblog", "incr", batch, timed_batches,
+                   mean_seconds, speedup, stats.candidates_extended,
+                   stats.cover_warm_pops, stats.full_rebuilds,
+                   stats.dirty_anchors);
+      if (!have_speedup || speedup < worst_speedup) worst_speedup = speedup;
+      have_speedup = true;
+    }
+  }
+
+  if (check_speedup > 0.0) {
+    if (have_speedup && worst_speedup >= check_speedup) {
+      std::printf("speedup gate passed: worst %.1fx >= %.1fx\n",
+                  worst_speedup, check_speedup);
+    } else {
+      std::fprintf(stderr, "FAIL: worst amortized speedup %.1fx < %.1fx\n",
+                   worst_speedup, check_speedup);
       gate_failed = true;
     }
   }
@@ -715,6 +917,9 @@ int main(int argc, char** argv) {
   const std::string sketch_json =
       conservation::bench::StringFlag(argc, argv, "sketch_json", "");
   if (!sketch_json.empty()) return RunSketchBench(argc, argv, sketch_json);
+  const std::string incr_json =
+      conservation::bench::StringFlag(argc, argv, "incr_json", "");
+  if (!incr_json.empty()) return RunIncrBench(argc, argv, incr_json);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -172,6 +172,21 @@ class BenchJson {
     // stays 0 and bench_diff.py compares bytes_per_tick via its extras.
     bool has_store = false;
     double bytes_per_tick = 0.0;
+    // Incremental-maintenance block (AddIncr): `incr_mode` is "incr"
+    // (seconds = mean per-batch AppendBatch latency) or "fresh" (seconds =
+    // one full from-scratch DiscoverTableau at the same n); mode and the
+    // batch size are part of the record key in bench_diff.py. incr_speedup
+    // is fresh seconds / mean batch seconds (0 on fresh rows); the counters
+    // come from incr::IncrStats.
+    bool has_incr = false;
+    std::string incr_mode;
+    int64_t batch = 0;
+    int64_t batches = 0;
+    double incr_speedup = 0.0;
+    int64_t candidates_extended = 0;
+    int64_t cover_warm_pops = 0;
+    int64_t full_rebuilds = 0;
+    int64_t dirty_anchors = 0;
     // Measurement provenance (AnnotateTrials): timed repeats whose minimum
     // became `seconds`, and untimed warmup runs before them. Emitted when
     // repeats > 0; not part of the record key.
@@ -275,6 +290,32 @@ class BenchJson {
     record.anchors_pruned = stats.anchors_pruned;
     record.sketch_scan_blocks = stats.sketch_blocks;
     record.sketch_speedup = speedup;
+    records_.push_back(std::move(record));
+  }
+
+  // Records one configuration of the incremental-maintenance ablation.
+  // `mode` is "incr" or "fresh", `family` names the workload (the model key
+  // slot), `batch` is the append-batch size (0 on fresh rows), `batches` the
+  // number of timed AppendBatch calls averaged into `seconds`, `speedup`
+  // fresh seconds / mean batch seconds (0 on fresh rows). The counters are
+  // the engine's lifetime incr::IncrStats (pass zeros on fresh rows).
+  void AddIncr(int64_t n, const std::string& algorithm,
+               const std::string& family, const std::string& mode,
+               int64_t batch, int64_t batches, double seconds, double speedup,
+               int64_t candidates_extended, int64_t cover_warm_pops,
+               int64_t full_rebuilds, int64_t dirty_anchors) {
+    if (!active()) return;
+    Record record = MakeRecord(n, algorithm, family, 1, seconds,
+                               /*intervals_tested=*/0);
+    record.has_incr = true;
+    record.incr_mode = mode;
+    record.batch = batch;
+    record.batches = batches;
+    record.incr_speedup = speedup;
+    record.candidates_extended = candidates_extended;
+    record.cover_warm_pops = cover_warm_pops;
+    record.full_rebuilds = full_rebuilds;
+    record.dirty_anchors = dirty_anchors;
     records_.push_back(std::move(record));
   }
 
@@ -392,6 +433,24 @@ class BenchJson {
         json.Int(record.sketch_block);
         json.Key("bytes_per_tick");
         json.Double(record.bytes_per_tick);
+      }
+      if (record.has_incr) {
+        json.Key("incr_mode");
+        json.String(record.incr_mode);
+        json.Key("batch");
+        json.Int(record.batch);
+        json.Key("batches");
+        json.Int(record.batches);
+        json.Key("incr_speedup");
+        json.Double(record.incr_speedup);
+        json.Key("candidates_extended");
+        json.Int(record.candidates_extended);
+        json.Key("cover_warm_pops");
+        json.Int(record.cover_warm_pops);
+        json.Key("full_rebuilds");
+        json.Int(record.full_rebuilds);
+        json.Key("dirty_anchors");
+        json.Int(record.dirty_anchors);
       }
       if (record.repeats > 0) {
         json.Key("repeats");

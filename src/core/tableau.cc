@@ -10,9 +10,7 @@
 
 namespace conservation::core {
 
-namespace {
-
-util::Status ValidateRequest(const TableauRequest& request) {
+util::Status ValidateTableauRequest(const TableauRequest& request) {
   if (request.c_hat < 0.0 || request.c_hat > 1.0) {
     return util::Status::InvalidArgument(
         util::StrFormat("c_hat must be in [0, 1], got %g", request.c_hat));
@@ -59,8 +57,6 @@ util::Status ValidateRequest(const TableauRequest& request) {
   return util::Status::Ok();
 }
 
-}  // namespace
-
 std::string Tableau::ToString() const {
   std::string out = util::StrFormat(
       "%s tableau (%s model): %zu interval(s), covered %lld/%lld ticks%s\n",
@@ -76,7 +72,7 @@ std::string Tableau::ToString() const {
 
 util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
                                       const TableauRequest& request) {
-  if (util::Status status = ValidateRequest(request); !status.ok()) {
+  if (util::Status status = ValidateTableauRequest(request); !status.ok()) {
     return status;
   }
   if (eval.model() != request.model) {
@@ -101,6 +97,7 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
   gen_options.walk_width = request.walk_width;
   gen_options.sketch = request.sketch;
   gen_options.sketch_block = request.sketch_block;
+  gen_options.sketch_nab_right = request.sketch_nab_right;
 
   Tableau tableau;
   tableau.type = request.type;

@@ -54,6 +54,10 @@ struct TableauRequest {
   // per sketch block; must be in [8, 1 << 20].
   interval::SketchMode sketch = interval::SketchMode::kAuto;
   int64_t sketch_block = 256;
+  // NAB/NAB-opt right-anchor sketch screen; see
+  // interval::GeneratorOptions::sketch_nab_right. Off by default
+  // (DESIGN.md §4f); candidates are bit-identical either way.
+  bool sketch_nab_right = false;
 };
 
 struct TableauRow {
@@ -89,8 +93,13 @@ struct Tableau {
   std::string ToString() const;
 };
 
-// Validates the request (thresholds in range, epsilon > 0 for approximate
-// algorithms, NAB/NAB-opt only with the balance model) and runs both phases.
+// Request validation (thresholds in range, epsilon > 0 for approximate
+// algorithms, NAB/NAB-opt only with the balance model). Shared by
+// DiscoverTableau and the incremental engine (incr/incremental.h), so the
+// two front doors cannot drift on what a well-formed request is.
+util::Status ValidateTableauRequest(const TableauRequest& request);
+
+// Validates the request and runs both phases.
 util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
                                       const TableauRequest& request);
 

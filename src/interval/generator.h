@@ -120,6 +120,13 @@ struct GeneratorOptions {
   // blocks prune more precisely) against sketch footprint and scan length.
   SketchMode sketch = SketchMode::kAuto;
   int64_t sketch_block = 256;
+  // Right-anchor sketch screen for NAB/NAB-opt. The NAB screen bounds each
+  // right anchor's reachable LEFT endpoints through the sketch, which pays
+  // off far less often than the left-anchored screen (the length schedule
+  // already caps probes per anchor at O(log n)), so it defaults OFF and the
+  // `sketch` mode above then governs only the left-anchored generators; see
+  // DESIGN.md §4f. Candidates are bit-identical either way.
+  bool sketch_nab_right = false;
   // Optional prebuilt sketch over the same series (series/store.h tier).
   // When null and the screen is enabled, generators build a transient
   // sketch per GenerateCandidates call. Must outlive the call.

@@ -49,9 +49,14 @@ std::vector<Candidate> NonAreaBasedGenerator::GenerateCandidates(
       MakeLengthSchedule(schedule_, options.epsilon, n);
 
   // Sketch anchor screen over right anchors (relaxed threshold), shared
-  // read-only by every chunk.
+  // read-only by every chunk. Gated behind sketch_nab_right (default off,
+  // DESIGN.md §4f): the length schedule already caps probes per anchor at
+  // O(log n), so the screen rarely amortizes its construction here. The
+  // walks below keep using `options` — only the screen sees the override.
+  GeneratorOptions screen_options = options;
+  if (!options.sketch_nab_right) screen_options.sketch = SketchMode::kOff;
   const internal::ScopedSketchScreen scoped(
-      eval, options, internal::SketchScreen::Anchor::kRight,
+      eval, screen_options, internal::SketchScreen::Anchor::kRight,
       /*relaxed=*/true);
   const internal::SketchScreen* screen = scoped.get();
 

@@ -59,7 +59,7 @@ bool SketchScreenEnabled(const GeneratorOptions& options, int64_t n) {
 #else
   if (SketchEnvOff()) return false;
   if (options.sketch == SketchMode::kOff) return false;
-  return n >= 2 * ResolveSketchBlock(options);
+  return n >= kSketchAutoGateBlocks * ResolveSketchBlock(options);
 #endif
 }
 

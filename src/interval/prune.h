@@ -40,13 +40,25 @@
 
 namespace conservation::interval::internal {
 
+// Minimum series length, in sketch blocks, before the auto screen engages.
+// Tuned with bench_micro --sketch_json sweeps over n/block ratios {2..64} at
+// blocks {128, 256, 512, 1024}: a single-block sketch cannot discriminate
+// anchors at all (the screen quantizes verdicts at block granularity), while
+// at two blocks the screen already wins 1.9-4.7x on prunable families
+// (low_conf_hold) and costs only measurement noise (<= 8%, typically <= 4%)
+// on unprunable ones (uniform_pass, joblog). Raising the gate to 4 blocks
+// would forfeit those ratio-2 wins without buying any overhead reduction, so
+// 2 is the tuned floor. bench_micro --sketch_json --check_gate_overhead
+// asserts the overhead side of this trade-off at the gate boundary.
+inline constexpr int64_t kSketchAutoGateBlocks = 2;
+
 // Whether the sketch screen should run for this call. Resolution order:
 // build-time -DCONSERVATION_SKETCH=off, then the CONSERVATION_SKETCH
 // environment variable (auto | off, case-insensitive; an unknown token is a
 // fatal configuration error, mirroring CONSERVATION_SIMD), then
-// options.sketch, then the auto gate n >= 2 * sketch_block (short series
-// cannot amortize sketch construction, and the gate keeps tiny unit-test
-// fixtures on the unscreened path).
+// options.sketch, then the auto gate n >= kSketchAutoGateBlocks *
+// sketch_block (shorter series cannot amortize sketch construction, and the
+// gate keeps tiny unit-test fixtures on the unscreened path).
 bool SketchScreenEnabled(const GeneratorOptions& options, int64_t n);
 
 // The block span the screen (and any transient sketch) should use:

@@ -40,6 +40,28 @@ class CumulativeSeries {
 
   int64_t n() const { return n_; }
 
+  // Result of an in-place Append: which prefix state survived the batch.
+  struct AppendResult {
+    int64_t old_n = 0;
+    // Smallest index i <= old_n whose suffix-min gap S_i changed bitwise
+    // (old_n + 1 when every old S_i is unchanged). Appends can only lower a
+    // suffix of the old gaps, so [first_changed_s, old_n] is exactly the
+    // dirty anchor range for the credit/debit models.
+    int64_t first_changed_s = 0;
+    // True when a new tick introduced a smaller positive count, lowering
+    // delta(). The area-based algorithms' threshold ladders depend on
+    // delta, so incremental maintenance must rebuild when this fires.
+    bool delta_decreased = false;
+  };
+
+  // Appends m ticks (a[k], b[k] for k in [0, m)) in place, extending every
+  // derived array with the constructor's exact recurrences so the result is
+  // bitwise identical to rebuilding from the concatenated counts. The
+  // suffix-min gaps are recomputed downward with a bitwise-equality early
+  // stop, so the cost is O(m + changed suffix). Owned series only (views
+  // cannot grow); counts must be non-negative.
+  AppendResult Append(const double* a, const double* b, int64_t m);
+
   // Cumulative counts; valid for 0 <= l <= n. A(0) == B(0) == 0.
   double A(int64_t l) const { return a_data()[l]; }
   double B(int64_t l) const { return b_data()[l]; }

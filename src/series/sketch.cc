@@ -88,10 +88,13 @@ void EncodeColumn(const double* column, int64_t length, int64_t block,
 }  // namespace
 
 void BuildSketchBuffers(const CumulativeSeries& series, int64_t block,
-                        double* maps, uint8_t* codes) {
+                        double* maps, uint8_t* codes,
+                        int64_t stride_blocks) {
   CR_CHECK(block > 0);
   const int64_t n = series.n();
-  const int64_t nb = SeriesSketch::NumBlocksFor(n, block);
+  const int64_t nb =
+      stride_blocks > 0 ? stride_blocks : SeriesSketch::NumBlocksFor(n, block);
+  CR_CHECK(nb >= SeriesSketch::NumBlocksFor(n, block));
   const int64_t padded = nb * block;
   std::fill(codes, codes + SeriesSketch::kNumColumns * padded, uint8_t{0});
   const double* columns[SeriesSketch::kNumColumns] = {
@@ -102,6 +105,20 @@ void BuildSketchBuffers(const CumulativeSeries& series, int64_t block,
     EncodeColumn(columns[c], length, block, nb, maps + c * 3 * nb,
                  codes + c * padded);
   }
+}
+
+void EncodeSketchBlock(const double* column, int64_t length, int64_t block,
+                       int64_t stride_blocks, int64_t b, double* maps_col,
+                       uint8_t* codes_col) {
+  CR_CHECK(block > 0 && b >= 0 && b < stride_blocks);
+  const int64_t begin = b * block;
+  const int64_t count = std::min<int64_t>(block, length - begin);
+  uint8_t* codes = codes_col + begin;
+  std::fill(codes, codes + block, uint8_t{0});
+  EncodeBlock(count > 0 ? column + begin : column, count,
+              maps_col + 0 * stride_blocks + b,
+              maps_col + 1 * stride_blocks + b,
+              maps_col + 2 * stride_blocks + b, codes);
 }
 
 SeriesSketch SeriesSketch::Build(const CumulativeSeries& series,
@@ -118,11 +135,13 @@ SeriesSketch SeriesSketch::Build(const CumulativeSeries& series,
 }
 
 SeriesSketch SeriesSketch::View(int64_t n, int64_t block, const double* maps,
-                                const uint8_t* codes) {
+                                const uint8_t* codes,
+                                int64_t stride_blocks) {
   SeriesSketch sketch;
   sketch.n_ = n;
   sketch.block_ = block;
-  sketch.nb_ = NumBlocksFor(n, block);
+  sketch.nb_ = stride_blocks > 0 ? stride_blocks : NumBlocksFor(n, block);
+  CR_CHECK(sketch.nb_ >= NumBlocksFor(n, block));
   sketch.view_maps_ = maps;
   sketch.view_codes_ = codes;
   return sketch;

@@ -54,13 +54,20 @@ class SeriesSketch {
 
   // Zero-copy view over externally owned map/code arrays laid out exactly
   // like Build's (series/store.h arena). The arrays must outlive the view.
+  // `stride_blocks` is the per-column block stride of the arena layout; 0
+  // means NumBlocksFor(n, block). Appendable stores reserve capacity for
+  // more ticks than the logical n, so their stride exceeds the logical
+  // block count; blocks past the logical length hold (+inf, -inf, 0) maps
+  // and zero codes, and bounded callers never consult them.
   static SeriesSketch View(int64_t n, int64_t block, const double* maps,
-                           const uint8_t* codes);
+                           const uint8_t* codes, int64_t stride_blocks = 0);
 
   bool empty() const { return nb_ == 0; }
   int64_t n() const { return n_; }
   int64_t block() const { return block_; }
-  // Number of blocks per column (columns are padded to a common length).
+  // Per-column block stride of the map/code layout (== the logical block
+  // count for Build and unstrided views; larger for capacity-reserving
+  // store arenas). Columns are padded to a common stride.
   int64_t num_blocks() const { return nb_; }
   // Logical length of a column: n+1 for the cumulative columns, n+2 for
   // suffix_min_gap (whose final entry is the +infinity sentinel).
@@ -138,9 +145,24 @@ class SeriesSketch {
 
 // Fills `maps` (SeriesSketch::MapDoubles layout) and `codes`
 // (SeriesSketch::CodeBytes layout) for the given series; shared by Build
-// and the store arena builder.
+// and the store arena builder. `stride_blocks` (0 = NumBlocksFor(n, block))
+// selects the per-column layout stride; stride blocks past the logical
+// length get the degenerate (+inf, -inf, 0) maps and zero codes, so a
+// capacity-padded arena is a deterministic function of (series, block,
+// stride) — the store's append path relies on this for bit-identity.
 void BuildSketchBuffers(const CumulativeSeries& series, int64_t block,
-                        double* maps, uint8_t* codes);
+                        double* maps, uint8_t* codes,
+                        int64_t stride_blocks = 0);
+
+// Re-encodes block `b` of one column in place: `maps_col` points at the
+// column's 3 * stride map doubles, `codes_col` at its stride * block codes,
+// `length` is the column's logical length. Zeroes the block's codes first
+// (the encoder's degenerate path leaves them untouched), so the result is
+// byte-identical to a fresh BuildSketchBuffers of the grown series — the
+// store append path rewrites only the blocks an append can change.
+void EncodeSketchBlock(const double* column, int64_t length, int64_t block,
+                       int64_t stride_blocks, int64_t b, double* maps_col,
+                       uint8_t* codes_col);
 
 }  // namespace conservation::series
 

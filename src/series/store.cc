@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -15,7 +16,9 @@ namespace {
 
 // "CRSSTORE" little-endian; bumped with any layout change.
 constexpr uint64_t kMagic = 0x45524f5453535243ull;
-constexpr uint32_t kVersion = 1;
+// Version 2 appends the capacity field; version-1 arenas (capacity == n,
+// same layout arithmetic) are still adopted.
+constexpr uint32_t kVersion = 2;
 
 // Fixed-width POD at arena offset 0. The remainder of the first kAlign
 // bytes is zero padding, so the full-precision region starts page-aligned.
@@ -30,6 +33,7 @@ struct StoreHeader {
   uint64_t full_offset;
   uint64_t maps_offset;
   uint64_t codes_offset;
+  int64_t capacity;  // version >= 2; version-1 pads read as 0 (== n)
 };
 static_assert(sizeof(StoreHeader) <= SeriesStore::kAlign,
               "store header must fit in the alignment pad");
@@ -51,15 +55,22 @@ void DropInward(uint8_t* base, size_t begin, size_t end) {
 }  // namespace
 
 SeriesStore::Layout SeriesStore::Layout::For(int64_t n, int64_t block) {
+  return ForCapacity(n, block, n);
+}
+
+SeriesStore::Layout SeriesStore::Layout::ForCapacity(int64_t n, int64_t block,
+                                                     int64_t capacity) {
   CR_CHECK(n >= 1);
   CR_CHECK(block > 0);
+  CR_CHECK(capacity >= n);
   Layout l;
   l.n = n;
   l.block = block;
-  l.nb = SeriesSketch::NumBlocksFor(n, block);
+  l.capacity = capacity;
+  l.nb = SeriesSketch::NumBlocksFor(capacity, block);
   l.full_offset = kAlign;
-  l.full_bytes =
-      static_cast<size_t>(4 * (n + 1) + (n + 2)) * sizeof(double);
+  l.full_bytes = static_cast<size_t>(4 * (capacity + 1) + (capacity + 2)) *
+                 sizeof(double);
   l.maps_offset = AlignUp(l.full_offset + l.full_bytes);
   l.maps_bytes = static_cast<size_t>(SeriesSketch::kNumColumns) * 3 *
                  static_cast<size_t>(l.nb) * sizeof(double);
@@ -95,8 +106,11 @@ SeriesStore::~SeriesStore() {
   if (data_ != nullptr) munmap(data_, size_);
 }
 
-SeriesStore SeriesStore::Build(const CumulativeSeries& series, int64_t block) {
-  const Layout layout = Layout::For(series.n(), block);
+SeriesStore SeriesStore::Build(const CumulativeSeries& series, int64_t block,
+                               int64_t capacity) {
+  const int64_t n = series.n();
+  if (capacity < n) capacity = n;
+  const Layout layout = Layout::ForCapacity(n, block, capacity);
   void* data = mmap(nullptr, layout.total_bytes, PROT_READ | PROT_WRITE,
                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   CR_CHECK(data != MAP_FAILED);
@@ -112,20 +126,26 @@ SeriesStore SeriesStore::Build(const CumulativeSeries& series, int64_t block) {
   header.full_offset = layout.full_offset;
   header.maps_offset = layout.maps_offset;
   header.codes_offset = layout.codes_offset;
+  header.capacity = layout.capacity;
   std::memcpy(bytes, &header, sizeof(header));
 
-  const int64_t n = layout.n;
+  // Columns are laid out at capacity strides; the tail past the logical
+  // length stays zero (anonymous pages), so the arena is a deterministic
+  // function of (series, block, capacity) and Append can reproduce it.
+  const int64_t cap = layout.capacity;
   auto* full = reinterpret_cast<double*>(bytes + layout.full_offset);
-  std::memcpy(full + 0 * (n + 1), series.a_data(), (n + 1) * sizeof(double));
-  std::memcpy(full + 1 * (n + 1), series.b_data(), (n + 1) * sizeof(double));
-  std::memcpy(full + 2 * (n + 1), series.sa_data(), (n + 1) * sizeof(double));
-  std::memcpy(full + 3 * (n + 1), series.sb_data(), (n + 1) * sizeof(double));
-  std::memcpy(full + 4 * (n + 1), series.suffix_min_gap_data(),
+  std::memcpy(full + 0 * (cap + 1), series.a_data(), (n + 1) * sizeof(double));
+  std::memcpy(full + 1 * (cap + 1), series.b_data(), (n + 1) * sizeof(double));
+  std::memcpy(full + 2 * (cap + 1), series.sa_data(),
+              (n + 1) * sizeof(double));
+  std::memcpy(full + 3 * (cap + 1), series.sb_data(),
+              (n + 1) * sizeof(double));
+  std::memcpy(full + 4 * (cap + 1), series.suffix_min_gap_data(),
               (n + 2) * sizeof(double));
 
   BuildSketchBuffers(series, block,
                      reinterpret_cast<double*>(bytes + layout.maps_offset),
-                     bytes + layout.codes_offset);
+                     bytes + layout.codes_offset, layout.nb);
 
   SeriesStore store;
   store.data_ = data;
@@ -138,6 +158,74 @@ SeriesStore SeriesStore::Build(const CumulativeSeries& series, int64_t block) {
   return store;
 }
 
+void SeriesStore::Append(const CumulativeSeries& series,
+                         const CumulativeSeries::AppendResult& delta) {
+  CR_CHECK(data_ != nullptr);
+  // File-backed arenas are mapped read-only (MAP_PRIVATE of the saved
+  // bytes); only anonymous Build-ed stores grow in place.
+  CR_CHECK(!file_backed_);
+  CR_CHECK(delta.old_n == layout_.n);
+  const int64_t old_n = delta.old_n;
+  const int64_t new_n = series.n();
+  CR_CHECK(new_n >= old_n && new_n <= layout_.capacity);
+
+  auto* bytes = static_cast<uint8_t*>(data_);
+  const int64_t cap = layout_.capacity;
+  const int64_t block = layout_.block;
+  auto* full = reinterpret_cast<double*>(bytes + layout_.full_offset);
+  const int64_t m = new_n - old_n;
+  const double* columns[4] = {series.a_data(), series.b_data(),
+                              series.sa_data(), series.sb_data()};
+  for (int c = 0; c < 4; ++c) {
+    std::memcpy(full + c * (cap + 1) + (old_n + 1), columns[c] + old_n + 1,
+                static_cast<size_t>(m) * sizeof(double));
+  }
+  // Suffix-min gaps: entries in [first_changed_s, new_n + 1] changed, plus
+  // the index-0 mirror when S_1 did. The old +inf sentinel at old_n + 1 is
+  // always inside the copied range.
+  const int64_t s_from =
+      delta.first_changed_s <= 1
+          ? 0
+          : std::min<int64_t>(delta.first_changed_s, old_n + 1);
+  std::memcpy(full + 4 * (cap + 1) + s_from,
+              series.suffix_min_gap_data() + s_from,
+              static_cast<size_t>(new_n + 2 - s_from) * sizeof(double));
+
+  // Sketch tier: for the cumulative columns only blocks holding an index
+  // >= old_n + 1 can differ (earlier blocks were full and their values are
+  // unchanged); for S, blocks from the changed suffix through the new
+  // sentinel. Each block is re-encoded from scratch, so the bytes equal a
+  // fresh BuildSketchBuffers of the grown series.
+  auto* maps = reinterpret_cast<double*>(bytes + layout_.maps_offset);
+  uint8_t* codes = bytes + layout_.codes_offset;
+  const int64_t nb = layout_.nb;
+  const int64_t padded = nb * block;
+  for (int c = 0; c < 4; ++c) {
+    const int64_t length = new_n + 1;
+    for (int64_t b = (old_n + 1) / block; b <= new_n / block; ++b) {
+      EncodeSketchBlock(columns[c], length, block, nb, b, maps + c * 3 * nb,
+                        codes + c * padded);
+    }
+  }
+  {
+    const int c = SeriesSketch::kS;
+    const int64_t length = new_n + 2;
+    for (int64_t b = s_from / block; b <= (new_n + 1) / block; ++b) {
+      EncodeSketchBlock(series.suffix_min_gap_data(), length, block, nb, b,
+                        maps + c * 3 * nb, codes + c * padded);
+    }
+  }
+
+  layout_.n = new_n;
+  delta_ = series.delta();
+  StoreHeader header;
+  std::memcpy(&header, bytes, sizeof(header));
+  header.n = new_n;
+  header.delta = delta_;
+  std::memcpy(bytes, &header, sizeof(header));
+  PublishGauges();
+}
+
 util::Result<SeriesStore> SeriesStore::Adopt(void* data, size_t size,
                                              bool file_backed) {
   if (data == nullptr || size < sizeof(StoreHeader)) {
@@ -148,14 +236,20 @@ util::Result<SeriesStore> SeriesStore::Adopt(void* data, size_t size,
   if (header.magic != kMagic) {
     return util::Status::InvalidArgument("series store: bad magic");
   }
-  if (header.version != kVersion) {
+  if (header.version != 1 && header.version != kVersion) {
     return util::Status::InvalidArgument("series store: unsupported version");
   }
   if (header.n < 1 || header.block < 1 ||
       header.block > (int64_t{1} << 30)) {
     return util::Status::InvalidArgument("series store: corrupt header");
   }
-  const Layout layout = Layout::For(header.n, header.block);
+  // Version-1 arenas predate the capacity field (their header pad reads 0)
+  // and were always laid out at capacity == n.
+  const int64_t capacity = header.version == 1 ? header.n : header.capacity;
+  if (capacity < header.n) {
+    return util::Status::InvalidArgument("series store: corrupt capacity");
+  }
+  const Layout layout = Layout::ForCapacity(header.n, header.block, capacity);
   if (header.total_bytes != layout.total_bytes ||
       header.full_offset != layout.full_offset ||
       header.maps_offset != layout.maps_offset ||
@@ -176,12 +270,13 @@ util::Result<SeriesStore> SeriesStore::Adopt(void* data, size_t size,
 
 CumulativeSeries SeriesStore::MakeSeriesView() const {
   CR_CHECK(data_ != nullptr);
-  const int64_t n = layout_.n;
+  const int64_t cap = layout_.capacity;
   const auto* full =
       reinterpret_cast<const double*>(base() + layout_.full_offset);
-  return CumulativeSeries::View(n, full + 0 * (n + 1), full + 1 * (n + 1),
-                                full + 2 * (n + 1), full + 3 * (n + 1),
-                                full + 4 * (n + 1), delta_);
+  return CumulativeSeries::View(layout_.n, full + 0 * (cap + 1),
+                                full + 1 * (cap + 1), full + 2 * (cap + 1),
+                                full + 3 * (cap + 1), full + 4 * (cap + 1),
+                                delta_);
 }
 
 SeriesSketch SeriesStore::MakeSketchView() const {
@@ -189,7 +284,7 @@ SeriesSketch SeriesStore::MakeSketchView() const {
   return SeriesSketch::View(
       layout_.n, layout_.block,
       reinterpret_cast<const double*>(base() + layout_.maps_offset),
-      base() + layout_.codes_offset);
+      base() + layout_.codes_offset, layout_.nb);
 }
 
 void SeriesStore::Evict(Tier tier) {

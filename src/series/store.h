@@ -48,15 +48,18 @@ class SeriesStore {
  public:
   enum class Tier { kFull, kSketch, kCold };
 
-  // Arena layout derived purely from (n, block); stored and recomputed on
-  // load for validation. All offsets are from the arena base; the full and
-  // sketch regions start on kAlign boundaries so they can be madvised
-  // independently.
+  // Arena layout derived purely from (n, block, capacity); stored and
+  // recomputed on load for validation. All offsets are from the arena base;
+  // the full and sketch regions start on kAlign boundaries so they can be
+  // madvised independently. Region sizes and column strides come from
+  // `capacity` (reserved ticks), so an appendable store can grow its
+  // logical n in place without moving any column.
   struct Layout {
     int64_t n = 0;
     int64_t block = 0;
-    int64_t nb = 0;            // sketch blocks per column
-    size_t full_offset = 0;    // A,B,SA,SB (n+1 doubles each), S (n+2)
+    int64_t capacity = 0;      // reserved ticks; == n when not appendable
+    int64_t nb = 0;            // sketch block stride (capacity blocks)
+    size_t full_offset = 0;    // A,B,SA,SB (cap+1 doubles each), S (cap+2)
     size_t full_bytes = 0;
     size_t maps_offset = 0;    // 5 x (lo,hi,w) x nb doubles
     size_t maps_bytes = 0;
@@ -64,6 +67,7 @@ class SeriesStore {
     size_t codes_bytes = 0;
     size_t total_bytes = 0;    // padded to kAlign
     static Layout For(int64_t n, int64_t block);
+    static Layout ForCapacity(int64_t n, int64_t block, int64_t capacity);
   };
 
   // Region alignment inside the arena. A constant (not the runtime page
@@ -79,9 +83,25 @@ class SeriesStore {
   ~SeriesStore();
 
   // Builds the arena (anonymous mmap) from an owning series: copies the
-  // five columns and encodes the sketch tier in place.
+  // five columns and encodes the sketch tier in place. `capacity` reserves
+  // room for future Append calls (0 = exactly n, not appendable further);
+  // the padded arena is a deterministic function of (series, block,
+  // capacity) — anonymous pages are zero-filled and the sketch encoder
+  // writes degenerate maps for blocks past the logical length.
   static SeriesStore Build(const CumulativeSeries& series,
-                           int64_t block = SeriesSketch::kDefaultBlock);
+                           int64_t block = SeriesSketch::kDefaultBlock,
+                           int64_t capacity = 0);
+
+  // Grows the store in place to match `series`, which must be this store's
+  // series after a CumulativeSeries::Append (`delta` is that call's
+  // result). Copies only the appended column tails plus the changed
+  // suffix-min range, and re-encodes only the sketch blocks an append can
+  // touch — the last partial old block onward for the cumulative columns,
+  // the changed-suffix blocks for S. The resulting arena is byte-identical
+  // to Build(series, block, capacity). Anonymous (Build-ed) stores only;
+  // series.n() must fit the reserved capacity.
+  void Append(const CumulativeSeries& series,
+              const CumulativeSeries::AppendResult& delta);
 
   // Adopts an externally mmap-ed arena (io/store_io.h): validates the
   // header against the recomputed layout and takes ownership of the
@@ -93,6 +113,7 @@ class SeriesStore {
   bool empty() const { return data_ == nullptr; }
   int64_t n() const { return layout_.n; }
   int64_t block() const { return layout_.block; }
+  int64_t capacity() const { return layout_.capacity; }
   double delta() const { return delta_; }
   Tier tier() const { return tier_; }
   bool file_backed() const { return file_backed_; }

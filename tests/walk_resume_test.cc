@@ -374,6 +374,91 @@ TEST(NabWalkResume, EveryBlockBoundary) {
   }
 }
 
+// --- Cross-batch resume (checkpoint at an append boundary) ------------------
+
+// A walk checkpointed while the series had n1 ticks must resume bitwise
+// after CumulativeSeries::Append grows the arrays under it — the scenario
+// the incremental engine (incr/incremental.h) relies on. The walk's scope
+// stays the prefix (ctx.n = n1, fixed at Begin); Append extends every
+// derived array with bitwise-identical prefix values but reallocates, so
+// the resume must run against a REBUILT kernel (kernel.h caches raw
+// pointers). Checkpoints at every probe ordinal, including 0 (the whole
+// walk runs post-append).
+TEST(AbOptWalkResume, CrossBatchAppendBoundary) {
+  const int64_t n1 = 400;
+  const int64_t n2 = 700;
+  datagen::JobLogParams params;
+  params.num_ticks = n2;
+  const series::CountSequence counts = datagen::GenerateJobLog(params).counts;
+
+  // Reference context + walks over the prefix-only series (same data the
+  // growable series starts from, NOT a regenerated shorter trace).
+  const series::CumulativeSeries prefix_series(counts.Prefix(n1));
+  const core::ConfidenceEvaluator prefix_eval(&prefix_series,
+                                              ConfidenceModel::kBalance);
+  GeneratorOptions options;
+  options.type = TableauType::kHold;
+  options.c_hat = 0.999;
+  options.epsilon = 0.01;
+  const std::vector<int64_t> no_zero_prefix;
+  ii::AbOptWalkContext ctx;
+  ctx.n = n1;
+  ctx.delta = interval::ResolveDelta(prefix_eval.series(), options);
+  ctx.growth = 1.0 + options.epsilon;
+  ctx.credit_fail = false;
+  ctx.zero_prefix_lengths = &no_zero_prefix;
+  const std::vector<double>& tail_a = counts.outbound();
+  const std::vector<double>& tail_b = counts.inbound();
+
+  for (const int64_t anchor : {1L, 137L, 399L, 400L}) {
+    uint64_t ref_probes = 0;
+    std::vector<int64_t> reference;
+    {
+      ii::ConfidenceKernel kernel(prefix_eval, TableauType::kHold);
+      ctx.sp = kernel.sp();
+      kernel.BeginAnchor(anchor);
+      ii::AbOptWalkState ref_walk;
+      ref_walk.Begin(anchor, ctx);
+      while (!ref_walk.done()) {
+        ref_walk.Advance(kernel.SparseArea(ref_walk.probe_j()), ctx);
+      }
+      ref_probes = ref_walk.probes();
+      reference = ref_walk.breakpoints();
+    }
+    ASSERT_GT(ref_probes, 0u);
+
+    for (uint64_t cut = 0; cut <= ref_probes; ++cut) {
+      // Fresh growable series per checkpoint: walk `cut` probes pre-append.
+      series::CumulativeSeries growing(counts.Prefix(n1));
+      core::ConfidenceEvaluator eval(&growing, ConfidenceModel::kBalance);
+      ii::AbOptWalkState walk;
+      {
+        ii::ConfidenceKernel kernel(eval, TableauType::kHold);
+        ctx.sp = kernel.sp();
+        kernel.BeginAnchor(anchor);
+        walk.Begin(anchor, ctx);
+        for (uint64_t p = 0; p < cut && !walk.done(); ++p) {
+          walk.Advance(kernel.SparseArea(walk.probe_j()), ctx);
+        }
+      }  // pre-append kernel dies with the append below
+
+      growing.Append(tail_a.data() + n1, tail_b.data() + n1, n2 - n1);
+      ASSERT_EQ(growing.n(), n2);
+
+      ii::ConfidenceKernel resumed_kernel(eval, TableauType::kHold);
+      ctx.sp = resumed_kernel.sp();
+      resumed_kernel.BeginAnchor(anchor);
+      ii::AbOptWalkState resumed = walk;  // checkpoint crossing the batch
+      while (!resumed.done()) {
+        resumed.Advance(resumed_kernel.SparseArea(resumed.probe_j()), ctx);
+      }
+      ASSERT_EQ(resumed.breakpoints(), reference)
+          << "anchor " << anchor << " cut " << cut;
+      ASSERT_EQ(resumed.probes(), ref_probes);
+    }
+  }
+}
+
 // --- Width resolution and CONSERVATION_SIMD parsing -------------------------
 
 TEST(WalkWidth, ResolveRules) {

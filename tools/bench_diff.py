@@ -2,21 +2,26 @@
 """Compare two bench --json files and print per-config deltas.
 
 Records are keyed by (bench, n, algorithm, model, threads, k, walk_width,
-sketch, sketch_block); k is 0 for records without a candidate-count
-dimension (everything except the cover bench, which sweeps k at fixed n),
-walk_width is 0 for records without a walk-width dimension (everything
-except the walks bench, which sweeps it at fixed n), and sketch /
-sketch_block are "" / 0 outside the sketch bench (which sweeps screen
-off-vs-auto at a fixed block span). The compared quantity is `seconds`
-(end-to-end wall clock). Configs present in only one file are listed
-separately. When both records carry the parallel observability block,
-speedup and imbalance deltas are shown too; when both carry the cover
-block, cover_speedup and stale-re-evaluation deltas are shown; when both
-carry the walk block, lane-occupancy deltas are shown; when both carry
-the sketch block, prune-rate deltas (or bytes-per-tick deltas for the
-store-footprint rows) are shown. Measurement provenance (repeats /
-warmups, like the SIMD backend and the raw pruned/scanned counters) is
-dropped from keys and comparisons.
+sketch, sketch_block, incr_mode, batch); k is 0 for records without a
+candidate-count dimension (everything except the cover bench, which
+sweeps k at fixed n), walk_width is 0 for records without a walk-width
+dimension (everything except the walks bench, which sweeps it at fixed
+n), sketch / sketch_block are "" / 0 outside the sketch bench (which
+sweeps screen off-vs-auto at a fixed block span), and incr_mode / batch
+are "" / 0 outside the incremental-maintenance bench (which compares
+per-batch AppendBatch latency against a from-scratch run at each batch
+size). The compared quantity is `seconds` (end-to-end wall clock; mean
+per-batch latency on incr rows). Configs present in only one file are
+listed separately. When both records carry the parallel observability
+block, speedup and imbalance deltas are shown too; when both carry the
+cover block, cover_speedup and stale-re-evaluation deltas are shown;
+when both carry the walk block, lane-occupancy deltas are shown; when
+both carry the sketch block, prune-rate deltas (or bytes-per-tick deltas
+for the store-footprint rows) are shown; when both carry the incr block,
+amortized-speedup and warm-heap-pop deltas are shown. Measurement
+provenance (repeats / warmups, like the SIMD backend and the raw
+pruned/scanned and rebuild/dirty counters) is dropped from keys and
+comparisons.
 
 Usage:
   tools/bench_diff.py OLD.json NEW.json [--threshold=5] [--fail-on-regress]
@@ -50,6 +55,9 @@ def load_records(path):
         record.pop("warmups", None)
         record.pop("anchors_pruned", None)
         record.pop("sketch_scan_blocks", None)
+        record.pop("candidates_extended", None)
+        record.pop("full_rebuilds", None)
+        record.pop("dirty_anchors", None)
         key = (
             record.get("bench", ""),
             record.get("n", 0),
@@ -60,6 +68,8 @@ def load_records(path):
             record.get("walk_width", 0),
             record.get("sketch", ""),
             record.get("sketch_block", 0),
+            record.get("incr_mode", ""),
+            record.get("batch", 0),
         )
         if key in records:
             print(f"warning: {path}: duplicate record for {key}; "
@@ -70,7 +80,7 @@ def load_records(path):
 
 def fmt_key(key):
     bench, n, algorithm, model, threads, k, walk_width, sketch, \
-        sketch_block = key
+        sketch_block, incr_mode, batch = key
     text = f"{bench} n={n} {algorithm} {model} threads={threads}"
     if k:
         text += f" k={k}"
@@ -80,6 +90,10 @@ def fmt_key(key):
         text += f" sketch={sketch}"
     if sketch_block:
         text += f" sketch_block={sketch_block}"
+    if incr_mode:
+        text += f" incr_mode={incr_mode}"
+    if batch:
+        text += f" batch={batch}"
     return text
 
 
@@ -144,6 +158,12 @@ def main():
         if "bytes_per_tick" in o and "bytes_per_tick" in n:
             extras.append(f"bytes_per_tick {o['bytes_per_tick']:.2f} -> "
                           f"{n['bytes_per_tick']:.2f}")
+        if o.get("incr_speedup") and n.get("incr_speedup"):
+            extras.append(f"incr_speedup {o['incr_speedup']:.1f}x -> "
+                          f"{n['incr_speedup']:.1f}x")
+        if "cover_warm_pops" in o and "cover_warm_pops" in n:
+            extras.append(f"warm_pops {o['cover_warm_pops']} -> "
+                          f"{n['cover_warm_pops']}")
         if extras:
             line += "\n      " + ", ".join(extras)
         print(line)

@@ -26,6 +26,14 @@
 //                  conservative pre-pass only, candidates are bit-identical
 //                  for both settings (env CONSERVATION_SKETCH overrides)
 //   --sketch_block=<t> ticks per sketch block (default 256)
+//   --sketch_nab_right  also screen NAB/NAB-opt right anchors with the
+//                  sketch (default off, DESIGN.md §4f); bit-identical
+//                  either way
+// Incremental replay (DESIGN.md §4g):
+//   --append_batch=<m>  replay the input through the incremental engine in
+//                  append batches of m ticks, print the maintained tableau
+//                  after the last batch plus the incr.* replay stats, and
+//                  cross-check the result against a from-scratch run
 // Extras:
 //   --report         full quality report (tableau + diagnosis + segments)
 //   --json           emit the tableau as JSON (includes a "cover" stats
@@ -44,13 +52,16 @@
 //                    adds it to the --json document (or a stderr line in
 //                    text mode); =FILE writes the snapshot JSON to FILE
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/analysis.h"
 #include "core/report.h"
 #include "core/segmentation.h"
 #include "core/conservation_rule.h"
+#include "incr/incremental.h"
 #include "interval/kernel_simd.h"
 #include "io/csv.h"
 #include "io/json.h"
@@ -271,6 +282,9 @@ int main(int argc, char** argv) {
   auto sketch_block = flags.GetIntOr("sketch_block", 256);
   if (!sketch_block.ok()) return Fail(sketch_block.status().ToString());
   request.sketch_block = *sketch_block;  // range-checked by ValidateRequest
+  auto sketch_nab_right = flags.GetBoolOr("sketch_nab_right", false);
+  if (!sketch_nab_right.ok()) return Fail(sketch_nab_right.status().ToString());
+  request.sketch_nab_right = *sketch_nab_right;
 
   std::printf("n = %lld ticks; overall %s confidence = %s\n",
               static_cast<long long>(rule->n()),
@@ -301,6 +315,55 @@ int main(int argc, char** argv) {
                   point.support_satisfied ? "yes" : "no");
     }
     return 0;
+  }
+
+  // Incremental replay mode: feed the input through the maintenance engine
+  // batch by batch, then cross-check the maintained tableau against a
+  // from-scratch discovery over the full series (the engine's exactness
+  // contract, enforced here on real inputs as a deployment smoke check).
+  auto append_batch = flags.GetIntOr("append_batch", 0);
+  if (!append_batch.ok()) return Fail(append_batch.status().ToString());
+  if (*append_batch < 0) return Fail("--append_batch must be >= 0");
+  if (*append_batch > 0) {
+    const int64_t m = *append_batch;
+    const series::CountSequence& full = rule->counts();
+    const int64_t n = full.n();
+    const int64_t initial = std::min<int64_t>(m, n);
+    auto discoverer = incr::IncrementalDiscoverer::Create(
+        full.Prefix(initial), request);
+    if (!discoverer.ok()) return Fail(discoverer.status().ToString());
+    const std::vector<double>& a = full.outbound();
+    const std::vector<double>& b = full.inbound();
+    for (int64_t at = initial; at < n; at += m) {
+      discoverer->AppendBatch(a.data() + at, b.data() + at,
+                              std::min<int64_t>(m, n - at));
+    }
+    const incr::IncrStats& st = discoverer->stats();
+    std::printf("%s", discoverer->tableau().ToString().c_str());
+    std::printf(
+        "incremental replay: batches=%lld candidates_extended=%lld "
+        "cover_warm_pops=%lld full_rebuilds=%lld dirty_anchors=%lld\n",
+        static_cast<long long>(st.batches),
+        static_cast<long long>(st.candidates_extended),
+        static_cast<long long>(st.cover_warm_pops),
+        static_cast<long long>(st.full_rebuilds),
+        static_cast<long long>(st.dirty_anchors));
+    auto fresh = rule->DiscoverTableau(request);
+    if (!fresh.ok()) return Fail(fresh.status().ToString());
+    const core::Tableau& inc = discoverer->tableau();
+    bool identical = inc.rows.size() == fresh->rows.size() &&
+                     inc.covered == fresh->covered &&
+                     inc.required == fresh->required &&
+                     inc.support_satisfied == fresh->support_satisfied &&
+                     inc.num_candidates == fresh->num_candidates;
+    for (size_t r = 0; identical && r < inc.rows.size(); ++r) {
+      identical = inc.rows[r].interval.begin == fresh->rows[r].interval.begin &&
+                  inc.rows[r].interval.end == fresh->rows[r].interval.end &&
+                  inc.rows[r].confidence == fresh->rows[r].confidence;
+    }
+    std::printf("cross-check vs from-scratch: %s\n",
+                identical ? "identical" : "MISMATCH");
+    return identical ? 0 : 1;
   }
 
   auto tableau = rule->DiscoverTableau(request);
