@@ -3,8 +3,10 @@
 #include <utility>
 
 #include "cover/partial_set_cover.h"
+#include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -81,9 +83,25 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
   }
   CR_TRACE_SPAN_ARGS("tableau.discover", "n", eval.n(), "threads",
                      request.num_threads);
+  obs::ScopedDeadline discover_deadline("tableau.discover");
   static obs::Counter& discoveries =
       obs::Registry::Global().Counter("tableau.discoveries");
   discoveries.Increment();
+  // Phase attribution for the discovery pipeline: one histogram family,
+  // children hoisted once (labels.h). Same bounds as the cover phase
+  // histograms so cross-phase comparisons line up bucket for bucket.
+  struct PhaseMetrics {
+    obs::Histogram& generate;
+    obs::Histogram& cover;
+    obs::Histogram& assemble;
+  };
+  static PhaseMetrics& phase_seconds = *[] {
+    obs::HistogramFamily& family = obs::LabeledHistogram(
+        "tableau.phase_seconds", {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0});
+    return new PhaseMetrics{family.With({{"phase", "generate"}}),
+                            family.With({{"phase", "cover"}}),
+                            family.With({{"phase", "assemble"}})};
+  }();
 
   interval::GeneratorOptions gen_options;
   gen_options.type = request.type;
@@ -107,8 +125,10 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
   std::vector<interval::Candidate> candidates;
   {
     CR_TRACE_SPAN("tableau.generate");
+    util::Stopwatch generate_timer;
     candidates = generator->GenerateCandidates(eval, gen_options,
                                                &tableau.generation_stats);
+    phase_seconds.generate.Record(generate_timer.ElapsedSeconds());
   }
   tableau.num_candidates = candidates.size();
   // Walk-scheduler observability: how many resumable walks ran, and how
@@ -141,10 +161,12 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
     cover = cover::GreedyPartialSetCover(intervals, eval.n(), cover_options);
     tableau.cover_seconds = cover_timer.ElapsedSeconds();
     tableau.cover_stats = cover.stats;
+    phase_seconds.cover.Record(tableau.cover_seconds);
   }
 
   CR_TRACE_SPAN_ARGS("tableau.assemble", "rows",
                      static_cast<int64_t>(cover.chosen.size()));
+  util::Stopwatch assemble_timer;
   tableau.covered = cover.covered;
   tableau.required = cover.required;
   tableau.support_satisfied = cover.satisfied;
@@ -159,6 +181,7 @@ util::Result<Tableau> DiscoverTableau(const ConfidenceEvaluator& eval,
   static obs::Gauge& last_rows =
       obs::Registry::Global().Gauge("tableau.last_rows");
   last_rows.Set(static_cast<double>(tableau.rows.size()));
+  phase_seconds.assemble.Record(assemble_timer.ElapsedSeconds());
   return tableau;
 }
 

@@ -8,7 +8,9 @@
 #include "interval/non_area_based.h"
 #include "interval/walk.h"
 #include "obs/metrics.h"
+#include "obs/watchdog.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace conservation::incr {
 
@@ -25,6 +27,9 @@ struct IncrMetrics {
   obs::Counter& cover_warm_pops;
   obs::Counter& full_rebuilds;
   obs::Counter& dirty_anchors;
+  // Per-AppendBatch wall time; the source of the windowed p50/p99 tick
+  // latency quantiles on the scrape endpoint.
+  obs::Histogram& batch_seconds;
 
   static IncrMetrics& Get() {
     static IncrMetrics* metrics = [] {
@@ -33,7 +38,10 @@ struct IncrMetrics {
                              registry.Counter("incr.candidates_extended"),
                              registry.Counter("incr.cover_warm_pops"),
                              registry.Counter("incr.full_rebuilds"),
-                             registry.Counter("incr.dirty_anchors")};
+                             registry.Counter("incr.dirty_anchors"),
+                             registry.Histogram(
+                                 "incr.batch_seconds",
+                                 {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0})};
     }();
     return *metrics;
   }
@@ -185,6 +193,8 @@ const core::Tableau& IncrementalDiscoverer::AppendBatch(const double* a,
                                                         const double* b,
                                                         int64_t m) {
   CR_CHECK(m > 0);
+  obs::ScopedDeadline deadline("incr.append_batch");
+  util::Stopwatch batch_timer;
   const series::CumulativeSeries::AppendResult delta =
       series_->Append(a, b, m);
   if (!store_.empty()) {
@@ -197,6 +207,7 @@ const core::Tableau& IncrementalDiscoverer::AppendBatch(const double* a,
     }
   }
   ProcessBatch(delta);
+  IncrMetrics::Get().batch_seconds.Record(batch_timer.ElapsedSeconds());
   return tableau_;
 }
 

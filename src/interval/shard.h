@@ -44,6 +44,7 @@
 
 #include "interval/generator.h"
 #include "interval/interval.h"
+#include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/stopwatch.h"
@@ -66,10 +67,18 @@ struct GenerationMetrics {
   obs::Counter& anchors_pruned;
   obs::Counter& sketch_scan_blocks;
   obs::Histogram& chunk_seconds;
+  // Attribution of generation.chunks_claimed by how the chunk was won:
+  // "fair" = within the worker's static fair share, "stolen" = claimed
+  // beyond it off a slower worker (== generation.steals). Children of the
+  // labeled family "generation.chunks"; batch-published per run like the
+  // flat counters above.
+  obs::Counter& chunks_fair;
+  obs::Counter& chunks_stolen;
 
   static GenerationMetrics& Get() {
     static GenerationMetrics* metrics = [] {
       obs::Registry& registry = obs::Registry::Global();
+      obs::CounterFamily& chunks = obs::LabeledCounter("generation.chunks");
       return new GenerationMetrics{
           registry.Counter("generation.chunks_claimed"),
           registry.Counter("generation.steals"),
@@ -80,7 +89,9 @@ struct GenerationMetrics {
           registry.Counter("generation.anchors_pruned"),
           registry.Counter("sketch.scan_blocks"),
           registry.Histogram("generation.chunk_seconds",
-                             {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0})};
+                             {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0}),
+          chunks.With({{"kind", "fair"}}),
+          chunks.With({{"kind", "stolen"}})};
     }();
     return *metrics;
   }
@@ -141,6 +152,7 @@ auto RunSharded(int64_t n, const GeneratorOptions& options,
     merged.shard_work[0] =
         ShardWork{merged.seconds, /*chunks_claimed=*/1, /*steals=*/0};
     metrics.chunks_claimed.Increment();
+    metrics.chunks_fair.Increment();
     metrics.chunk_seconds.Record(merged.seconds);
   } else {
     const int64_t requested = ResolveNumChunks(n, workers, options);
@@ -236,6 +248,8 @@ auto RunSharded(int64_t n, const GeneratorOptions& options,
       merged.seconds += work.seconds;
       metrics.chunks_claimed.Add(work.chunks_claimed);
       metrics.steals.Add(work.steals);
+      metrics.chunks_fair.Add(work.chunks_claimed - work.steals);
+      metrics.chunks_stolen.Add(work.steals);
     }
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
@@ -55,6 +56,12 @@ std::vector<LinkDiagnosis> NodeConservation::DiagnoseLinks(
   static obs::Counter& diagnoses =
       obs::Registry::Global().Counter("network.link_diagnoses");
   diagnoses.Add(links_.size());
+  // Per-node attribution. DiagnoseLinks is a coarse operation (seconds,
+  // not microseconds), so the family lookup per call is fine; the default
+  // cardinality cap folds an unbounded node fleet into {overflow="true"}.
+  obs::LabeledCounter("network.link_diagnoses")
+      .With({{"node", node_name_}})
+      .Add(links_.size());
   std::vector<LinkDiagnosis> out;
   const double full =
       rule_.OverallConfidence(model).value_or(1.0);

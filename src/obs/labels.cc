@@ -1,0 +1,159 @@
+#include "obs/labels.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace conservation::obs {
+
+LabelSet::LabelSet(std::vector<Label> labels) : entries_(std::move(labels)) {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Label& lhs, const Label& rhs) {
+                     return lhs.first < rhs.first;
+                   });
+  // Keep the first occurrence of a duplicated key (stable sort preserves
+  // the caller's order among equal keys).
+  entries_.erase(std::unique(entries_.begin(), entries_.end(),
+                             [](const Label& lhs, const Label& rhs) {
+                               return lhs.first == rhs.first;
+                             }),
+                 entries_.end());
+}
+
+std::string EncodeLabeledName(const std::string& base,
+                              const LabelSet& labels) {
+  if (labels.empty()) return base;
+  std::string out = base;
+  out.push_back('{');
+  bool first = true;
+  for (const Label& label : labels.entries()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += label.first;
+    out += "=\"";
+    for (const char c : label.second) {
+      if (c == '\\' || c == '"') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+DecodedName DecodeLabeledName(const std::string& encoded) {
+  DecodedName decoded;
+  const size_t brace = encoded.find('{');
+  if (brace == std::string::npos || encoded.back() != '}') {
+    decoded.base = encoded;
+    return decoded;
+  }
+  decoded.base = encoded.substr(0, brace);
+  size_t at = brace + 1;
+  const size_t end = encoded.size() - 1;  // position of the closing '}'
+  while (at < end) {
+    const size_t eq = encoded.find('=', at);
+    if (eq == std::string::npos || eq >= end || eq + 1 >= end ||
+        encoded[eq + 1] != '"') {
+      // Malformed: fall back to treating the whole string as a base name.
+      return DecodedName{encoded, {}};
+    }
+    std::string key = encoded.substr(at, eq - at);
+    std::string value;
+    size_t v = eq + 2;
+    bool closed = false;
+    for (; v < end; ++v) {
+      const char c = encoded[v];
+      if (c == '\\' && v + 1 < end) {
+        value.push_back(encoded[++v]);
+      } else if (c == '"') {
+        closed = true;
+        break;
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (!closed) return DecodedName{encoded, {}};
+    decoded.labels.emplace_back(std::move(key), std::move(value));
+    at = v + 1;
+    if (at < end && encoded[at] == ',') ++at;
+  }
+  return decoded;
+}
+
+Counter& LabelsDroppedCounter() {
+  static Counter& counter =
+      Registry::Global().Counter("obs.labelsets_dropped");
+  return counter;
+}
+
+Counter& CounterFamily::With(const LabelSet& labels) {
+  return Resolve(labels, [](const std::string& encoded) -> Counter& {
+    return Registry::Global().Counter(encoded);
+  });
+}
+
+Gauge& GaugeFamily::With(const LabelSet& labels) {
+  return Resolve(labels, [](const std::string& encoded) -> Gauge& {
+    return Registry::Global().Gauge(encoded);
+  });
+}
+
+Histogram& HistogramFamily::With(const LabelSet& labels) {
+  return Resolve(labels, [this](const std::string& encoded) -> Histogram& {
+    return Registry::Global().Histogram(encoded, bounds_);
+  });
+}
+
+namespace {
+
+// Family registry, separate from the metric registry: families are lookup
+// indirection, not metrics (their children are the metrics). Leaked for
+// the same handle-lifetime reasons as Registry::Impl.
+struct FamilyRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<CounterFamily>> counters;
+  std::map<std::string, std::unique_ptr<GaugeFamily>> gauges;
+  std::map<std::string, std::unique_ptr<HistogramFamily>> histograms;
+
+  static FamilyRegistry& Get() {
+    static FamilyRegistry* instance = new FamilyRegistry();
+    return *instance;
+  }
+};
+
+}  // namespace
+
+CounterFamily& LabeledCounter(const std::string& name, size_t max_labelsets) {
+  FamilyRegistry& families = FamilyRegistry::Get();
+  std::lock_guard<std::mutex> lock(families.mu);
+  auto& slot = families.counters[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<CounterFamily>(name, max_labelsets);
+  }
+  return *slot;
+}
+
+GaugeFamily& LabeledGauge(const std::string& name, size_t max_labelsets) {
+  FamilyRegistry& families = FamilyRegistry::Get();
+  std::lock_guard<std::mutex> lock(families.mu);
+  auto& slot = families.gauges[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<GaugeFamily>(name, max_labelsets);
+  }
+  return *slot;
+}
+
+HistogramFamily& LabeledHistogram(const std::string& name,
+                                  std::vector<double> bounds,
+                                  size_t max_labelsets) {
+  FamilyRegistry& families = FamilyRegistry::Get();
+  std::lock_guard<std::mutex> lock(families.mu);
+  auto& slot = families.histograms[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramFamily>(name, std::move(bounds),
+                                             max_labelsets);
+  }
+  return *slot;
+}
+
+}  // namespace conservation::obs

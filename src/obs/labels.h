@@ -1,0 +1,193 @@
+// Labeled metric families layered on top of the plain registry
+// (obs/metrics.h): counters/gauges/histograms keyed by a small bounded set
+// of label key/value pairs (e.g. tenant, generator, phase).
+//
+// Design, continuing the metrics.h goals:
+//   1. Hot-path writes stay wait-free. A family resolves a (metric,
+//      labelset) pair to an ordinary striped Counter/Gauge/Histogram
+//      handle ONCE (With() takes a mutex); call sites hoist the handle —
+//      a static local, a member resolved at construction — so the steady
+//      state is exactly one relaxed fetch_add on the caller's stripe,
+//      identical to an unlabeled metric.
+//   2. Cardinality is capped. Each family admits at most
+//      `max_labelsets` distinct label sets (default kMaxLabelSetsPerFamily);
+//      past the cap, With() returns the family's shared overflow child
+//      (labels {overflow="true"}) and bumps the process-wide
+//      "obs.labelsets_dropped" counter once per rejected resolution — the
+//      registry can never be ballooned by an unbounded label value (user
+//      ids, raw paths) and a scrape can alert on the drop counter.
+//   3. Children are real registry metrics. A child registers under the
+//      encoded name `base{k1="v1",k2="v2"}` (keys sorted, values escaped),
+//      so snapshots, JSON export and the torn-free merge contract are
+//      inherited unchanged; the Prometheus exporter (obs/scrape.h) splits
+//      the encoded name back into base + labels.
+//
+// Convention (docs/OBSERVABILITY.md): when a family coexists with an
+// unlabeled metric of the same base name, the unlabeled series is the
+// all-up total and the labeled children are its attribution — sum children
+// per label, not across the unlabeled sample too.
+//
+// Layering: like the rest of obs, standard library only.
+
+#ifndef CONSERVATION_OBS_LABELS_H_
+#define CONSERVATION_OBS_LABELS_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace conservation::obs {
+
+// Default per-family distinct-labelset cap. Generous for the shipped label
+// dimensions (tenant/generator/phase on a test fleet) while keeping the
+// worst-case registry growth bounded.
+inline constexpr size_t kMaxLabelSetsPerFamily = 64;
+
+using Label = std::pair<std::string, std::string>;
+
+// Canonicalized label set: entries sorted by key, duplicate keys rejected
+// by keeping the first occurrence. Order-insensitive equality by
+// construction, so {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} resolve
+// to the same child.
+class LabelSet {
+ public:
+  LabelSet() = default;
+  LabelSet(std::initializer_list<Label> labels)
+      : LabelSet(std::vector<Label>(labels)) {}
+  explicit LabelSet(std::vector<Label> labels);
+
+  const std::vector<Label>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  bool operator<(const LabelSet& other) const {
+    return entries_ < other.entries_;
+  }
+  bool operator==(const LabelSet& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::vector<Label> entries_;
+};
+
+// `base{k1="v1",k2="v2"}` with `\` and `"` escaped inside values; the empty
+// label set encodes as the bare base name. Deterministic (keys sorted by
+// LabelSet), so the encoded name is a stable registry key.
+std::string EncodeLabeledName(const std::string& base, const LabelSet& labels);
+
+// Splits an encoded name back into base + labels. Names without a '{' are
+// returned whole with empty labels; a malformed suffix (unterminated brace,
+// bad quoting) is treated as part of the base so an exporter can never
+// crash on a hand-registered name.
+struct DecodedName {
+  std::string base;
+  std::vector<Label> labels;
+};
+DecodedName DecodeLabeledName(const std::string& encoded);
+
+// Process-wide count of With() resolutions rejected by a family cap
+// ("obs.labelsets_dropped").
+Counter& LabelsDroppedCounter();
+
+namespace internal {
+
+// Shared family machinery: the child map, the cap, and the overflow child.
+// `Child` is the registry metric type; `Make` resolves an encoded name to a
+// registered child.
+template <typename Child>
+class FamilyBase {
+ public:
+  FamilyBase(std::string name, size_t max_labelsets)
+      : name_(std::move(name)),
+        max_labelsets_(max_labelsets == 0 ? 1 : max_labelsets) {}
+  FamilyBase(const FamilyBase&) = delete;
+  FamilyBase& operator=(const FamilyBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t max_labelsets() const { return max_labelsets_; }
+
+  size_t labelset_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return children_.size();
+  }
+
+ protected:
+  template <typename MakeFn>
+  Child& Resolve(const LabelSet& labels, MakeFn&& make) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = children_.find(labels);
+    if (it != children_.end()) return *it->second;
+    if (children_.size() >= max_labelsets_) {
+      LabelsDroppedCounter().Increment();
+      if (overflow_ == nullptr) {
+        overflow_ = &make(
+            EncodeLabeledName(name_, LabelSet{{"overflow", "true"}}));
+      }
+      return *overflow_;
+    }
+    Child& child = make(EncodeLabeledName(name_, labels));
+    children_.emplace(labels, &child);
+    return child;
+  }
+
+ private:
+  const std::string name_;
+  const size_t max_labelsets_;
+  mutable std::mutex mu_;
+  std::map<LabelSet, Child*> children_;
+  Child* overflow_ = nullptr;
+};
+
+}  // namespace internal
+
+// Counter family. With() is the slow path (mutex + map); hoist the
+// returned handle exactly like a Registry::Counter handle — it stays valid
+// for the process lifetime.
+class CounterFamily : public internal::FamilyBase<Counter> {
+ public:
+  using FamilyBase::FamilyBase;
+  Counter& With(const LabelSet& labels);
+};
+
+class GaugeFamily : public internal::FamilyBase<Gauge> {
+ public:
+  using FamilyBase::FamilyBase;
+  Gauge& With(const LabelSet& labels);
+};
+
+// Histogram family: every child shares the family's bounds (fixed at first
+// registration, like Registry::Histogram).
+class HistogramFamily : public internal::FamilyBase<Histogram> {
+ public:
+  HistogramFamily(std::string name, std::vector<double> bounds,
+                  size_t max_labelsets)
+      : FamilyBase(std::move(name), max_labelsets),
+        bounds_(std::move(bounds)) {}
+  Histogram& With(const LabelSet& labels);
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+};
+
+// Family lookup, mirroring Registry::Counter/Gauge/Histogram: registers on
+// first use, repeated lookups return the same family (the first
+// registration's cap/bounds win). Rare and locking — hoist like any other
+// registry lookup.
+CounterFamily& LabeledCounter(const std::string& name,
+                              size_t max_labelsets = kMaxLabelSetsPerFamily);
+GaugeFamily& LabeledGauge(const std::string& name,
+                          size_t max_labelsets = kMaxLabelSetsPerFamily);
+HistogramFamily& LabeledHistogram(
+    const std::string& name, std::vector<double> bounds,
+    size_t max_labelsets = kMaxLabelSetsPerFamily);
+
+}  // namespace conservation::obs
+
+#endif  // CONSERVATION_OBS_LABELS_H_

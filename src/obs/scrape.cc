@@ -1,0 +1,456 @@
+#include "obs/scrape.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "obs/labels.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace conservation::obs {
+
+namespace {
+
+Counter& ScrapesServedCounter() {
+  static Counter& counter = Registry::Global().Counter("obs.scrapes_served");
+  return counter;
+}
+
+bool IsPromNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || (c >= '0' && c <= '9');
+}
+
+void AppendPromDouble(std::string* out, double value) {
+  if (std::isnan(value)) {
+    *out += "NaN";
+  } else if (std::isinf(value)) {
+    *out += value > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    *out += buf;
+  }
+}
+
+void AppendPromLabelValue(std::string* out, const std::string& value) {
+  for (const char c : value) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '"') {
+      *out += "\\\"";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+// `{a="x",b="y"}` (or "" for no labels), with `extra` appended after the
+// decoded labels when non-empty (used for `le`/`quantile`).
+std::string PromLabelBlock(const std::vector<Label>& labels,
+                           const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += SanitizePromName(label.first);
+    out += "=\"";
+    AppendPromLabelValue(&out, label.second);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+// Emits `# TYPE` once per exported family name, in first-seen order.
+// Registry names are sorted, so all children of one base are contiguous.
+void MaybeType(std::string* out, std::set<std::string>* typed,
+               const std::string& name, const char* type) {
+  if (!typed->insert(name).second) return;
+  *out += "# TYPE ";
+  *out += name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+};
+
+// Reads the request line + headers (we ignore the headers; every endpoint
+// is a body-less GET). Caps the read so a misbehaving client cannot grow
+// the buffer unboundedly.
+bool ReadRequest(int fd, HttpRequest* request) {
+  std::string buffer;
+  char chunk[1024];
+  while (buffer.find("\r\n\r\n") == std::string::npos &&
+         buffer.find("\n\n") == std::string::npos) {
+    if (buffer.size() > 8192) return false;
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  const size_t line_end = buffer.find_first_of("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string line = buffer.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  request->method = line.substr(0, sp1);
+  request->path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Drop any query string; the endpoints take no parameters.
+  const size_t query = request->path.find('?');
+  if (query != std::string::npos) request->path.resize(query);
+  return true;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SendResponse(int fd, const char* status, const char* content_type,
+                  const std::string& body) {
+  std::string response = "HTTP/1.1 ";
+  response += status;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  SendAll(fd, response);
+}
+
+constexpr char kPromContentType[] = "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace
+
+std::string SanitizePromName(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 1);
+  for (const char c : raw) {
+    out.push_back(IsPromNameChar(c) ? c : '_');
+  }
+  if (out.empty()) out.assign(1, '_');
+  // A leading digit is illegal even though digits are fine later; keep the
+  // digit and prefix rather than destroying it.
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             const WindowSnapshot* windows) {
+  std::string out;
+  std::set<std::string> typed;
+
+  for (const auto& [encoded, value] : snapshot.counters) {
+    const DecodedName decoded = DecodeLabeledName(encoded);
+    const std::string name = SanitizePromName(decoded.base);
+    MaybeType(&out, &typed, name, "counter");
+    out += name;
+    out += PromLabelBlock(decoded.labels, "");
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+
+  for (const auto& [encoded, value] : snapshot.gauges) {
+    const DecodedName decoded = DecodeLabeledName(encoded);
+    const std::string name = SanitizePromName(decoded.base);
+    MaybeType(&out, &typed, name, "gauge");
+    out += name;
+    out += PromLabelBlock(decoded.labels, "");
+    out += ' ';
+    AppendPromDouble(&out, value);
+    out += '\n';
+  }
+
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    const DecodedName decoded = DecodeLabeledName(histogram.name);
+    const std::string name = SanitizePromName(decoded.base);
+    MaybeType(&out, &typed, name, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < histogram.counts.size(); ++b) {
+      cumulative += histogram.counts[b];
+      std::string le = "le=\"";
+      if (b < histogram.bounds.size()) {
+        AppendPromDouble(&le, histogram.bounds[b]);
+      } else {
+        le += "+Inf";
+      }
+      le += '"';
+      out += name;
+      out += "_bucket";
+      out += PromLabelBlock(decoded.labels, le);
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += name;
+    out += "_sum";
+    out += PromLabelBlock(decoded.labels, "");
+    out += ' ';
+    AppendPromDouble(&out, histogram.sum);
+    out += '\n';
+    out += name;
+    out += "_count";
+    out += PromLabelBlock(decoded.labels, "");
+    out += ' ';
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+
+  if (windows != nullptr) {
+    std::string span = "obs_window_span_seconds";
+    MaybeType(&out, &typed, span, "gauge");
+    out += span;
+    out += ' ';
+    AppendPromDouble(&out, windows->span_seconds);
+    out += '\n';
+
+    for (const WindowedCounter& counter : windows->counters) {
+      const DecodedName decoded = DecodeLabeledName(counter.name);
+      const std::string name = SanitizePromName(decoded.base) + "_window_rate";
+      MaybeType(&out, &typed, name, "gauge");
+      out += name;
+      out += PromLabelBlock(decoded.labels, "");
+      out += ' ';
+      AppendPromDouble(&out, counter.rate_per_sec);
+      out += '\n';
+    }
+
+    for (const WindowedHistogram& histogram : windows->histograms) {
+      const DecodedName decoded = DecodeLabeledName(histogram.name);
+      const std::string name = SanitizePromName(decoded.base) + "_window";
+      MaybeType(&out, &typed, name, "summary");
+      const std::pair<const char*, double> quantiles[] = {
+          {"0.5", histogram.p50}, {"0.95", histogram.p95},
+          {"0.99", histogram.p99}};
+      for (const auto& [q, value] : quantiles) {
+        std::string extra = "quantile=\"";
+        extra += q;
+        extra += '"';
+        out += name;
+        out += PromLabelBlock(decoded.labels, extra);
+        out += ' ';
+        AppendPromDouble(&out, value);
+        out += '\n';
+      }
+      out += name;
+      out += "_sum";
+      out += PromLabelBlock(decoded.labels, "");
+      out += ' ';
+      AppendPromDouble(&out, histogram.sum);
+      out += '\n';
+      out += name;
+      out += "_count";
+      out += PromLabelBlock(decoded.labels, "");
+      out += ' ';
+      out += std::to_string(histogram.count);
+      out += '\n';
+    }
+  }
+
+  return out;
+}
+
+bool ScrapeServer::Start(const ScrapeServerOptions& options,
+                         std::string* error) {
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "scrape server already running";
+    return false;
+  }
+  options_ = options;
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket(): ") + std::strerror(errno);
+    }
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "invalid bind address: " + options_.bind_address;
+    }
+    close(fd);
+    return false;
+  }
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = std::string("bind(): ") + std::strerror(errno);
+    }
+    close(fd);
+    return false;
+  }
+  if (listen(fd, 16) != 0) {
+    if (error != nullptr) {
+      *error = std::string("listen(): ") + std::strerror(errno);
+    }
+    close(fd);
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    if (error != nullptr) {
+      *error = std::string("getsockname(): ") + std::strerror(errno);
+    }
+    close(fd);
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void ScrapeServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void ScrapeServer::ServeLoop() {
+  auto last_advance = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (options_.window_advance_seconds > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_advance).count() >=
+          options_.window_advance_seconds) {
+        WindowAggregator::Global().Advance();
+        last_advance = now;
+      }
+    }
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    close(conn);
+  }
+}
+
+void ScrapeServer::HandleConnection(int fd) {
+  HttpRequest request;
+  if (!ReadRequest(fd, &request)) return;
+  if (request.method != "GET") {
+    SendResponse(fd, "405 Method Not Allowed", "text/plain; charset=utf-8",
+                 "method not allowed\n");
+    return;
+  }
+  // Count before snapshotting so the in-flight scrape is included and the
+  // counter is present from the very first payload.
+  if (request.path == "/metrics") {
+    ScrapesServedCounter().Increment();
+    const MetricsSnapshot snapshot = Registry::Global().Snapshot();
+    const WindowSnapshot windows = WindowAggregator::Global().Snapshot();
+    SendResponse(fd, "200 OK", kPromContentType,
+                 ToPrometheusText(snapshot, &windows));
+  } else if (request.path == "/metrics.json") {
+    ScrapesServedCounter().Increment();
+    const MetricsSnapshot snapshot = Registry::Global().Snapshot();
+    const WindowSnapshot windows = WindowAggregator::Global().Snapshot();
+    std::string body = "{\"metrics\":";
+    body += snapshot.ToJson();
+    body += ",\"windows\":";
+    body += windows.ToJson();
+    body += "}\n";
+    SendResponse(fd, "200 OK", "application/json; charset=utf-8", body);
+  } else if (request.path == "/healthz") {
+    SendResponse(fd, "200 OK", "text/plain; charset=utf-8", "ok\n");
+  } else {
+    SendResponse(fd, "404 Not Found", "text/plain; charset=utf-8",
+                 "not found\n");
+  }
+}
+
+std::string ScrapeOnce(int port, const std::string& path) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  timeval timeout;
+  timeout.tv_sec = 5;
+  timeout.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return "";
+  }
+  std::string request = "GET ";
+  request += path;
+  request += " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request)) {
+    close(fd);
+    return "";
+  }
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) return "";
+  return response.substr(body + 4);
+}
+
+}  // namespace conservation::obs

@@ -1,0 +1,110 @@
+// Pull-based scrape surface for the metrics registry: Prometheus text
+// exposition (format v0.0.4) and a minimal blocking HTTP/1.1 server — the
+// first networking building block for the roadmap's long-running
+// conservation daemon.
+//
+// Exposition mapping (docs/OBSERVABILITY.md):
+//   * metric names sanitize to the Prometheus charset — every character
+//     outside [a-zA-Z0-9_:] becomes '_' ("stream.ticks" -> "stream_ticks");
+//   * encoded labeled names (obs/labels.h) split back into base + labels:
+//     `incr.batch_seconds{tenant="t0"}` exports as
+//     `incr_batch_seconds_*{tenant="t0",...}`;
+//   * counters export as TYPE counter, gauges as TYPE gauge;
+//   * histograms export in native Prometheus histogram form: cumulative
+//     `<name>_bucket{le="..."}` samples (one per bound plus le="+Inf"),
+//     `<name>_sum` and `<name>_count`;
+//   * when a WindowSnapshot is supplied, each histogram additionally
+//     exports `<name>_window` as TYPE summary (quantile="0.5|0.95|0.99"
+//     samples over the sliding window plus `_window_sum`/`_window_count`),
+//     each counter exports a `<name>_window_rate` gauge, and the window
+//     span itself exports as `obs_window_span_seconds`.
+//
+// Server: one blocking accept loop on a private thread, bound to
+// 127.0.0.1 by default (operator tooling, not an internet listener). GET
+// /metrics serves the exposition text, GET /metrics.json the JSON snapshot
+// plus the window block, GET /healthz a liveness probe; anything else is
+// 404. Connections are serviced one at a time and closed per request —
+// scrape cadences are seconds, not microseconds. The serve loop also
+// advances the shared WindowAggregator on a configurable cadence, so
+// merely running the server keeps the sliding windows live.
+//
+// Reads are snapshots (torn-free, metrics.h) and the server never touches
+// hot-path writer state, so scraping is data-race free against instrumented
+// code — certified by the TSan obs smoke, which scrapes in a loop while
+// writer threads hammer the registry.
+//
+// Layering: standard library + POSIX sockets only (still below util; no
+// util::Status — errors come back as bool + message).
+
+#ifndef CONSERVATION_OBS_SCRAPE_H_
+#define CONSERVATION_OBS_SCRAPE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace conservation::obs {
+
+// Prometheus-legal metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Every illegal
+// character maps to '_'; a leading digit gets a '_' prefix. Distinct raw
+// names can collide after sanitization ("a.b" / "a_b") — the dotted
+// convention never produces such pairs.
+std::string SanitizePromName(const std::string& raw);
+
+// Renders the full exposition document. `windows` may be null (no summary
+// / rate section). Ends with a trailing newline as the format requires.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             const WindowSnapshot* windows);
+
+struct ScrapeServerOptions {
+  int port = 0;                      // 0 = ephemeral (read back via port())
+  std::string bind_address = "127.0.0.1";
+  // Cadence for advancing WindowAggregator::Global() from the serve loop;
+  // <= 0 disables (the caller owns window advancement).
+  double window_advance_seconds = 1.0;
+};
+
+class ScrapeServer {
+ public:
+  ScrapeServer() = default;
+  ~ScrapeServer() { Stop(); }
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  // Binds, listens and spawns the serve thread. Returns false (with a
+  // human-readable reason in *error if non-null) when the socket cannot be
+  // set up; the server is then inert and Start may be retried.
+  bool Start(const ScrapeServerOptions& options, std::string* error);
+
+  // Stops the serve thread and closes the listening socket. Idempotent;
+  // called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Bound port (the ephemeral choice when options.port was 0).
+  int port() const { return port_; }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  ScrapeServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+};
+
+// Minimal loopback HTTP GET for tests, smokes and benches: fetches
+// http://127.0.0.1:port<path> and returns the response body ("" on any
+// error). Blocking, single attempt, 5 s receive timeout.
+std::string ScrapeOnce(int port, const std::string& path);
+
+}  // namespace conservation::obs
+
+#endif  // CONSERVATION_OBS_SCRAPE_H_

@@ -50,6 +50,12 @@ TraceGlobals& Globals() {
   return *globals;
 }
 
+Counter& TraceEventsDroppedCounter() {
+  static Counter& counter =
+      Registry::Global().Counter("obs.trace_events_dropped");
+  return counter;
+}
+
 void ThreadBuffer::Record(const TraceEvent& event) {
   if (events.empty()) {
     // First event from this thread: size the ring to the active session's
@@ -59,6 +65,11 @@ void ThreadBuffer::Record(const TraceEvent& event) {
     events.resize(globals.options.buffer_capacity);
   }
   const uint64_t slot = head.load(std::memory_order_relaxed);
+  if (slot >= events.size()) {
+    // The ring wrapped: this write evicts the oldest retained event.
+    // Counted live so a scrape can alert on trace loss long before export.
+    TraceEventsDroppedCounter().Increment();
+  }
   events[static_cast<size_t>(slot % events.size())] = event;
   head.store(slot + 1, std::memory_order_release);
 }

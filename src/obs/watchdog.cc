@@ -1,0 +1,166 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "obs/labels.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace conservation::obs {
+
+namespace {
+
+struct WatchdogGlobals {
+  std::mutex mu;             // guards start/stop transitions
+  WatchdogOptions options;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> trace_dumped{false};
+  std::atomic<uint64_t> stalls{0};
+  internal::WatchdogSlot slots[kWatchdogSlots];
+
+  static WatchdogGlobals& Get() {
+    static WatchdogGlobals* globals = new WatchdogGlobals();
+    return *globals;
+  }
+};
+
+Counter& StallsCounter() {
+  static Counter& counter = Registry::Global().Counter("obs.stalls_detected");
+  return counter;
+}
+
+Counter& SlotsMissedCounter() {
+  static Counter& counter =
+      Registry::Global().Counter("obs.watchdog_slots_missed");
+  return counter;
+}
+
+CounterFamily& StallsFamily() {
+  static CounterFamily& family = LabeledCounter("obs.stalls");
+  return family;
+}
+
+void FlagStall(WatchdogGlobals& globals, internal::WatchdogSlot& slot,
+               const char* phase, uint64_t now_ns) {
+  const uint64_t start_ns = slot.start_ns.load(std::memory_order_relaxed);
+  globals.stalls.fetch_add(1, std::memory_order_relaxed);
+  StallsCounter().Increment();
+  StallsFamily().With({{"phase", phase}}).Increment();
+  std::fprintf(stderr,
+               "obs: watchdog stall in phase %s: %.3f s elapsed, budget was "
+               "%.3f s\n",
+               phase, static_cast<double>(now_ns - start_ns) * 1e-9,
+               static_cast<double>(slot.deadline_ns.load(
+                                       std::memory_order_relaxed) -
+                                   start_ns) *
+                   1e-9);
+  if (!globals.options.stall_trace_path.empty() && TracingEnabled() &&
+      !globals.trace_dumped.exchange(true, std::memory_order_acq_rel)) {
+    // Concurrent export while recording continues: trace.h documents this
+    // as possibly lossy but never unsafe — the right trade for a stall
+    // snapshot.
+    WriteTrace(globals.options.stall_trace_path);
+  }
+}
+
+void WatchdogLoop(WatchdogGlobals& globals) {
+  const auto interval = std::chrono::duration<double>(
+      globals.options.poll_interval_seconds > 0
+          ? globals.options.poll_interval_seconds
+          : 0.05);
+  while (!globals.stop.load(std::memory_order_acquire)) {
+    const uint64_t now_ns = TraceNowNs();
+    for (internal::WatchdogSlot& slot : globals.slots) {
+      const char* phase = slot.phase.load(std::memory_order_acquire);
+      if (phase == nullptr) continue;
+      if (slot.flagged.load(std::memory_order_relaxed)) continue;
+      const uint64_t deadline = slot.deadline_ns.load(std::memory_order_relaxed);
+      if (now_ns <= deadline) continue;
+      // flagged is only ever set by this thread while the slot is claimed;
+      // the exchange guards against the owner releasing + a new claimant
+      // racing in between the phase load and here — worst case the new
+      // claimant's fresh deadline simply gets re-checked next poll.
+      if (!slot.flagged.exchange(true, std::memory_order_acq_rel)) {
+        FlagStall(globals, slot, phase, now_ns);
+      }
+    }
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int>& WatchdogState() {
+  static std::atomic<int> state{0};
+  return state;
+}
+
+WatchdogSlot* ClaimSlot(const char* phase, double budget_seconds) {
+  WatchdogGlobals& globals = WatchdogGlobals::Get();
+  const double budget = budget_seconds > 0
+                            ? budget_seconds
+                            : globals.options.default_budget_seconds;
+  const uint64_t now_ns = TraceNowNs();
+  const uint64_t deadline_ns =
+      now_ns + static_cast<uint64_t>(budget * 1e9);
+  for (WatchdogSlot& slot : globals.slots) {
+    const char* expected = nullptr;
+    if (slot.phase.load(std::memory_order_relaxed) != nullptr) continue;
+    // Stamp times before publishing the phase pointer: the poll thread
+    // reads phase with acquire, so a visible phase implies visible times.
+    slot.start_ns.store(now_ns, std::memory_order_relaxed);
+    slot.deadline_ns.store(deadline_ns, std::memory_order_relaxed);
+    slot.flagged.store(false, std::memory_order_relaxed);
+    if (slot.phase.compare_exchange_strong(expected, phase,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+      return &slot;
+    }
+  }
+  SlotsMissedCounter().Increment();
+  return nullptr;
+}
+
+void ReleaseSlot(WatchdogSlot* slot) {
+  slot->phase.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace internal
+
+void StartWatchdog(const WatchdogOptions& options) {
+  WatchdogGlobals& globals = WatchdogGlobals::Get();
+  std::lock_guard<std::mutex> lock(globals.mu);
+  if (internal::WatchdogState().load(std::memory_order_relaxed) != 0) return;
+  globals.options = options;
+  if (globals.options.default_budget_seconds <= 0) {
+    globals.options.default_budget_seconds = 60.0;
+  }
+  globals.stop.store(false, std::memory_order_release);
+  globals.thread = std::thread([&globals] { WatchdogLoop(globals); });
+  internal::WatchdogState().store(1, std::memory_order_relaxed);
+}
+
+void StopWatchdog() {
+  WatchdogGlobals& globals = WatchdogGlobals::Get();
+  std::lock_guard<std::mutex> lock(globals.mu);
+  if (internal::WatchdogState().load(std::memory_order_relaxed) == 0) return;
+  internal::WatchdogState().store(0, std::memory_order_relaxed);
+  globals.stop.store(true, std::memory_order_release);
+  if (globals.thread.joinable()) globals.thread.join();
+}
+
+bool WatchdogEnabled() {
+  return internal::WatchdogState().load(std::memory_order_relaxed) != 0;
+}
+
+uint64_t WatchdogStallCount() {
+  return WatchdogGlobals::Get().stalls.load(std::memory_order_relaxed);
+}
+
+}  // namespace conservation::obs

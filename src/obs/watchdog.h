@@ -1,0 +1,105 @@
+// Phase deadline watchdog: detects stalls in long-running phases
+// (tableau discovery, incremental batches, pool tasks) and raises metrics
+// plus a one-shot trace flush while the stall is still in progress — the
+// daemon-side answer to "the replay stopped making progress an hour ago
+// and nobody noticed".
+//
+// Mechanism: a fixed table of slots. ScopedDeadline claims a slot with a
+// single CAS, stamping the phase name, the start time and the deadline
+// (TraceNowNs clock); its destructor releases the slot with one store. A
+// background thread polls the table every poll_interval; a slot past its
+// deadline is flagged once (so one stall produces one alert, not one per
+// poll), bumping "obs.stalls_detected", the labeled child
+// `obs.stalls{phase=...}`, a stderr diagnostic, and — the first stall of
+// the process only, when tracing is live — a trace dump to
+// `stall_trace_path` capturing what every thread was doing.
+//
+// Cost when the watchdog is not started: ScopedDeadline is one relaxed
+// load and a branch — the same regime as a stopped trace span, safe to
+// leave in hot-ish paths (per-task, per-batch; not per-row).
+//
+// Slot exhaustion (more live deadlines than kWatchdogSlots) degrades
+// gracefully: the excess deadlines simply go unmonitored (counted in
+// "obs.watchdog_slots_missed").
+//
+// Layering: standard library only.
+
+#ifndef CONSERVATION_OBS_WATCHDOG_H_
+#define CONSERVATION_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace conservation::obs {
+
+inline constexpr int kWatchdogSlots = 64;
+
+struct WatchdogOptions {
+  // Budget applied when a ScopedDeadline does not pass its own.
+  double default_budget_seconds = 60.0;
+  double poll_interval_seconds = 0.05;
+  // When non-empty and tracing is active, the first detected stall writes
+  // the trace rings here (one-shot per process).
+  std::string stall_trace_path;
+};
+
+// Starts the watchdog thread. Safe to call once per process (subsequent
+// calls while running are ignored). Not started => every ScopedDeadline is
+// a no-op.
+void StartWatchdog(const WatchdogOptions& options = WatchdogOptions());
+
+// Stops the watchdog thread and releases nothing else — claimed slots
+// drain naturally as their ScopedDeadlines destruct.
+void StopWatchdog();
+
+bool WatchdogEnabled();
+
+// Total stalls flagged since process start (mirror of the
+// "obs.stalls_detected" counter, readable without a registry snapshot).
+uint64_t WatchdogStallCount();
+
+namespace internal {
+
+struct WatchdogSlot {
+  std::atomic<const char*> phase{nullptr};  // nullptr = free
+  std::atomic<uint64_t> start_ns{0};
+  std::atomic<uint64_t> deadline_ns{0};
+  std::atomic<bool> flagged{false};
+};
+
+// Claims a free slot for `phase` with deadline `budget_seconds` from now
+// (0 => the watchdog's default budget). Returns nullptr when the table is
+// full. Exposed for ScopedDeadline only.
+WatchdogSlot* ClaimSlot(const char* phase, double budget_seconds);
+void ReleaseSlot(WatchdogSlot* slot);
+
+// One relaxed load: non-zero iff StartWatchdog has run and StopWatchdog
+// has not.
+std::atomic<int>& WatchdogState();
+
+}  // namespace internal
+
+// RAII deadline over the enclosing scope. `phase` must be a string literal
+// (it is stored by pointer, like trace span names, and doubles as the
+// `phase` label on "obs.stalls"). Budget 0 uses the watchdog default.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(const char* phase, double budget_seconds = 0.0) {
+    if (internal::WatchdogState().load(std::memory_order_relaxed) != 0) {
+      slot_ = internal::ClaimSlot(phase, budget_seconds);
+    }
+  }
+  ~ScopedDeadline() {
+    if (slot_ != nullptr) internal::ReleaseSlot(slot_);
+  }
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  internal::WatchdogSlot* slot_ = nullptr;
+};
+
+}  // namespace conservation::obs
+
+#endif  // CONSERVATION_OBS_WATCHDOG_H_

@@ -1,0 +1,217 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace conservation::obs {
+
+namespace {
+
+// Shared steady epoch so AdvanceAt/Advance interleave consistently within a
+// process (tests use one or the other, never both).
+std::chrono::steady_clock::time_point WindowEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+void AppendName(std::string* out, const std::string& name) {
+  out->push_back('"');
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& counts, double q) {
+  uint64_t total = 0;
+  for (const uint64_t count : counts) total += count;
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const double next = cumulative + static_cast<double>(counts[b]);
+    if (next >= target && counts[b] > 0) {
+      if (b >= bounds.size()) {
+        // Overflow bucket: no finite upper bound; clamp to the last bound
+        // (histogram_quantile's convention).
+        return bounds.back();
+      }
+      const double lower = b == 0 ? std::min(0.0, bounds[0]) : bounds[b - 1];
+      const double upper = bounds[b];
+      const double fraction =
+          (target - cumulative) / static_cast<double>(counts[b]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+WindowAggregator::WindowAggregator(const WindowOptions& options)
+    : options_(options) {
+  if (options_.num_epochs < 1) options_.num_epochs = 1;
+  ring_.resize(static_cast<size_t>(options_.num_epochs));
+}
+
+double WindowAggregator::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       WindowEpoch())
+      .count();
+}
+
+void WindowAggregator::Advance() { AdvanceAt(NowSeconds()); }
+
+void WindowAggregator::AdvanceAt(double now_seconds) {
+  MetricsSnapshot snapshot = Registry::Global().Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t capacity = ring_.size();
+  const size_t slot = (tail_ + size_) % capacity;
+  ring_[slot].at_seconds = now_seconds;
+  ring_[slot].metrics = std::move(snapshot);
+  if (size_ < capacity) {
+    ++size_;
+  } else {
+    tail_ = (tail_ + 1) % capacity;  // overwrote the oldest epoch
+  }
+}
+
+WindowSnapshot WindowAggregator::Snapshot() const {
+  return SnapshotAt(NowSeconds());
+}
+
+WindowSnapshot WindowAggregator::SnapshotAt(double now_seconds) const {
+  WindowSnapshot out;
+  const MetricsSnapshot current = Registry::Global().Snapshot();
+
+  // Copy the baseline out under the lock; the delta math runs unlocked.
+  MetricsSnapshot baseline;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.epochs = static_cast<int>(size_);
+    if (size_ == 0) return out;
+    const Epoch& oldest = ring_[tail_];
+    out.span_seconds = std::max(0.0, now_seconds - oldest.at_seconds);
+    baseline = oldest.metrics;
+  }
+  const double span = out.span_seconds;
+
+  std::map<std::string, uint64_t> base_counters(baseline.counters.begin(),
+                                                baseline.counters.end());
+  out.counters.reserve(current.counters.size());
+  for (const auto& [name, value] : current.counters) {
+    WindowedCounter counter;
+    counter.name = name;
+    const auto it = base_counters.find(name);
+    const uint64_t before = it == base_counters.end() ? 0 : it->second;
+    // Metrics are monotone; guard anyway so a ResetForTest between epochs
+    // can never underflow.
+    counter.delta = value >= before ? value - before : value;
+    counter.rate_per_sec =
+        span > 0.0 ? static_cast<double>(counter.delta) / span : 0.0;
+    out.counters.push_back(std::move(counter));
+  }
+
+  std::map<std::string, const HistogramSnapshot*> base_histograms;
+  for (const HistogramSnapshot& h : baseline.histograms) {
+    base_histograms[h.name] = &h;
+  }
+  out.histograms.reserve(current.histograms.size());
+  for (const HistogramSnapshot& h : current.histograms) {
+    WindowedHistogram windowed;
+    windowed.name = h.name;
+    windowed.bounds = h.bounds;
+    windowed.delta_counts.assign(h.counts.size(), 0);
+    const auto it = base_histograms.find(h.name);
+    const HistogramSnapshot* before =
+        it == base_histograms.end() ? nullptr : it->second;
+    const bool comparable =
+        before != nullptr && before->counts.size() == h.counts.size();
+    double before_sum = 0.0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      const uint64_t old_count = comparable ? before->counts[b] : 0;
+      windowed.delta_counts[b] =
+          h.counts[b] >= old_count ? h.counts[b] - old_count : h.counts[b];
+      windowed.count += windowed.delta_counts[b];
+    }
+    if (comparable) before_sum = before->sum;
+    windowed.sum = h.sum - before_sum;
+    windowed.rate_per_sec =
+        span > 0.0 ? static_cast<double>(windowed.count) / span : 0.0;
+    windowed.p50 = QuantileFromBuckets(h.bounds, windowed.delta_counts, 0.50);
+    windowed.p95 = QuantileFromBuckets(h.bounds, windowed.delta_counts, 0.95);
+    windowed.p99 = QuantileFromBuckets(h.bounds, windowed.delta_counts, 0.99);
+    out.histograms.push_back(std::move(windowed));
+  }
+  return out;
+}
+
+void WindowAggregator::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tail_ = 0;
+  size_ = 0;
+}
+
+WindowAggregator& WindowAggregator::Global() {
+  static WindowAggregator* instance = new WindowAggregator();
+  return *instance;
+}
+
+std::string WindowSnapshot::ToJson() const {
+  std::string out = "{\"span_seconds\":";
+  AppendDouble(&out, span_seconds);
+  out += ",\"epochs\":";
+  out += std::to_string(epochs);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const WindowedCounter& counter : counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendName(&out, counter.name);
+    out += ":{\"delta\":";
+    out += std::to_string(counter.delta);
+    out += ",\"rate\":";
+    AppendDouble(&out, counter.rate_per_sec);
+    out += '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const WindowedHistogram& histogram : histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendName(&out, histogram.name);
+    out += ":{\"count\":";
+    out += std::to_string(histogram.count);
+    out += ",\"rate\":";
+    AppendDouble(&out, histogram.rate_per_sec);
+    out += ",\"p50\":";
+    AppendDouble(&out, histogram.p50);
+    out += ",\"p95\":";
+    AppendDouble(&out, histogram.p95);
+    out += ",\"p99\":";
+    AppendDouble(&out, histogram.p99);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace conservation::obs

@@ -1,0 +1,128 @@
+// Sliding-window aggregation over the cumulative metrics registry: recent
+// rates for counters and p50/p95/p99 quantile estimates for the
+// fixed-bucket histograms, for a long-running daemon where "since process
+// start" numbers stop being informative after the first hour.
+//
+// Mechanism: a ring of epochs. Advance() captures one torn-free registry
+// snapshot (metrics.h contract) with a steady-clock timestamp and pushes it
+// into a ring of `num_epochs` entries (default 60 — at a 1 s cadence, a one
+// minute window). Snapshot() takes a fresh registry snapshot and subtracts
+// the oldest retained epoch: counter deltas become windowed rates, and
+// histogram bucket-count deltas become a windowed distribution from which
+// quantiles are interpolated within the fixed bucket bounds.
+//
+// Consistency: both endpoints of every delta are torn-free merges, and
+// counters/bucket cells are monotone, so each per-cell delta is exact and
+// non-negative. Increments racing an Advance land in one epoch or the next
+// — never lost, never double counted — the same relaxed-ordering contract
+// the plain snapshots carry. Advance/Snapshot serialize on the
+// aggregator's own mutex and never touch hot-path writers.
+//
+// Quantile semantics (also in docs/OBSERVABILITY.md): linear interpolation
+// inside the bucket containing the rank, with the first bucket anchored at
+// min(0, b_0) and the overflow bucket clamped to b_{m-1} — the same
+// convention PromQL's histogram_quantile uses, so the scraped values and a
+// PromQL computation over the exported buckets agree in shape.
+//
+// Cadence is the caller's: the scrape server (obs/scrape.h) advances on a
+// configurable interval, crdiscover's replay mode advances every
+// --metrics_every batches, and tests advance with explicit timestamps.
+
+#ifndef CONSERVATION_OBS_WINDOW_H_
+#define CONSERVATION_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace conservation::obs {
+
+struct WindowOptions {
+  // Epochs retained; the window spans up to num_epochs advances.
+  int num_epochs = 60;
+};
+
+struct WindowedCounter {
+  std::string name;       // encoded name (labels included)
+  uint64_t delta = 0;     // increments inside the window
+  double rate_per_sec = 0.0;
+};
+
+struct WindowedHistogram {
+  std::string name;
+  uint64_t count = 0;     // records inside the window
+  double sum = 0.0;       // sum of recorded values inside the window
+  double rate_per_sec = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;
+  std::vector<uint64_t> delta_counts;  // bounds.size() + 1 entries
+};
+
+struct WindowSnapshot {
+  double span_seconds = 0.0;  // age of the oldest retained epoch
+  int epochs = 0;             // epochs currently retained
+  std::vector<WindowedCounter> counters;      // registry name order
+  std::vector<WindowedHistogram> histograms;  // registry name order
+
+  // {"span_seconds":S,"epochs":E,
+  //  "counters":{"name":{"delta":D,"rate":R},...},
+  //  "histograms":{"name":{"count":N,"rate":R,"p50":..,"p95":..,"p99":..}}}
+  std::string ToJson() const;
+};
+
+// Quantile estimate from a fixed-bucket count vector (bounds.size() + 1
+// buckets, metrics.h semantics). Returns 0 when total is zero. Exposed for
+// tests and for exporters that window their own deltas.
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& counts, double q);
+
+class WindowAggregator {
+ public:
+  explicit WindowAggregator(const WindowOptions& options = WindowOptions());
+  WindowAggregator(const WindowAggregator&) = delete;
+  WindowAggregator& operator=(const WindowAggregator&) = delete;
+
+  // Captures one epoch at the steady clock's now.
+  void Advance();
+  // Deterministic variant for tests: epoch timestamped `now_seconds`
+  // (callers must pass non-decreasing times).
+  void AdvanceAt(double now_seconds);
+
+  // Deltas between a fresh registry snapshot (taken now) and the oldest
+  // retained epoch. Before the first Advance the window is empty:
+  // span_seconds 0, every delta 0.
+  WindowSnapshot Snapshot() const;
+  WindowSnapshot SnapshotAt(double now_seconds) const;
+
+  // Drops all retained epochs (handles and options stay).
+  void ResetForTest();
+
+  int num_epochs() const { return options_.num_epochs; }
+
+  // Shared process-wide aggregator: the scrape server and the CLI replay
+  // loop advance and read the same window.
+  static WindowAggregator& Global();
+
+ private:
+  struct Epoch {
+    double at_seconds = 0.0;
+    MetricsSnapshot metrics;
+  };
+
+  double NowSeconds() const;
+
+  WindowOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Epoch> ring_;  // capacity num_epochs, oldest at tail_
+  size_t tail_ = 0;          // index of the oldest retained epoch
+  size_t size_ = 0;
+};
+
+}  // namespace conservation::obs
+
+#endif  // CONSERVATION_OBS_WINDOW_H_

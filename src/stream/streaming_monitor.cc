@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -39,6 +40,17 @@ StreamingMonitor::StreamingMonitor(const StreamOptions& options)
   ring_A_.assign(static_cast<size_t>(ring_size_), 0.0);
   ring_B_.assign(static_cast<size_t>(ring_size_), 0.0);
   min_gap_ = std::numeric_limits<double>::infinity();
+  if (!options_.tenant.empty()) {
+    // One family lookup per monitor construction; Observe() then pays one
+    // extra striped increment per tick, nothing more.
+    const obs::LabelSet labels{{"tenant", options_.tenant}};
+    tenant_ticks_ = &obs::LabeledCounter("stream.ticks").With(labels);
+    tenant_episodes_ = &obs::LabeledCounter("stream.episodes").With(labels);
+    tenant_window_confidence_ =
+        &obs::LabeledGauge("stream.window_confidence").With(labels);
+    tenant_cumulative_confidence_ =
+        &obs::LabeledGauge("stream.cumulative_confidence").With(labels);
+  }
 }
 
 void StreamingMonitor::Observe(double outbound_a, double inbound_b) {
@@ -77,11 +89,17 @@ void StreamingMonitor::Observe(double outbound_a, double inbound_b) {
   UpdateAlerting(WindowConfidence());
 
   StreamMetrics::Get().ticks.Increment();
+  if (tenant_ticks_ != nullptr) tenant_ticks_->Increment();
   if (options_.metrics_every > 0 && t_ % options_.metrics_every == 0) {
     StreamMetrics& metrics = StreamMetrics::Get();
-    metrics.window_confidence.Set(WindowConfidence().value_or(-1.0));
-    metrics.cumulative_confidence.Set(
-        CumulativeConfidence().value_or(-1.0));
+    const double window_conf = WindowConfidence().value_or(-1.0);
+    const double cumulative_conf = CumulativeConfidence().value_or(-1.0);
+    metrics.window_confidence.Set(window_conf);
+    metrics.cumulative_confidence.Set(cumulative_conf);
+    if (tenant_window_confidence_ != nullptr) {
+      tenant_window_confidence_->Set(window_conf);
+      tenant_cumulative_confidence_->Set(cumulative_conf);
+    }
     CR_TRACE_INSTANT("stream.snapshot");
   }
 }
@@ -156,6 +174,7 @@ void StreamingMonitor::UpdateAlerting(std::optional<double> window_conf) {
   // Recovered: close the episode.
   episodes_.push_back(*open_episode_);
   StreamMetrics::Get().episodes.Increment();
+  if (tenant_episodes_ != nullptr) tenant_episodes_->Increment();
   CR_TRACE_INSTANT("stream.episode_closed");
   if (callback_) callback_(*open_episode_);
   open_episode_.reset();
@@ -165,6 +184,7 @@ void StreamingMonitor::Flush() {
   if (open_episode_.has_value()) {
     episodes_.push_back(*open_episode_);
     StreamMetrics::Get().episodes.Increment();
+    if (tenant_episodes_ != nullptr) tenant_episodes_->Increment();
     CR_TRACE_INSTANT("stream.episode_closed");
     if (callback_) callback_(*open_episode_);
     open_episode_.reset();

@@ -28,10 +28,12 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/model.h"
 #include "interval/interval.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace conservation::stream {
@@ -61,6 +63,12 @@ struct StreamOptions {
   // instant. 0 (default) disables periodic snapshots; per-tick counters
   // ("stream.ticks", "stream.episodes") are always maintained.
   int64_t metrics_every = 0;
+  // When non-empty, this monitor additionally attributes its counters and
+  // gauges to labeled children {tenant="<name>"} of the same base metrics
+  // (obs/labels.h); the unlabeled series stay the all-up totals. Handles
+  // resolve once at construction — no per-tick cost beyond one extra
+  // striped increment.
+  std::string tenant;
 };
 
 class StreamingMonitor {
@@ -131,6 +139,13 @@ class StreamingMonitor {
 
   std::optional<ViolationEpisode> open_episode_;
   std::vector<ViolationEpisode> episodes_;
+
+  // Tenant-labeled children, resolved once in the constructor when
+  // options.tenant is non-empty (null otherwise — check before use).
+  obs::Counter* tenant_ticks_ = nullptr;
+  obs::Counter* tenant_episodes_ = nullptr;
+  obs::Gauge* tenant_window_confidence_ = nullptr;
+  obs::Gauge* tenant_cumulative_confidence_ = nullptr;
 };
 
 }  // namespace conservation::stream

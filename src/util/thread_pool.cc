@@ -4,8 +4,10 @@
 #include <string>
 #include <utility>
 
+#include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace conservation::util {
 
@@ -15,6 +17,22 @@ namespace {
 obs::Counter& TasksExecutedCounter() {
   static obs::Counter& counter =
       obs::Registry::Global().Counter("pool.tasks_executed");
+  return counter;
+}
+
+// Attribution children of pool.tasks_executed: which execution path ran
+// the task. "worker" = a pool worker thread; "helper" = a waiting caller
+// help-draining the queue (thread_pool.h). The unlabeled counter above
+// stays the all-up total per the labels.h convention.
+obs::Counter& WorkerTasksCounter() {
+  static obs::Counter& counter =
+      obs::LabeledCounter("pool.tasks").With({{"queue", "worker"}});
+  return counter;
+}
+
+obs::Counter& HelperTasksCounter() {
+  static obs::Counter& counter =
+      obs::LabeledCounter("pool.tasks").With({{"queue", "helper"}});
   return counter;
 }
 
@@ -62,9 +80,11 @@ bool ThreadPool::RunOneTask() {
   {
     // Help-drained task: runs on a waiting thread, not a pool worker.
     CR_TRACE_SPAN("pool.task");
+    obs::ScopedDeadline deadline("pool.task");
     task();
   }
   TasksExecutedCounter().Increment();
+  HelperTasksCounter().Increment();
   return true;
 }
 
@@ -80,9 +100,11 @@ void ThreadPool::WorkerLoop() {
     }
     {
       CR_TRACE_SPAN("pool.task");
+      obs::ScopedDeadline deadline("pool.task");
       task();
     }
     TasksExecutedCounter().Increment();
+    WorkerTasksCounter().Increment();
   }
 }
 

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/labels.h"
+#include "obs/metrics.h"
+
+namespace conservation::obs {
+namespace {
+
+// Tests share the global registry and family registry, so every family
+// name is unique to its test case.
+
+TEST(LabelSetTest, CanonicalizesKeyOrder) {
+  const LabelSet a{{"tenant", "t0"}, {"phase", "seed"}};
+  const LabelSet b{{"phase", "seed"}, {"tenant", "t0"}};
+  EXPECT_TRUE(a == b);
+  ASSERT_EQ(a.entries().size(), 2u);
+  EXPECT_EQ(a.entries()[0].first, "phase");
+  EXPECT_EQ(a.entries()[1].first, "tenant");
+}
+
+TEST(LabelSetTest, DuplicateKeysKeepFirstOccurrence) {
+  const LabelSet labels{{"k", "first"}, {"k", "second"}};
+  ASSERT_EQ(labels.entries().size(), 1u);
+  EXPECT_EQ(labels.entries()[0].second, "first");
+}
+
+TEST(EncodeLabeledNameTest, SortsKeysAndEscapesValues) {
+  EXPECT_EQ(EncodeLabeledName("m", {}), "m");
+  EXPECT_EQ(EncodeLabeledName("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(EncodeLabeledName("m", {{"k", "a\"b\\c"}}),
+            "m{k=\"a\\\"b\\\\c\"}");
+}
+
+TEST(DecodeLabeledNameTest, RoundTripsEncodedNames) {
+  const LabelSet labels{{"tenant", "t\"0"}, {"gen", "a\\b"}};
+  const std::string encoded = EncodeLabeledName("incr.batch_seconds", labels);
+  const DecodedName decoded = DecodeLabeledName(encoded);
+  EXPECT_EQ(decoded.base, "incr.batch_seconds");
+  ASSERT_EQ(decoded.labels.size(), 2u);
+  EXPECT_EQ(decoded.labels[0].first, "gen");
+  EXPECT_EQ(decoded.labels[0].second, "a\\b");
+  EXPECT_EQ(decoded.labels[1].first, "tenant");
+  EXPECT_EQ(decoded.labels[1].second, "t\"0");
+}
+
+TEST(DecodeLabeledNameTest, PlainAndMalformedNamesFallBackToBase) {
+  EXPECT_EQ(DecodeLabeledName("plain.name").base, "plain.name");
+  EXPECT_TRUE(DecodeLabeledName("plain.name").labels.empty());
+  // Unterminated quote: whole string becomes the base, never a crash.
+  const DecodedName bad = DecodeLabeledName("m{k=\"unterminated}");
+  EXPECT_EQ(bad.base, "m{k=\"unterminated}");
+  EXPECT_TRUE(bad.labels.empty());
+}
+
+TEST(CounterFamilyTest, WithIsOrderInsensitiveAndStable) {
+  CounterFamily& family = LabeledCounter("test.labels.stable");
+  Counter& a = family.With({{"x", "1"}, {"y", "2"}});
+  Counter& b = family.With({{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);
+  a.ResetForTest();
+  a.Increment();
+  EXPECT_EQ(b.Value(), 1u);
+  // The child is a real registry metric under the encoded name.
+  EXPECT_EQ(a.name(), "test.labels.stable{x=\"1\",y=\"2\"}");
+  EXPECT_EQ(&Registry::Global().Counter("test.labels.stable{x=\"1\",y=\"2\"}"),
+            &a);
+}
+
+TEST(CounterFamilyTest, RepeatedLookupReturnsSameFamily) {
+  CounterFamily& a = LabeledCounter("test.labels.family_identity");
+  CounterFamily& b = LabeledCounter("test.labels.family_identity");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(CounterFamilyTest, CapRoutesToOverflowChildAndCountsDrops) {
+  Counter& dropped = LabelsDroppedCounter();
+  dropped.ResetForTest();
+  CounterFamily& family = LabeledCounter("test.labels.capped", 3);
+  for (int k = 0; k < 3; ++k) {
+    family.With({{"id", std::to_string(k)}}).Increment();
+  }
+  EXPECT_EQ(family.labelset_count(), 3u);
+  EXPECT_EQ(dropped.Value(), 0u);
+
+  Counter& over_a = family.With({{"id", "3"}});
+  Counter& over_b = family.With({{"id", "4"}});
+  // Past the cap every new labelset shares the one overflow child.
+  EXPECT_EQ(&over_a, &over_b);
+  EXPECT_EQ(over_a.name(), "test.labels.capped{overflow=\"true\"}");
+  EXPECT_EQ(family.labelset_count(), 3u);
+  EXPECT_EQ(dropped.Value(), 2u);
+  // Already-admitted labelsets keep resolving to their own children.
+  EXPECT_EQ(family.With({{"id", "0"}}).name(),
+            "test.labels.capped{id=\"0\"}");
+}
+
+TEST(GaugeFamilyTest, ChildrenAreIndependent) {
+  GaugeFamily& family = LabeledGauge("test.labels.gauges");
+  family.With({{"node", "a"}}).Set(1.0);
+  family.With({{"node", "b"}}).Set(2.0);
+  EXPECT_DOUBLE_EQ(family.With({{"node", "a"}}).Value(), 1.0);
+  EXPECT_DOUBLE_EQ(family.With({{"node", "b"}}).Value(), 2.0);
+}
+
+TEST(HistogramFamilyTest, ChildrenShareFamilyBounds) {
+  HistogramFamily& family =
+      LabeledHistogram("test.labels.histograms", {1.0, 2.0});
+  Histogram& child = family.With({{"phase", "x"}});
+  ASSERT_EQ(child.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(child.bounds()[0], 1.0);
+  child.ResetForTest();
+  child.Record(1.5);
+  EXPECT_EQ(child.TotalCount(), 1u);
+}
+
+TEST(CounterFamilyTest, ConcurrentResolutionWithStripeSharingIsExact) {
+  // More threads than stripes AND concurrent first-touch resolution: the
+  // family mutex serializes child creation, the striped cells absorb the
+  // increments, and the totals must still be exact.
+  CounterFamily& family = LabeledCounter("test.labels.concurrent");
+  constexpr int kThreads = 3 * kStripes;
+  constexpr uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::vector<Counter*> handles(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &family, &handles] {
+      const char* shard = (t % 2 == 0) ? "even" : "odd";
+      Counter& child = family.With({{"shard", shard}});
+      handles[static_cast<size_t>(t)] = &child;
+      for (uint64_t k = 0; k < kPerThread; ++k) child.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Handle reuse: every even thread got one pointer, every odd the other.
+  for (int t = 2; t < kThreads; ++t) {
+    EXPECT_EQ(handles[static_cast<size_t>(t)],
+              handles[static_cast<size_t>(t % 2)]);
+  }
+  const uint64_t even = family.With({{"shard", "even"}}).Value();
+  const uint64_t odd = family.With({{"shard", "odd"}}).Value();
+  EXPECT_EQ(even + odd, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(even, static_cast<uint64_t>(kThreads / 2) * kPerThread);
+}
+
+TEST(LabeledSnapshotTest, EncodedNamesSerializeToValidJson) {
+  CounterFamily& family = LabeledCounter("test.labels.json");
+  family.With({{"q", "a\"b"}}).Increment();
+  const std::string json = Registry::Global().Snapshot().ToJson();
+  // The encoded name's inner quote must be escaped in the JSON key.
+  EXPECT_NE(json.find("test.labels.json{q=\\\"a\\\\\\\"b\\\"}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace conservation::obs

@@ -187,14 +187,32 @@ TEST(RegistryTest, SnapshotToJsonIsWellFormed) {
   EXPECT_NE(json.find("\"test.json.counter\":"), std::string::npos);
   EXPECT_NE(json.find("\"bounds\":[1,2]"), std::string::npos);
 
-  // Balanced braces/brackets outside strings => structurally sound (names
-  // are dotted identifiers; no braces inside strings here).
+  // Balanced braces/brackets outside strings => structurally sound. The
+  // walk is string-aware: labeled metric names (obs/labels.h) put literal
+  // braces and quotes inside JSON strings, which must not count.
   int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
   for (const char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      continue;
+    }
     if (c == '{' || c == '[') ++depth;
     if (c == '}' || c == ']') --depth;
     EXPECT_GE(depth, 0);
   }
+  EXPECT_FALSE(in_string);
   EXPECT_EQ(depth, 0);
 }
 
@@ -208,6 +226,46 @@ TEST(RegistryTest, ResetForTestZeroesEverything) {
   EXPECT_EQ(counter.Value(), 0u);
   EXPECT_EQ(histogram.TotalCount(), 0u);
   EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+}
+
+TEST(CounterTest, StripeCollisionsWithMoreThreadsThanStripesSumExactly) {
+  // More threads than stripes forces ThreadIndex() % kStripes collisions:
+  // several threads share one atomic cell, and exactness must come from
+  // the RMW, not from accidental cell privacy.
+  Counter& counter = Registry::Global().Counter("test.counter.stripes");
+  counter.ResetForTest();
+  constexpr int kThreads = 3 * kStripes;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t k = 0; k < kPerThread; ++k) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, StripeCollisionsWithMoreThreadsThanStripesSumExactly) {
+  Histogram& histogram = Registry::Global().Histogram(
+      "test.histogram.stripes", {1.0, 2.0});
+  histogram.ResetForTest();
+  constexpr int kThreads = 2 * kStripes + 1;  // odd: uneven stripe sharing
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (uint64_t k = 0; k < kPerThread; ++k) {
+        histogram.Record(static_cast<double>(k % 3));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
 TEST(ThreadIndexTest, StablePerThreadAndDistinctAcrossThreads) {

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/labels.h"
+#include "obs/metrics.h"
+#include "obs/scrape.h"
+#include "obs/window.h"
+
+namespace conservation::obs {
+namespace {
+
+// Exposition-format tests build MetricsSnapshot / WindowSnapshot values by
+// hand so the expected text is exact, independent of whatever the other
+// suites registered in the shared global registry. The live-server tests at
+// the bottom only assert properties that survive registry sharing.
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SanitizePromNameTest, MapsIllegalCharactersToUnderscore) {
+  EXPECT_EQ(SanitizePromName("stream.ticks"), "stream_ticks");
+  EXPECT_EQ(SanitizePromName("already_legal:name"), "already_legal:name");
+  EXPECT_EQ(SanitizePromName("a-b c/d"), "a_b_c_d");
+}
+
+TEST(SanitizePromNameTest, LeadingDigitGetsUnderscorePrefix) {
+  EXPECT_EQ(SanitizePromName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizePromName("a9"), "a9");  // digits fine after the first
+}
+
+TEST(SanitizePromNameTest, EmptyBecomesSingleUnderscore) {
+  EXPECT_EQ(SanitizePromName(""), "_");
+}
+
+TEST(ToPrometheusTextTest, CountersAndGaugesWithTypeOncePerFamily) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {
+      {"incr.batches", 7},
+      {EncodeLabeledName("incr.batches", {{"tenant", "t0"}}), 3},
+      {EncodeLabeledName("incr.batches", {{"tenant", "t1"}}), 4},
+  };
+  snapshot.gauges = {{"stream.level", 2.5}};
+  const std::string text = ToPrometheusText(snapshot, nullptr);
+
+  EXPECT_EQ(CountOccurrences(text, "# TYPE incr_batches counter"), 1u);
+  EXPECT_NE(text.find("incr_batches 7\n"), std::string::npos);
+  EXPECT_NE(text.find("incr_batches{tenant=\"t0\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("incr_batches{tenant=\"t1\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stream_level gauge\nstream_level 2.5\n"),
+            std::string::npos);
+  // TYPE precedes the first sample of its family.
+  EXPECT_LT(text.find("# TYPE incr_batches counter"),
+            text.find("incr_batches 7"));
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ToPrometheusTextTest, HistogramsExportCumulativeBuckets) {
+  MetricsSnapshot snapshot;
+  HistogramSnapshot histogram;
+  histogram.name = EncodeLabeledName("cover.seconds", {{"phase", "seed"}});
+  histogram.bounds = {0.1, 1.0};
+  histogram.counts = {2, 3, 1};  // per-bucket; exposition is cumulative
+  histogram.total_count = 6;
+  histogram.sum = 4.25;
+  snapshot.histograms.push_back(histogram);
+  const std::string text = ToPrometheusText(snapshot, nullptr);
+
+  EXPECT_EQ(CountOccurrences(text, "# TYPE cover_seconds histogram"), 1u);
+  EXPECT_NE(text.find("cover_seconds_bucket{phase=\"seed\",le=\"0.1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cover_seconds_bucket{phase=\"seed\",le=\"1\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cover_seconds_bucket{phase=\"seed\",le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cover_seconds_sum{phase=\"seed\"} 4.25\n"),
+            std::string::npos);
+  // The +Inf bucket equals _count — validate_prom.py's invariant.
+  EXPECT_NE(text.find("cover_seconds_count{phase=\"seed\"} 6\n"),
+            std::string::npos);
+}
+
+TEST(ToPrometheusTextTest, WindowBlockExportsSummariesRatesAndSpan) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"pool.tasks", 10}};
+  WindowSnapshot windows;
+  windows.span_seconds = 2.0;
+  windows.epochs = 4;
+  WindowedCounter rate;
+  rate.name = "pool.tasks";
+  rate.delta = 6;
+  rate.rate_per_sec = 3.0;
+  windows.counters.push_back(rate);
+  WindowedHistogram summary;
+  summary.name = EncodeLabeledName("incr.batch_seconds", {{"tenant", "t0"}});
+  summary.count = 12;
+  summary.sum = 1.5;
+  summary.rate_per_sec = 6.0;
+  summary.p50 = 0.1;
+  summary.p95 = 0.4;
+  summary.p99 = 0.45;
+  windows.histograms.push_back(summary);
+  const std::string text = ToPrometheusText(snapshot, &windows);
+
+  EXPECT_NE(text.find("# TYPE obs_window_span_seconds gauge\n"
+                      "obs_window_span_seconds 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pool_tasks_window_rate gauge\n"
+                      "pool_tasks_window_rate 3\n"),
+            std::string::npos);
+  EXPECT_EQ(CountOccurrences(text, "# TYPE incr_batch_seconds_window summary"),
+            1u);
+  EXPECT_NE(text.find("incr_batch_seconds_window"
+                      "{tenant=\"t0\",quantile=\"0.5\"} 0.1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("incr_batch_seconds_window"
+                      "{tenant=\"t0\",quantile=\"0.99\"} 0.45\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("incr_batch_seconds_window_sum{tenant=\"t0\"} 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("incr_batch_seconds_window_count{tenant=\"t0\"} 12\n"),
+            std::string::npos);
+}
+
+TEST(ToPrometheusTextTest, NullWindowOmitsWindowSection) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"x", 1}};
+  const std::string text = ToPrometheusText(snapshot, nullptr);
+  EXPECT_EQ(text.find("_window"), std::string::npos);
+  EXPECT_EQ(text.find("obs_window_span_seconds"), std::string::npos);
+}
+
+TEST(ToPrometheusTextTest, LabelValuesEscapeQuotesAndBackslashes) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {
+      {EncodeLabeledName("m", {{"k", "a\"b\\c"}}), 1},
+  };
+  const std::string text = ToPrometheusText(snapshot, nullptr);
+  EXPECT_NE(text.find("m{k=\"a\\\"b\\\\c\"} 1\n"), std::string::npos);
+}
+
+TEST(ScrapeServerTest, ServesMetricsHealthzAndNotFound) {
+  Registry::Global().Counter("test.scrape.live").Add(5);
+  ScrapeServer server;
+  ScrapeServerOptions options;  // port 0: ephemeral
+  options.window_advance_seconds = 0.0;  // this test owns the window cadence
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string metrics = ScrapeOnce(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("# TYPE test_scrape_live counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("test_scrape_live 5"), std::string::npos);
+  // The serve loop's own scrape counter is live too.
+  EXPECT_NE(metrics.find("obs_scrapes_served"), std::string::npos);
+
+  const std::string json = ScrapeOnce(server.port(), "/metrics.json");
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"windows\":{"), std::string::npos);
+
+  EXPECT_EQ(ScrapeOnce(server.port(), "/healthz"), "ok\n");
+  EXPECT_EQ(ScrapeOnce(server.port(), "/nope"), "not found\n");
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ScrapeServerTest, StopIsIdempotentAndServerRestarts) {
+  ScrapeServer server;
+  ScrapeServerOptions options;
+  options.window_advance_seconds = 0.0;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  const int first_port = server.port();
+  server.Stop();
+  server.Stop();  // second Stop is a no-op, not a crash
+  EXPECT_FALSE(server.running());
+
+  // Start works again after Stop (possibly on a different ephemeral port).
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  EXPECT_GT(server.port(), 0);
+  EXPECT_NE(ScrapeOnce(server.port(), "/healthz"), "");
+  server.Stop();
+  (void)first_port;
+}
+
+TEST(ScrapeServerTest, SecondStartWhileRunningFails) {
+  ScrapeServer server;
+  ScrapeServerOptions options;
+  options.window_advance_seconds = 0.0;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  std::string second_error;
+  EXPECT_FALSE(server.Start(options, &second_error));
+  EXPECT_FALSE(second_error.empty());
+  server.Stop();
+}
+
+TEST(ScrapeServerTest, ScrapeOnceReturnsEmptyWhenNothingListens) {
+  ScrapeServer server;
+  ScrapeServerOptions options;
+  options.window_advance_seconds = 0.0;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+  const int port = server.port();
+  server.Stop();
+  // The listener is gone; the loopback client reports "" rather than
+  // hanging or throwing.
+  EXPECT_EQ(ScrapeOnce(port, "/metrics"), "");
+}
+
+}  // namespace
+}  // namespace conservation::obs

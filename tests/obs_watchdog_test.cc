@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/labels.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+
+namespace conservation::obs {
+namespace {
+
+// WatchdogStallCount() is cumulative for the process, so every assertion
+// here is a delta against a baseline taken at the top of the test. Each
+// test stops the watchdog on exit (StartWatchdog is a no-op while one is
+// already running).
+
+class WatchdogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { StopWatchdog(); }
+
+  static void SleepSeconds(double seconds) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+};
+
+TEST_F(WatchdogTest, DisabledScopedDeadlineIsANoOp) {
+  ASSERT_FALSE(WatchdogEnabled());
+  const uint64_t before = WatchdogStallCount();
+  {
+    ScopedDeadline deadline("test.watchdog.disabled", 1e-9);
+    SleepSeconds(0.02);  // far past the (unmonitored) budget
+  }
+  EXPECT_EQ(WatchdogStallCount(), before);
+}
+
+TEST_F(WatchdogTest, OverBudgetPhaseFlagsExactlyOneStall) {
+  const uint64_t before = WatchdogStallCount();
+  Counter& labeled =
+      LabeledCounter("obs.stalls").With({{"phase", "test.watchdog.stall"}});
+  const uint64_t labeled_before = labeled.Value();
+
+  WatchdogOptions options;
+  options.default_budget_seconds = 60.0;
+  options.poll_interval_seconds = 0.01;
+  StartWatchdog(options);
+  ASSERT_TRUE(WatchdogEnabled());
+  {
+    ScopedDeadline deadline("test.watchdog.stall", /*budget_seconds=*/0.05);
+    // Several poll intervals past the deadline: the flagged bit must make
+    // this one stall, not one per poll.
+    SleepSeconds(0.2);
+  }
+  EXPECT_EQ(WatchdogStallCount(), before + 1);
+  EXPECT_EQ(labeled.Value(), labeled_before + 1);
+  // The unlabeled all-up counter moved in lockstep.
+  EXPECT_GE(Registry::Global().Counter("obs.stalls_detected").Value(),
+            labeled.Value());
+}
+
+TEST_F(WatchdogTest, UnderBudgetPhaseNeverStalls) {
+  const uint64_t before = WatchdogStallCount();
+  WatchdogOptions options;
+  options.poll_interval_seconds = 0.01;
+  StartWatchdog(options);
+  {
+    ScopedDeadline deadline("test.watchdog.fast", /*budget_seconds=*/30.0);
+    SleepSeconds(0.05);  // several polls, all inside the budget
+  }
+  SleepSeconds(0.03);  // let the poll thread see the released slot
+  EXPECT_EQ(WatchdogStallCount(), before);
+}
+
+TEST_F(WatchdogTest, ZeroBudgetFallsBackToWatchdogDefault) {
+  const uint64_t before = WatchdogStallCount();
+  WatchdogOptions options;
+  options.default_budget_seconds = 0.05;
+  options.poll_interval_seconds = 0.01;
+  StartWatchdog(options);
+  {
+    ScopedDeadline deadline("test.watchdog.default_budget");  // budget 0
+    SleepSeconds(0.2);
+  }
+  EXPECT_EQ(WatchdogStallCount(), before + 1);
+}
+
+TEST_F(WatchdogTest, EachClaimStallsIndependently) {
+  const uint64_t before = WatchdogStallCount();
+  WatchdogOptions options;
+  options.poll_interval_seconds = 0.01;
+  StartWatchdog(options);
+  for (int k = 0; k < 2; ++k) {
+    ScopedDeadline deadline("test.watchdog.repeat", /*budget_seconds=*/0.04);
+    SleepSeconds(0.15);
+  }
+  // Two claims, two stalls: the flagged bit resets with each fresh claim.
+  EXPECT_EQ(WatchdogStallCount(), before + 2);
+}
+
+TEST_F(WatchdogTest, SlotExhaustionCountsMissesAndDegradesGracefully) {
+  WatchdogOptions options;
+  options.poll_interval_seconds = 0.01;
+  StartWatchdog(options);
+  Counter& missed = Registry::Global().Counter("obs.watchdog_slots_missed");
+  const uint64_t missed_before = missed.Value();
+  {
+    // Fill the whole table, then claim one more.
+    std::vector<internal::WatchdogSlot*> slots;
+    for (int k = 0; k < kWatchdogSlots; ++k) {
+      internal::WatchdogSlot* slot =
+          internal::ClaimSlot("test.watchdog.fill", 30.0);
+      ASSERT_NE(slot, nullptr);
+      slots.push_back(slot);
+    }
+    EXPECT_EQ(internal::ClaimSlot("test.watchdog.overflow", 30.0), nullptr);
+    EXPECT_EQ(missed.Value(), missed_before + 1);
+    // A ScopedDeadline over a full table degrades to unmonitored, and its
+    // destructor must not touch anything.
+    { ScopedDeadline unmonitored("test.watchdog.unmonitored", 30.0); }
+    EXPECT_EQ(missed.Value(), missed_before + 2);
+    for (internal::WatchdogSlot* slot : slots) internal::ReleaseSlot(slot);
+  }
+  // Table drained: claims work again.
+  internal::WatchdogSlot* slot = internal::ClaimSlot("test.watchdog.after", 30.0);
+  ASSERT_NE(slot, nullptr);
+  internal::ReleaseSlot(slot);
+}
+
+TEST_F(WatchdogTest, StopDisablesNewDeadlines) {
+  StartWatchdog(WatchdogOptions());
+  ASSERT_TRUE(WatchdogEnabled());
+  StopWatchdog();
+  ASSERT_FALSE(WatchdogEnabled());
+  const uint64_t before = WatchdogStallCount();
+  {
+    ScopedDeadline deadline("test.watchdog.after_stop", 1e-9);
+    SleepSeconds(0.02);
+  }
+  EXPECT_EQ(WatchdogStallCount(), before);
+  StopWatchdog();  // idempotent
+}
+
+}  // namespace
+}  // namespace conservation::obs

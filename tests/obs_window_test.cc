@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace conservation::obs {
+namespace {
+
+// Tests share the global registry; metric names are unique per test case
+// and aggregators are local (the Global() instance is not touched).
+
+const WindowedCounter* FindCounter(const WindowSnapshot& snapshot,
+                                   const std::string& name) {
+  for (const WindowedCounter& counter : snapshot.counters) {
+    if (counter.name == name) return &counter;
+  }
+  return nullptr;
+}
+
+const WindowedHistogram* FindHistogram(const WindowSnapshot& snapshot,
+                                       const std::string& name) {
+  for (const WindowedHistogram& histogram : snapshot.histograms) {
+    if (histogram.name == name) return &histogram;
+  }
+  return nullptr;
+}
+
+TEST(QuantileFromBucketsTest, InterpolatesWithinBuckets) {
+  // Bounds {10, 20, 30}: 4 buckets. 10 samples in bucket 1 ([10, 20)).
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const std::vector<uint64_t> counts = {0, 10, 0, 0};
+  // Median rank = 5 of 10 -> halfway through [10, 20).
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, counts, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, counts, 1.0), 20.0);
+}
+
+TEST(QuantileFromBucketsTest, FirstBucketAnchorsAtZero) {
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<uint64_t> counts = {10, 0, 0};
+  // Lower edge of bucket 0 is min(0, b_0) = 0.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, counts, 0.5), 5.0);
+}
+
+TEST(QuantileFromBucketsTest, OverflowBucketClampsToLastBound) {
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<uint64_t> counts = {0, 0, 7};  // all in overflow
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, counts, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, counts, 0.99), 20.0);
+}
+
+TEST(QuantileFromBucketsTest, EmptyCountsReturnZero) {
+  EXPECT_DOUBLE_EQ(
+      QuantileFromBuckets({1.0, 2.0}, {0, 0, 0}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({}, {}, 0.5), 0.0);
+}
+
+TEST(WindowAggregatorTest, EmptyWindowReportsZeroDeltas) {
+  WindowAggregator window;
+  const WindowSnapshot snapshot = window.SnapshotAt(5.0);
+  EXPECT_EQ(snapshot.epochs, 0);
+  EXPECT_DOUBLE_EQ(snapshot.span_seconds, 0.0);
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST(WindowAggregatorTest, DeltasAndRatesAgainstOldestEpoch) {
+  Counter& counter = Registry::Global().Counter("test.window.counter");
+  counter.ResetForTest();
+  counter.Add(100);
+
+  WindowAggregator window;
+  window.AdvanceAt(10.0);  // baseline epoch: counter = 100
+  counter.Add(60);
+  const WindowSnapshot snapshot = window.SnapshotAt(14.0);
+  EXPECT_EQ(snapshot.epochs, 1);
+  EXPECT_DOUBLE_EQ(snapshot.span_seconds, 4.0);
+  const WindowedCounter* windowed =
+      FindCounter(snapshot, "test.window.counter");
+  ASSERT_NE(windowed, nullptr);
+  EXPECT_EQ(windowed->delta, 60u);
+  EXPECT_DOUBLE_EQ(windowed->rate_per_sec, 15.0);
+}
+
+TEST(WindowAggregatorTest, RingEvictsOldestEpoch) {
+  Counter& counter = Registry::Global().Counter("test.window.evict");
+  counter.ResetForTest();
+
+  WindowOptions options;
+  options.num_epochs = 3;
+  WindowAggregator window(options);
+  // Epochs at t=1 (0), t=2 (10), t=3 (20), t=4 (30): capacity 3 keeps the
+  // epochs at t=2..4, so the baseline is counter=10 at t=2.
+  for (int k = 0; k < 4; ++k) {
+    window.AdvanceAt(static_cast<double>(k + 1));
+    counter.Add(10);
+  }
+  const WindowSnapshot snapshot = window.SnapshotAt(6.0);
+  EXPECT_EQ(snapshot.epochs, 3);
+  EXPECT_DOUBLE_EQ(snapshot.span_seconds, 4.0);  // 6.0 - t=2
+  const WindowedCounter* windowed = FindCounter(snapshot, "test.window.evict");
+  ASSERT_NE(windowed, nullptr);
+  EXPECT_EQ(windowed->delta, 30u);  // 40 now - 10 at baseline
+}
+
+TEST(WindowAggregatorTest, HistogramWindowQuantiles) {
+  Histogram& histogram = Registry::Global().Histogram(
+      "test.window.histogram", {10.0, 20.0, 30.0});
+  histogram.ResetForTest();
+  // Pre-window noise that must not leak into the windowed distribution.
+  for (int k = 0; k < 50; ++k) histogram.Record(35.0);
+
+  WindowAggregator window;
+  window.AdvanceAt(100.0);
+  for (int k = 0; k < 10; ++k) histogram.Record(15.0);  // bucket 1
+  const WindowSnapshot snapshot = window.SnapshotAt(105.0);
+  const WindowedHistogram* windowed =
+      FindHistogram(snapshot, "test.window.histogram");
+  ASSERT_NE(windowed, nullptr);
+  EXPECT_EQ(windowed->count, 10u);
+  EXPECT_DOUBLE_EQ(windowed->rate_per_sec, 2.0);
+  EXPECT_DOUBLE_EQ(windowed->sum, 150.0);
+  // All 10 windowed records sit in [10, 20): quantiles interpolate there,
+  // ignoring the 50 overflow records from before the window.
+  EXPECT_DOUBLE_EQ(windowed->p50, 15.0);
+  EXPECT_GT(windowed->p99, 19.0);
+  EXPECT_LE(windowed->p99, 20.0);
+}
+
+TEST(WindowAggregatorTest, ResetBetweenEpochsDoesNotUnderflow) {
+  Counter& counter = Registry::Global().Counter("test.window.reset");
+  counter.ResetForTest();
+  counter.Add(1000);
+  WindowAggregator window;
+  window.AdvanceAt(1.0);  // baseline 1000
+  counter.ResetForTest();  // registry reset mid-window
+  counter.Add(5);
+  const WindowSnapshot snapshot = window.SnapshotAt(2.0);
+  const WindowedCounter* windowed = FindCounter(snapshot, "test.window.reset");
+  ASSERT_NE(windowed, nullptr);
+  // Guarded subtraction: a shrunk value reports itself, never wraps.
+  EXPECT_EQ(windowed->delta, 5u);
+}
+
+TEST(WindowSnapshotTest, ToJsonIsWellFormedAndCarriesQuantiles) {
+  Counter& counter = Registry::Global().Counter("test.window.json");
+  counter.ResetForTest();
+  WindowAggregator window;
+  window.AdvanceAt(0.0);
+  counter.Add(4);
+  const std::string json = window.SnapshotAt(2.0).ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"span_seconds\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"test.window.json\":{\"delta\":4,\"rate\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+}
+
+TEST(WindowAggregatorTest, GlobalIsSharedAndResettable) {
+  WindowAggregator& global = WindowAggregator::Global();
+  EXPECT_EQ(&global, &WindowAggregator::Global());
+  global.ResetForTest();
+  EXPECT_EQ(global.Snapshot().epochs, 0);
+}
+
+}  // namespace
+}  // namespace conservation::obs

@@ -51,10 +51,34 @@
 //   --metrics[=FILE] emit the metrics-registry snapshot: bare --metrics
 //                    adds it to the --json document (or a stderr line in
 //                    text mode); =FILE writes the snapshot JSON to FILE
+//   --serve_metrics=<port>  serve live metrics over HTTP on 127.0.0.1
+//                    for the whole run: GET /metrics (Prometheus text
+//                    exposition v0.0.4 with windowed quantiles),
+//                    /metrics.json, /healthz. Port 0 picks an ephemeral
+//                    port; stdout is untouched (serving writes only to
+//                    stderr and the socket)
+//   --serve_metrics_port_file=<path>  write the bound port (one decimal
+//                    line) once the server is up — how scripted scrapers
+//                    find an ephemeral port
+//   --metrics_every=<k>  in --append_batch replay: every k batches,
+//                    advance the sliding metrics window and emit one JSON
+//                    progress line to stderr (windowed rates + tick-latency
+//                    quantiles); 0 (default) keeps only the final dump
+//   --tenant=<name>  label this run's stream/replay metrics with
+//                    {tenant="<name>"} (default "default")
+//   --batch_pause_ms=<ms>  sleep between replay batches — paces the replay
+//                    so a live scraper can observe it mid-flight
+//   --watchdog_budget_ms=<ms>  enable the phase watchdog: a discovery
+//                    phase or append batch exceeding the budget raises
+//                    obs.stalls_detected and a stderr alert
+//   --watchdog_trace=<path>  on the first stall, also dump the trace rings
+//                    here (requires --trace to be recording)
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analysis.h"
@@ -65,10 +89,15 @@
 #include "interval/kernel_simd.h"
 #include "io/csv.h"
 #include "io/json.h"
+#include "obs/labels.h"
 #include "obs/metrics.h"
+#include "obs/scrape.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "obs/window.h"
 #include "util/flags.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace {
@@ -159,6 +188,51 @@ int main(int argc, char** argv) {
     trace_options.verbosity = static_cast<int>(*trace_verbosity);
     obs::StartTracing(trace_options);
     obs::SetCurrentThreadName("main");
+  }
+
+  // Live scrape endpoint: up before any work so an external scraper can
+  // watch the whole run. Stack object — the destructor stops the serve
+  // thread on every exit path. Serving writes only to stderr and the
+  // socket; stdout byte-identity (tools/stdout_regression.sh) holds.
+  obs::ScrapeServer scrape_server;
+  if (flags.Has("serve_metrics")) {
+    auto serve_port = flags.GetIntOr("serve_metrics", 0);
+    if (!serve_port.ok()) return Fail(serve_port.status().ToString());
+    if (*serve_port < 0 || *serve_port > 65535) {
+      return Fail("--serve_metrics must be a port in [0, 65535]");
+    }
+    obs::ScrapeServerOptions serve_options;
+    serve_options.port = static_cast<int>(*serve_port);
+    std::string serve_error;
+    if (!scrape_server.Start(serve_options, &serve_error)) {
+      return Fail("--serve_metrics: " + serve_error);
+    }
+    std::fprintf(stderr, "crdiscover: serving metrics on 127.0.0.1:%d\n",
+                 scrape_server.port());
+    const std::string port_file =
+        flags.GetStringOr("serve_metrics_port_file", "");
+    if (!port_file.empty() &&
+        !WriteTextFile(port_file,
+                       std::to_string(scrape_server.port()) + "\n")) {
+      return 1;
+    }
+  } else if (flags.Has("serve_metrics_port_file")) {
+    return Fail("--serve_metrics_port_file requires --serve_metrics");
+  }
+
+  // Phase watchdog: stalls raise obs.stalls_detected + a stderr alert
+  // (and a one-shot trace dump when --watchdog_trace and --trace are set).
+  if (flags.Has("watchdog_budget_ms")) {
+    auto budget_ms = flags.GetIntOr("watchdog_budget_ms", 0);
+    if (!budget_ms.ok()) return Fail(budget_ms.status().ToString());
+    if (*budget_ms <= 0) return Fail("--watchdog_budget_ms must be > 0");
+    obs::WatchdogOptions watchdog_options;
+    watchdog_options.default_budget_seconds =
+        static_cast<double>(*budget_ms) / 1000.0;
+    watchdog_options.stall_trace_path = flags.GetStringOr("watchdog_trace", "");
+    obs::StartWatchdog(watchdog_options);
+  } else if (flags.Has("watchdog_trace")) {
+    return Fail("--watchdog_trace requires --watchdog_budget_ms");
   }
 
   io::CsvReadOptions read_options;
@@ -325,6 +399,22 @@ int main(int argc, char** argv) {
   if (!append_batch.ok()) return Fail(append_batch.status().ToString());
   if (*append_batch < 0) return Fail("--append_batch must be >= 0");
   if (*append_batch > 0) {
+    auto metrics_every = flags.GetIntOr("metrics_every", 0);
+    if (!metrics_every.ok()) return Fail(metrics_every.status().ToString());
+    if (*metrics_every < 0) return Fail("--metrics_every must be >= 0");
+    auto batch_pause_ms = flags.GetIntOr("batch_pause_ms", 0);
+    if (!batch_pause_ms.ok()) return Fail(batch_pause_ms.status().ToString());
+    if (*batch_pause_ms < 0) return Fail("--batch_pause_ms must be >= 0");
+    const std::string tenant = flags.GetStringOr("tenant", "default");
+    // Per-tenant/per-generator attribution of the batch latency; the
+    // unlabeled incr.batch_seconds recorded inside AppendBatch stays the
+    // all-up total. Hoisted here: one family lookup for the whole replay.
+    obs::Histogram& batch_seconds =
+        obs::LabeledHistogram("incr.batch_seconds",
+                              {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0})
+            .With({{"tenant", tenant},
+                   {"generator", flags.GetStringOr("algorithm", "area")}});
+
     const int64_t m = *append_batch;
     const series::CountSequence& full = rule->counts();
     const int64_t n = full.n();
@@ -334,9 +424,31 @@ int main(int argc, char** argv) {
     if (!discoverer.ok()) return Fail(discoverer.status().ToString());
     const std::vector<double>& a = full.outbound();
     const std::vector<double>& b = full.inbound();
+    int64_t batches_done = 0;
     for (int64_t at = initial; at < n; at += m) {
+      util::Stopwatch batch_timer;
       discoverer->AppendBatch(a.data() + at, b.data() + at,
                               std::min<int64_t>(m, n - at));
+      batch_seconds.Record(batch_timer.ElapsedSeconds());
+      ++batches_done;
+      if (*metrics_every > 0 && batches_done % *metrics_every == 0) {
+        // Periodic emission: advance the shared sliding window and write
+        // one self-contained JSON progress line to stderr — the end-to-end
+        // path the windowed quantiles are designed for. Never stdout: the
+        // result stream stays byte-identical with serving/metrics off.
+        obs::WindowAggregator::Global().Advance();
+        const obs::WindowSnapshot window =
+            obs::WindowAggregator::Global().Snapshot();
+        std::fprintf(stderr, "{\"batch\":%lld,\"ticks\":%lld,\"windows\":%s}\n",
+                     static_cast<long long>(batches_done),
+                     static_cast<long long>(std::min<int64_t>(at + m, n)),
+                     window.ToJson().c_str());
+        std::fflush(stderr);
+      }
+      if (*batch_pause_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(*batch_pause_ms));
+      }
     }
     const incr::IncrStats& st = discoverer->stats();
     std::printf("%s", discoverer->tableau().ToString().c_str());

@@ -1,32 +1,48 @@
 // Concurrency smoke for the obs subsystem, built for ThreadSanitizer.
 //
-// Hammers the metrics registry and the trace ring buffers from many
-// threads at once while a reader thread repeatedly snapshots and exports —
-// the exact interleavings TSan needs to see to certify the lock-free
-// counter stripes and the release-published ring heads. Also asserts the
-// arithmetic invariants that survive concurrency: counter totals are exact
-// (no lost increments), histogram total_count matches the records issued,
-// and a final post-join snapshot equals the expected sums.
+// Hammers the metrics registry, labeled families, and the trace ring
+// buffers from more threads than there are counter stripes (kWriters >
+// kStripes, so stripe sharing is exercised), while:
+//   * a reader thread repeatedly snapshots and serializes the registry;
+//   * a window thread advances the global WindowAggregator and takes
+//     windowed snapshots;
+//   * an in-process ScrapeServer serves /metrics and a client thread
+//     scrapes it in a loop — the scrape-vs-hot-path interleavings the
+//     TSan configuration exists to certify.
+//
+// Also asserts the arithmetic invariants that survive concurrency:
+// counter totals are exact (no lost increments across shared stripes),
+// histogram total_count matches the records issued, labeled With()
+// resolution returns the same handle from every thread, and a final
+// post-join snapshot equals the expected sums.
 //
 // Registered in ctest twice: obs_metrics_smoke (regular build, checks the
-// invariants) and tsan_obs_metrics_smoke (via tools/sanitizer_smoke.sh, checks
-// the memory model).
+// invariants) and tsan_obs_metrics_smoke (via tools/sanitizer_smoke.sh,
+// checks the memory model).
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/labels.h"
 #include "obs/metrics.h"
+#include "obs/scrape.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "obs/window.h"
 
 namespace {
 
 using namespace conservation;
 
-constexpr int kWriters = 8;
-constexpr uint64_t kIncrementsPerWriter = 50000;
+// 3x the stripe count: under ThreadIndex() % kStripes every stripe is
+// shared by three writers, so relaxed fetch_add merging is actually
+// exercised rather than each writer owning a private cell.
+constexpr int kWriters = 3 * obs::kStripes;
+constexpr uint64_t kIncrementsPerWriter = 20000;
 
 void Die(const char* what) {
   std::fprintf(stderr, "obs_smoke: FAIL: %s\n", what);
@@ -36,6 +52,8 @@ void Die(const char* what) {
 }  // namespace
 
 int main() {
+  static_assert(kWriters > obs::kStripes,
+                "smoke must run more writers than stripes");
   obs::TraceOptions trace_options;
   trace_options.verbosity = 2;
   trace_options.buffer_capacity = 1024;  // force ring wrap under load
@@ -43,10 +61,29 @@ int main() {
 
   obs::Registry& registry = obs::Registry::Global();
   registry.ResetForTest();
+  obs::WindowAggregator::Global().ResetForTest();
   obs::Counter& hits = registry.Counter("smoke.hits");
   obs::Gauge& level = registry.Gauge("smoke.level");
   obs::Histogram& latency =
       registry.Histogram("smoke.latency", {1.0, 10.0, 100.0});
+  obs::CounterFamily& labeled = obs::LabeledCounter("smoke.labeled_hits");
+
+  // Watchdog with a generous budget: claims/releases race with the poll
+  // thread but no stall should ever fire.
+  obs::WatchdogOptions watchdog_options;
+  watchdog_options.default_budget_seconds = 300.0;
+  watchdog_options.poll_interval_seconds = 0.01;
+  obs::StartWatchdog(watchdog_options);
+
+  obs::ScrapeServer server;
+  obs::ScrapeServerOptions serve_options;
+  serve_options.window_advance_seconds = 0.02;  // aggressive cadence
+  std::string serve_error;
+  if (!server.Start(serve_options, &serve_error)) {
+    std::fprintf(stderr, "obs_smoke: FAIL: scrape server: %s\n",
+                 serve_error.c_str());
+    return 1;
+  }
 
   std::atomic<bool> stop{false};
   std::thread reader([&stop, &registry] {
@@ -70,14 +107,55 @@ int main() {
     }
   });
 
+  std::thread windower([&stop] {
+    // Windowed snapshots concurrent with the writers: deltas of torn-free
+    // snapshots must themselves stay non-negative and monotone-safe.
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::WindowAggregator::Global().Advance();
+      const obs::WindowSnapshot window =
+          obs::WindowAggregator::Global().Snapshot();
+      for (const obs::WindowedCounter& counter : window.counters) {
+        if (counter.rate_per_sec < 0) Die("negative windowed rate");
+      }
+      if (window.ToJson().empty()) Die("empty window export");
+      std::this_thread::yield();
+    }
+  });
+
+  std::thread scraper([&stop, &server] {
+    // Loopback HTTP client hammering /metrics (and the JSON mirror) while
+    // writers run: the scrape-vs-hot-path data-race-freedom certification.
+    int scrapes = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string body = obs::ScrapeOnce(server.port(), "/metrics");
+      if (body.empty()) Die("empty /metrics scrape");
+      if (body.find("# TYPE smoke_hits counter") == std::string::npos) {
+        Die("scrape missing smoke_hits family");
+      }
+      if (++scrapes % 4 == 0 &&
+          obs::ScrapeOnce(server.port(), "/metrics.json").empty()) {
+        Die("empty /metrics.json scrape");
+      }
+    }
+  });
+
   std::vector<std::thread> writers;
   writers.reserve(kWriters);
   for (int w = 0; w < kWriters; ++w) {
-    writers.emplace_back([w, &hits, &level, &latency] {
+    writers.emplace_back([w, &hits, &level, &latency, &labeled] {
       obs::SetCurrentThreadName("smoke-writer-" + std::to_string(w));
+      // Resolve the labeled child once per thread (two label values ->
+      // half the writers share each child) and verify handle identity.
+      const char* shard = (w % 2 == 0) ? "even" : "odd";
+      obs::Counter& child = labeled.With({{"shard", shard}});
+      if (&child != &labeled.With({{"shard", shard}})) {
+        Die("labeled With() returned different handles for one labelset");
+      }
+      obs::ScopedDeadline deadline("smoke.writer");
       for (uint64_t k = 0; k < kIncrementsPerWriter; ++k) {
         CR_TRACE_SPAN_ARGS("smoke.iteration", "writer", w);
         hits.Increment();
+        child.Increment();
         level.Set(static_cast<double>(k));
         latency.Record(static_cast<double>(k % 128));
         CR_TRACE_INSTANT_V2("smoke.tick");
@@ -87,18 +165,35 @@ int main() {
   for (std::thread& writer : writers) writer.join();
   stop.store(true, std::memory_order_release);
   reader.join();
+  windower.join();
+  scraper.join();
+  server.Stop();
+  obs::StopWatchdog();
   obs::StopTracing();
 
   const uint64_t expected =
       static_cast<uint64_t>(kWriters) * kIncrementsPerWriter;
   if (hits.Value() != expected) Die("lost counter increments");
   if (latency.TotalCount() != expected) Die("lost histogram records");
+  const uint64_t even = labeled.With({{"shard", "even"}}).Value();
+  const uint64_t odd = labeled.With({{"shard", "odd"}}).Value();
+  if (even + odd != expected) Die("lost labeled increments");
+  if (even != (kWriters / 2 + kWriters % 2) * kIncrementsPerWriter) {
+    Die("labeled even-shard total wrong");
+  }
+  if (obs::WatchdogStallCount() != 0) Die("spurious watchdog stall");
   const std::string trace = obs::TraceToJson();
   if (trace.find("\"smoke.iteration\"") == std::string::npos) {
     Die("trace export missing recorded spans");
   }
+  // The 1024-slot rings wrapped under 20k events/thread, so the live drop
+  // counter must have fired (satellite: obs.trace_events_dropped).
+  if (registry.Counter("obs.trace_events_dropped").Value() == 0) {
+    Die("trace ring wrapped but obs.trace_events_dropped stayed 0");
+  }
   obs::ClearTrace();
-  std::printf("obs_smoke: OK (%d writers x %llu increments)\n", kWriters,
-              static_cast<unsigned long long>(kIncrementsPerWriter));
+  std::printf("obs_smoke: OK (%d writers x %llu increments, labels + "
+              "windows + scrape + watchdog)\n",
+              kWriters, static_cast<unsigned long long>(kIncrementsPerWriter));
   return 0;
 }

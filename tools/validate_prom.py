@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (v0.0.4) payload written by the
+obs scrape endpoint (obs::ToPrometheusText / crdiscover --serve_metrics).
+
+Checks the format invariants the exporter promises, so an exposition
+regression fails ctest instead of silently producing a payload a real
+Prometheus server rejects:
+
+  * every non-comment line parses as `name[{labels}] value`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and label names
+    [a-zA-Z_][a-zA-Z0-9_]*; label values use valid \\\\ \\" \\n escapes;
+  * every sample value parses as a float (+Inf/-Inf/NaN allowed);
+  * each `# TYPE` line names a metric at most once and appears before
+    that metric's first sample; every sample's family has a TYPE;
+  * histogram families: per label partition, _bucket counts are cumulative
+    (non-decreasing in le order), an le="+Inf" bucket exists and equals
+    the partition's _count;
+  * summary families: quantile labels parse as floats in [0, 1].
+
+Optional requirements (for smoke tests):
+  --require-series NAME   a sample with this exact metric name exists
+                          (repeatable)
+  --require-label k=v     some sample carries this label pair (repeatable)
+
+Usage: tools/validate_prom.py METRICS.txt [--require-series N]...
+Stdlib only; exit 0 on a valid payload, 1 with a diagnostic otherwise.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name, optional {labels}, value (no timestamps: the exporter never emits
+# them).
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+TYPE_RE = re.compile(r"^# TYPE\s+([a-zA-Z_:][a-zA-Z0-9_:]*)\s+(\w+)$")
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(message):
+    print(f"validate_prom: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(block, where):
+    """`{a="x",b="y"}` -> dict; fails on malformed quoting or names."""
+    labels = {}
+    body = block[1:-1]
+    at = 0
+    while at < len(body):
+        eq = body.find("=", at)
+        if eq < 0 or eq + 1 >= len(body) or body[eq + 1] != '"':
+            fail(f"{where}: malformed label block {block!r}")
+        name = body[at:eq]
+        if not LABEL_NAME_RE.match(name):
+            fail(f"{where}: bad label name {name!r}")
+        value = []
+        v = eq + 2
+        closed = False
+        while v < len(body):
+            c = body[v]
+            if c == "\\":
+                if v + 1 >= len(body) or body[v + 1] not in ('\\', '"', "n"):
+                    fail(f"{where}: bad escape in label value")
+                value.append("\n" if body[v + 1] == "n" else body[v + 1])
+                v += 2
+            elif c == '"':
+                closed = True
+                v += 1
+                break
+            else:
+                value.append(c)
+                v += 1
+        if not closed:
+            fail(f"{where}: unterminated label value in {block!r}")
+        if name in labels:
+            fail(f"{where}: duplicate label {name!r}")
+        labels[name] = "".join(value)
+        at = v
+        if at < len(body):
+            if body[at] != ",":
+                fail(f"{where}: expected ',' between labels in {block!r}")
+            at += 1
+    return labels
+
+
+def family_of(name):
+    """Strips the histogram/summary sample suffixes to the TYPE'd family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def partition_key(labels, drop):
+    return tuple(sorted((k, v) for k, v in labels.items() if k not in drop))
+
+
+def main():
+    args = sys.argv[1:]
+    require_series = []
+    require_labels = []
+    paths = []
+    k = 0
+    while k < len(args):
+        if args[k] == "--require-series":
+            k += 1
+            require_series.append(args[k])
+        elif args[k] == "--require-label":
+            k += 1
+            key, _, value = args[k].partition("=")
+            require_labels.append((key, value))
+        else:
+            paths.append(args[k])
+        k += 1
+    if len(paths) != 1:
+        fail("usage: validate_prom.py METRICS.txt [--require-series N]...")
+    path = paths[0]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+    except OSError as error:
+        fail(f"{path}: {error}")
+
+    types = {}       # family -> type
+    samples = []     # (name, labels, value)
+    seen_names = set()
+    buckets = {}     # (family, partition) -> list of (le, count)
+    counts = {}      # (family, partition) -> _count value
+
+    for lineno, line in enumerate(lines, start=1):
+        where = f"{path}:{lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = TYPE_RE.match(line)
+            if match:
+                name, kind = match.groups()
+                if kind not in VALID_TYPES:
+                    fail(f"{where}: unknown TYPE {kind!r}")
+                if name in types:
+                    fail(f"{where}: duplicate TYPE for {name!r}")
+                if name in seen_names:
+                    fail(f"{where}: TYPE after samples of {name!r}")
+                types[name] = kind
+            # Other comments (# HELP, bare #) are legal and ignored.
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(f"{where}: unparseable sample line {line!r}")
+        name, label_block, value_text = match.groups()
+        if not NAME_RE.match(name):
+            fail(f"{where}: bad metric name {name!r}")
+        labels = parse_labels(label_block, where) if label_block else {}
+        value = parse_value(value_text)
+        if value is None:
+            fail(f"{where}: bad sample value {value_text!r}")
+        family = family_of(name)
+        seen_names.add(family)
+        if family not in types:
+            fail(f"{where}: sample {name!r} has no preceding TYPE")
+        kind = types[family]
+        samples.append((name, labels, value))
+
+        if kind == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                fail(f"{where}: histogram bucket without le label")
+            le = parse_value(labels["le"])
+            if le is None:
+                fail(f"{where}: bad le value {labels['le']!r}")
+            key = (family, partition_key(labels, {"le"}))
+            buckets.setdefault(key, []).append((le, value))
+        elif kind == "histogram" and name.endswith("_count"):
+            counts[(family, partition_key(labels, set()))] = value
+        elif kind == "summary" and "quantile" in labels:
+            q = parse_value(labels["quantile"])
+            if q is None or not (0.0 <= q <= 1.0):
+                fail(f"{where}: summary quantile {labels['quantile']!r} "
+                     "not in [0, 1]")
+
+    for (family, partition), entries in buckets.items():
+        # The exporter emits buckets in ascending le order; verify rather
+        # than sort so an ordering regression is caught too.
+        les = [le for le, _ in entries]
+        if les != sorted(les):
+            fail(f"{family}{dict(partition)}: buckets not in le order")
+        values = [count for _, count in entries]
+        if any(b < a for a, b in zip(values, values[1:])):
+            fail(f"{family}{dict(partition)}: bucket counts not cumulative")
+        if not math.isinf(les[-1]):
+            fail(f"{family}{dict(partition)}: missing le=\"+Inf\" bucket")
+        total = counts.get((family, partition))
+        if total is None:
+            fail(f"{family}{dict(partition)}: histogram without _count")
+        if values[-1] != total:
+            fail(f"{family}{dict(partition)}: +Inf bucket {values[-1]} != "
+                 f"_count {total}")
+
+    if not samples:
+        fail("no samples; a scrape of a live process is never empty")
+
+    sample_names = {name for name, _, _ in samples}
+    for name in require_series:
+        if name not in sample_names:
+            fail(f"required series {name!r} not found")
+    all_label_pairs = {(k, v) for _, labels, _ in samples
+                       for k, v in labels.items()}
+    for key, value in require_labels:
+        if (key, value) not in all_label_pairs:
+            fail(f"required label {key}={value!r} not found on any sample")
+
+    print(f"validate_prom: OK: {len(samples)} samples, "
+          f"{len(types)} families, {len(buckets)} histogram partitions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
