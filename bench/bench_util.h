@@ -187,6 +187,23 @@ class BenchJson {
     int64_t cover_warm_pops = 0;
     int64_t full_rebuilds = 0;
     int64_t dirty_anchors = 0;
+    // Serving-daemon block (AddServe): one multi-tenant ingest run against
+    // an in-process ServeDaemon. n is the tenant count; `algorithm` is
+    // "paced" or "burst" and rate / clients / batch are part of the record
+    // key in bench_diff.py (rate is the target ticks/sec/tenant, 0 on
+    // burst rows). seconds is the end-to-end wall clock (ingest + drain);
+    // p50/p99 are blocking append-to-ack round-trip latencies and
+    // ticks_per_sec is the sustained processed-tick rate over the run.
+    bool has_serve = false;
+    double rate = 0.0;
+    int clients = 0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double ticks_per_sec = 0.0;
+    int64_t serve_ticks = 0;
+    int64_t serve_rejected = 0;
+    int64_t serve_faults = 0;
+    int64_t serve_evictions = 0;
     // Measurement provenance (AnnotateTrials): timed repeats whose minimum
     // became `seconds`, and untimed warmup runs before them. Emitted when
     // repeats > 0; not part of the record key.
@@ -316,6 +333,32 @@ class BenchJson {
     record.cover_warm_pops = cover_warm_pops;
     record.full_rebuilds = full_rebuilds;
     record.dirty_anchors = dirty_anchors;
+    records_.push_back(std::move(record));
+  }
+
+  // Records one multi-tenant serving-daemon run. `mode` is "paced" or
+  // "burst", `rate` the target ticks/sec/tenant (0 on burst rows),
+  // `seconds` the end-to-end wall clock, p50/p99 the append-to-ack
+  // round-trip latencies in milliseconds, `ticks_per_sec` the sustained
+  // processed-tick rate.
+  void AddServe(int64_t tenants, const std::string& mode, double rate,
+                int clients, int64_t batch, double seconds, double p50_ms,
+                double p99_ms, double ticks_per_sec, int64_t ticks,
+                int64_t rejected, int64_t faults, int64_t evictions) {
+    if (!active()) return;
+    Record record = MakeRecord(tenants, mode, "serve", clients, seconds,
+                               /*intervals_tested=*/0);
+    record.has_serve = true;
+    record.rate = rate;
+    record.clients = clients;
+    record.batch = batch;
+    record.p50_ms = p50_ms;
+    record.p99_ms = p99_ms;
+    record.ticks_per_sec = ticks_per_sec;
+    record.serve_ticks = ticks;
+    record.serve_rejected = rejected;
+    record.serve_faults = faults;
+    record.serve_evictions = evictions;
     records_.push_back(std::move(record));
   }
 
@@ -451,6 +494,28 @@ class BenchJson {
         json.Int(record.full_rebuilds);
         json.Key("dirty_anchors");
         json.Int(record.dirty_anchors);
+      }
+      if (record.has_serve) {
+        json.Key("rate");
+        json.Double(record.rate);
+        json.Key("clients");
+        json.Int(record.clients);
+        json.Key("batch");
+        json.Int(record.batch);
+        json.Key("p50_ms");
+        json.Double(record.p50_ms);
+        json.Key("p99_ms");
+        json.Double(record.p99_ms);
+        json.Key("ticks_per_sec");
+        json.Double(record.ticks_per_sec);
+        json.Key("serve_ticks");
+        json.Int(record.serve_ticks);
+        json.Key("serve_rejected");
+        json.Int(record.serve_rejected);
+        json.Key("serve_faults");
+        json.Int(record.serve_faults);
+        json.Key("serve_evictions");
+        json.Int(record.serve_evictions);
       }
       if (record.repeats > 0) {
         json.Key("repeats");

@@ -273,8 +273,20 @@ void IncrementalDiscoverer::ProcessBatch(
   }
 
   ++stats_.batches;
-  MaintainHeap();
-  RunWarmCover();
+  if (append_only_) {
+    // Deferred-cover mode: the candidate store and pending heap entries now
+    // carry this batch's full delta, so MaintainHeap + RunWarmCover at any
+    // later RefreshCover() produce the same tableau a per-batch refresh
+    // would have — deferral reorders no heap pushes (pending_entries_ keeps
+    // arrival order) and selection state never persists across batches.
+    cover_stale_ = true;
+  } else {
+    MaintainHeap();
+    RunWarmCover();
+    // If append-only mode was toggled off while stale, this eager pass
+    // just absorbed the backlog too.
+    cover_stale_ = false;
+  }
 
   IncrMetrics& metrics = IncrMetrics::Get();
   metrics.batches.Increment();
@@ -286,6 +298,15 @@ void IncrementalDiscoverer::ProcessBatch(
       static_cast<uint64_t>(stats_.full_rebuilds - before.full_rebuilds));
   metrics.dirty_anchors.Add(
       static_cast<uint64_t>(stats_.dirty_anchors - before.dirty_anchors));
+}
+
+const core::Tableau& IncrementalDiscoverer::RefreshCover() {
+  if (cover_stale_) {
+    MaintainHeap();
+    RunWarmCover();
+    cover_stale_ = false;
+  }
+  return tableau_;
 }
 
 void IncrementalDiscoverer::ResetAllAnchorStates() {

@@ -110,6 +110,23 @@ class IncrementalDiscoverer {
   const core::Tableau& AppendBatch(const std::vector<double>& a,
                                    const std::vector<double>& b);
 
+  // Append-only mode (off by default): AppendBatch maintains the per-anchor
+  // candidate state but defers heap maintenance and the warm-cover selection
+  // — the expensive per-batch tail for small batches — until RefreshCover().
+  // Between refreshes tableau() is the last refreshed snapshot (stale by
+  // construction); at every refresh point the tableau is bit-identical to
+  // what non-deferred maintenance (and hence from-scratch discovery) would
+  // produce, because the candidate store and pending heap entries carry the
+  // complete delta. Built for the serving daemon, which pays cover on a
+  // periodic scheduler tick instead of on every small batch.
+  void SetAppendOnly(bool append_only) { append_only_ = append_only; }
+  bool append_only() const { return append_only_; }
+  // True when batches were applied since the last cover refresh.
+  bool cover_stale() const { return cover_stale_; }
+  // Brings the tableau up to date with every applied batch; no-op when the
+  // cover is already fresh. Returns the refreshed tableau.
+  const core::Tableau& RefreshCover();
+
   const core::Tableau& tableau() const { return tableau_; }
   const series::CumulativeSeries& series() const { return *series_; }
   const core::TableauRequest& request() const { return request_; }
@@ -219,6 +236,8 @@ class IncrementalDiscoverer {
   double prev_delta_ = 0.0;
   bool credit_fail_ = false;
   bool fail_type_ = false;
+  bool append_only_ = false;
+  bool cover_stale_ = false;
 
   // 1-based per-anchor state (index 0 unused); only the request's
   // algorithm's vector is populated.

@@ -1,6 +1,7 @@
 #include "obs/scrape.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -156,6 +157,50 @@ void SendResponse(int fd, const char* status, const char* content_type,
 constexpr char kPromContentType[] = "text/plain; version=0.0.4; charset=utf-8";
 
 }  // namespace
+
+bool AtomicWriteFile(const std::string& path, const std::string& contents,
+                     std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "open(" + tmp + "): " + std::strerror(errno);
+    }
+    return false;
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        write(fd, contents.data() + written, contents.size() - written);
+    if (n <= 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = "write(" + tmp + "): " + std::strerror(errno);
+      }
+      close(fd);
+      unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Flush data before the rename publishes the name: a crash between the
+  // two must not leave a complete-looking but empty target.
+  if (fsync(fd) != 0 || close(fd) != 0) {
+    if (error != nullptr) {
+      *error = "fsync/close(" + tmp + "): " + std::strerror(errno);
+    }
+    unlink(tmp.c_str());
+    return false;
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename(" + tmp + " -> " + path + "): " + std::strerror(errno);
+    }
+    unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
 
 std::string SanitizePromName(const std::string& raw) {
   std::string out;
@@ -339,6 +384,15 @@ bool ScrapeServer::Start(const ScrapeServerOptions& options,
     return false;
   }
   port_ = ntohs(bound.sin_port);
+  if (!options_.port_file.empty()) {
+    std::string write_error;
+    if (!AtomicWriteFile(options_.port_file, std::to_string(port_) + "\n",
+                         &write_error)) {
+      if (error != nullptr) *error = "port file: " + write_error;
+      close(fd);
+      return false;
+    }
+  }
   listen_fd_ = fd;
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);

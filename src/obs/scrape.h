@@ -66,7 +66,21 @@ struct ScrapeServerOptions {
   // Cadence for advancing WindowAggregator::Global() from the serve loop;
   // <= 0 disables (the caller owns window advancement).
   double window_advance_seconds = 1.0;
+  // When non-empty, the bound port is written here (one decimal line) by
+  // Start, atomically (tmp + rename) so a watching scraper can never read
+  // a torn file. Written after listen() succeeds; a write failure fails
+  // Start and tears the socket back down.
+  std::string port_file;
 };
+
+// Writes `contents` to `path` atomically: a same-directory "<path>.tmp" is
+// written, fsync-ed and rename(2)-d over the target, so concurrent readers
+// see either the old file or the complete new one, never a prefix. Shared
+// by the scrape server and the serving daemon's port files. Returns false
+// (with a reason in *error if non-null) on any I/O failure; the tmp file
+// is cleaned up best-effort.
+bool AtomicWriteFile(const std::string& path, const std::string& contents,
+                     std::string* error);
 
 class ScrapeServer {
  public:

@@ -1,0 +1,158 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace conservation::serve {
+
+ServeClient::~ServeClient() { Close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_),
+      send_buffer_(std::move(other.send_buffer_)),
+      reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    send_buffer_ = std::move(other.send_buffer_);
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Status ServeClient::Connect(int port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::Internal(std::string("socket: ") +
+                                  std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message =
+        std::string("connect: ") + std::strerror(errno);
+    close(fd);
+    return util::Status::Internal(message);
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  reader_ = FrameReader();
+  send_buffer_.clear();
+  return util::Status::Ok();
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status ServeClient::SendAll(const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::Internal(std::string("send: ") +
+                                    std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::Status::Ok();
+}
+
+util::Status ServeClient::SendAppend(uint64_t tenant_id, const double* a,
+                                     const double* b, int64_t m) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("not connected");
+  if (m <= 0 || m > static_cast<int64_t>(kMaxAppendTicks)) {
+    return util::Status::InvalidArgument("bad append size");
+  }
+  EncodeAppend(tenant_id, a, b, m, &send_buffer_);
+  return util::Status::Ok();
+}
+
+util::Status ServeClient::Flush() {
+  if (send_buffer_.empty()) return util::Status::Ok();
+  util::Status status = SendAll(send_buffer_.data(), send_buffer_.size());
+  send_buffer_.clear();
+  return status;
+}
+
+util::Result<Frame> ServeClient::ReadFrame(FrameType type) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("not connected");
+  util::Status flush = Flush();
+  if (!flush.ok()) return flush;
+  Frame frame;
+  char chunk[16 * 1024];
+  for (;;) {
+    if (reader_.Next(&frame)) {
+      if (frame.type != type) {
+        return util::Status::Internal("unexpected frame from server");
+      }
+      return frame;
+    }
+    if (reader_.failed()) {
+      return util::Status::Internal("protocol error: " + reader_.error());
+    }
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return util::Status::Internal("server closed connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::Internal(std::string("recv: ") +
+                                    std::strerror(errno));
+    }
+    reader_.Feed(chunk, static_cast<size_t>(n));
+  }
+}
+
+util::Result<AckFrame> ServeClient::ReadAck() {
+  auto frame = ReadFrame(FrameType::kAck);
+  if (!frame.ok()) return frame.status();
+  return frame.value().ack;
+}
+
+util::Result<AckFrame> ServeClient::Append(uint64_t tenant_id, const double* a,
+                                           const double* b, int64_t m) {
+  util::Status status = SendAppend(tenant_id, a, b, m);
+  if (!status.ok()) return status;
+  return ReadAck();
+}
+
+util::Result<AckFrame> ServeClient::Ping() {
+  if (fd_ < 0) return util::Status::FailedPrecondition("not connected");
+  EncodePing(&send_buffer_);
+  return ReadAck();
+}
+
+util::Result<StatsReplyFrame> ServeClient::Stats() {
+  if (fd_ < 0) return util::Status::FailedPrecondition("not connected");
+  EncodeStatsRequest(&send_buffer_);
+  auto frame = ReadFrame(FrameType::kStatsReply);
+  if (!frame.ok()) return frame.status();
+  return frame.value().stats;
+}
+
+}  // namespace conservation::serve

@@ -1,0 +1,63 @@
+// ServeClient: a minimal blocking client for the crserved ingest protocol
+// (serve/protocol.h). One client owns one loopback TCP connection; create
+// one per driver thread — the class is not thread-safe.
+//
+// Two usage shapes:
+//   * Append(): one request/one ack round trip — simplest, and what the
+//     latency benchmarks measure (append-to-ack).
+//   * SendAppend() + ReadAck(): pipelining — queue several appends before
+//     collecting acks (the daemon guarantees per-connection ack order).
+
+#ifndef CONSERVATION_SERVE_CLIENT_H_
+#define CONSERVATION_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace conservation::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Connects to 127.0.0.1:port.
+  util::Status Connect(int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Blocking round trips.
+  util::Result<AckFrame> Append(uint64_t tenant_id, const double* a,
+                                const double* b, int64_t m);
+  util::Result<AckFrame> Ping();
+  util::Result<StatsReplyFrame> Stats();
+
+  // Pipelined halves: SendAppend queues the request bytes (flushed by
+  // Flush or implicitly by ReadAck), ReadAck pops the next ack in order.
+  util::Status SendAppend(uint64_t tenant_id, const double* a,
+                          const double* b, int64_t m);
+  util::Status Flush();
+  util::Result<AckFrame> ReadAck();
+
+ private:
+  util::Status SendAll(const char* data, size_t size);
+  // Reads frames until one of `type` arrives.
+  util::Result<Frame> ReadFrame(FrameType type);
+
+  int fd_ = -1;
+  std::string send_buffer_;
+  FrameReader reader_;
+};
+
+}  // namespace conservation::serve
+
+#endif  // CONSERVATION_SERVE_CLIENT_H_

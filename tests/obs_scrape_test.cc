@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -204,6 +207,57 @@ TEST(ScrapeServerTest, SecondStartWhileRunningFails) {
   EXPECT_FALSE(server.Start(options, &second_error));
   EXPECT_FALSE(second_error.empty());
   server.Stop();
+}
+
+TEST(ScrapeServerTest, WritesPortFileAtomically) {
+  const std::string path =
+      ::testing::TempDir() + "/scrape_port_file_test.port";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  ScrapeServer server;
+  ScrapeServerOptions options;
+  options.window_advance_seconds = 0.0;
+  options.port_file = path;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+
+  // The file exists by the time Start returns, holds exactly the bound
+  // port, and the tmp staging file was renamed away (rename is the atomic
+  // commit — a reader can never observe a partial write).
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  int port = 0;
+  in >> port;
+  EXPECT_EQ(port, server.port());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  server.Stop();
+  std::remove(path.c_str());
+}
+
+TEST(ScrapeServerTest, PortFileWriteFailureFailsStart) {
+  ScrapeServer server;
+  ScrapeServerOptions options;
+  options.window_advance_seconds = 0.0;
+  options.port_file = "/nonexistent-dir-for-sure/x.port";
+  std::string error;
+  EXPECT_FALSE(server.Start(options, &error));
+  EXPECT_NE(error.find("port file"), std::string::npos) << error;
+  EXPECT_FALSE(server.running());
+}
+
+TEST(AtomicWriteFileTest, ReplacesExistingContentsCompletely) {
+  const std::string path = ::testing::TempDir() + "/atomic_write_test.txt";
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(path, "first version\n", &error)) << error;
+  ASSERT_TRUE(AtomicWriteFile(path, "v2\n", &error)) << error;
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "v2\n");
+  std::remove(path.c_str());
 }
 
 TEST(ScrapeServerTest, ScrapeOnceReturnsEmptyWhenNothingListens) {

@@ -2,7 +2,7 @@
 """Compare two bench --json files and print per-config deltas.
 
 Records are keyed by (bench, n, algorithm, model, threads, k, walk_width,
-sketch, sketch_block, incr_mode, batch); k is 0 for records without a
+sketch, sketch_block, incr_mode, batch, rate); k is 0 for records without a
 candidate-count dimension (everything except the cover bench, which
 sweeps k at fixed n), walk_width is 0 for records without a walk-width
 dimension (everything except the walks bench, which sweeps it at fixed
@@ -10,8 +10,10 @@ n), sketch / sketch_block are "" / 0 outside the sketch bench (which
 sweeps screen off-vs-auto at a fixed block span), and incr_mode / batch
 are "" / 0 outside the incremental-maintenance bench (which compares
 per-batch AppendBatch latency against a from-scratch run at each batch
-size). The compared quantity is `seconds` (end-to-end wall clock; mean
-per-batch latency on incr rows). Configs present in only one file are
+size), and rate is 0.0 outside the serving bench (which sweeps tenant
+count and pacing; its batch slot is the append frame size and its
+threads slot the client count). The compared quantity is `seconds`
+(end-to-end wall clock; mean per-batch latency on incr rows). Configs present in only one file are
 listed separately. When both records carry the parallel observability
 block, speedup and imbalance deltas are shown too; when both carry the
 cover block, cover_speedup and stale-re-evaluation deltas are shown;
@@ -58,6 +60,8 @@ def load_records(path):
         record.pop("candidates_extended", None)
         record.pop("full_rebuilds", None)
         record.pop("dirty_anchors", None)
+        record.pop("serve_faults", None)
+        record.pop("serve_evictions", None)
         key = (
             record.get("bench", ""),
             record.get("n", 0),
@@ -70,6 +74,7 @@ def load_records(path):
             record.get("sketch_block", 0),
             record.get("incr_mode", ""),
             record.get("batch", 0),
+            record.get("rate", 0.0),
         )
         if key in records:
             print(f"warning: {path}: duplicate record for {key}; "
@@ -80,7 +85,7 @@ def load_records(path):
 
 def fmt_key(key):
     bench, n, algorithm, model, threads, k, walk_width, sketch, \
-        sketch_block, incr_mode, batch = key
+        sketch_block, incr_mode, batch, rate = key
     text = f"{bench} n={n} {algorithm} {model} threads={threads}"
     if k:
         text += f" k={k}"
@@ -94,6 +99,8 @@ def fmt_key(key):
         text += f" incr_mode={incr_mode}"
     if batch:
         text += f" batch={batch}"
+    if rate:
+        text += f" rate={rate:g}"
     return text
 
 
@@ -164,6 +171,13 @@ def main():
         if "cover_warm_pops" in o and "cover_warm_pops" in n:
             extras.append(f"warm_pops {o['cover_warm_pops']} -> "
                           f"{n['cover_warm_pops']}")
+        if "p99_ms" in o and "p99_ms" in n:
+            extras.append(f"p50 {o.get('p50_ms', 0):.2f}ms -> "
+                          f"{n.get('p50_ms', 0):.2f}ms")
+            extras.append(f"p99 {o['p99_ms']:.2f}ms -> {n['p99_ms']:.2f}ms")
+        if "ticks_per_sec" in o and "ticks_per_sec" in n:
+            extras.append(f"ticks/s {o['ticks_per_sec']:.0f} -> "
+                          f"{n['ticks_per_sec']:.0f}")
         if extras:
             line += "\n      " + ", ".join(extras)
         print(line)

@@ -203,19 +203,15 @@ int main(int argc, char** argv) {
     }
     obs::ScrapeServerOptions serve_options;
     serve_options.port = static_cast<int>(*serve_port);
+    // Written atomically (tmp + rename) by Start, so a polling scraper
+    // never reads a torn port file even under rapid restarts.
+    serve_options.port_file = flags.GetStringOr("serve_metrics_port_file", "");
     std::string serve_error;
     if (!scrape_server.Start(serve_options, &serve_error)) {
       return Fail("--serve_metrics: " + serve_error);
     }
     std::fprintf(stderr, "crdiscover: serving metrics on 127.0.0.1:%d\n",
                  scrape_server.port());
-    const std::string port_file =
-        flags.GetStringOr("serve_metrics_port_file", "");
-    if (!port_file.empty() &&
-        !WriteTextFile(port_file,
-                       std::to_string(scrape_server.port()) + "\n")) {
-      return 1;
-    }
   } else if (flags.Has("serve_metrics_port_file")) {
     return Fail("--serve_metrics_port_file requires --serve_metrics");
   }

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the serving daemon: launch crserved on ephemeral
+ingest + metrics ports, replay a ~32-tenant simulated node fleet through
+crserve_driver (paced so the replay stays in flight), scrape /metrics
+mid-run, validate the payload as Prometheus exposition (validate_prom.py)
+and require the serve.* families, then SIGTERM the daemon and assert a
+clean drain (exit 0, ticks_ingested == ticks_processed).
+
+Usage: tools/serve_smoke.py CRSERVED_BIN CRSERVE_DRIVER_BIN
+Stdlib only; exit 0 on success, 1 with a diagnostic otherwise.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import validate_prom  # noqa: E402
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_port_file(path, process, what, timeout_seconds=20.0):
+    deadline = time.monotonic() + timeout_seconds
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            fail(f"crserved exited early with code {process.returncode}")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    fail(f"timed out waiting for the {what} port file")
+
+
+def scrape(port):
+    url = f"http://127.0.0.1:{port}/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            body = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as error:
+        fail(f"GET {url}: {error}")
+    if not body:
+        fail("empty scrape body")
+    return body
+
+
+def validate(body):
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".txt", delete=False, encoding="utf-8") as handle:
+        handle.write(body)
+        path = handle.name
+    try:
+        argv = [
+            "validate_prom.py", path,
+            "--require-series", "serve_ticks_ingested",
+            "--require-series", "serve_tenants",
+            "--require-series", "serve_dispatch_batch_seconds_bucket",
+        ]
+        old_argv = sys.argv
+        sys.argv = argv
+        try:
+            validate_prom.main()
+        except SystemExit as stop:
+            if stop.code not in (0, None):
+                fail("validate_prom rejected the mid-run scrape")
+        finally:
+            sys.argv = old_argv
+    finally:
+        os.unlink(path)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: serve_smoke.py CRSERVED_BIN CRSERVE_DRIVER_BIN")
+    crserved_bin, driver_bin = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        ingest_port_file = os.path.join(tmpdir, "ingest.port")
+        metrics_port_file = os.path.join(tmpdir, "metrics.port")
+        daemon = subprocess.Popen(
+            [
+                crserved_bin,
+                "--port=0",
+                f"--port_file={ingest_port_file}",
+                "--metrics_port=0",
+                f"--metrics_port_file={metrics_port_file}",
+                "--readers=2",
+                "--type=fail", "--c_hat=0.5", "--s_hat=0.05",
+                "--refresh_ms=20",
+                "--max_hot=8",  # forces eviction/fault traffic mid-run
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        try:
+            wait_for_port_file(ingest_port_file, daemon, "ingest")
+            metrics_port = wait_for_port_file(
+                metrics_port_file, daemon, "metrics")
+
+            # ~32 tenants (8 nodes x ~4 links), paced to ~200
+            # ticks/sec/tenant so the replay takes >= 0.8 s — plenty of
+            # window for a mid-run scrape even on a loaded machine.
+            driver = subprocess.Popen(
+                [
+                    driver_bin,
+                    f"--port_file={ingest_port_file}",
+                    "--nodes=8", "--bad_nodes=1",
+                    "--ticks=160", "--batch=8", "--rate=200",
+                ],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+            time.sleep(0.4)
+            body = scrape(metrics_port)
+            mid_flight = driver.poll() is None
+            driver_out, driver_err = driver.communicate(timeout=120)
+            if driver.returncode != 0:
+                fail(f"crserve_driver exited {driver.returncode}; "
+                     f"stderr:\n{driver_err}")
+            if not mid_flight:
+                fail("replay finished before the scrape; increase pacing")
+            validate(body)
+
+            # Clean drain on SIGTERM: exit 0 and ingested == processed
+            # (crserved itself exits 1 and prints DRAIN MISMATCH if not).
+            daemon.send_signal(signal.SIGTERM)
+            stdout, stderr = daemon.communicate(timeout=120)
+        except Exception:
+            daemon.kill()
+            raise
+
+    if daemon.returncode != 0:
+        fail(f"crserved exited {daemon.returncode}; stderr:\n{stderr}")
+    if "DRAIN MISMATCH" in stderr:
+        fail(f"drain mismatch; stderr:\n{stderr}")
+    if "drained" not in stderr:
+        fail(f"missing drain summary; stderr:\n{stderr}")
+
+    print("serve_smoke: OK: mid-run scrape validated, clean SIGTERM drain")
+    print(f"serve_smoke: driver: {driver_err.strip().splitlines()[-1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
